@@ -1,0 +1,81 @@
+//! Pretty-printing of expressions in the paper's notation.
+
+use crate::expr::Expr;
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Table(n) => write!(f, "{n}"),
+            Expr::Literal { bag, .. } => {
+                if bag.is_empty() {
+                    write!(f, "φ")
+                } else if bag.len() <= 4 {
+                    write!(f, "{bag}")
+                } else {
+                    write!(f, "{{…{} tuples…}}", bag.len())
+                }
+            }
+            Expr::Alias { alias, input } => write!(f, "({input} AS {alias})"),
+            Expr::Select { pred, input } => write!(f, "σ[{pred}]({input})"),
+            Expr::Project { cols, input } => {
+                write!(f, "Π[")?;
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]({input})")
+            }
+            Expr::DupElim(e) => write!(f, "ε({e})"),
+            Expr::Union(a, b) => write!(f, "({a} ⊎ {b})"),
+            Expr::Monus(a, b) => write!(f, "({a} ∸ {b})"),
+            Expr::Product(a, b) => write!(f, "({a} × {b})"),
+            Expr::MinIntersect(a, b) => write!(f, "({a} min {b})"),
+            Expr::MaxUnion(a, b) => write!(f, "({a} max {b})"),
+            Expr::Except(a, b) => write!(f, "({a} EXCEPT {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{col, lit, Predicate};
+    use dvm_storage::{tuple, Bag, Schema, ValueType};
+
+    #[test]
+    fn renders_paper_notation() {
+        let e = Expr::table("R")
+            .select(Predicate::eq(col("a"), lit(1i64)))
+            .project(["a"])
+            .union(Expr::table("S").monus(Expr::table("T")));
+        assert_eq!(e.to_string(), "(Π[a](σ[a = 1](R)) ⊎ (S ∸ T))");
+    }
+
+    #[test]
+    fn empty_renders_phi() {
+        let s = Schema::from_pairs(&[("a", ValueType::Int)]);
+        assert_eq!(Expr::empty(s.clone()).to_string(), "φ");
+        assert_eq!(Expr::singleton(tuple![1], s.clone()).to_string(), "{[1]}");
+        let mut big = Bag::new();
+        for i in 0..10i64 {
+            big.insert(tuple![i]);
+        }
+        assert_eq!(Expr::literal(big, s).to_string(), "{…10 tuples…}");
+    }
+
+    #[test]
+    fn derived_ops_and_misc() {
+        let e = Expr::table("R")
+            .min_intersect(Expr::table("S"))
+            .max_union(Expr::table("T").dedup())
+            .except(Expr::table("U").alias("u"))
+            .product(Expr::table("V"));
+        assert_eq!(
+            e.to_string(),
+            "((((R min S) max ε(T)) EXCEPT (U AS u)) × V)"
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Plan evaluation.
+//!
+//! Evaluation is strictly bottom-up over owned/borrowed bags. Table contents
+//! come from a [`BagSource`]; the production source is [`PinnedState`],
+//! which acquires one read lock per distinct table *up front in sorted name
+//! order* — so a query never takes a recursive read lock (self-joins scan
+//! the same pinned bag twice) and concurrent evaluations cannot deadlock.
+
+use crate::error::Result;
+use crate::infer::CompiledQuery;
+use crate::plan::Plan;
+use dvm_storage::lock::OwnedReadGuard;
+use dvm_storage::{Bag, Catalog, Snapshot, StorageError};
+use std::borrow::Cow;
+use std::collections::{BTreeSet, HashMap};
+
+/// Read access to named bags for the duration of one evaluation.
+pub trait BagSource {
+    /// Borrow the bag backing `table`.
+    fn bag(&self, table: &str) -> Result<&Bag>;
+}
+
+/// A set of tables pinned with read locks for consistent evaluation.
+///
+/// Locks are acquired in sorted table-name order; drop the `PinnedState` to
+/// release them.
+pub struct PinnedState {
+    guards: HashMap<String, OwnedReadGuard<Bag>>,
+}
+
+impl PinnedState {
+    /// Pin all `tables` from the catalog (sorted acquisition order).
+    pub fn pin(catalog: &Catalog, tables: &BTreeSet<String>) -> Result<Self> {
+        let mut guards = HashMap::with_capacity(tables.len());
+        for name in tables {
+            let table = catalog.require(name)?;
+            guards.insert(name.clone(), table.read_owned());
+        }
+        Ok(PinnedState { guards })
+    }
+
+    /// Pin exactly the tables a plan scans.
+    pub fn pin_for(catalog: &Catalog, plan: &Plan) -> Result<Self> {
+        Self::pin(catalog, &plan.tables())
+    }
+}
+
+impl BagSource for PinnedState {
+    fn bag(&self, table: &str) -> Result<&Bag> {
+        self.guards
+            .get(table)
+            .map(|g| &**g)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()).into())
+    }
+}
+
+impl BagSource for Snapshot {
+    fn bag(&self, table: &str) -> Result<&Bag> {
+        Snapshot::bag(self, table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()).into())
+    }
+}
+
+impl BagSource for HashMap<String, Bag> {
+    fn bag(&self, table: &str) -> Result<&Bag> {
+        self.get(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()).into())
+    }
+}
+
+/// Evaluate a plan against a bag source, returning an owned bag.
+pub fn eval(plan: &Plan, src: &dyn BagSource) -> Result<Bag> {
+    Ok(eval_cow(plan, src)?.into_owned())
+}
+
+/// Evaluate a compiled query against the current catalog state, pinning the
+/// tables it reads.
+pub fn eval_in_catalog(query: &CompiledQuery, catalog: &Catalog) -> Result<Bag> {
+    let pinned = PinnedState::pin_for(catalog, &query.plan)?;
+    eval(&query.plan, &pinned)
+}
+
+fn eval_cow<'a>(plan: &'a Plan, src: &'a dyn BagSource) -> Result<Cow<'a, Bag>> {
+    Ok(match plan {
+        Plan::Scan(name) => Cow::Borrowed(src.bag(name)?),
+        Plan::Literal(bag) => Cow::Borrowed(bag),
+        Plan::Filter(pred, input) => {
+            let b = eval_cow(input, src)?;
+            Cow::Owned(b.select(|t| pred.eval(t)))
+        }
+        Plan::Project(indices, input) => {
+            let b = eval_cow(input, src)?;
+            Cow::Owned(b.project(indices))
+        }
+        Plan::DupElim(input) => {
+            let b = eval_cow(input, src)?;
+            Cow::Owned(b.dedup())
+        }
+        Plan::Union(a, b) => {
+            let x = eval_cow(a, src)?;
+            let y = eval_cow(b, src)?;
+            Cow::Owned(x.union(&y))
+        }
+        Plan::Monus(a, b) => {
+            let x = eval_cow(a, src)?;
+            let y = eval_cow(b, src)?;
+            // Avoid cloning the left side when it is already owned.
+            match x {
+                Cow::Owned(mut owned) => {
+                    owned.monus_assign(&y);
+                    Cow::Owned(owned)
+                }
+                Cow::Borrowed(b_ref) => Cow::Owned(b_ref.monus(&y)),
+            }
+        }
+        Plan::Product(a, b) => {
+            let x = eval_cow(a, src)?;
+            let y = eval_cow(b, src)?;
+            Cow::Owned(x.product(&y))
+        }
+        Plan::MinIntersect(a, b) => {
+            let x = eval_cow(a, src)?;
+            let y = eval_cow(b, src)?;
+            Cow::Owned(x.min_intersect(&y))
+        }
+        Plan::MaxUnion(a, b) => {
+            let x = eval_cow(a, src)?;
+            let y = eval_cow(b, src)?;
+            Cow::Owned(x.max_union(&y))
+        }
+        Plan::Except(a, b) => {
+            let x = eval_cow(a, src)?;
+            let y = eval_cow(b, src)?;
+            Cow::Owned(x.except_all_occurrences(&y))
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let l = eval_cow(left, src)?;
+            let r = eval_cow(right, src)?;
+            Cow::Owned(hash_join(&l, &r, left_keys, right_keys, residual))
+        }
+    })
+}
+
+/// Hash equi-join: build on the right side, probe with the left.
+/// Multiplicities multiply; `residual` filters the concatenated tuple.
+fn hash_join(
+    left: &Bag,
+    right: &Bag,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    residual: &crate::plan::PhysPredicate,
+) -> Bag {
+    use dvm_storage::{Tuple, Value};
+    // Key values are normalized so hash-equality coincides with the
+    // evaluator's SQL comparison semantics: integers coerce to doubles
+    // (sql_cmp compares them via f64 conversion, with the same precision
+    // behaviour), and NULL never joins.
+    fn key_of(t: &Tuple, keys: &[usize]) -> Option<Vec<Value>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for &i in keys {
+            match &t[i] {
+                Value::Null => return None,
+                Value::Int(v) => out.push(Value::Double(*v as f64)),
+                other => out.push(other.clone()),
+            }
+        }
+        Some(out)
+    }
+    let mut build: HashMap<Vec<Value>, Vec<(&Tuple, u64)>> =
+        HashMap::with_capacity(right.distinct_len());
+    for (t, m) in right.iter() {
+        let Some(key) = key_of(t, right_keys) else {
+            continue;
+        };
+        build.entry(key).or_default().push((t, m));
+    }
+    let mut out = Bag::new();
+    for (lt, lm) in left.iter() {
+        let Some(key) = key_of(lt, left_keys) else {
+            continue;
+        };
+        if let Some(matches) = build.get(&key) {
+            for (rt, rm) in matches {
+                let joined = lt.concat(rt);
+                if residual.eval(&joined) {
+                    out.insert_n(joined, lm.saturating_mul(*rm));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::infer::compile;
+    use crate::predicate::{col, lit, Predicate};
+    use dvm_storage::{tuple, Schema, TableKind, ValueType};
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let r = c
+            .create_table(
+                "r",
+                Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Int)]),
+                TableKind::External,
+            )
+            .unwrap();
+        r.insert(tuple![1, 10]).unwrap();
+        r.insert(tuple![1, 10]).unwrap();
+        r.insert(tuple![2, 20]).unwrap();
+        let s = c
+            .create_table(
+                "s",
+                Schema::from_pairs(&[("b", ValueType::Int), ("c", ValueType::Int)]),
+                TableKind::External,
+            )
+            .unwrap();
+        s.insert(tuple![10, 100]).unwrap();
+        s.insert(tuple![30, 300]).unwrap();
+        c
+    }
+
+    fn run(c: &Catalog, e: &Expr) -> Bag {
+        let q = compile(e, c).unwrap();
+        eval_in_catalog(&q, c).unwrap()
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let c = catalog();
+        let out = run(
+            &c,
+            &Expr::table("r").select(Predicate::eq(col("a"), lit(1i64))),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.multiplicity(&tuple![1, 10]), 2);
+    }
+
+    #[test]
+    fn join_via_product_preserves_duplicates() {
+        let c = catalog();
+        // R ⋈ S on r.b = s.b: [1,10] (×2) joins [10,100] → two results
+        let e = Expr::table("r")
+            .alias("r")
+            .product(Expr::table("s").alias("s"))
+            .select(Predicate::eq(col("r.b"), col("s.b")))
+            .project(["a", "c"]);
+        let out = run(&c, &e);
+        assert_eq!(out.multiplicity(&tuple![1, 100]), 2);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn self_join_scans_pinned_bag_twice() {
+        let c = catalog();
+        let e = Expr::table("r")
+            .alias("x")
+            .product(Expr::table("r").alias("y"))
+            .select(Predicate::eq(col("x.a"), col("y.a")));
+        let out = run(&c, &e);
+        // [1,10]×2 self-join on a=1: 2*2 = 4; plus [2,20]: 1. Total 5.
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn union_monus_dedup() {
+        let c = catalog();
+        let r = Expr::table("r");
+        assert_eq!(run(&c, &r.clone().union(r.clone())).len(), 6);
+        assert!(run(&c, &r.clone().monus(r.clone())).is_empty());
+        assert_eq!(run(&c, &r.clone().dedup()).len(), 2);
+    }
+
+    #[test]
+    fn projection_merges_duplicates() {
+        let c = catalog();
+        let out = run(&c, &Expr::table("r").project(["a"]));
+        assert_eq!(out.multiplicity(&tuple![1]), 2);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn min_max_except() {
+        let c = catalog();
+        let two = Expr::table("r").union(Expr::table("r"));
+        let one = Expr::table("r");
+        let mn = run(&c, &two.clone().min_intersect(one.clone()));
+        assert_eq!(mn.multiplicity(&tuple![1, 10]), 2);
+        let mx = run(&c, &two.clone().max_union(one.clone()));
+        assert_eq!(mx.multiplicity(&tuple![1, 10]), 4);
+        // EXCEPT removes all occurrences
+        let ex = run(
+            &c,
+            &two.except(Expr::table("r").select(Predicate::eq(col("a"), lit(1i64)))),
+        );
+        assert_eq!(ex.multiplicity(&tuple![1, 10]), 0);
+        assert_eq!(ex.multiplicity(&tuple![2, 20]), 2);
+    }
+
+    #[test]
+    fn eval_against_snapshot() {
+        let c = catalog();
+        let snap = c.snapshot();
+        // mutate after snapshot
+        c.get("r").unwrap().insert(tuple![9, 90]).unwrap();
+        let q = compile(&Expr::table("r"), &c).unwrap();
+        let now = eval_in_catalog(&q, &c).unwrap();
+        let then = eval(&q.plan, &snap).unwrap();
+        assert_eq!(now.len(), 4);
+        assert_eq!(then.len(), 3, "snapshot sees the past state");
+    }
+
+    #[test]
+    fn eval_missing_table_in_snapshot_errors() {
+        let c = Catalog::new();
+        let snap = c.snapshot();
+        let plan = Plan::Scan("ghost".to_string());
+        assert!(eval(&plan, &snap).is_err());
+    }
+
+    #[test]
+    fn literal_eval() {
+        let c = catalog();
+        let s = Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Int)]);
+        let e = Expr::literal(Bag::singleton(tuple![7, 70]), s);
+        let out = run(&c, &e.union(Expr::table("r")));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn hashmap_source() {
+        let mut m = HashMap::new();
+        m.insert("t".to_string(), Bag::singleton(tuple![1]));
+        let plan = Plan::Scan("t".to_string());
+        assert_eq!(eval(&plan, &m).unwrap().len(), 1);
+        assert!(eval(&Plan::Scan("u".into()), &m).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! `EXPLAIN`: render physical plans as indented operator trees.
+//!
+//! Useful for inspecting what the optimizer did — in particular whether a
+//! view definition's products became hash joins and where predicates were
+//! pushed (the difference between a usable refresh and a cross-product
+//! blow-up).
+
+use crate::infer::CompiledQuery;
+use crate::plan::{PhysPredicate, Plan};
+use std::fmt::Write as _;
+
+/// Render a plan as an indented tree, one operator per line.
+pub fn explain_plan(plan: &Plan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+/// Render a compiled query: output schema, then the plan tree.
+pub fn explain_query(q: &CompiledQuery) -> String {
+    format!("schema: {}\n{}", q.schema, explain_plan(&q.plan))
+}
+
+fn render(plan: &Plan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        Plan::Scan(name) => writeln!(out, "{pad}Scan {name}").unwrap(),
+        Plan::Literal(bag) => writeln!(
+            out,
+            "{pad}Literal [{} tuples, {} distinct]",
+            bag.len(),
+            bag.distinct_len()
+        )
+        .unwrap(),
+        Plan::Filter(pred, input) => {
+            writeln!(out, "{pad}Filter {}", render_pred(pred)).unwrap();
+            render(input, depth + 1, out);
+        }
+        Plan::Project(cols, input) => {
+            let cols: Vec<String> = cols.iter().map(|c| format!("#{c}")).collect();
+            writeln!(out, "{pad}Project [{}]", cols.join(", ")).unwrap();
+            render(input, depth + 1, out);
+        }
+        Plan::DupElim(input) => {
+            writeln!(out, "{pad}DupElim (ε)").unwrap();
+            render(input, depth + 1, out);
+        }
+        Plan::Union(a, b) => binary(out, pad, "Union (⊎)", a, b, depth),
+        Plan::Monus(a, b) => binary(out, pad, "Monus (∸)", a, b, depth),
+        Plan::Product(a, b) => binary(out, pad, "Product (×)", a, b, depth),
+        Plan::MinIntersect(a, b) => binary(out, pad, "MinIntersect (min)", a, b, depth),
+        Plan::MaxUnion(a, b) => binary(out, pad, "MaxUnion (max)", a, b, depth),
+        Plan::Except(a, b) => binary(out, pad, "Except", a, b, depth),
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let keys: Vec<String> = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(l, r)| format!("#{l}=#{r}"))
+                .collect();
+            let residual_s = match residual {
+                PhysPredicate::Const(true) => String::new(),
+                p => format!(" residual: {}", render_pred(p)),
+            };
+            writeln!(out, "{pad}HashJoin on [{}]{residual_s}", keys.join(", ")).unwrap();
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+    }
+}
+
+fn binary(out: &mut String, pad: String, label: &str, a: &Plan, b: &Plan, depth: usize) {
+    writeln!(out, "{pad}{label}").unwrap();
+    render(a, depth + 1, out);
+    render(b, depth + 1, out);
+}
+
+/// Render a compiled predicate with `#i` column positions.
+pub fn render_pred(p: &PhysPredicate) -> String {
+    use crate::plan::PhysOperand;
+    fn operand(o: &PhysOperand) -> String {
+        match o {
+            PhysOperand::Col(i) => format!("#{i}"),
+            PhysOperand::Const(v) => v.to_string(),
+        }
+    }
+    match p {
+        PhysPredicate::Const(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        PhysPredicate::Cmp(l, op, r) => format!("{} {op} {}", operand(l), operand(r)),
+        PhysPredicate::And(a, b) => format!("({} AND {})", render_pred(a), render_pred(b)),
+        PhysPredicate::Or(a, b) => format!("({} OR {})", render_pred(a), render_pred(b)),
+        PhysPredicate::Not(a) => format!("NOT ({})", render_pred(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::infer::compile;
+    use crate::predicate::{col, lit, Predicate};
+    use dvm_storage::{Schema, ValueType};
+    use std::collections::HashMap;
+
+    fn provider() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "r".to_string(),
+            Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Int)]),
+        );
+        m.insert(
+            "s".to_string(),
+            Schema::from_pairs(&[("b", ValueType::Int), ("c", ValueType::Int)]),
+        );
+        m
+    }
+
+    #[test]
+    fn join_renders_as_hash_join() {
+        let p = provider();
+        let e = Expr::table("r")
+            .alias("r")
+            .product(Expr::table("s").alias("s"))
+            .select(Predicate::eq(col("r.b"), col("s.b")).and(Predicate::gt(col("r.a"), lit(1i64))))
+            .project(["a", "c"]);
+        let q = compile(&e, &p).unwrap();
+        let text = explain_query(&q);
+        assert!(text.contains("schema: (a: INT, c: INT)"), "{text}");
+        assert!(text.contains("HashJoin on [#1=#0]"), "{text}");
+        assert!(text.contains("Filter #0 > 1"), "{text}");
+        assert!(text.contains("Scan r"), "{text}");
+        assert!(text.contains("Scan s"), "{text}");
+        // indentation: scans are deeper than the join
+        let join_line = text.lines().find(|l| l.contains("HashJoin")).unwrap();
+        let scan_line = text.lines().find(|l| l.contains("Scan r")).unwrap();
+        assert!(
+            scan_line.chars().take_while(|c| *c == ' ').count()
+                > join_line.chars().take_while(|c| *c == ' ').count()
+        );
+    }
+
+    #[test]
+    fn set_ops_and_literals_render() {
+        let p = provider();
+        let e = Expr::table("r")
+            .union(Expr::empty(Schema::from_pairs(&[
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+            ])))
+            .monus(Expr::table("r").dedup());
+        let q = compile(&e, &p).unwrap();
+        let text = explain_plan(&q.plan);
+        assert!(text.contains("Monus (∸)"));
+        assert!(text.contains("Union (⊎)"));
+        assert!(text.contains("Literal [0 tuples, 0 distinct]"));
+        assert!(text.contains("DupElim (ε)"));
+    }
+
+    #[test]
+    fn predicates_render_with_positions() {
+        let p = PhysPredicate::Not(Box::new(PhysPredicate::Or(
+            Box::new(PhysPredicate::Const(false)),
+            Box::new(PhysPredicate::Cmp(
+                crate::plan::PhysOperand::Col(2),
+                crate::predicate::CmpOp::Le,
+                crate::plan::PhysOperand::Const(dvm_storage::Value::str("x")),
+            )),
+        )));
+        assert_eq!(render_pred(&p), "NOT ((FALSE OR #2 <= 'x'))");
+    }
+}

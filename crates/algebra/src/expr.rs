@@ -1,0 +1,409 @@
+//! The bag algebra `BA` of Section 2.1, as a logical expression tree.
+//!
+//! Grammar (paper):
+//!
+//! ```text
+//! Q ::= R | φ | {x} | σ_p(Q) | Π_A(Q) | ε(Q) | Q ⊎ Q | Q ∸ Q | Q × Q
+//! ```
+//!
+//! plus the derived operations `EXCEPT`, `min` (minimal intersection) and
+//! `max` (maximal union), which we keep as native nodes for efficiency —
+//! [`Expr::expand_derived`] rewrites them into the core grammar using the
+//! paper's defining equations, and property tests check the equivalence.
+//!
+//! [`Expr::Alias`] is a naming device (`FROM customer c`): it re-qualifies
+//! the output columns and is a runtime no-op, but makes self-joins
+//! expressible — which matters, because self-joins are exactly where the
+//! *state bug* shows up (Section 4.2, Remark 1).
+
+use crate::error::{AlgebraError, Result};
+use crate::predicate::{ColRef, Predicate};
+use dvm_storage::{Bag, Schema, Tuple};
+use std::collections::BTreeSet;
+
+/// A logical bag-algebra expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A base (or auxiliary) table reference `R`.
+    Table(String),
+    /// A constant bag with an explicit schema; `φ` when the bag is empty,
+    /// `{x}` when it is a singleton.
+    Literal {
+        /// The constant contents.
+        bag: Bag,
+        /// Declared schema (validated at compile time).
+        schema: Schema,
+    },
+    /// Re-qualify output columns with a table alias (`FROM R AS a`).
+    Alias {
+        /// The alias.
+        alias: String,
+        /// Input expression.
+        input: Box<Expr>,
+    },
+    /// Selection `σ_p(E)`.
+    Select {
+        /// Filter predicate.
+        pred: Predicate,
+        /// Input expression.
+        input: Box<Expr>,
+    },
+    /// Projection `Π_A(E)` — duplicates preserved (bag projection).
+    Project {
+        /// Output columns, resolved against the input schema.
+        cols: Vec<ColRef>,
+        /// Input expression.
+        input: Box<Expr>,
+    },
+    /// Duplicate elimination `ε(E)`.
+    DupElim(Box<Expr>),
+    /// Additive union `E ⊎ F`.
+    Union(Box<Expr>, Box<Expr>),
+    /// Monus `E ∸ F` (multiplicity-saturating difference).
+    Monus(Box<Expr>, Box<Expr>),
+    /// Cartesian product `E × F`.
+    Product(Box<Expr>, Box<Expr>),
+    /// Minimal intersection `E min F` (derived: `E ∸ (E ∸ F)`).
+    MinIntersect(Box<Expr>, Box<Expr>),
+    /// Maximal union `E max F` (derived: `E ⊎ (F ∸ E)`).
+    MaxUnion(Box<Expr>, Box<Expr>),
+    /// SQL `EXCEPT`: remove *all* occurrences of tuples present in `F`.
+    Except(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Reference to a table.
+    pub fn table(name: impl Into<String>) -> Expr {
+        Expr::Table(name.into())
+    }
+
+    /// The empty bag `φ` with the given schema.
+    pub fn empty(schema: Schema) -> Expr {
+        Expr::Literal {
+            bag: Bag::new(),
+            schema,
+        }
+    }
+
+    /// The singleton bag `{x}`.
+    pub fn singleton(tuple: Tuple, schema: Schema) -> Expr {
+        Expr::Literal {
+            bag: Bag::singleton(tuple),
+            schema,
+        }
+    }
+
+    /// A constant bag.
+    pub fn literal(bag: Bag, schema: Schema) -> Expr {
+        Expr::Literal { bag, schema }
+    }
+
+    /// `σ_pred(self)`
+    pub fn select(self, pred: Predicate) -> Expr {
+        Expr::Select {
+            pred,
+            input: Box::new(self),
+        }
+    }
+
+    /// `Π_cols(self)` — columns parsed from `"name"` / `"q.name"` strings.
+    pub fn project<I, S>(self, cols: I) -> Expr
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Expr::Project {
+            cols: cols
+                .into_iter()
+                .map(|s| ColRef::parse(s.as_ref()))
+                .collect(),
+            input: Box::new(self),
+        }
+    }
+
+    /// `Π_cols(self)` from explicit references.
+    pub fn project_refs(self, cols: Vec<ColRef>) -> Expr {
+        Expr::Project {
+            cols,
+            input: Box::new(self),
+        }
+    }
+
+    /// `ε(self)`
+    pub fn dedup(self) -> Expr {
+        Expr::DupElim(Box::new(self))
+    }
+
+    /// `self AS alias`
+    pub fn alias(self, alias: impl Into<String>) -> Expr {
+        Expr::Alias {
+            alias: alias.into(),
+            input: Box::new(self),
+        }
+    }
+
+    /// `self ⊎ other`
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∸ other`
+    pub fn monus(self, other: Expr) -> Expr {
+        Expr::Monus(Box::new(self), Box::new(other))
+    }
+
+    /// `self × other`
+    pub fn product(self, other: Expr) -> Expr {
+        Expr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `self min other`
+    pub fn min_intersect(self, other: Expr) -> Expr {
+        Expr::MinIntersect(Box::new(self), Box::new(other))
+    }
+
+    /// `self max other`
+    pub fn max_union(self, other: Expr) -> Expr {
+        Expr::MaxUnion(Box::new(self), Box::new(other))
+    }
+
+    /// `self EXCEPT other`
+    pub fn except(self, other: Expr) -> Expr {
+        Expr::Except(Box::new(self), Box::new(other))
+    }
+
+    /// Whether this is a literal empty bag `φ`.
+    pub fn is_empty_literal(&self) -> bool {
+        matches!(self, Expr::Literal { bag, .. } if bag.is_empty())
+    }
+
+    /// Names of all tables referenced (deduplicated, sorted).
+    pub fn tables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Table(n) => {
+                out.insert(n.clone());
+            }
+            Expr::Literal { .. } => {}
+            Expr::Alias { input, .. }
+            | Expr::Select { input, .. }
+            | Expr::Project { input, .. } => input.collect_tables(out),
+            Expr::DupElim(e) => e.collect_tables(out),
+            Expr::Union(a, b)
+            | Expr::Monus(a, b)
+            | Expr::Product(a, b)
+            | Expr::MinIntersect(a, b)
+            | Expr::MaxUnion(a, b)
+            | Expr::Except(a, b) => {
+                a.collect_tables(out);
+                b.collect_tables(out);
+            }
+        }
+    }
+
+    /// Count of AST nodes (used in tests and to report incremental-query
+    /// sizes in experiments).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Table(_) | Expr::Literal { .. } => 1,
+            Expr::Alias { input, .. }
+            | Expr::Select { input, .. }
+            | Expr::Project { input, .. } => 1 + input.size(),
+            Expr::DupElim(e) => 1 + e.size(),
+            Expr::Union(a, b)
+            | Expr::Monus(a, b)
+            | Expr::Product(a, b)
+            | Expr::MinIntersect(a, b)
+            | Expr::MaxUnion(a, b)
+            | Expr::Except(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Whether this expression mentions any of the given tables. Expressions
+    /// that touch no changed table have `Del = Add = φ`, which is what makes
+    /// incremental queries small.
+    pub fn mentions_any(&self, tables: &BTreeSet<String>) -> bool {
+        self.tables().iter().any(|t| tables.contains(t))
+    }
+
+    /// Rewrite derived operators (`min`, `max`, `EXCEPT`) into the core
+    /// grammar using the paper's defining equations:
+    ///
+    /// * `Q1 min Q2 ≝ Q1 ∸ (Q1 ∸ Q2)`
+    /// * `Q1 max Q2 ≝ Q1 ⊎ (Q2 ∸ Q1)`
+    /// * `Q1 EXCEPT Q2 ≝ Π₁(σ₁₌₂(Q1 × (ε(Q1) ∸ Q2)))` — realized with
+    ///   aliases `__l`/`__r` and name-based equality over every column, which
+    ///   requires the left schema (provided by the caller) to have distinct
+    ///   column names.
+    pub fn expand_derived(
+        &self,
+        left_schema_of_except: &dyn Fn(&Expr) -> Result<Schema>,
+    ) -> Result<Expr> {
+        Ok(match self {
+            Expr::Table(_) | Expr::Literal { .. } => self.clone(),
+            Expr::Alias { alias, input } => Expr::Alias {
+                alias: alias.clone(),
+                input: Box::new(input.expand_derived(left_schema_of_except)?),
+            },
+            Expr::Select { pred, input } => Expr::Select {
+                pred: pred.clone(),
+                input: Box::new(input.expand_derived(left_schema_of_except)?),
+            },
+            Expr::Project { cols, input } => Expr::Project {
+                cols: cols.clone(),
+                input: Box::new(input.expand_derived(left_schema_of_except)?),
+            },
+            Expr::DupElim(e) => Expr::DupElim(Box::new(e.expand_derived(left_schema_of_except)?)),
+            Expr::Union(a, b) => Expr::Union(
+                Box::new(a.expand_derived(left_schema_of_except)?),
+                Box::new(b.expand_derived(left_schema_of_except)?),
+            ),
+            Expr::Monus(a, b) => Expr::Monus(
+                Box::new(a.expand_derived(left_schema_of_except)?),
+                Box::new(b.expand_derived(left_schema_of_except)?),
+            ),
+            Expr::Product(a, b) => Expr::Product(
+                Box::new(a.expand_derived(left_schema_of_except)?),
+                Box::new(b.expand_derived(left_schema_of_except)?),
+            ),
+            Expr::MinIntersect(a, b) => {
+                let a = a.expand_derived(left_schema_of_except)?;
+                let b = b.expand_derived(left_schema_of_except)?;
+                a.clone().monus(a.monus(b))
+            }
+            Expr::MaxUnion(a, b) => {
+                let a = a.expand_derived(left_schema_of_except)?;
+                let b = b.expand_derived(left_schema_of_except)?;
+                a.clone().union(b.monus(a))
+            }
+            Expr::Except(a, b) => {
+                let a = a.expand_derived(left_schema_of_except)?;
+                let b = b.expand_derived(left_schema_of_except)?;
+                let schema = left_schema_of_except(&a)?;
+                expand_except(&a, &b, &schema)?
+            }
+        })
+    }
+}
+
+/// Expand `a EXCEPT b` per the paper's equation, joining `a` against
+/// `ε(a) ∸ b` on all columns and projecting `a`'s side back out.
+fn expand_except(a: &Expr, b: &Expr, left_schema: &Schema) -> Result<Expr> {
+    let names: Vec<&str> = left_schema
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    let mut distinct = names.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() != names.len() || names.iter().any(|n| n.is_empty()) {
+        return Err(AlgebraError::UnexpandableExcept(format!(
+            "left schema needs distinct nonempty column names, got {left_schema}"
+        )));
+    }
+    let left = a.clone().alias("__l");
+    let right = b.clone();
+    let survivors = a.clone().dedup().monus(right).alias("__r");
+    let mut pred = Predicate::always();
+    let mut first = true;
+    for n in &names {
+        let eq = Predicate::eq(
+            crate::predicate::Operand::Col(ColRef::qualified("__l", *n)),
+            crate::predicate::Operand::Col(ColRef::qualified("__r", *n)),
+        );
+        pred = if first { eq } else { pred.and(eq) };
+        first = false;
+    }
+    let cols: Vec<ColRef> = names.iter().map(|n| ColRef::qualified("__l", *n)).collect();
+    Ok(left.product(survivors).select(pred).project_refs(cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_storage::ValueType;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::table("customer")
+            .alias("c")
+            .product(Expr::table("sales").alias("s"))
+            .select(Predicate::eq(
+                crate::predicate::col("c.custId"),
+                crate::predicate::col("s.custId"),
+            ))
+            .project(["c.custId", "s.itemNo"]);
+        assert_eq!(
+            e.tables().into_iter().collect::<Vec<_>>(),
+            vec!["customer".to_string(), "sales".to_string()]
+        );
+        assert_eq!(e.size(), 7);
+    }
+
+    #[test]
+    fn empty_literal_detection() {
+        let s = Schema::from_pairs(&[("a", ValueType::Int)]);
+        assert!(Expr::empty(s.clone()).is_empty_literal());
+        assert!(!Expr::singleton(dvm_storage::tuple![1], s).is_empty_literal());
+        assert!(!Expr::table("r").is_empty_literal());
+    }
+
+    #[test]
+    fn mentions_any() {
+        let e = Expr::table("r").union(Expr::table("s"));
+        let mut set = BTreeSet::new();
+        set.insert("s".to_string());
+        assert!(e.mentions_any(&set));
+        let mut other = BTreeSet::new();
+        other.insert("zzz".to_string());
+        assert!(!e.mentions_any(&other));
+    }
+
+    #[test]
+    fn self_join_references_table_once_in_set() {
+        let e = Expr::table("r")
+            .alias("r1")
+            .product(Expr::table("r").alias("r2"));
+        assert_eq!(e.tables().len(), 1);
+    }
+
+    #[test]
+    fn expand_min_max_shapes() {
+        let schema = Schema::from_pairs(&[("a", ValueType::Int)]);
+        let provider = move |_: &Expr| Ok(schema.clone());
+        let e = Expr::table("r").min_intersect(Expr::table("s"));
+        let expanded = e.expand_derived(&provider).unwrap();
+        // r ∸ (r ∸ s)
+        assert_eq!(
+            expanded,
+            Expr::table("r").monus(Expr::table("r").monus(Expr::table("s")))
+        );
+        let e = Expr::table("r").max_union(Expr::table("s"));
+        let expanded = e.expand_derived(&provider).unwrap();
+        assert_eq!(
+            expanded,
+            Expr::table("r").union(Expr::table("s").monus(Expr::table("r")))
+        );
+    }
+
+    #[test]
+    fn expand_except_requires_distinct_names() {
+        let dup = Schema::new(vec![
+            dvm_storage::Column::qualified("x", "a", ValueType::Int),
+            dvm_storage::Column::qualified("y", "a", ValueType::Int),
+        ])
+        .unwrap();
+        let provider = move |_: &Expr| Ok(dup.clone());
+        let e = Expr::table("r").except(Expr::table("s"));
+        assert!(matches!(
+            e.expand_derived(&provider),
+            Err(AlgebraError::UnexpandableExcept(_))
+        ));
+    }
+}

@@ -1,0 +1,365 @@
+//! Schema inference and compilation: logical [`Expr`] → positional [`Plan`].
+//!
+//! Compilation resolves every column reference to a position, checks
+//! union-compatibility of binary bag operators, verifies literal bags
+//! against their declared schemas, and type-checks predicate comparisons.
+
+use crate::error::{AlgebraError, Result};
+use crate::expr::Expr;
+use crate::plan::{PhysOperand, PhysPredicate, Plan};
+use crate::predicate::{Operand, Predicate};
+use dvm_storage::{Catalog, Column, Schema, StorageError, ValueType};
+use std::collections::HashMap;
+
+/// Anything that can report the schema of a named table.
+pub trait SchemaProvider {
+    /// Schema of the table, or an error when it does not exist.
+    fn schema_of(&self, table: &str) -> Result<Schema>;
+}
+
+impl SchemaProvider for Catalog {
+    fn schema_of(&self, table: &str) -> Result<Schema> {
+        Ok(self.require(table)?.schema().clone())
+    }
+}
+
+impl SchemaProvider for HashMap<String, Schema> {
+    fn schema_of(&self, table: &str) -> Result<Schema> {
+        self.get(table)
+            .cloned()
+            .ok_or_else(|| AlgebraError::Storage(StorageError::NoSuchTable(table.to_string())))
+    }
+}
+
+/// A compiled query: positional plan plus output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledQuery {
+    /// The executable plan.
+    pub plan: Plan,
+    /// The output schema.
+    pub schema: Schema,
+}
+
+/// Infer the output schema without building a plan.
+pub fn infer_schema(expr: &Expr, provider: &dyn SchemaProvider) -> Result<Schema> {
+    Ok(compile_unoptimized(expr, provider)?.schema)
+}
+
+/// Compile a logical expression into an **optimized** physical plan:
+/// type-check, resolve columns, then run selection pushdown / hash-join
+/// formation ([`crate::plan_opt::optimize`]).
+pub fn compile(expr: &Expr, provider: &dyn SchemaProvider) -> Result<CompiledQuery> {
+    let c = compile_unoptimized(expr, provider)?;
+    let mut scan_arity = HashMap::new();
+    for table in c.plan.tables() {
+        scan_arity.insert(table.clone(), provider.schema_of(&table)?.arity());
+    }
+    Ok(CompiledQuery {
+        plan: crate::plan_opt::optimize(c.plan, &scan_arity),
+        schema: c.schema,
+    })
+}
+
+/// Compile without the optimization pass (used by tests that compare the
+/// optimizer against naive evaluation, and by schema-only queries).
+pub fn compile_unoptimized(expr: &Expr, provider: &dyn SchemaProvider) -> Result<CompiledQuery> {
+    match expr {
+        Expr::Table(name) => Ok(CompiledQuery {
+            plan: Plan::Scan(name.clone()),
+            schema: provider.schema_of(name)?,
+        }),
+        Expr::Literal { bag, schema } => {
+            for (t, _) in bag.iter() {
+                schema
+                    .validate(t)
+                    .map_err(|e| AlgebraError::BadLiteral(e.to_string()))?;
+            }
+            Ok(CompiledQuery {
+                plan: Plan::Literal(bag.clone()),
+                schema: schema.clone(),
+            })
+        }
+        Expr::Alias { alias, input } => {
+            let c = compile_unoptimized(input, provider)?;
+            Ok(CompiledQuery {
+                plan: c.plan,
+                schema: c.schema.with_qualifier(alias),
+            })
+        }
+        Expr::Select { pred, input } => {
+            let c = compile_unoptimized(input, provider)?;
+            let phys = compile_predicate(pred, &c.schema)?;
+            Ok(CompiledQuery {
+                plan: Plan::Filter(phys, Box::new(c.plan)),
+                schema: c.schema,
+            })
+        }
+        Expr::Project { cols, input } => {
+            let c = compile_unoptimized(input, provider)?;
+            let mut positions = Vec::with_capacity(cols.len());
+            let mut out_cols = Vec::with_capacity(cols.len());
+            for col in cols {
+                let idx = c.schema.resolve(col.qualifier.as_deref(), &col.name)?;
+                positions.push(idx);
+                let src = c.schema.column(idx).expect("resolved index in range");
+                // SQL result columns are unqualified: `SELECT c.custId`
+                // yields a column named `custId`.
+                out_cols.push(Column::new(src.name.clone(), src.ty));
+            }
+            let schema = Schema::new(out_cols)?;
+            Ok(CompiledQuery {
+                plan: Plan::Project(positions, Box::new(c.plan)),
+                schema,
+            })
+        }
+        Expr::DupElim(e) => {
+            let c = compile_unoptimized(e, provider)?;
+            Ok(CompiledQuery {
+                plan: Plan::DupElim(Box::new(c.plan)),
+                schema: c.schema,
+            })
+        }
+        Expr::Union(a, b) => compile_binary(a, b, provider, "⊎", Plan::Union),
+        Expr::Monus(a, b) => compile_binary(a, b, provider, "∸", Plan::Monus),
+        Expr::MinIntersect(a, b) => compile_binary(a, b, provider, "min", Plan::MinIntersect),
+        Expr::MaxUnion(a, b) => compile_binary(a, b, provider, "max", Plan::MaxUnion),
+        Expr::Except(a, b) => compile_binary(a, b, provider, "EXCEPT", Plan::Except),
+        Expr::Product(a, b) => {
+            let ca = compile_unoptimized(a, provider)?;
+            let cb = compile_unoptimized(b, provider)?;
+            Ok(CompiledQuery {
+                plan: Plan::Product(Box::new(ca.plan), Box::new(cb.plan)),
+                schema: ca.schema.concat(&cb.schema),
+            })
+        }
+    }
+}
+
+fn compile_binary(
+    a: &Expr,
+    b: &Expr,
+    provider: &dyn SchemaProvider,
+    op: &'static str,
+    build: fn(Box<Plan>, Box<Plan>) -> Plan,
+) -> Result<CompiledQuery> {
+    let ca = compile_unoptimized(a, provider)?;
+    let cb = compile_unoptimized(b, provider)?;
+    if !ca.schema.union_compatible(&cb.schema) {
+        return Err(AlgebraError::NotUnionCompatible {
+            op,
+            left: ca.schema.to_string(),
+            right: cb.schema.to_string(),
+        });
+    }
+    Ok(CompiledQuery {
+        plan: build(Box::new(ca.plan), Box::new(cb.plan)),
+        schema: ca.schema,
+    })
+}
+
+/// Compile a predicate against an input schema, resolving columns and
+/// type-checking comparisons.
+pub fn compile_predicate(pred: &Predicate, schema: &Schema) -> Result<PhysPredicate> {
+    Ok(match pred {
+        Predicate::Const(b) => PhysPredicate::Const(*b),
+        Predicate::Cmp(l, op, r) => {
+            let (pl, tl) = compile_operand(l, schema)?;
+            let (pr, tr) = compile_operand(r, schema)?;
+            if let (Some(tl), Some(tr)) = (tl, tr) {
+                if !comparable(tl, tr) {
+                    return Err(AlgebraError::IncomparableOperands {
+                        left: format!("{l} ({tl})"),
+                        right: format!("{r} ({tr})"),
+                    });
+                }
+            }
+            PhysPredicate::Cmp(pl, *op, pr)
+        }
+        Predicate::And(a, b) => PhysPredicate::And(
+            Box::new(compile_predicate(a, schema)?),
+            Box::new(compile_predicate(b, schema)?),
+        ),
+        Predicate::Or(a, b) => PhysPredicate::Or(
+            Box::new(compile_predicate(a, schema)?),
+            Box::new(compile_predicate(b, schema)?),
+        ),
+        Predicate::Not(a) => PhysPredicate::Not(Box::new(compile_predicate(a, schema)?)),
+    })
+}
+
+fn compile_operand(op: &Operand, schema: &Schema) -> Result<(PhysOperand, Option<ValueType>)> {
+    match op {
+        Operand::Col(c) => {
+            let idx = schema.resolve(c.qualifier.as_deref(), &c.name)?;
+            let ty = schema.column(idx).expect("resolved index in range").ty;
+            Ok((PhysOperand::Col(idx), Some(ty)))
+        }
+        Operand::Const(v) => Ok((PhysOperand::Const(v.clone()), v.value_type())),
+    }
+}
+
+/// Whether two operand types can be compared (`Int` and `Double` coerce).
+fn comparable(a: ValueType, b: ValueType) -> bool {
+    a == b
+        || matches!(
+            (a, b),
+            (ValueType::Int, ValueType::Double) | (ValueType::Double, ValueType::Int)
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{col, lit, lit_str};
+    use dvm_storage::{tuple, Bag};
+
+    fn provider() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "customer".to_string(),
+            Schema::from_pairs(&[
+                ("custId", ValueType::Int),
+                ("name", ValueType::Str),
+                ("score", ValueType::Str),
+            ]),
+        );
+        m.insert(
+            "sales".to_string(),
+            Schema::from_pairs(&[
+                ("custId", ValueType::Int),
+                ("itemNo", ValueType::Int),
+                ("quantity", ValueType::Int),
+            ]),
+        );
+        m
+    }
+
+    #[test]
+    fn compile_paper_view() {
+        // Example 1.1: SELECT c.custId, c.name, c.score, s.itemNo, s.quantity
+        // FROM customer c, sales s WHERE ...
+        let p = provider();
+        let view = Expr::table("customer")
+            .alias("c")
+            .product(Expr::table("sales").alias("s"))
+            .select(
+                Predicate::eq(col("c.custId"), col("s.custId"))
+                    .and(Predicate::ne(col("s.quantity"), lit(0i64)))
+                    .and(Predicate::eq(col("c.score"), lit_str("High"))),
+            )
+            .project(["c.custId", "c.name", "c.score", "s.itemNo", "s.quantity"]);
+        let c = compile(&view, &p).unwrap();
+        assert_eq!(c.schema.arity(), 5);
+        assert_eq!(c.schema.column(0).unwrap().name, "custId");
+        assert!(c.schema.column(0).unwrap().qualifier.is_none());
+        assert_eq!(c.plan.tables().len(), 2);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let p = provider();
+        assert!(compile(&Expr::table("nope"), &p).is_err());
+    }
+
+    #[test]
+    fn unresolvable_column_errors() {
+        let p = provider();
+        let e = Expr::table("customer").project(["ghost"]);
+        assert!(compile(&e, &p).is_err());
+    }
+
+    #[test]
+    fn ambiguous_column_in_product_errors() {
+        let p = provider();
+        let e = Expr::table("customer")
+            .alias("a")
+            .product(Expr::table("customer").alias("b"))
+            .project(["custId"]);
+        assert!(matches!(
+            compile(&e, &p),
+            Err(AlgebraError::Storage(StorageError::AmbiguousColumn { .. }))
+        ));
+    }
+
+    #[test]
+    fn self_join_with_aliases_compiles() {
+        let p = provider();
+        let e = Expr::table("customer")
+            .alias("a")
+            .product(Expr::table("customer").alias("b"))
+            .select(Predicate::eq(col("a.custId"), col("b.custId")))
+            .project(["a.name"]);
+        let c = compile(&e, &p).unwrap();
+        assert_eq!(c.schema.arity(), 1);
+    }
+
+    #[test]
+    fn union_compatibility_enforced() {
+        let p = provider();
+        let ok = Expr::table("customer").union(Expr::table("customer"));
+        assert!(compile(&ok, &p).is_ok());
+        let bad = Expr::table("customer").union(Expr::table("sales"));
+        assert!(matches!(
+            compile(&bad, &p),
+            Err(AlgebraError::NotUnionCompatible { .. })
+        ));
+        let bad2 = Expr::table("customer").monus(Expr::table("sales"));
+        assert!(compile(&bad2, &p).is_err());
+    }
+
+    #[test]
+    fn literal_validated() {
+        let p = provider();
+        let s = Schema::from_pairs(&[("a", ValueType::Int)]);
+        let good = Expr::literal(Bag::singleton(tuple![1]), s.clone());
+        assert!(compile(&good, &p).is_ok());
+        let bad = Expr::literal(Bag::singleton(tuple!["x"]), s);
+        assert!(matches!(
+            compile(&bad, &p),
+            Err(AlgebraError::BadLiteral(_))
+        ));
+    }
+
+    #[test]
+    fn predicate_type_check() {
+        let p = provider();
+        let bad = Expr::table("customer").select(Predicate::eq(col("custId"), lit_str("x")));
+        assert!(matches!(
+            compile(&bad, &p),
+            Err(AlgebraError::IncomparableOperands { .. })
+        ));
+        // int vs double is fine
+        let ok = Expr::table("customer").select(Predicate::lt(col("custId"), lit(1.5)));
+        assert!(compile(&ok, &p).is_ok());
+    }
+
+    #[test]
+    fn project_strips_qualifier() {
+        let p = provider();
+        let e = Expr::table("customer").alias("c").project(["c.name"]);
+        let c = compile(&e, &p).unwrap();
+        assert_eq!(c.schema.column(0).unwrap().qualifier, None);
+        assert_eq!(c.schema.column(0).unwrap().name, "name");
+    }
+
+    #[test]
+    fn duplicate_projection_names_rejected() {
+        let p = provider();
+        let e = Expr::table("customer")
+            .alias("a")
+            .product(Expr::table("customer").alias("b"))
+            .project(["a.name", "b.name"]);
+        assert!(compile(&e, &p).is_err(), "duplicate output names rejected");
+    }
+
+    #[test]
+    fn product_schema_concat() {
+        let p = provider();
+        let e = Expr::table("customer")
+            .alias("c")
+            .product(Expr::table("sales").alias("s"));
+        let c = compile(&e, &p).unwrap();
+        assert_eq!(c.schema.arity(), 6);
+        assert_eq!(c.schema.resolve(Some("s"), "custId").unwrap(), 3);
+    }
+}

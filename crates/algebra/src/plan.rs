@@ -1,0 +1,191 @@
+//! Physical query plans: positional, schema-free, directly evaluable.
+//!
+//! A [`Plan`] is produced from a logical [`crate::expr::Expr`] by
+//! [`crate::infer::compile`]; all column references have been resolved to
+//! tuple positions and all schema checks have already happened.
+
+use crate::predicate::CmpOp;
+use dvm_storage::{Bag, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// A compiled predicate operand: tuple position or constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOperand {
+    /// Value at a tuple position.
+    Col(usize),
+    /// Constant.
+    Const(Value),
+}
+
+impl PhysOperand {
+    fn value<'a>(&'a self, t: &'a Tuple) -> &'a Value {
+        match self {
+            PhysOperand::Col(i) => &t[*i],
+            PhysOperand::Const(v) => v,
+        }
+    }
+}
+
+/// A compiled predicate over positional tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPredicate {
+    /// Constant truth value.
+    Const(bool),
+    /// Comparison of two operands.
+    Cmp(PhysOperand, CmpOp, PhysOperand),
+    /// Conjunction.
+    And(Box<PhysPredicate>, Box<PhysPredicate>),
+    /// Disjunction.
+    Or(Box<PhysPredicate>, Box<PhysPredicate>),
+    /// Negation.
+    Not(Box<PhysPredicate>),
+}
+
+impl PhysPredicate {
+    /// Evaluate against a tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            PhysPredicate::Const(b) => *b,
+            PhysPredicate::Cmp(l, op, r) => op.test(l.value(t).sql_cmp(r.value(t))),
+            PhysPredicate::And(a, b) => a.eval(t) && b.eval(t),
+            PhysPredicate::Or(a, b) => a.eval(t) || b.eval(t),
+            PhysPredicate::Not(a) => !a.eval(t),
+        }
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a named table.
+    Scan(String),
+    /// A constant bag.
+    Literal(Bag),
+    /// Filter by a compiled predicate.
+    Filter(PhysPredicate, Box<Plan>),
+    /// Positional projection (bag semantics; duplicates preserved).
+    Project(Vec<usize>, Box<Plan>),
+    /// Duplicate elimination `ε`.
+    DupElim(Box<Plan>),
+    /// Additive union `⊎`.
+    Union(Box<Plan>, Box<Plan>),
+    /// Monus `∸`.
+    Monus(Box<Plan>, Box<Plan>),
+    /// Cartesian product `×`.
+    Product(Box<Plan>, Box<Plan>),
+    /// Minimal intersection `min`.
+    MinIntersect(Box<Plan>, Box<Plan>),
+    /// Maximal union `max`.
+    MaxUnion(Box<Plan>, Box<Plan>),
+    /// SQL `EXCEPT` (all occurrences removed).
+    Except(Box<Plan>, Box<Plan>),
+    /// Hash equi-join, produced by the optimizer from `Filter(Product)`:
+    /// tuples whose `left_keys` positions equal the `right_keys` positions
+    /// (positions relative to each side) are concatenated, multiplicities
+    /// multiplied, then filtered by `residual` (over the concatenated
+    /// tuple).
+    HashJoin {
+        /// Probe side.
+        left: Box<Plan>,
+        /// Build side.
+        right: Box<Plan>,
+        /// Key positions in the left tuple.
+        left_keys: Vec<usize>,
+        /// Key positions in the right tuple.
+        right_keys: Vec<usize>,
+        /// Residual predicate over the concatenated tuple.
+        residual: PhysPredicate,
+    },
+}
+
+impl Plan {
+    /// Names of all tables scanned (deduplicated, sorted) — the set the
+    /// evaluator pins read locks for.
+    pub fn tables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Plan::Scan(n) => {
+                out.insert(n.clone());
+            }
+            Plan::Literal(_) => {}
+            Plan::Filter(_, p) | Plan::Project(_, p) | Plan::DupElim(p) => p.collect_tables(out),
+            Plan::Union(a, b)
+            | Plan::Monus(a, b)
+            | Plan::Product(a, b)
+            | Plan::MinIntersect(a, b)
+            | Plan::MaxUnion(a, b)
+            | Plan::Except(a, b) => {
+                a.collect_tables(out);
+                b.collect_tables(out);
+            }
+            Plan::HashJoin { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_storage::tuple;
+
+    #[test]
+    fn phys_predicate_eval() {
+        let t = tuple![3, "x"];
+        let p = PhysPredicate::Cmp(
+            PhysOperand::Col(0),
+            CmpOp::Gt,
+            PhysOperand::Const(Value::Int(2)),
+        );
+        assert!(p.eval(&t));
+        let p2 = PhysPredicate::And(
+            Box::new(p.clone()),
+            Box::new(PhysPredicate::Cmp(
+                PhysOperand::Col(1),
+                CmpOp::Eq,
+                PhysOperand::Const(Value::str("y")),
+            )),
+        );
+        assert!(!p2.eval(&t));
+        assert!(PhysPredicate::Not(Box::new(p2)).eval(&t));
+        assert!(PhysPredicate::Or(
+            Box::new(PhysPredicate::Const(false)),
+            Box::new(PhysPredicate::Const(true))
+        )
+        .eval(&t));
+    }
+
+    #[test]
+    fn null_comparison_false_but_not_makes_true() {
+        let t = Tuple::new(vec![Value::Null]);
+        let cmp = PhysPredicate::Cmp(
+            PhysOperand::Col(0),
+            CmpOp::Eq,
+            PhysOperand::Const(Value::Int(1)),
+        );
+        assert!(!cmp.eval(&t));
+        assert!(PhysPredicate::Not(Box::new(cmp)).eval(&t));
+    }
+
+    #[test]
+    fn plan_tables_sorted_dedup() {
+        let p = Plan::Union(
+            Box::new(Plan::Scan("s".into())),
+            Box::new(Plan::Product(
+                Box::new(Plan::Scan("r".into())),
+                Box::new(Plan::Scan("r".into())),
+            )),
+        );
+        assert_eq!(
+            p.tables().into_iter().collect::<Vec<_>>(),
+            vec!["r".to_string(), "s".to_string()]
+        );
+    }
+}

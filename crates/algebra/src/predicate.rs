@@ -1,0 +1,369 @@
+//! Quantifier-free predicates for selection `σ_p`.
+//!
+//! Predicates reference columns by (optionally qualified) name; they are
+//! resolved to positions when the enclosing query is compiled. Comparison
+//! with `NULL` is never satisfied (SQL three-valued logic collapsed to two
+//! values at the filter boundary; the paper does not use nulls).
+
+use dvm_storage::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A column reference `[qualifier.]name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Optional table alias qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColRef {
+    /// Unqualified reference.
+    pub fn new(name: impl Into<String>) -> Self {
+        ColRef {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        ColRef {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Parse `"name"` or `"qualifier.name"`.
+    pub fn parse(s: &str) -> Self {
+        match s.split_once('.') {
+            Some((q, n)) => ColRef::qualified(q, n),
+            None => ColRef::new(s),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for ColRef {
+    fn from(s: &str) -> Self {
+        ColRef::parse(s)
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to a comparison result; `None` (null / incomparable) never
+    /// satisfies any operator.
+    pub fn test(self, ord: Option<Ordering>) -> bool {
+        match ord {
+            None => false,
+            Some(o) => match self {
+                CmpOp::Eq => o == Ordering::Equal,
+                CmpOp::Ne => o != Ordering::Equal,
+                CmpOp::Lt => o == Ordering::Less,
+                CmpOp::Le => o != Ordering::Greater,
+                CmpOp::Gt => o == Ordering::Greater,
+                CmpOp::Ge => o != Ordering::Less,
+            },
+        }
+    }
+
+    /// The operator testing the negated condition on non-null operands.
+    /// Note that `NOT (a = b)` and `a != b` differ on nulls in full SQL; in
+    /// our two-valued semantics they also differ (both are false on null),
+    /// so this is only used for display purposes.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A predicate operand: column reference or constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Column reference, resolved at compile time.
+    Col(ColRef),
+    /// Constant value.
+    Const(Value),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(c) => write!(f, "{c}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A quantifier-free predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Constant truth value.
+    Const(bool),
+    /// Binary comparison.
+    Cmp(Operand, CmpOp, Operand),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (two-valued: null comparisons are false, so their negation
+    /// is true — documented deviation from SQL 3VL, irrelevant to the paper).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn always() -> Self {
+        Predicate::Const(true)
+    }
+
+    /// The always-false predicate.
+    pub fn never() -> Self {
+        Predicate::Const(false)
+    }
+
+    /// Comparison between two operands.
+    pub fn cmp(l: impl Into<Operand>, op: CmpOp, r: impl Into<Operand>) -> Self {
+        Predicate::Cmp(l.into(), op, r.into())
+    }
+
+    /// `l = r`
+    pub fn eq(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
+        Predicate::cmp(l, CmpOp::Eq, r)
+    }
+
+    /// `l != r`
+    pub fn ne(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
+        Predicate::cmp(l, CmpOp::Ne, r)
+    }
+
+    /// `l < r`
+    pub fn lt(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
+        Predicate::cmp(l, CmpOp::Lt, r)
+    }
+
+    /// `l <= r`
+    pub fn le(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
+        Predicate::cmp(l, CmpOp::Le, r)
+    }
+
+    /// `l > r`
+    pub fn gt(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
+        Predicate::cmp(l, CmpOp::Gt, r)
+    }
+
+    /// `l >= r`
+    pub fn ge(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
+        Predicate::cmp(l, CmpOp::Ge, r)
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// All column references mentioned, in order of appearance.
+    pub fn columns(&self) -> Vec<&ColRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColRef>) {
+        match self {
+            Predicate::Const(_) => {}
+            Predicate::Cmp(l, _, r) => {
+                if let Operand::Col(c) = l {
+                    out.push(c);
+                }
+                if let Operand::Col(c) = r {
+                    out.push(c);
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(a) => a.collect_columns(out),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Const(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Predicate::Cmp(l, op, r) => write!(f, "{l} {op} {r}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(a) => write!(f, "NOT ({a})"),
+        }
+    }
+}
+
+impl From<ColRef> for Operand {
+    fn from(c: ColRef) -> Self {
+        Operand::Col(c)
+    }
+}
+
+impl From<&str> for Operand {
+    fn from(s: &str) -> Self {
+        Operand::Col(ColRef::parse(s))
+    }
+}
+
+impl From<Value> for Operand {
+    fn from(v: Value) -> Self {
+        Operand::Const(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Const(Value::Int(v))
+    }
+}
+
+/// Constant operand from a string value (as opposed to `From<&str>`, which
+/// builds a column reference).
+pub fn lit_str(s: &str) -> Operand {
+    Operand::Const(Value::str(s))
+}
+
+/// Constant operand from any value.
+pub fn lit(v: impl Into<Value>) -> Operand {
+    Operand::Const(v.into())
+}
+
+/// Column operand, parsing `"q.name"` qualifiers.
+pub fn col(s: &str) -> Operand {
+    Operand::Col(ColRef::parse(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colref_parse() {
+        assert_eq!(ColRef::parse("a"), ColRef::new("a"));
+        assert_eq!(ColRef::parse("t.a"), ColRef::qualified("t", "a"));
+        assert_eq!(ColRef::parse("t.a").to_string(), "t.a");
+    }
+
+    #[test]
+    fn cmp_op_test() {
+        assert!(CmpOp::Eq.test(Some(Ordering::Equal)));
+        assert!(!CmpOp::Eq.test(Some(Ordering::Less)));
+        assert!(CmpOp::Ne.test(Some(Ordering::Less)));
+        assert!(CmpOp::Le.test(Some(Ordering::Equal)));
+        assert!(CmpOp::Ge.test(Some(Ordering::Greater)));
+        assert!(CmpOp::Lt.test(Some(Ordering::Less)));
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert!(!op.test(None), "{op} must reject null comparisons");
+        }
+    }
+
+    #[test]
+    fn negated_roundtrip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn builders_and_display() {
+        let p = Predicate::eq(col("c.custId"), col("s.custId"))
+            .and(Predicate::ne(col("s.quantity"), lit(0i64)))
+            .and(Predicate::eq(col("c.score"), lit_str("High")));
+        assert_eq!(
+            p.to_string(),
+            "((c.custId = s.custId AND s.quantity != 0) AND c.score = 'High')"
+        );
+    }
+
+    #[test]
+    fn columns_collects_in_order() {
+        let p = Predicate::eq(col("a"), col("b")).or(Predicate::lt(col("c"), lit(1i64)).not());
+        let cols: Vec<String> = p.columns().iter().map(|c| c.to_string()).collect();
+        assert_eq!(cols, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn operand_from_str_is_column() {
+        assert_eq!(Operand::from("x"), Operand::Col(ColRef::new("x")));
+        assert_eq!(lit_str("x"), Operand::Const(Value::str("x")));
+    }
+}

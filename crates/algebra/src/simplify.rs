@@ -1,0 +1,397 @@
+//! Algebraic simplification: `φ`-propagation, constant folding, and
+//! syntactic-identity rules.
+//!
+//! This pass is what makes incremental maintenance *incremental*. The
+//! differential rules of Figure 2 produce, for every operator, a union of
+//! terms most of which mention the delta of an unchanged table — i.e. `φ`.
+//! Without simplification an incremental query literally contains a full
+//! recompute as a dead branch; after `φ`-propagation only the terms that
+//! touch changed tables survive.
+//!
+//! All rules are semantic equivalences in every database state:
+//!
+//! * constant folding — a sub-tree that scans no table is evaluated now;
+//! * `σ_TRUE(E) = E`, `E ⊎ φ = E`, `E ∸ φ = E`, `φ ∸ E = φ`, `E × φ = φ`,
+//!   `E min φ = φ`, `E max φ = E`, `E EXCEPT φ = E`, `φ EXCEPT E = φ`;
+//! * syntactic self-identities (sound because both operands of a node are
+//!   evaluated in the *same* state): `E ∸ E = φ`, `E min E = E`,
+//!   `E max E = E`, `E EXCEPT E = φ`, `ε(ε(E)) = ε(E)`.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::infer::{compile, infer_schema, SchemaProvider};
+use crate::predicate::Predicate;
+use dvm_storage::Bag;
+use std::collections::HashMap;
+
+/// Simplify an expression bottom-up. The result is equivalent in every
+/// database state and never larger than the input by more than a constant.
+pub fn simplify(expr: &Expr, provider: &dyn SchemaProvider) -> Result<Expr> {
+    let node = match expr {
+        Expr::Table(_) | Expr::Literal { .. } => expr.clone(),
+        Expr::Alias { alias, input } => {
+            let input = simplify(input, provider)?;
+            match input {
+                // Push the alias into literals so `φ` stays recognizable.
+                Expr::Literal { bag, schema } => Expr::Literal {
+                    schema: schema.with_qualifier(alias),
+                    bag,
+                },
+                other => Expr::Alias {
+                    alias: alias.clone(),
+                    input: Box::new(other),
+                },
+            }
+        }
+        Expr::Select { pred, input } => {
+            let input = simplify(input, provider)?;
+            match pred {
+                Predicate::Const(true) => input,
+                Predicate::Const(false) => empty_like(expr, provider)?,
+                _ => Expr::Select {
+                    pred: pred.clone(),
+                    input: Box::new(input),
+                },
+            }
+        }
+        Expr::Project { cols, input } => Expr::Project {
+            cols: cols.clone(),
+            input: Box::new(simplify(input, provider)?),
+        },
+        Expr::DupElim(e) => {
+            let e = simplify(e, provider)?;
+            match e {
+                // ε is idempotent.
+                Expr::DupElim(_) => e,
+                other => Expr::DupElim(Box::new(other)),
+            }
+        }
+        Expr::Union(a, b) => {
+            let a = simplify(a, provider)?;
+            let b = simplify(b, provider)?;
+            if b.is_empty_literal() {
+                a
+            } else if a.is_empty_literal() && same_schema(&a, &b, provider)? {
+                // Dropping the LEFT operand replaces the node's output
+                // schema (taken from `a`) with `b`'s. That is only sound
+                // when the column names agree — enclosing expressions may
+                // resolve columns by name (see the schema-preservation
+                // regression tests).
+                b
+            } else {
+                a.union(b)
+            }
+        }
+        Expr::Monus(a, b) => {
+            let a = simplify(a, provider)?;
+            let b = simplify(b, provider)?;
+            if b.is_empty_literal() {
+                a
+            } else if a.is_empty_literal() || a == b {
+                empty_like(expr, provider)?
+            } else {
+                a.monus(b)
+            }
+        }
+        Expr::Product(a, b) => {
+            let a = simplify(a, provider)?;
+            let b = simplify(b, provider)?;
+            if a.is_empty_literal() || b.is_empty_literal() {
+                empty_like(expr, provider)?
+            } else {
+                a.product(b)
+            }
+        }
+        Expr::MinIntersect(a, b) => {
+            let a = simplify(a, provider)?;
+            let b = simplify(b, provider)?;
+            if a.is_empty_literal() || b.is_empty_literal() {
+                empty_like(expr, provider)?
+            } else if a == b {
+                a
+            } else {
+                a.min_intersect(b)
+            }
+        }
+        Expr::MaxUnion(a, b) => {
+            let a = simplify(a, provider)?;
+            let b = simplify(b, provider)?;
+            if b.is_empty_literal() || a == b {
+                a
+            } else if a.is_empty_literal() && same_schema(&a, &b, provider)? {
+                b
+            } else {
+                a.max_union(b)
+            }
+        }
+        Expr::Except(a, b) => {
+            let a = simplify(a, provider)?;
+            let b = simplify(b, provider)?;
+            if b.is_empty_literal() {
+                a
+            } else if a.is_empty_literal() || a == b {
+                empty_like(expr, provider)?
+            } else {
+                a.except(b)
+            }
+        }
+    };
+    const_fold(node, provider)
+}
+
+/// Replace a table-free node with the literal it evaluates to.
+fn const_fold(node: Expr, provider: &dyn SchemaProvider) -> Result<Expr> {
+    if matches!(node, Expr::Literal { .. }) || !node.tables().is_empty() {
+        return Ok(node);
+    }
+    let compiled = compile(&node, provider)?;
+    let empty_src: HashMap<String, Bag> = HashMap::new();
+    let bag = crate::eval::eval(&compiled.plan, &empty_src)?;
+    Ok(Expr::Literal {
+        bag,
+        schema: compiled.schema,
+    })
+}
+
+/// The empty literal with this node's output schema.
+fn empty_like(node: &Expr, provider: &dyn SchemaProvider) -> Result<Expr> {
+    Ok(Expr::empty(infer_schema(node, provider)?))
+}
+
+/// Whether two expressions have identical output schemas — including
+/// column *names and qualifiers*, not just positional types. Simplification
+/// must be schema-preserving: binary bag operators take their output schema
+/// from the left operand, so replacing a node by its right operand is only
+/// sound when the names agree.
+fn same_schema(a: &Expr, b: &Expr, provider: &dyn SchemaProvider) -> Result<bool> {
+    Ok(infer_schema(a, provider)? == infer_schema(b, provider)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{col, lit, Predicate};
+    use dvm_storage::{tuple, Schema, ValueType};
+
+    fn provider() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "r".to_string(),
+            Schema::from_pairs(&[("a", ValueType::Int)]),
+        );
+        m.insert(
+            "s".to_string(),
+            Schema::from_pairs(&[("a", ValueType::Int)]),
+        );
+        m
+    }
+
+    fn phi() -> Expr {
+        Expr::empty(Schema::from_pairs(&[("a", ValueType::Int)]))
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let p = provider();
+        let e = Expr::table("r").union(phi());
+        assert_eq!(simplify(&e, &p).unwrap(), Expr::table("r"));
+        let e = phi().union(Expr::table("r"));
+        assert_eq!(simplify(&e, &p).unwrap(), Expr::table("r"));
+    }
+
+    #[test]
+    fn monus_rules() {
+        let p = provider();
+        assert_eq!(
+            simplify(&Expr::table("r").monus(phi()), &p).unwrap(),
+            Expr::table("r")
+        );
+        assert!(simplify(&phi().monus(Expr::table("r")), &p)
+            .unwrap()
+            .is_empty_literal());
+        assert!(simplify(&Expr::table("r").monus(Expr::table("r")), &p)
+            .unwrap()
+            .is_empty_literal());
+    }
+
+    #[test]
+    fn product_with_empty_is_empty_with_concat_schema() {
+        let p = provider();
+        let e = Expr::table("r").product(phi());
+        let out = simplify(&e, &p).unwrap();
+        assert!(out.is_empty_literal());
+        if let Expr::Literal { schema, .. } = out {
+            assert_eq!(schema.arity(), 2);
+        } else {
+            panic!("expected literal");
+        }
+    }
+
+    #[test]
+    fn select_const_predicates() {
+        let p = provider();
+        let e = Expr::table("r").select(Predicate::always());
+        assert_eq!(simplify(&e, &p).unwrap(), Expr::table("r"));
+        let e = Expr::table("r").select(Predicate::never());
+        assert!(simplify(&e, &p).unwrap().is_empty_literal());
+    }
+
+    #[test]
+    fn min_max_except_rules() {
+        let p = provider();
+        let r = Expr::table("r");
+        assert!(simplify(&r.clone().min_intersect(phi()), &p)
+            .unwrap()
+            .is_empty_literal());
+        assert_eq!(
+            simplify(&r.clone().min_intersect(r.clone()), &p).unwrap(),
+            r
+        );
+        assert_eq!(simplify(&r.clone().max_union(phi()), &p).unwrap(), r);
+        assert_eq!(simplify(&phi().max_union(r.clone()), &p).unwrap(), r);
+        assert_eq!(simplify(&r.clone().max_union(r.clone()), &p).unwrap(), r);
+        assert_eq!(simplify(&r.clone().except(phi()), &p).unwrap(), r);
+        assert!(simplify(&phi().except(r.clone()), &p)
+            .unwrap()
+            .is_empty_literal());
+        assert!(simplify(&r.clone().except(r.clone()), &p)
+            .unwrap()
+            .is_empty_literal());
+    }
+
+    #[test]
+    fn cascading_emptiness() {
+        let p = provider();
+        // ((φ ∸ r) × s) ⊎ r   →   r
+        let e = phi()
+            .monus(Expr::table("r"))
+            .product(Expr::table("s"))
+            .union(Expr::table("r"));
+        // Note: φ∸r is empty with schema (a), product schema is (a,a) —
+        // wait, that would not be union-compatible with r. Use select instead.
+        let _ = e;
+        let e2 = phi()
+            .monus(Expr::table("r"))
+            .select(Predicate::eq(col("a"), lit(1i64)))
+            .union(Expr::table("r"));
+        assert_eq!(simplify(&e2, &p).unwrap(), Expr::table("r"));
+    }
+
+    #[test]
+    fn const_folding_evaluates_literal_trees() {
+        let p = provider();
+        let s = Schema::from_pairs(&[("a", ValueType::Int)]);
+        let lit1 = Expr::literal(Bag::from_tuples([tuple![1], tuple![2]]), s.clone());
+        let lit2 = Expr::literal(Bag::singleton(tuple![1]), s.clone());
+        let e = lit1.monus(lit2).select(Predicate::gt(col("a"), lit(0i64)));
+        let out = simplify(&e, &p).unwrap();
+        match out {
+            Expr::Literal { bag, .. } => {
+                assert_eq!(bag.len(), 1);
+                assert!(bag.contains(&tuple![2]));
+            }
+            other => panic!("expected folded literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedup_idempotent() {
+        let p = provider();
+        let e = Expr::table("r").dedup().dedup().dedup();
+        assert_eq!(simplify(&e, &p).unwrap(), Expr::table("r").dedup());
+    }
+
+    #[test]
+    fn alias_pushed_into_literal() {
+        let p = provider();
+        let e = phi().alias("x");
+        let out = simplify(&e, &p).unwrap();
+        assert!(out.is_empty_literal());
+        if let Expr::Literal { schema, .. } = out {
+            assert_eq!(schema.column(0).unwrap().qualifier.as_deref(), Some("x"));
+        }
+    }
+
+    #[test]
+    fn left_empty_with_renamed_columns_is_kept() {
+        // Regression for a real bug found by randomized search: φ with
+        // schema (b,a) unioned with an expression of schema (a,b). Dropping
+        // φ would flip the output column names and make enclosing
+        // name-resolved predicates compile against the wrong positions.
+        let p = provider();
+        let phi_ba = Expr::empty(Schema::from_pairs(&[
+            ("b", ValueType::Int),
+            ("x", ValueType::Int),
+        ]));
+        let r = Expr::table("r")
+            .alias("q")
+            .project(["a"])
+            .product(Expr::table("s").alias("w").project(["a"]));
+        // build something whose schema is (a, a)? that collides — use a
+        // simpler two-column shape instead:
+        let _ = r;
+        let swapped = Expr::table("r2").project(["y", "x"]); // schema (y, x)
+        let mut p2 = p.clone();
+        p2.insert(
+            "r2".to_string(),
+            Schema::from_pairs(&[("x", ValueType::Int), ("y", ValueType::Int)]),
+        );
+        let e = phi_ba.clone().union(swapped.clone());
+        let out = simplify(&e, &p2).unwrap();
+        // schema must be preserved exactly
+        assert_eq!(
+            crate::infer::infer_schema(&out, &p2).unwrap(),
+            crate::infer::infer_schema(&e, &p2).unwrap(),
+        );
+        // and since names differ, the φ must NOT have been dropped
+        assert_eq!(out, phi_ba.union(swapped));
+    }
+
+    #[test]
+    fn left_empty_with_matching_schema_is_dropped() {
+        let p = provider();
+        let e = phi().union(Expr::table("r"));
+        assert_eq!(simplify(&e, &p).unwrap(), Expr::table("r"));
+        let e = phi().max_union(Expr::table("r"));
+        assert_eq!(simplify(&e, &p).unwrap(), Expr::table("r"));
+    }
+
+    #[test]
+    fn simplify_preserves_schema_on_random_exprs() {
+        use crate::testgen::{Rng, Universe};
+        let u = Universe::small(3);
+        let provider = u.provider();
+        let mut rng = Rng::new(9001);
+        for _ in 0..300 {
+            let e = u.expr(&mut rng, 3);
+            let s = simplify(&e, &provider).unwrap();
+            assert_eq!(
+                crate::infer::infer_schema(&s, &provider).unwrap(),
+                crate::infer::infer_schema(&e, &provider).unwrap(),
+                "simplify changed the schema of {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_on_example() {
+        use crate::eval::eval;
+        use crate::infer::compile;
+        let p = provider();
+        let mut src: HashMap<String, Bag> = HashMap::new();
+        src.insert(
+            "r".to_string(),
+            Bag::from_tuples([tuple![1], tuple![1], tuple![2]]),
+        );
+        src.insert("s".to_string(), Bag::from_tuples([tuple![2], tuple![3]]));
+        let e = Expr::table("r")
+            .monus(phi())
+            .union(phi().monus(Expr::table("s")))
+            .min_intersect(Expr::table("r").union(phi()));
+        let simplified = simplify(&e, &p).unwrap();
+        let full = eval(&compile(&e, &p).unwrap().plan, &src).unwrap();
+        let simp = eval(&compile(&simplified, &p).unwrap().plan, &src).unwrap();
+        assert_eq!(full, simp);
+        assert!(simplified.size() < e.size());
+    }
+}

@@ -1,0 +1,236 @@
+//! Substitutions (Section 2.4) and past/future queries (Section 2.5).
+//!
+//! A general substitution `η = [Q1/R1, …, Qn/Rn]` simultaneously replaces
+//! every table occurrence. The paper's differential machinery works on
+//! **factored** substitutions, where each `Qi` has the shape
+//! `(Ri ∸ Di) ⊎ Ai`; the two directions of time are then:
+//!
+//! * `FUTURE(T, Q) = T̂(Q)` with `Di = ∇Ri`, `Ai = ΔRi` (anticipate a
+//!   transaction's changes), and
+//! * `PAST(L, Q) = L̂(Q)` with `Di = ▲Ri`, `Ai = ▼Ri` (compensate for
+//!   logged changes — note insertions/deletions swap roles).
+
+use crate::expr::Expr;
+use std::collections::BTreeMap;
+
+/// A general substitution: table name → replacement expression.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Substitution {
+    map: BTreeMap<String, Expr>,
+}
+
+impl Substitution {
+    /// The identity substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// Map `table` to `replacement`.
+    pub fn set(&mut self, table: impl Into<String>, replacement: Expr) -> &mut Self {
+        self.map.insert(table.into(), replacement);
+        self
+    }
+
+    /// The replacement for `table`, if any.
+    pub fn get(&self, table: &str) -> Option<&Expr> {
+        self.map.get(table)
+    }
+
+    /// Apply simultaneously: every `Table(R)` in `expr` with a mapping is
+    /// replaced. (Simultaneity is inherent: replacements are *not*
+    /// re-substituted.)
+    pub fn apply(&self, expr: &Expr) -> Expr {
+        match expr {
+            Expr::Table(name) => match self.map.get(name) {
+                Some(replacement) => replacement.clone(),
+                None => expr.clone(),
+            },
+            Expr::Literal { .. } => expr.clone(),
+            Expr::Alias { alias, input } => Expr::Alias {
+                alias: alias.clone(),
+                input: Box::new(self.apply(input)),
+            },
+            Expr::Select { pred, input } => Expr::Select {
+                pred: pred.clone(),
+                input: Box::new(self.apply(input)),
+            },
+            Expr::Project { cols, input } => Expr::Project {
+                cols: cols.clone(),
+                input: Box::new(self.apply(input)),
+            },
+            Expr::DupElim(e) => Expr::DupElim(Box::new(self.apply(e))),
+            Expr::Union(a, b) => Expr::Union(Box::new(self.apply(a)), Box::new(self.apply(b))),
+            Expr::Monus(a, b) => Expr::Monus(Box::new(self.apply(a)), Box::new(self.apply(b))),
+            Expr::Product(a, b) => Expr::Product(Box::new(self.apply(a)), Box::new(self.apply(b))),
+            Expr::MinIntersect(a, b) => {
+                Expr::MinIntersect(Box::new(self.apply(a)), Box::new(self.apply(b)))
+            }
+            Expr::MaxUnion(a, b) => {
+                Expr::MaxUnion(Box::new(self.apply(a)), Box::new(self.apply(b)))
+            }
+            Expr::Except(a, b) => Expr::Except(Box::new(self.apply(a)), Box::new(self.apply(b))),
+        }
+    }
+}
+
+/// A factored substitution: each table maps to `(R ∸ D) ⊎ A`.
+///
+/// `D` and `A` are arbitrary expressions (usually references to log or
+/// staging tables, or literals). Tables without an entry are unchanged,
+/// i.e. `D = A = φ`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FactoredSubstitution {
+    map: BTreeMap<String, (Expr, Expr)>,
+}
+
+impl FactoredSubstitution {
+    /// The identity factored substitution.
+    pub fn new() -> Self {
+        FactoredSubstitution::default()
+    }
+
+    /// Set `table ↦ (table ∸ del) ⊎ add`.
+    pub fn set(&mut self, table: impl Into<String>, del: Expr, add: Expr) -> &mut Self {
+        self.map.insert(table.into(), (del, add));
+        self
+    }
+
+    /// The `(D, A)` pair for `table`, if present.
+    pub fn get(&self, table: &str) -> Option<(&Expr, &Expr)> {
+        self.map.get(table).map(|(d, a)| (d, a))
+    }
+
+    /// Tables with explicit entries.
+    pub fn tables(&self) -> impl Iterator<Item = &String> {
+        self.map.keys()
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// View as a general [`Substitution`]: `R ↦ (R ∸ D) ⊎ A`.
+    pub fn to_substitution(&self) -> Substitution {
+        let mut s = Substitution::new();
+        for (table, (del, add)) in &self.map {
+            s.set(
+                table.clone(),
+                Expr::table(table.clone())
+                    .monus(del.clone())
+                    .union(add.clone()),
+            );
+        }
+        s
+    }
+
+    /// Apply `η(Q)`: replace every `Table(R)` with `(R ∸ D) ⊎ A`.
+    pub fn apply(&self, expr: &Expr) -> Expr {
+        self.to_substitution().apply(expr)
+    }
+
+    /// The dual substitution: swap the roles of `D` and `A` for every table.
+    ///
+    /// This is the duality of Section 4: if `self` encodes a transaction
+    /// `T̂` (`R ↦ (R ∸ ∇R) ⊎ ΔR`), the dual encodes the log `L̂` that would
+    /// record `T`'s changes (`R ↦ (R ∸ ▲R) ⊎ ▼R` with `▲ = Δ`, `▼ = ∇`).
+    pub fn dual(&self) -> FactoredSubstitution {
+        FactoredSubstitution {
+            map: self
+                .map
+                .iter()
+                .map(|(t, (d, a))| (t.clone(), (a.clone(), d.clone())))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{col, Predicate};
+
+    #[test]
+    fn general_substitution_simultaneous() {
+        // η = [ε(R2)/R1, σ_q(R1)/R2] applied to σ_p(R1 × R2)
+        // gives σ_p(ε(R2) × σ_q(R1)) — Section 2.4's example.
+        let mut eta = Substitution::new();
+        eta.set("R1", Expr::table("R2").dedup());
+        eta.set(
+            "R2",
+            Expr::table("R1").select(Predicate::eq(col("q"), col("q"))),
+        );
+        let q = Expr::table("R1")
+            .product(Expr::table("R2"))
+            .select(Predicate::eq(col("p"), col("p")));
+        let out = eta.apply(&q);
+        let expected = Expr::table("R2")
+            .dedup()
+            .product(Expr::table("R1").select(Predicate::eq(col("q"), col("q"))))
+            .select(Predicate::eq(col("p"), col("p")));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn unmapped_tables_untouched() {
+        let mut eta = Substitution::new();
+        eta.set("R", Expr::table("X"));
+        let q = Expr::table("R").union(Expr::table("S"));
+        assert_eq!(eta.apply(&q), Expr::table("X").union(Expr::table("S")));
+    }
+
+    #[test]
+    fn factored_apply_shape() {
+        let mut f = FactoredSubstitution::new();
+        f.set("R", Expr::table("delR"), Expr::table("insR"));
+        let out = f.apply(&Expr::table("R"));
+        assert_eq!(
+            out,
+            Expr::table("R")
+                .monus(Expr::table("delR"))
+                .union(Expr::table("insR"))
+        );
+    }
+
+    #[test]
+    fn dual_swaps_roles() {
+        let mut f = FactoredSubstitution::new();
+        f.set("R", Expr::table("d"), Expr::table("a"));
+        let d = f.dual();
+        let (del, add) = d.get("R").unwrap();
+        assert_eq!(del, &Expr::table("a"));
+        assert_eq!(add, &Expr::table("d"));
+        assert_eq!(d.dual(), f, "dual is an involution");
+    }
+
+    #[test]
+    fn substitution_under_alias_and_self_join() {
+        let mut f = FactoredSubstitution::new();
+        f.set("R", Expr::table("d"), Expr::table("a"));
+        let q = Expr::table("R")
+            .alias("x")
+            .product(Expr::table("R").alias("y"));
+        let out = f.apply(&q);
+        let repl = Expr::table("R")
+            .monus(Expr::table("d"))
+            .union(Expr::table("a"));
+        assert_eq!(
+            out,
+            repl.clone().alias("x").product(repl.alias("y")),
+            "every occurrence replaced, aliases preserved"
+        );
+    }
+
+    #[test]
+    fn empty_factored_is_identity() {
+        let f = FactoredSubstitution::new();
+        let q = Expr::table("R").union(Expr::table("S"));
+        assert_eq!(f.apply(&q), q);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! Random generation of database states, expressions, and factored
+//! substitutions for property testing and randomized counterexample search.
+//!
+//! Everything is driven by a small deterministic xorshift RNG so that
+//! failures reproduce from a seed alone, and so the generator can be used
+//! from tests, benches, and experiment binaries without extra dependencies.
+//!
+//! The generated universe is deliberately small and adversarial: a handful
+//! of tables over one two-column integer schema, tiny value domains (so
+//! collisions, duplicates, and empty intermediates are common), expressions
+//! that include self-joins and every `BA` operator — the exact territory
+//! where the state bug lives (Section 4.2, Remark 1).
+
+use crate::expr::Expr;
+use crate::predicate::{CmpOp, ColRef, Operand, Predicate};
+use crate::subst::FactoredSubstitution;
+use dvm_storage::{Bag, Schema, Tuple, Value, ValueType};
+use std::collections::HashMap;
+
+/// A minimal xorshift64* RNG — deterministic, seed-reproducible.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded constructor (seed 0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Rng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.below((hi - lo).max(1) as u64) as i64)
+    }
+
+    /// Bernoulli with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// The generated universe: table names, their shared schema, and the value
+/// domain bounds.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// Table names (`t0`, `t1`, ...).
+    pub tables: Vec<String>,
+    /// Shared schema `(a: INT, b: INT)`.
+    pub schema: Schema,
+    /// Values drawn from `[0, domain)`.
+    pub domain: i64,
+    /// Maximum multiplicity for generated tuples.
+    pub max_mult: u64,
+}
+
+impl Universe {
+    /// A universe with `n` tables and small domains (good bug bait).
+    pub fn small(n: usize) -> Self {
+        Universe {
+            tables: (0..n).map(|i| format!("t{i}")).collect(),
+            schema: Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Int)]),
+            domain: 4,
+            max_mult: 3,
+        }
+    }
+
+    /// Schema map usable as a [`crate::infer::SchemaProvider`].
+    pub fn provider(&self) -> HashMap<String, Schema> {
+        self.tables
+            .iter()
+            .map(|t| (t.clone(), self.schema.clone()))
+            .collect()
+    }
+
+    /// A random tuple over the shared schema.
+    pub fn tuple(&self, rng: &mut Rng) -> Tuple {
+        Tuple::new(vec![
+            Value::Int(rng.range(0, self.domain)),
+            Value::Int(rng.range(0, self.domain)),
+        ])
+    }
+
+    /// A random bag of up to `max_distinct` distinct tuples.
+    pub fn bag(&self, rng: &mut Rng, max_distinct: usize) -> Bag {
+        let mut b = Bag::new();
+        let n = rng.below(max_distinct as u64 + 1);
+        for _ in 0..n {
+            b.insert_n(self.tuple(rng), 1 + rng.below(self.max_mult));
+        }
+        b
+    }
+
+    /// A random database state (every table populated).
+    pub fn state(&self, rng: &mut Rng, max_distinct: usize) -> HashMap<String, Bag> {
+        self.tables
+            .iter()
+            .map(|t| (t.clone(), self.bag(rng, max_distinct)))
+            .collect()
+    }
+
+    /// A random comparison predicate over columns `a`, `b` of the shared
+    /// schema (optionally qualified when inside a join).
+    pub fn predicate(&self, rng: &mut Rng, qualifiers: &[&str]) -> Predicate {
+        let operand = |rng: &mut Rng| -> Operand {
+            if rng.chance(1, 2) {
+                let name = if rng.chance(1, 2) { "a" } else { "b" };
+                let col = if qualifiers.is_empty() {
+                    ColRef::new(name)
+                } else {
+                    let q = qualifiers[rng.below(qualifiers.len() as u64) as usize];
+                    ColRef::qualified(q, name)
+                };
+                Operand::Col(col)
+            } else {
+                Operand::Const(Value::Int(rng.range(0, self.domain)))
+            }
+        };
+        let op = match rng.below(6) {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        };
+        let base = Predicate::Cmp(operand(rng), op, operand(rng));
+        if rng.chance(1, 4) {
+            let op2 = Predicate::Cmp(operand(rng), CmpOp::Eq, operand(rng));
+            if rng.chance(1, 2) {
+                base.and(op2)
+            } else {
+                base.or(op2)
+            }
+        } else {
+            base
+        }
+    }
+
+    /// A random expression of the given depth whose output schema is the
+    /// shared two-column schema (so it composes under every operator).
+    ///
+    /// Includes the join shape `Π[l.a, r.b](σ_p((E AS l) × (F AS r)))` —
+    /// with `E` and `F` free to reference the *same* table, generating
+    /// self-joins.
+    pub fn expr(&self, rng: &mut Rng, depth: usize) -> Expr {
+        if depth == 0 {
+            return if rng.chance(1, 8) {
+                Expr::literal(self.bag(rng, 2), self.schema.clone())
+            } else {
+                Expr::table(self.tables[rng.below(self.tables.len() as u64) as usize].clone())
+            };
+        }
+        match rng.below(9) {
+            0 => self.expr(rng, depth - 1).select(self.predicate(rng, &[])),
+            1 => {
+                let cols = if rng.chance(1, 2) {
+                    ["a", "b"]
+                } else {
+                    ["b", "a"]
+                };
+                self.expr(rng, depth - 1).project(cols)
+            }
+            2 => self.expr(rng, depth - 1).dedup(),
+            3 => self.expr(rng, depth - 1).union(self.expr(rng, depth - 1)),
+            4 => self.expr(rng, depth - 1).monus(self.expr(rng, depth - 1)),
+            5 => self
+                .expr(rng, depth - 1)
+                .min_intersect(self.expr(rng, depth - 1)),
+            6 => self
+                .expr(rng, depth - 1)
+                .max_union(self.expr(rng, depth - 1)),
+            7 => self.expr(rng, depth - 1).except(self.expr(rng, depth - 1)),
+            _ => {
+                // Join: Π[l.a, r.b](σ_p((E AS l) × (F AS r)))
+                let left = self.expr(rng, depth - 1).alias("l");
+                let right = self.expr(rng, depth - 1).alias("r");
+                let pred = self.predicate(rng, &["l", "r"]);
+                left.product(right).select(pred).project(["l.a", "r.b"])
+            }
+        }
+    }
+
+    /// A random *weakly minimal* factored substitution relative to `state`:
+    /// for each chosen table, `D ⊑ R(state)` (deletions only of present
+    /// tuples) and `A` arbitrary. Both are literals, as in a concrete
+    /// transaction or log.
+    pub fn weakly_minimal_subst(
+        &self,
+        rng: &mut Rng,
+        state: &HashMap<String, Bag>,
+    ) -> FactoredSubstitution {
+        let mut f = FactoredSubstitution::new();
+        for t in &self.tables {
+            if rng.chance(2, 3) {
+                let current = &state[t];
+                // Random subbag of the current contents.
+                let mut del = Bag::new();
+                for (tuple, mult) in current.iter() {
+                    if rng.chance(1, 2) {
+                        del.insert_n(tuple.clone(), 1 + rng.below(mult));
+                    }
+                }
+                let add = self.bag(rng, 3);
+                if del.is_empty() && add.is_empty() {
+                    continue;
+                }
+                f.set(
+                    t.clone(),
+                    Expr::literal(del, self.schema.clone()),
+                    Expr::literal(add, self.schema.clone()),
+                );
+            }
+        }
+        f
+    }
+
+    /// Apply a factored substitution of *literal* deltas to a state map,
+    /// producing the post-transaction state (`R := (R ∸ D) ⊎ A`).
+    ///
+    /// # Panics
+    /// Panics if any delta expression is not a literal.
+    pub fn apply_subst_to_state(
+        &self,
+        subst: &FactoredSubstitution,
+        state: &HashMap<String, Bag>,
+    ) -> HashMap<String, Bag> {
+        let mut out = state.clone();
+        for t in subst.tables() {
+            let (d, a) = subst.get(t).expect("listed table");
+            let (d, a) = match (d, a) {
+                (Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. }) => (d, a),
+                _ => panic!("apply_subst_to_state requires literal deltas"),
+            };
+            let bag = out.get_mut(t).expect("table in state");
+            bag.apply_delta(d, a);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::infer::compile;
+
+    #[test]
+    fn rng_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = Rng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn generated_exprs_compile_and_eval() {
+        let u = Universe::small(3);
+        let provider = u.provider();
+        let mut rng = Rng::new(7);
+        for _ in 0..200 {
+            let state = u.state(&mut rng, 5);
+            let e = u.expr(&mut rng, 3);
+            let q = compile(&e, &provider)
+                .unwrap_or_else(|err| panic!("generated expression must type-check: {err}\n{e}"));
+            let out = eval(&q.plan, &state).unwrap();
+            // output schema is always the shared 2-column schema
+            assert_eq!(q.schema.arity(), 2, "expr: {e}");
+            for (t, _) in out.iter() {
+                assert_eq!(t.arity(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn weakly_minimal_substitution_deletes_subbag() {
+        let u = Universe::small(2);
+        let mut rng = Rng::new(11);
+        for _ in 0..100 {
+            let state = u.state(&mut rng, 5);
+            let f = u.weakly_minimal_subst(&mut rng, &state);
+            for t in f.tables() {
+                let (d, _) = f.get(t).unwrap();
+                if let Expr::Literal { bag, .. } = d {
+                    assert!(bag.is_subbag_of(&state[t]), "D ⊑ R violated");
+                } else {
+                    panic!("literal expected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_subst_matches_manual_delta() {
+        let u = Universe::small(1);
+        let mut rng = Rng::new(5);
+        let state = u.state(&mut rng, 5);
+        let f = u.weakly_minimal_subst(&mut rng, &state);
+        let post = u.apply_subst_to_state(&f, &state);
+        for t in &u.tables {
+            if let Some((Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. })) = f.get(t) {
+                assert_eq!(post[t], state[t].monus(d).union(a));
+            } else {
+                assert_eq!(post[t], state[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn future_query_predicts_post_state() {
+        // FUTURE(T, Q)(s) = Q(T(s)) — Section 2.5, on random instances.
+        let u = Universe::small(3);
+        let provider = u.provider();
+        let mut rng = Rng::new(99);
+        for _ in 0..200 {
+            let state = u.state(&mut rng, 4);
+            let q = u.expr(&mut rng, 2);
+            let f = u.weakly_minimal_subst(&mut rng, &state);
+            let future = f.apply(&q);
+            let post_state = u.apply_subst_to_state(&f, &state);
+            let lhs = eval(&compile(&future, &provider).unwrap().plan, &state).unwrap();
+            let rhs = eval(&compile(&q, &provider).unwrap().plan, &post_state).unwrap();
+            assert_eq!(lhs, rhs, "FUTURE failed for {q}");
+        }
+    }
+
+    #[test]
+    fn past_query_recovers_pre_state() {
+        // PAST(L, Q)(s_c) = Q(s_p) where L records s_p → s_c.
+        // If T's substitution is R ↦ (R ∸ ∇R) ⊎ ΔR evaluated at s_p, the log
+        // has ▼R = ∇R-effective, ▲R = ΔR; PAST substitutes
+        // R ↦ (R ∸ ▲R) ⊎ ▼R. With weak minimality the recorded deletions are
+        // exactly the removed occurrences, so PAST is exact.
+        let u = Universe::small(3);
+        let provider = u.provider();
+        let mut rng = Rng::new(123);
+        for _ in 0..200 {
+            let s_p = u.state(&mut rng, 4);
+            let q = u.expr(&mut rng, 2);
+            let f = u.weakly_minimal_subst(&mut rng, &s_p);
+            let s_c = u.apply_subst_to_state(&f, &s_p);
+            // The log's factored substitution is the dual: D=▲=inserted, A=▼=deleted.
+            let past = f.dual().apply(&q);
+            let lhs = eval(&compile(&past, &provider).unwrap().plan, &s_c).unwrap();
+            let rhs = eval(&compile(&q, &provider).unwrap().plan, &s_p).unwrap();
+            assert_eq!(lhs, rhs, "PAST failed for {q}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! **E3 — refresh downtime ordering** (paper Sections 1.1, 3.3–3.5, 5.3).
+//!
+//! Claim: downtime (time the refresh transaction holds the view's write
+//! lock) is ordered
+//!
+//! ```text
+//! partial_refresh_C  <  refresh_C (Policy 1)  <  refresh_BL  ≪  recompute
+//! ```
+//!
+//! because `refresh_BL` evaluates the post-update incremental queries
+//! *inside* the lock, Policy 1's refresh only folds the last propagation
+//! interval, and `partial_refresh_C` merely applies precomputed
+//! differential tables.
+//!
+//! Setup: accumulate N deferred transactions since the last refresh, then
+//! measure the write-lock hold of one refresh, with 2 concurrent readers
+//! hammering the view (their total blocked time is also reported).
+
+use dvm_bench::report::{fmt_duration, fmt_nanos, TableReport};
+use dvm_bench::retail_db;
+use dvm_core::{Database, Minimality, Scenario};
+use dvm_workload::with_concurrent_readers;
+use std::time::Duration;
+
+const CUSTOMERS: usize = 5_000;
+const INITIAL_SALES: usize = 25_000;
+
+/// Run `n_tx` deferred transactions, then measure one refresh op.
+fn measure(
+    scenario: Scenario,
+    n_tx: usize,
+    // propagate every `k` transactions (None = never)
+    propagate_every: Option<usize>,
+    // the refresh op to time at the end
+    refresh: impl Fn(&Database) -> dvm_core::Result<()>,
+) -> (Duration, Duration) {
+    let (db, mut gen) = retail_db(CUSTOMERS, INITIAL_SALES, scenario, Minimality::Weak, 9);
+    for i in 0..n_tx {
+        db.execute(&gen.mixed_batch(10, 2)).unwrap();
+        if let Some(k) = propagate_every {
+            if (i + 1) % k == 0 {
+                db.propagate("V").unwrap();
+            }
+        }
+    }
+    let before = db.mv_table("V").unwrap().lock_metrics().snapshot();
+    let (_, readers) = with_concurrent_readers(&db, "V", 2, || refresh(&db)).unwrap();
+    let after = db.mv_table("V").unwrap().lock_metrics().snapshot();
+    // sanity: refresh landed on the truth
+    assert_eq!(
+        db.query_view("V").unwrap(),
+        db.recompute_view("V").unwrap(),
+        "{scenario:?} refresh incorrect"
+    );
+    let downtime = Duration::from_nanos(after.write_hold_nanos - before.write_hold_nanos);
+    let blocked = Duration::from_nanos(readers.lock_delta.read_block_nanos);
+    (downtime, blocked)
+}
+
+/// Full recompute baseline: MV := Q from scratch, evaluated under the
+/// write lock (what a system without incremental maintenance does). The
+/// log is then discarded — its contents are subsumed by the recompute.
+fn recompute_refresh(db: &Database) -> dvm_core::Result<()> {
+    let mv = db.mv_table("V")?;
+    let mut guard = mv.write();
+    let fresh = db.recompute_view("V")?;
+    *guard = fresh;
+    drop(guard);
+    let view = db.view("V")?;
+    if let Some(log) = view.log() {
+        for base in log.bases() {
+            let (d, i) = log.get(base).expect("listed base");
+            db.catalog().require(d)?.clear();
+            db.catalog().require(i)?.clear();
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    println!("=== E3: view downtime (write-lock hold during one refresh) ===\n");
+    println!(
+        "retail view over {CUSTOMERS} customers / {INITIAL_SALES}+ sales; N deferred tx of\n\
+         (10 inserts + 2 deletes); 2 concurrent readers\n"
+    );
+
+    let mut table = TableReport::new([
+        "N deferred tx",
+        "recompute (BL)",
+        "refresh_BL",
+        "refresh_C (P1, k=N/10)",
+        "partial_refresh_C (P2)",
+        "readers blocked (BL)",
+    ]);
+
+    for &n_tx in &[100usize, 500, 2_000] {
+        let (recompute_dt, _) = measure(Scenario::BaseLog, n_tx, None, recompute_refresh);
+        let (bl, bl_blocked) = measure(Scenario::BaseLog, n_tx, None, |db| db.refresh("V"));
+        // Policy 1: propagation has happened periodically; final refresh_C
+        // only folds the tail of the log, then applies.
+        let k = (n_tx / 10).max(1);
+        let (p1, _) = measure(Scenario::Combined, n_tx, Some(k), |db| db.refresh("V"));
+        // Policy 2: fully propagated, partial refresh just applies the DTs.
+        let (p2, _) = measure(Scenario::Combined, n_tx, Some(k), |db| {
+            db.propagate("V")?;
+            db.partial_refresh("V")
+        });
+        table.row([
+            n_tx.to_string(),
+            fmt_duration(recompute_dt),
+            fmt_duration(bl),
+            fmt_duration(p1),
+            fmt_duration(p2),
+            fmt_duration(bl_blocked),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\npaper claim reproduced when each column is cheaper than the one to its\n\
+         left: precomputing into differential tables moves work out of the lock;\n\
+         Policy 2's downtime is just 'apply two bags', independent of how the\n\
+         incremental changes were computed."
+    );
+    let _ = fmt_nanos(0.0);
+}

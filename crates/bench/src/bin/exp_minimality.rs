@@ -1,0 +1,109 @@
+//! **E6 — weak vs strong minimality ablation** (paper Sections 4.1, 5.3).
+//!
+//! Claim: "One can minimize view downtime further by removing, from ∇MV
+//! and ΔMV, tuples that exist in both ∇MV and ΔMV" — i.e. strong
+//! minimality shrinks the differential tables on churn-heavy workloads
+//! (delete + reinsert), which in turn shrinks `partial_refresh_C`'s
+//! downtime. On insert-only workloads there is no overlap and the two
+//! disciplines coincide.
+//!
+//! Setup: `INV_C` scenario; alternating churn batches (delete + reinsert
+//! the same rows) and fresh inserts, propagating after every batch; then
+//! one timed `partial_refresh_C`.
+
+use dvm_bench::report::{fmt_duration, TableReport};
+use dvm_bench::retail_db;
+use dvm_core::{Database, Minimality, Scenario};
+use std::time::Duration;
+
+const CUSTOMERS: usize = 1_000;
+const INITIAL_SALES: usize = 20_000;
+const BATCHES: usize = 40;
+
+struct Outcome {
+    dt_tuples: u64,
+    downtime: Duration,
+}
+
+fn run(minimality: Minimality, churn_fraction: f64) -> Outcome {
+    let (db, mut gen) = retail_db(CUSTOMERS, INITIAL_SALES, Scenario::Combined, minimality, 77);
+    for _ in 0..BATCHES {
+        let churn = (50.0 * churn_fraction) as usize;
+        let fresh = 50 - churn;
+        if churn > 0 {
+            db.execute(&gen.churn_batch(churn)).unwrap();
+        }
+        if fresh > 0 {
+            db.execute(&gen.sales_batch(fresh)).unwrap();
+        }
+        db.propagate("V").unwrap();
+    }
+    let (_, dt_tuples) = db.aux_sizes("V").unwrap();
+    let (_, downtime) = measure_partial(&db);
+    assert_eq!(
+        db.query_view("V").unwrap(),
+        db.recompute_view("V").unwrap(),
+        "partial refresh after full propagation must land on the truth"
+    );
+    Outcome {
+        dt_tuples,
+        downtime,
+    }
+}
+
+fn measure_partial(db: &Database) -> ((), Duration) {
+    let before = db
+        .mv_table("V")
+        .unwrap()
+        .lock_metrics()
+        .snapshot()
+        .write_hold_nanos;
+    db.partial_refresh("V").unwrap();
+    let after = db
+        .mv_table("V")
+        .unwrap()
+        .lock_metrics()
+        .snapshot()
+        .write_hold_nanos;
+    ((), Duration::from_nanos(after - before))
+}
+
+fn main() {
+    println!("=== E6: weak vs strong minimality of differential tables ===\n");
+    println!(
+        "{BATCHES} batches of 50 changes, propagate after each; sweep the churn\n\
+         (delete+reinsert) share of each batch; then time one partial_refresh_C\n"
+    );
+
+    let mut table = TableReport::new([
+        "churn share",
+        "∇MV+ΔMV (weak)",
+        "∇MV+ΔMV (strong)",
+        "shrinkage",
+        "partial refresh (weak)",
+        "partial refresh (strong)",
+    ]);
+
+    for &churn in &[0.0f64, 0.25, 0.5, 0.9] {
+        let weak = run(Minimality::Weak, churn);
+        let strong = run(Minimality::Strong, churn);
+        table.row([
+            format!("{:.0}%", churn * 100.0),
+            weak.dt_tuples.to_string(),
+            strong.dt_tuples.to_string(),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - strong.dt_tuples as f64 / weak.dt_tuples.max(1) as f64)
+            ),
+            fmt_duration(weak.downtime),
+            fmt_duration(strong.downtime),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\npaper claim reproduced when strong minimality's differential tables\n\
+         shrink with churn share (identical at 0% churn) while both disciplines\n\
+         refresh to identical, correct view contents."
+    );
+}

@@ -1,0 +1,47 @@
+//! # dvm-bench — experiment harness
+//!
+//! One `exp_*` binary per paper figure / performance claim (see the
+//! experiment index in `DESIGN.md`), plus Criterion micro-benchmarks and
+//! shared setup helpers.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+use dvm_core::{Database, Minimality, Scenario};
+use dvm_workload::{view_expr, RetailConfig, RetailGen};
+
+/// A retail database with the Example-1.1 view installed under `scenario`.
+pub fn retail_db(
+    customers: usize,
+    initial_sales: usize,
+    scenario: Scenario,
+    minimality: Minimality,
+    seed: u64,
+) -> (Database, RetailGen) {
+    let db = Database::new();
+    let mut gen = RetailGen::new(RetailConfig {
+        customers,
+        items: (customers / 2).max(10),
+        initial_sales,
+        high_fraction: 0.1,
+        theta: 1.0,
+        seed,
+    });
+    gen.install(&db).expect("install retail schema");
+    db.create_view_with("V", view_expr(), scenario, minimality)
+        .expect("create view");
+    (db, gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retail_db_builds() {
+        let (db, _gen) = retail_db(50, 200, Scenario::Combined, Minimality::Weak, 1);
+        assert!(db.check_invariant("V").unwrap().ok());
+        assert_eq!(db.catalog().require("sales").unwrap().len(), 200);
+    }
+}

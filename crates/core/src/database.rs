@@ -1,0 +1,784 @@
+//! The `Database` facade: tables, views, transactions, and the Figure-3
+//! maintenance operations behind one public API.
+//!
+//! ### Concurrency model
+//!
+//! Readers (`query_view`, `eval`) may run from any thread at any time; they
+//! only take read locks and observe consistent table states. Update
+//! transactions and maintenance operations (`execute`, `refresh`,
+//! `propagate`, `partial_refresh`) must be driven from a single maintenance
+//! thread — the paper assumes transactional isolation between updaters,
+//! which this engine does not re-implement. This matches the experimental
+//! setup: decision-support readers concurrent with a serialized update/
+//! refresh stream (Example 1.1).
+
+use crate::epochlog::SharedLog;
+use crate::error::{CoreError, Result};
+use crate::invariant::{check_view, check_view_with_log_overrides, InvariantReport};
+use crate::metrics::ViewMetricsSnapshot;
+use crate::scenario::{self, base_log, combined, diff_table, immediate};
+use crate::view::{Minimality, Scenario, View};
+use dvm_algebra::eval::PinnedState;
+use dvm_algebra::infer::compile;
+use dvm_algebra::Expr;
+use dvm_delta::{compose_into, Transaction};
+use dvm_storage::{Bag, Catalog, Schema, Table, TableKind};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-transaction execution report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecReport {
+    /// Nanoseconds spent applying the bare transaction to base tables.
+    pub base_apply_nanos: u64,
+    /// Nanoseconds spent in maintenance hooks (all views combined) — the
+    /// per-transaction overhead of Section 1.
+    pub maintenance_nanos: u64,
+    /// Number of views whose hooks ran.
+    pub views_maintained: usize,
+}
+
+/// A database with deferred-view-maintenance support.
+pub struct Database {
+    catalog: Catalog,
+    views: RwLock<BTreeMap<String, Arc<View>>>,
+    /// The shared epoch log (Section 7): transactions append once,
+    /// regardless of how many shared-log views exist.
+    shared_log: SharedLog,
+    /// Per-shared-view cursor: the epoch through which the view has
+    /// consumed the shared log.
+    shared_cursors: RwLock<BTreeMap<String, u64>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            views: RwLock::new(BTreeMap::new()),
+            shared_log: SharedLog::new(),
+            shared_cursors: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The underlying catalog (all tables, including internal ones).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Create a user (external) base table.
+    pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> Result<Arc<Table>> {
+        Ok(self
+            .catalog
+            .create_table(name, schema, TableKind::External)?)
+    }
+
+    /// Create a materialized view maintained under `scenario` with weak
+    /// minimality. The view is initialized to the definition's current
+    /// value.
+    pub fn create_view(
+        &self,
+        name: impl Into<String>,
+        definition: Expr,
+        scenario: Scenario,
+    ) -> Result<()> {
+        self.create_view_with(name, definition, scenario, Minimality::Weak)
+    }
+
+    /// Create a materialized view with an explicit minimality discipline.
+    pub fn create_view_with(
+        &self,
+        name: impl Into<String>,
+        definition: Expr,
+        scenario: Scenario,
+        minimality: Minimality,
+    ) -> Result<()> {
+        let name = name.into();
+        {
+            let views = self.views.read();
+            if views.contains_key(&name) {
+                return Err(CoreError::DuplicateView(name));
+            }
+        }
+        let compiled = compile(&definition, &self.catalog)?;
+        let view = View::new(&name, definition, compiled, scenario, minimality)?;
+        // Create MV + auxiliary tables. The MV table gets the unqualified
+        // output schema; logs mirror base-table schemas; differential
+        // tables mirror the MV schema.
+        let mv_schema = view.mv_schema();
+        self.catalog
+            .create_table(view.mv_table(), mv_schema.clone(), TableKind::Internal)?;
+        if let Some(log) = view.log() {
+            for base in log.bases() {
+                let base_schema = self.catalog.require(base)?.schema().clone();
+                let (d, i) = log.get(base).expect("listed base");
+                self.catalog
+                    .create_table(d, base_schema.clone(), TableKind::Internal)?;
+                self.catalog
+                    .create_table(i, base_schema, TableKind::Internal)?;
+            }
+        }
+        if let Some((d, i)) = view.diff_tables() {
+            self.catalog
+                .create_table(d, mv_schema.clone(), TableKind::Internal)?;
+            self.catalog
+                .create_table(i, mv_schema, TableKind::Internal)?;
+        }
+        // Initialize MV := Q (evaluated now).
+        let initial = scenario::recompute(&self.catalog, &view)?;
+        self.catalog.require(view.mv_table())?.replace(initial)?;
+        self.views.write().insert(name, Arc::new(view));
+        Ok(())
+    }
+
+    /// Create a [`Scenario::Combined`] view that reads the **shared epoch
+    /// log** instead of maintaining private logs per transaction (paper
+    /// Section 7: makesafe work independent of the number of views).
+    /// Transactions append their changes to the shared log once; this
+    /// view's private log tables act as a staging area filled by
+    /// [`Database::propagate`] when it drains the shared-log suffix.
+    pub fn create_view_shared(
+        &self,
+        name: impl Into<String>,
+        definition: Expr,
+        minimality: Minimality,
+    ) -> Result<()> {
+        let name = name.into();
+        self.create_view_with(&name, definition, Scenario::Combined, minimality)?;
+        self.shared_cursors
+            .write()
+            .insert(name, self.shared_log.current_epoch());
+        Ok(())
+    }
+
+    /// Whether a view consumes the shared epoch log.
+    pub fn is_shared_log_view(&self, name: &str) -> bool {
+        self.shared_cursors.read().contains_key(name)
+    }
+
+    /// `(retained entries, retained tuple volume)` of the shared log.
+    pub fn shared_log_stats(&self) -> (usize, u64) {
+        (self.shared_log.len(), self.shared_log.retained_volume())
+    }
+
+    /// Reclaim shared-log entries consumed by every shared view. Returns
+    /// the number of entries dropped.
+    pub fn vacuum_shared_log(&self) -> usize {
+        let cursors = self.shared_cursors.read();
+        let min_cursor = cursors
+            .values()
+            .copied()
+            .min()
+            .unwrap_or_else(|| self.shared_log.current_epoch());
+        drop(cursors);
+        self.shared_log.vacuum(min_cursor)
+    }
+
+    /// Drain the shared-log suffix for a shared view into its staging log
+    /// tables (composition lemma), advancing its cursor.
+    fn drain_shared(&self, view: &View) -> Result<()> {
+        let mut cursors = self.shared_cursors.write();
+        let Some(cursor) = cursors.get_mut(view.name()) else {
+            return Ok(()); // not a shared view
+        };
+        let bases: Vec<String> = view.base_tables().iter().cloned().collect();
+        let (folds, upto) = self.shared_log.fold_suffixes(bases.iter(), *cursor);
+        let log = view.log().expect("shared views are Combined");
+        for (table, (suffix_del, suffix_ins)) in folds {
+            if suffix_del.is_empty() && suffix_ins.is_empty() {
+                continue;
+            }
+            let (del_name, ins_name) = log.get(&table).expect("logged base");
+            let del_table = self.catalog.require(del_name)?;
+            let ins_table = self.catalog.require(ins_name)?;
+            let mut del_guard = del_table.write();
+            let mut ins_guard = ins_table.write();
+            compose_into(&mut del_guard, &mut ins_guard, &suffix_del, &suffix_ins);
+        }
+        *cursor = upto;
+        Ok(())
+    }
+
+    /// Effective log contents of a shared view: staging tables composed
+    /// with the un-drained shared suffix — used to evaluate `PAST(L,Q)`
+    /// and read-throughs without draining.
+    fn shared_log_overrides(&self, view: &View) -> Result<HashMap<String, dvm_storage::Bag>> {
+        let cursor = *self
+            .shared_cursors
+            .read()
+            .get(view.name())
+            .expect("caller checked is_shared_log_view");
+        let bases: Vec<String> = view.base_tables().iter().cloned().collect();
+        let (folds, _) = self.shared_log.fold_suffixes(bases.iter(), cursor);
+        let log = view.log().expect("shared views are Combined");
+        let mut overrides = HashMap::new();
+        for (table, (suffix_del, suffix_ins)) in folds {
+            let (del_name, ins_name) = log.get(&table).expect("logged base");
+            let mut del = self.catalog.bag_of(del_name)?;
+            let mut ins = self.catalog.bag_of(ins_name)?;
+            compose_into(&mut del, &mut ins, &suffix_del, &suffix_ins);
+            overrides.insert(del_name.to_string(), del);
+            overrides.insert(ins_name.to_string(), ins);
+        }
+        Ok(overrides)
+    }
+
+    /// Drop a view and all its auxiliary tables.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        let view = self
+            .views
+            .write()
+            .remove(name)
+            .ok_or_else(|| CoreError::NoSuchView(name.to_string()))?;
+        self.shared_cursors.write().remove(name);
+        for t in view.internal_tables() {
+            self.catalog.drop_table(&t)?;
+        }
+        Ok(())
+    }
+
+    /// Names of all views.
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.read().keys().cloned().collect()
+    }
+
+    /// Look up a view descriptor.
+    pub fn view(&self, name: &str) -> Result<Arc<View>> {
+        self.views
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NoSuchView(name.to_string()))
+    }
+
+    /// Execute a user transaction with maintenance: `makesafe_*[T]` for
+    /// every view, per Figure 3.
+    pub fn execute(&self, tx: &Transaction) -> Result<ExecReport> {
+        // Reject writes to internal tables, unknown tables, and
+        // schema-invalid tuples up front — BEFORE any maintenance hook
+        // runs. Log tables are appended to through raw guards, so a tuple
+        // that would only fail validation at base-table apply time would
+        // otherwise already have poisoned the logs.
+        for t in tx.tables() {
+            let table = self.catalog.require(t)?;
+            if table.kind() == TableKind::Internal {
+                return Err(CoreError::InternalTableWrite(t.clone()));
+            }
+            let (del, ins) = tx.get(t).expect("listed table");
+            table.validate_bag(del)?;
+            table.validate_bag(ins)?;
+        }
+        // Normalize to weak minimality against the current state.
+        let tx_tables = tx.tables().cloned().collect();
+        let pinned = PinnedState::pin(&self.catalog, &tx_tables)?;
+        let tx = tx.make_weakly_minimal(&pinned)?;
+        drop(pinned);
+
+        let views: Vec<Arc<View>> = self.views.read().values().cloned().collect();
+        let mut report = ExecReport::default();
+
+        // Pre-update maintenance phase.
+        let shared_names: std::collections::BTreeSet<String> =
+            self.shared_cursors.read().keys().cloned().collect();
+        let mut pending_immediate: Vec<(Arc<View>, immediate::PendingMvUpdate)> = Vec::new();
+        let mut any_shared_relevant = false;
+        for view in &views {
+            if !view.relevant_to(&tx_tables) {
+                continue;
+            }
+            if shared_names.contains(view.name()) {
+                // Shared-log views pay nothing here; the single shared
+                // append below covers all of them.
+                any_shared_relevant = true;
+                continue;
+            }
+            let start = Instant::now();
+            match view.scenario() {
+                Scenario::Immediate => {
+                    let pending = immediate::prepare(&self.catalog, view, &tx)?;
+                    pending_immediate.push((Arc::clone(view), pending));
+                }
+                Scenario::BaseLog => base_log::extend_log(&self.catalog, view, &tx)?,
+                Scenario::Combined => combined::extend_log(&self.catalog, view, &tx)?,
+                Scenario::DiffTable => diff_table::fold_transaction(&self.catalog, view, &tx)?,
+            }
+            let nanos = start.elapsed().as_nanos() as u64;
+            view.metrics().record_makesafe(nanos);
+            report.maintenance_nanos += nanos;
+            report.views_maintained += 1;
+        }
+        if any_shared_relevant {
+            // One append, independent of the number of shared views.
+            let start = Instant::now();
+            self.shared_log.append(&tx);
+            report.maintenance_nanos += start.elapsed().as_nanos() as u64;
+            report.views_maintained += 1;
+        }
+
+        // Apply T itself.
+        let start = Instant::now();
+        for t in tx.tables() {
+            let (d, i) = tx.get(t).expect("listed table");
+            self.catalog.require(t)?.apply_delta(d, i)?;
+        }
+        report.base_apply_nanos = start.elapsed().as_nanos() as u64;
+
+        // Post-update phase: immediate views apply their precomputed deltas.
+        for (view, pending) in pending_immediate {
+            let start = Instant::now();
+            immediate::apply(&self.catalog, &view, &pending)?;
+            let nanos = start.elapsed().as_nanos() as u64;
+            view.metrics().record_makesafe(nanos);
+            report.maintenance_nanos += nanos;
+        }
+        Ok(report)
+    }
+
+    /// Apply a transaction with **no** view maintenance (baseline for
+    /// overhead measurements; views become silently inconsistent).
+    pub fn execute_unmaintained(&self, tx: &Transaction) -> Result<u64> {
+        for t in tx.tables() {
+            if self.catalog.require(t)?.kind() == TableKind::Internal {
+                return Err(CoreError::InternalTableWrite(t.clone()));
+            }
+        }
+        let tx_tables = tx.tables().cloned().collect();
+        let pinned = PinnedState::pin(&self.catalog, &tx_tables)?;
+        let tx = tx.make_weakly_minimal(&pinned)?;
+        drop(pinned);
+        let start = Instant::now();
+        for t in tx.tables() {
+            let (d, i) = tx.get(t).expect("listed table");
+            self.catalog.require(t)?.apply_delta(d, i)?;
+        }
+        Ok(start.elapsed().as_nanos() as u64)
+    }
+
+    /// `refresh_*`: bring the view fully up to date
+    /// (`{INV_*} refresh_* {Q ≡ MV}`).
+    pub fn refresh(&self, name: &str) -> Result<()> {
+        let view = self.view(name)?;
+        let start = Instant::now();
+        match view.scenario() {
+            Scenario::Immediate => {} // always consistent
+            Scenario::BaseLog => base_log::refresh(&self.catalog, &view)?,
+            Scenario::DiffTable => diff_table::apply_diff_tables(&self.catalog, &view)?,
+            Scenario::Combined => {
+                self.drain_shared(&view)?;
+                combined::refresh(&self.catalog, &view)?;
+            }
+        }
+        view.metrics()
+            .record_refresh(start.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// `propagate_C`: fold logged changes into the differential tables
+    /// without touching the `MV` lock. Only for [`Scenario::Combined`].
+    pub fn propagate(&self, name: &str) -> Result<()> {
+        let view = self.view(name)?;
+        if view.scenario() != Scenario::Combined {
+            return Err(CoreError::WrongScenario {
+                view: name.to_string(),
+                op: "propagate",
+            });
+        }
+        let start = Instant::now();
+        self.drain_shared(&view)?;
+        combined::propagate(&self.catalog, &view)?;
+        view.metrics()
+            .record_propagate(start.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// `partial_refresh_C`: apply the differential tables, bringing `MV` to
+    /// `PAST(L,Q)` (at most one propagation interval stale). Only for
+    /// [`Scenario::Combined`].
+    pub fn partial_refresh(&self, name: &str) -> Result<()> {
+        let view = self.view(name)?;
+        if view.scenario() != Scenario::Combined {
+            return Err(CoreError::WrongScenario {
+                view: name.to_string(),
+                op: "partial_refresh",
+            });
+        }
+        let start = Instant::now();
+        combined::partial_refresh(&self.catalog, &view)?;
+        view.metrics()
+            .record_refresh(start.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Read the materialized contents of a view (possibly stale under
+    /// deferred scenarios). Blocks while a refresh holds the write lock —
+    /// the reader-visible face of view downtime.
+    pub fn query_view(&self, name: &str) -> Result<Bag> {
+        let view = self.view(name)?;
+        Ok(self.catalog.bag_of(view.mv_table())?)
+    }
+
+    /// The **current** value of the view computed on the fly from `MV`
+    /// plus auxiliary state (Section 7's "refresh only what a query
+    /// needs", answered on the read path): fresh answers, zero downtime,
+    /// nothing mutated.
+    pub fn read_through(&self, name: &str) -> Result<Bag> {
+        let view = self.view(name)?;
+        if self.is_shared_log_view(name) {
+            let overrides = self.shared_log_overrides(&view)?;
+            crate::readthrough::read_through_with_log_overrides(
+                &self.catalog,
+                &view,
+                None,
+                &overrides,
+            )
+        } else {
+            crate::readthrough::read_through(&self.catalog, &view)
+        }
+    }
+
+    /// `σ_pred` over the current view value, with the predicate pushed
+    /// into the materialization, differential tables, and incremental
+    /// queries — only the matching part of the deferred work is computed.
+    pub fn read_through_where(&self, name: &str, pred: &dvm_algebra::Predicate) -> Result<Bag> {
+        let view = self.view(name)?;
+        if self.is_shared_log_view(name) {
+            let overrides = self.shared_log_overrides(&view)?;
+            crate::readthrough::read_through_with_log_overrides(
+                &self.catalog,
+                &view,
+                Some(pred),
+                &overrides,
+            )
+        } else {
+            crate::readthrough::read_through_where(&self.catalog, &view, pred)
+        }
+    }
+
+    /// Recompute the view definition from scratch (ground truth; ignores
+    /// the materialized table).
+    pub fn recompute_view(&self, name: &str) -> Result<Bag> {
+        let view = self.view(name)?;
+        scenario::recompute(&self.catalog, &view)
+    }
+
+    /// Evaluate an ad-hoc query against the current state.
+    pub fn eval(&self, query: &Expr) -> Result<Bag> {
+        scenario::eval_expr(&self.catalog, query)
+    }
+
+    /// Check the view's Figure-1 invariant and minimality invariants.
+    /// For shared-log views the *effective* log (staging tables composed
+    /// with the un-drained shared suffix) is used.
+    pub fn check_invariant(&self, name: &str) -> Result<InvariantReport> {
+        let view = self.view(name)?;
+        if self.is_shared_log_view(name) {
+            let overrides = self.shared_log_overrides(&view)?;
+            check_view_with_log_overrides(&self.catalog, &view, &overrides)
+        } else {
+            check_view(&self.catalog, &view)
+        }
+    }
+
+    /// Check every view; returns the reports of any that fail.
+    pub fn check_all_invariants(&self) -> Result<Vec<InvariantReport>> {
+        let mut failures = Vec::new();
+        for name in self.view_names() {
+            let report = self.check_invariant(&name)?;
+            if !report.ok() {
+                failures.push(report);
+            }
+        }
+        Ok(failures)
+    }
+
+    /// Human-readable EXPLAIN of a view: its definition, the optimized
+    /// physical plan of `Q`, and — for log-based scenarios — the plans of
+    /// the post-update refresh queries `▼(L,Q)` / `▲(L,Q)`.
+    pub fn explain_view(&self, name: &str) -> Result<String> {
+        use std::fmt::Write as _;
+        let view = self.view(name)?;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "view {name} [{}] = {}",
+            view.scenario().label(),
+            view.definition()
+        )
+        .expect("write to string");
+        writeln!(out, "-- materialization plan --").expect("write to string");
+        out.push_str(&dvm_algebra::explain_query(view.compiled()));
+        if let Some(log) = view.log() {
+            let deltas = dvm_delta::post_update_deltas(view.definition(), log, &self.catalog)?;
+            let del = compile(&deltas.del, &self.catalog)?;
+            let ins = compile(&deltas.ins, &self.catalog)?;
+            writeln!(out, "-- refresh ▼(L,Q) plan --").expect("write to string");
+            out.push_str(&dvm_algebra::explain_query(&del));
+            writeln!(out, "-- refresh ▲(L,Q) plan --").expect("write to string");
+            out.push_str(&dvm_algebra::explain_query(&ins));
+        }
+        Ok(out)
+    }
+
+    /// Maintenance metrics snapshot for a view.
+    pub fn view_metrics(&self, name: &str) -> Result<ViewMetricsSnapshot> {
+        Ok(self.view(name)?.metrics().snapshot())
+    }
+
+    /// The MV table of a view (for lock/downtime metrics).
+    pub fn mv_table(&self, name: &str) -> Result<Arc<Table>> {
+        let view = self.view(name)?;
+        Ok(self.catalog.require(view.mv_table())?)
+    }
+
+    /// Size (total multiplicity) of a view's auxiliary state:
+    /// `(log tuples, differential-table tuples)`.
+    pub fn aux_sizes(&self, name: &str) -> Result<(u64, u64)> {
+        let view = self.view(name)?;
+        let mut log_size = 0;
+        if let Some(log) = view.log() {
+            for base in log.bases() {
+                let (d, i) = log.get(base).expect("listed base");
+                log_size += self.catalog.require(d)?.len();
+                log_size += self.catalog.require(i)?.len();
+            }
+        }
+        let mut dt_size = 0;
+        if let Some((d, i)) = view.diff_tables() {
+            dt_size += self.catalog.require(d)?.len();
+            dt_size += self.catalog.require(i)?.len();
+        }
+        Ok((log_size, dt_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_storage::{tuple, ValueType};
+
+    fn db_with_r() -> Database {
+        let db = Database::new();
+        let schema = Schema::from_pairs(&[("a", ValueType::Int)]);
+        db.create_table("r", schema).unwrap();
+        db.execute_unmaintained(
+            &Transaction::new()
+                .insert_tuple("r", tuple![1])
+                .insert_tuple("r", tuple![2]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn view_initialized_to_current_value() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        assert_eq!(db.query_view("v").unwrap().len(), 2);
+        assert!(db.check_invariant("v").unwrap().ok());
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::Immediate)
+            .unwrap();
+        assert!(matches!(
+            db.create_view("v", Expr::table("r"), Scenario::Immediate),
+            Err(CoreError::DuplicateView(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_transaction_leaves_logs_untouched() {
+        // Regression (code review): a type-mismatched transaction used to
+        // extend the view's log before failing at base-table apply time,
+        // leaving phantom entries that broke INV_BL.
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        let bad = Transaction::new().insert_tuple("r", tuple!["not-an-int"]);
+        assert!(db.execute(&bad).is_err());
+        let (log_size, _) = db.aux_sizes("v").unwrap();
+        assert_eq!(log_size, 0, "failed tx must not extend the log");
+        assert!(db.check_invariant("v").unwrap().ok());
+    }
+
+    #[test]
+    fn execute_unmaintained_rejects_internal_tables() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        assert!(matches!(
+            db.execute_unmaintained(&Transaction::new().insert_tuple("__mv_v", tuple![9])),
+            Err(CoreError::InternalTableWrite(_))
+        ));
+    }
+
+    #[test]
+    fn internal_table_writes_rejected() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        let tx = Transaction::new().insert_tuple("__mv_v", tuple![9]);
+        assert!(matches!(
+            db.execute(&tx),
+            Err(CoreError::InternalTableWrite(_))
+        ));
+        let tx = Transaction::new().insert_tuple("__v_log_ins_r", tuple![9]);
+        assert!(matches!(
+            db.execute(&tx),
+            Err(CoreError::InternalTableWrite(_))
+        ));
+    }
+
+    #[test]
+    fn immediate_view_stays_consistent() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::Immediate)
+            .unwrap();
+        db.execute(&Transaction::new().insert_tuple("r", tuple![3]))
+            .unwrap();
+        db.execute(&Transaction::new().delete_tuple("r", tuple![1]))
+            .unwrap();
+        assert_eq!(db.query_view("v").unwrap(), db.recompute_view("v").unwrap());
+        assert!(db.check_invariant("v").unwrap().ok());
+    }
+
+    #[test]
+    fn deferred_views_refresh_to_truth() {
+        for scenario in [Scenario::BaseLog, Scenario::DiffTable, Scenario::Combined] {
+            let db = db_with_r();
+            db.create_view("v", Expr::table("r"), scenario).unwrap();
+            db.execute(&Transaction::new().insert_tuple("r", tuple![3]))
+                .unwrap();
+            db.execute(&Transaction::new().delete_tuple("r", tuple![2]))
+                .unwrap();
+            assert!(db.check_invariant("v").unwrap().ok(), "{scenario:?}");
+            if scenario != Scenario::DiffTable {
+                // deferred: stale before refresh
+                assert_ne!(
+                    db.query_view("v").unwrap(),
+                    db.recompute_view("v").unwrap(),
+                    "{scenario:?} should be stale"
+                );
+            }
+            db.refresh("v").unwrap();
+            assert_eq!(
+                db.query_view("v").unwrap(),
+                db.recompute_view("v").unwrap(),
+                "{scenario:?}"
+            );
+            assert!(db.check_invariant("v").unwrap().ok());
+        }
+    }
+
+    #[test]
+    fn combined_propagate_and_partial_refresh() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::Combined)
+            .unwrap();
+        db.execute(&Transaction::new().insert_tuple("r", tuple![3]))
+            .unwrap();
+        db.propagate("v").unwrap();
+        db.execute(&Transaction::new().insert_tuple("r", tuple![4]))
+            .unwrap();
+        db.partial_refresh("v").unwrap();
+        // view reflects state as of the propagate, not the later insert
+        let v = db.query_view("v").unwrap();
+        assert!(v.contains(&tuple![3]));
+        assert!(!v.contains(&tuple![4]));
+        assert!(db.check_invariant("v").unwrap().ok());
+        db.refresh("v").unwrap();
+        assert!(db.query_view("v").unwrap().contains(&tuple![4]));
+    }
+
+    #[test]
+    fn propagate_on_wrong_scenario_rejected() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        assert!(matches!(
+            db.propagate("v"),
+            Err(CoreError::WrongScenario { .. })
+        ));
+        assert!(matches!(
+            db.partial_refresh("v"),
+            Err(CoreError::WrongScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_views_over_same_base() {
+        let db = db_with_r();
+        db.create_view("im", Expr::table("r"), Scenario::Immediate)
+            .unwrap();
+        db.create_view("bl", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        db.create_view("c", Expr::table("r"), Scenario::Combined)
+            .unwrap();
+        let report = db
+            .execute(&Transaction::new().insert_tuple("r", tuple![7]))
+            .unwrap();
+        assert_eq!(report.views_maintained, 3);
+        assert!(db.check_all_invariants().unwrap().is_empty());
+        db.refresh("bl").unwrap();
+        db.refresh("c").unwrap();
+        for v in ["im", "bl", "c"] {
+            assert_eq!(db.query_view(v).unwrap(), db.recompute_view(v).unwrap());
+        }
+    }
+
+    #[test]
+    fn drop_view_removes_aux_tables() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::Combined)
+            .unwrap();
+        assert!(db.catalog().contains("__mv_v"));
+        db.drop_view("v").unwrap();
+        assert!(!db.catalog().contains("__mv_v"));
+        assert!(!db.catalog().contains("__v_log_del_r"));
+        assert!(!db.catalog().contains("__v_dt_del"));
+        assert!(matches!(db.drop_view("v"), Err(CoreError::NoSuchView(_))));
+    }
+
+    #[test]
+    fn metrics_and_aux_sizes() {
+        let db = db_with_r();
+        db.create_view("v", Expr::table("r"), Scenario::Combined)
+            .unwrap();
+        db.execute(&Transaction::new().insert_tuple("r", tuple![5]))
+            .unwrap();
+        let (log, dt) = db.aux_sizes("v").unwrap();
+        assert_eq!(log, 1);
+        assert_eq!(dt, 0);
+        db.propagate("v").unwrap();
+        let (log, dt) = db.aux_sizes("v").unwrap();
+        assert_eq!(log, 0);
+        assert_eq!(dt, 1);
+        let m = db.view_metrics("v").unwrap();
+        assert_eq!(m.makesafe_count, 1);
+        assert_eq!(m.propagate_count, 1);
+    }
+
+    #[test]
+    fn irrelevant_views_skip_maintenance() {
+        let db = db_with_r();
+        let schema = Schema::from_pairs(&[("x", ValueType::Int)]);
+        db.create_table("other", schema).unwrap();
+        db.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        let report = db
+            .execute(&Transaction::new().insert_tuple("other", tuple![1]))
+            .unwrap();
+        assert_eq!(report.views_maintained, 0);
+    }
+}

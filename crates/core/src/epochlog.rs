@@ -1,0 +1,249 @@
+//! A shared, epoch-stamped change log (paper Section 7, second future-work
+//! question).
+//!
+//! The paper asks: *"How should log information be stored so that the work
+//! done by `makesafe_BL[T]` is minimal, and independent of the number of
+//! views supported?"* With per-view log tables (the default), a transaction
+//! pays one log-append per relevant view. A [`SharedLog`] amortizes that:
+//! each transaction appends its per-table `(∇R, ΔR)` **once**, stamped with
+//! a global epoch; every shared view keeps a *cursor* (the epoch through
+//! which it has consumed the log) and, at propagate/refresh time, folds the
+//! suffix beyond its cursor with the composition lemma — recovering exactly
+//! the `(▼R, ▲R)` bags its private log would have held.
+//!
+//! Entries consumed by every registered view are reclaimed by
+//! [`SharedLog::vacuum`].
+
+use dvm_delta::compose_into;
+use dvm_delta::Transaction;
+use dvm_storage::Bag;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// One logged change set for one table.
+#[derive(Debug, Clone)]
+struct Entry {
+    epoch: u64,
+    del: Bag,
+    ins: Bag,
+}
+
+/// Append-only, epoch-stamped per-table change log shared by many views.
+#[derive(Debug, Default)]
+pub struct SharedLog {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Per-table entries, in epoch order.
+    by_table: BTreeMap<String, Vec<Entry>>,
+    /// Last assigned epoch (0 = nothing logged yet).
+    epoch: u64,
+}
+
+impl SharedLog {
+    /// An empty log at epoch 0.
+    pub fn new() -> Self {
+        SharedLog::default()
+    }
+
+    /// Append a (weakly minimal) transaction's changes, one entry per
+    /// touched table, all under the same fresh epoch. Returns that epoch.
+    /// The cost is independent of how many views read this log.
+    pub fn append(&self, tx: &Transaction) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        for table in tx.tables() {
+            let (del, ins) = tx.get(table).expect("listed table");
+            if del.is_empty() && ins.is_empty() {
+                continue;
+            }
+            inner
+                .by_table
+                .entry(table.clone())
+                .or_default()
+                .push(Entry {
+                    epoch,
+                    del: del.clone(),
+                    ins: ins.clone(),
+                });
+        }
+        epoch
+    }
+
+    /// The epoch of the most recent append.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Fold all entries for `table` with epoch `> after` into a single
+    /// `(▼R, ▲R)` pair via the composition lemma, in epoch order. Returns
+    /// empty bags when nothing is pending.
+    pub fn fold_suffix(&self, table: &str, after: u64) -> (Bag, Bag) {
+        let inner = self.inner.lock();
+        let mut del = Bag::new();
+        let mut ins = Bag::new();
+        if let Some(entries) = inner.by_table.get(table) {
+            for e in entries {
+                if e.epoch > after {
+                    compose_into(&mut del, &mut ins, &e.del, &e.ins);
+                }
+            }
+        }
+        (del, ins)
+    }
+
+    /// Fold suffixes for several tables at one consistent point, returning
+    /// the folds and the epoch they cover (use it as the new cursor).
+    pub fn fold_suffixes<'a, I>(&self, tables: I, after: u64) -> (BTreeMap<String, (Bag, Bag)>, u64)
+    where
+        I: IntoIterator<Item = &'a String>,
+    {
+        let inner = self.inner.lock();
+        let mut out = BTreeMap::new();
+        for table in tables {
+            let mut del = Bag::new();
+            let mut ins = Bag::new();
+            if let Some(entries) = inner.by_table.get(table) {
+                for e in entries {
+                    if e.epoch > after {
+                        compose_into(&mut del, &mut ins, &e.del, &e.ins);
+                    }
+                }
+            }
+            out.insert(table.clone(), (del, ins));
+        }
+        (out, inner.epoch)
+    }
+
+    /// Drop every entry with epoch `≤ min_cursor` (already consumed by all
+    /// views). Returns the number of entries reclaimed.
+    pub fn vacuum(&self, min_cursor: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let mut reclaimed = 0;
+        for entries in inner.by_table.values_mut() {
+            let before = entries.len();
+            entries.retain(|e| e.epoch > min_cursor);
+            reclaimed += before - entries.len();
+        }
+        inner.by_table.retain(|_, v| !v.is_empty());
+        reclaimed
+    }
+
+    /// Total retained entries (all tables).
+    pub fn len(&self) -> usize {
+        self.inner.lock().by_table.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total tuple occurrences retained (metric for experiments).
+    pub fn retained_volume(&self) -> u64 {
+        self.inner
+            .lock()
+            .by_table
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|e| e.del.len() + e.ins.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_storage::tuple;
+
+    fn tx_ins(table: &str, v: i64) -> Transaction {
+        Transaction::new().insert_tuple(table, tuple![v])
+    }
+
+    fn tx_del(table: &str, v: i64) -> Transaction {
+        Transaction::new().delete_tuple(table, tuple![v])
+    }
+
+    #[test]
+    fn epochs_are_monotone() {
+        let log = SharedLog::new();
+        assert_eq!(log.current_epoch(), 0);
+        let e1 = log.append(&tx_ins("r", 1));
+        let e2 = log.append(&tx_ins("r", 2));
+        assert!(e2 > e1);
+        assert_eq!(log.current_epoch(), e2);
+    }
+
+    #[test]
+    fn fold_suffix_composes_in_order() {
+        let log = SharedLog::new();
+        log.append(&tx_ins("r", 1)); // epoch 1
+        log.append(&tx_del("r", 1)); // epoch 2: cancels via composition
+        log.append(&tx_ins("r", 2)); // epoch 3
+        let (del, ins) = log.fold_suffix("r", 0);
+        assert!(del.is_empty(), "insert-then-delete cancels: {del}");
+        assert_eq!(ins, Bag::singleton(tuple![2]));
+    }
+
+    #[test]
+    fn cursors_partition_the_log() {
+        let log = SharedLog::new();
+        let e1 = log.append(&tx_ins("r", 1));
+        log.append(&tx_ins("r", 2));
+        // a view that consumed through e1 only sees the later insert
+        let (del, ins) = log.fold_suffix("r", e1);
+        assert!(del.is_empty());
+        assert_eq!(ins, Bag::singleton(tuple![2]));
+        // a fully caught-up view sees nothing
+        let (del, ins) = log.fold_suffix("r", log.current_epoch());
+        assert!(del.is_empty() && ins.is_empty());
+    }
+
+    #[test]
+    fn fold_suffixes_consistent_point() {
+        let log = SharedLog::new();
+        log.append(&tx_ins("r", 1));
+        log.append(&tx_ins("s", 9));
+        let tables = ["r".to_string(), "s".to_string()];
+        let (folds, upto) = log.fold_suffixes(tables.iter(), 0);
+        assert_eq!(upto, 2);
+        assert_eq!(folds["r"].1, Bag::singleton(tuple![1]));
+        assert_eq!(folds["s"].1, Bag::singleton(tuple![9]));
+    }
+
+    #[test]
+    fn vacuum_reclaims_consumed_entries() {
+        let log = SharedLog::new();
+        log.append(&tx_ins("r", 1));
+        log.append(&tx_ins("r", 2));
+        let e3 = log.append(&tx_ins("s", 3));
+        assert_eq!(log.len(), 3);
+        // all views have consumed through epoch 2
+        assert_eq!(log.vacuum(2), 2);
+        assert_eq!(log.len(), 1);
+        // the s entry (epoch 3) survives and still folds
+        let (_, ins) = log.fold_suffix("s", 0);
+        assert_eq!(ins, Bag::singleton(tuple![3]));
+        assert_eq!(log.vacuum(e3), 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn empty_transactions_add_no_entries() {
+        let log = SharedLog::new();
+        log.append(&Transaction::new());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.current_epoch(), 1, "epoch still advances");
+    }
+
+    #[test]
+    fn retained_volume_counts_tuples() {
+        let log = SharedLog::new();
+        log.append(&Transaction::new().insert("r", Bag::from_tuples([tuple![1], tuple![2]])));
+        log.append(&tx_del("r", 1));
+        assert_eq!(log.retained_volume(), 3);
+    }
+}

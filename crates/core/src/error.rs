@@ -1,0 +1,109 @@
+//! Core-engine errors.
+
+use dvm_algebra::AlgebraError;
+use dvm_delta::DeltaError;
+use dvm_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the maintenance engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying algebra error.
+    Algebra(AlgebraError),
+    /// Underlying delta error.
+    Delta(DeltaError),
+    /// A view with this name already exists.
+    DuplicateView(String),
+    /// No view with this name exists.
+    NoSuchView(String),
+    /// A user transaction attempted to modify an internal table.
+    InternalTableWrite(String),
+    /// The requested operation does not apply to the view's scenario
+    /// (e.g. `propagate` on a base-log view).
+    WrongScenario {
+        /// The view.
+        view: String,
+        /// The operation requested.
+        op: &'static str,
+    },
+    /// The view definition's output schema cannot name a materialized table
+    /// (duplicate column names after dropping qualifiers).
+    UnmaterializableSchema(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Algebra(e) => write!(f, "{e}"),
+            CoreError::Delta(e) => write!(f, "{e}"),
+            CoreError::DuplicateView(v) => write!(f, "view '{v}' already exists"),
+            CoreError::NoSuchView(v) => write!(f, "no such view '{v}'"),
+            CoreError::InternalTableWrite(t) => {
+                write!(f, "user transactions may not modify internal table '{t}'")
+            }
+            CoreError::WrongScenario { view, op } => {
+                write!(
+                    f,
+                    "operation '{op}' does not apply to view '{view}' in its scenario"
+                )
+            }
+            CoreError::UnmaterializableSchema(msg) => {
+                write!(f, "view output schema cannot be materialized: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Algebra(e) => Some(e),
+            CoreError::Delta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<AlgebraError> for CoreError {
+    fn from(e: AlgebraError) -> Self {
+        CoreError::Algebra(e)
+    }
+}
+
+impl From<DeltaError> for CoreError {
+    fn from(e: DeltaError) -> Self {
+        CoreError::Delta(e)
+    }
+}
+
+/// Result alias for the maintenance engine.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = StorageError::NoSuchTable("x".into()).into();
+        assert_eq!(e.to_string(), "no such table 'x'");
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::NoSuchView("v".into()).to_string().contains("v"));
+        assert!(CoreError::WrongScenario {
+            view: "v".into(),
+            op: "propagate"
+        }
+        .to_string()
+        .contains("propagate"));
+    }
+}

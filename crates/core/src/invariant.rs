@@ -1,0 +1,248 @@
+//! Machine-checkable database invariants (Figure 1 + Section 5.2).
+//!
+//! Each scenario's invariant is an equation between queries; this module
+//! evaluates both sides against the live catalog and reports violations.
+//! The maintenance engine itself never *needs* these checks (Theorem 5 says
+//! the algorithms preserve the invariants) — they exist so that tests and
+//! the F1 experiment can *demonstrate* Theorem 5 on arbitrary workloads.
+
+use crate::error::Result;
+use crate::scenario::{eval_expr, eval_expr_overlay};
+use crate::view::{Scenario, View};
+use dvm_storage::{Bag, Catalog};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Outcome of checking one view's invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantReport {
+    /// The view checked.
+    pub view: String,
+    /// Its scenario.
+    pub scenario: Scenario,
+    /// Whether the scenario's Figure-1 equation holds.
+    pub equation_holds: bool,
+    /// Whether the Section-5.2 minimality invariants hold
+    /// (`▲R ⊑ R` for logged tables, `∇MV ⊑ MV` for differential tables).
+    pub minimality_holds: bool,
+    /// Human-readable diagnostics on failure.
+    pub detail: Option<String>,
+}
+
+impl InvariantReport {
+    /// All invariants hold.
+    pub fn ok(&self) -> bool {
+        self.equation_holds && self.minimality_holds
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "INV_{} on '{}': equation {}, minimality {}",
+            self.scenario.label(),
+            self.view,
+            if self.equation_holds {
+                "holds"
+            } else {
+                "VIOLATED"
+            },
+            if self.minimality_holds {
+                "holds"
+            } else {
+                "VIOLATED"
+            },
+        )?;
+        if let Some(d) = &self.detail {
+            write!(f, " — {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate the view's Figure-1 invariant and the minimality invariants in
+/// the current state.
+pub fn check_view(catalog: &Catalog, view: &View) -> Result<InvariantReport> {
+    check_view_with_log_overrides(catalog, view, &HashMap::new())
+}
+
+/// As [`check_view`], but with some log-table contents overridden — used
+/// for shared-log views, whose *effective* log is their staging tables
+/// composed with the un-drained shared-log suffix.
+pub fn check_view_with_log_overrides(
+    catalog: &Catalog,
+    view: &View,
+    log_overrides: &HashMap<String, Bag>,
+) -> Result<InvariantReport> {
+    // Left side of the equation: Q or PAST(L,Q).
+    let lhs = match view.scenario() {
+        Scenario::Immediate | Scenario::DiffTable => eval_expr(catalog, view.definition())?,
+        Scenario::BaseLog | Scenario::Combined => {
+            eval_expr_overlay(catalog, &view.past_query(), log_overrides)?
+        }
+    };
+    // Right side: MV or (MV ∸ ∇MV) ⊎ ΔMV.
+    let mv = catalog.bag_of(view.mv_table())?;
+    let rhs = match view.diff_tables() {
+        None => mv.clone(),
+        Some((dt_del, dt_ins)) => {
+            let del = catalog.bag_of(dt_del)?;
+            let ins = catalog.bag_of(dt_ins)?;
+            mv.monus(&del).union(&ins)
+        }
+    };
+    let equation_holds = lhs == rhs;
+    let mut detail = if equation_holds {
+        None
+    } else {
+        Some(format!(
+            "lhs has {} tuples, rhs has {}; lhs∸rhs={}, rhs∸lhs={}",
+            lhs.len(),
+            rhs.len(),
+            truncate(&lhs.monus(&rhs)),
+            truncate(&rhs.monus(&lhs)),
+        ))
+    };
+
+    // Minimality invariants (Section 5.2).
+    let mut minimality_holds = true;
+    if let Some(log) = view.log() {
+        for base in log.bases() {
+            let (_, ins_name) = log.get(base).expect("listed base");
+            let ins_log = match log_overrides.get(ins_name) {
+                Some(b) => b.clone(),
+                None => catalog.bag_of(ins_name)?,
+            };
+            let base_bag = catalog.bag_of(base)?;
+            if !ins_log.is_subbag_of(&base_bag) {
+                minimality_holds = false;
+                detail.get_or_insert_with(String::new);
+                if let Some(d) = detail.as_mut() {
+                    d.push_str(&format!(" ▲{base} ⊄ {base};"));
+                }
+            }
+        }
+    }
+    if let Some((dt_del, _)) = view.diff_tables() {
+        let del = catalog.bag_of(dt_del)?;
+        if !del.is_subbag_of(&mv) {
+            minimality_holds = false;
+            detail.get_or_insert_with(String::new);
+            if let Some(d) = detail.as_mut() {
+                d.push_str(" ∇MV ⊄ MV;");
+            }
+        }
+    }
+
+    Ok(InvariantReport {
+        view: view.name().to_string(),
+        scenario: view.scenario(),
+        equation_holds,
+        minimality_holds,
+        detail,
+    })
+}
+
+fn truncate(b: &Bag) -> String {
+    let s = b.to_string();
+    if s.len() > 120 {
+        format!("{}…", &s[..120])
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::Minimality;
+    use dvm_algebra::Expr;
+    use dvm_storage::{tuple, Schema, TableKind, ValueType};
+
+    fn setup(scenario: Scenario) -> (Catalog, View) {
+        let c = Catalog::new();
+        let schema = Schema::from_pairs(&[("a", ValueType::Int)]);
+        let r = c
+            .create_table("r", schema.clone(), TableKind::External)
+            .unwrap();
+        r.insert(tuple![1]).unwrap();
+        let def = Expr::table("r");
+        let compiled = dvm_algebra::infer::compile(&def, &c).unwrap();
+        let view = View::new("v", def, compiled, scenario, Minimality::Weak).unwrap();
+        for t in view.internal_tables() {
+            c.create_table(&t, schema.clone(), TableKind::Internal)
+                .unwrap();
+        }
+        c.require(view.mv_table())
+            .unwrap()
+            .insert(tuple![1])
+            .unwrap();
+        (c, view)
+    }
+
+    #[test]
+    fn consistent_views_pass_all_scenarios() {
+        for scenario in [
+            Scenario::Immediate,
+            Scenario::BaseLog,
+            Scenario::DiffTable,
+            Scenario::Combined,
+        ] {
+            let (c, view) = setup(scenario);
+            let report = check_view(&c, &view).unwrap();
+            assert!(report.ok(), "{report}");
+        }
+    }
+
+    #[test]
+    fn immediate_detects_staleness() {
+        let (c, view) = setup(Scenario::Immediate);
+        // mutate base without maintaining the view
+        c.require("r").unwrap().insert(tuple![2]).unwrap();
+        let report = check_view(&c, &view).unwrap();
+        assert!(!report.equation_holds);
+        assert!(report.detail.is_some());
+        assert!(report.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn base_log_tolerates_logged_staleness_only() {
+        let (c, view) = setup(Scenario::BaseLog);
+        // Change base AND record it in the log: invariant holds.
+        c.require("r").unwrap().insert(tuple![2]).unwrap();
+        let (_, ins_log) = view.log().unwrap().get("r").unwrap();
+        c.require(ins_log).unwrap().insert(tuple![2]).unwrap();
+        assert!(check_view(&c, &view).unwrap().ok());
+        // An unlogged change breaks it.
+        c.require("r").unwrap().insert(tuple![3]).unwrap();
+        assert!(!check_view(&c, &view).unwrap().equation_holds);
+    }
+
+    #[test]
+    fn minimality_violation_detected() {
+        let (c, view) = setup(Scenario::BaseLog);
+        // ▲R claims an insertion of a tuple not in R: ▲R ⊄ R.
+        let (_, ins_log) = view.log().unwrap().get("r").unwrap();
+        c.require(ins_log).unwrap().insert(tuple![99]).unwrap();
+        let report = check_view(&c, &view).unwrap();
+        assert!(!report.minimality_holds);
+    }
+
+    #[test]
+    fn diff_table_invariant_balances() {
+        let (c, view) = setup(Scenario::DiffTable);
+        // delete [1] from base; record ∇MV = {1}: Q = (MV ∸ ∇MV) ⊎ ΔMV holds.
+        c.require("r")
+            .unwrap()
+            .apply_delta(
+                &dvm_storage::Bag::singleton(tuple![1]),
+                &dvm_storage::Bag::new(),
+            )
+            .unwrap();
+        let (dt_del, _) = view.diff_tables().unwrap();
+        c.require(dt_del).unwrap().insert(tuple![1]).unwrap();
+        let report = check_view(&c, &view).unwrap();
+        assert!(report.ok(), "{report}");
+    }
+}

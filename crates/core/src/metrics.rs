@@ -1,0 +1,145 @@
+//! Per-view maintenance metrics.
+//!
+//! Three quantities matter to the paper's evaluation story:
+//!
+//! * **per-transaction overhead** — extra work `makesafe_*[T]` adds on top
+//!   of the bare transaction `T` (Section 1: must be minimized for update
+//!   transactions);
+//! * **view downtime** — wall time the refresh holds the view table's write
+//!   lock (Section 1.1) — tracked by the table's
+//!   [`dvm_storage::lock::LockMetrics`], mirrored here per operation kind;
+//! * **propagate work** — background cost of `propagate_C`, which is
+//!   *neither* downtime nor per-transaction overhead (that displacement is
+//!   the whole point of the `INV_C` scenario).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone nanosecond/count accumulators for one view.
+#[derive(Debug, Default)]
+pub struct ViewMetrics {
+    makesafe_nanos: AtomicU64,
+    makesafe_count: AtomicU64,
+    propagate_nanos: AtomicU64,
+    propagate_count: AtomicU64,
+    refresh_nanos: AtomicU64,
+    refresh_count: AtomicU64,
+}
+
+/// Point-in-time copy of [`ViewMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewMetricsSnapshot {
+    /// Total time spent in `makesafe_*[T]` hooks (per-transaction overhead).
+    pub makesafe_nanos: u64,
+    /// Number of transactions that paid maintenance overhead.
+    pub makesafe_count: u64,
+    /// Total time spent in `propagate_C`.
+    pub propagate_nanos: u64,
+    /// Number of propagate operations.
+    pub propagate_count: u64,
+    /// Total time spent in refresh transactions (`refresh_*` /
+    /// `partial_refresh_C`), including incremental-query evaluation.
+    pub refresh_nanos: u64,
+    /// Number of refresh operations.
+    pub refresh_count: u64,
+}
+
+impl ViewMetricsSnapshot {
+    /// Mean per-transaction overhead, nanoseconds.
+    pub fn mean_makesafe_nanos(&self) -> f64 {
+        mean(self.makesafe_nanos, self.makesafe_count)
+    }
+
+    /// Mean refresh time, nanoseconds.
+    pub fn mean_refresh_nanos(&self) -> f64 {
+        mean(self.refresh_nanos, self.refresh_count)
+    }
+
+    /// Mean propagate time, nanoseconds.
+    pub fn mean_propagate_nanos(&self) -> f64 {
+        mean(self.propagate_nanos, self.propagate_count)
+    }
+}
+
+fn mean(total: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+impl ViewMetrics {
+    /// Record one makesafe hook taking `nanos`.
+    pub fn record_makesafe(&self, nanos: u64) {
+        self.makesafe_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.makesafe_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one propagate taking `nanos`.
+    pub fn record_propagate(&self, nanos: u64) {
+        self.propagate_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.propagate_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one refresh taking `nanos`.
+    pub fn record_refresh(&self, nanos: u64) {
+        self.refresh_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.refresh_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy current values.
+    pub fn snapshot(&self) -> ViewMetricsSnapshot {
+        ViewMetricsSnapshot {
+            makesafe_nanos: self.makesafe_nanos.load(Ordering::Relaxed),
+            makesafe_count: self.makesafe_count.load(Ordering::Relaxed),
+            propagate_nanos: self.propagate_nanos.load(Ordering::Relaxed),
+            propagate_count: self.propagate_count.load(Ordering::Relaxed),
+            refresh_nanos: self.refresh_nanos.load(Ordering::Relaxed),
+            refresh_count: self.refresh_count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.makesafe_nanos.store(0, Ordering::Relaxed);
+        self.makesafe_count.store(0, Ordering::Relaxed);
+        self.propagate_nanos.store(0, Ordering::Relaxed);
+        self.propagate_count.store(0, Ordering::Relaxed);
+        self.refresh_nanos.store(0, Ordering::Relaxed);
+        self.refresh_count.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_means() {
+        let m = ViewMetrics::default();
+        m.record_makesafe(100);
+        m.record_makesafe(300);
+        m.record_refresh(1000);
+        m.record_propagate(50);
+        let s = m.snapshot();
+        assert_eq!(s.makesafe_count, 2);
+        assert_eq!(s.mean_makesafe_nanos(), 200.0);
+        assert_eq!(s.mean_refresh_nanos(), 1000.0);
+        assert_eq!(s.mean_propagate_nanos(), 50.0);
+    }
+
+    #[test]
+    fn empty_means_are_zero() {
+        let s = ViewMetricsSnapshot::default();
+        assert_eq!(s.mean_makesafe_nanos(), 0.0);
+        assert_eq!(s.mean_refresh_nanos(), 0.0);
+    }
+
+    #[test]
+    fn reset() {
+        let m = ViewMetrics::default();
+        m.record_refresh(5);
+        m.reset();
+        assert_eq!(m.snapshot(), ViewMetricsSnapshot::default());
+    }
+}

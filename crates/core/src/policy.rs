@@ -1,0 +1,284 @@
+//! Refresh policies (Section 5.3) over a simulated clock.
+//!
+//! A *policy* decides when the Figure-3 refresh functions actually run.
+//! Policies 1 and 2 are the paper's named policies for the `INV_C`
+//! scenario; `PeriodicRefresh`, `OnDemand`, and `OnQuery` cover the other
+//! variants discussed in Section 5.
+//!
+//! Time is a discrete tick counter so experiments are deterministic and
+//! Example 5.4's "propagate hourly, refresh daily" runs in microseconds
+//! (1 tick = 1 simulated minute there).
+
+use crate::database::Database;
+use crate::error::{CoreError, Result};
+use crate::view::Scenario;
+
+/// When maintenance operations fire for one view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPolicy {
+    /// Refresh only when the user calls [`Database::refresh`] directly.
+    OnDemand,
+    /// Refresh before every read (see [`PolicyDriver::query`]).
+    OnQuery,
+    /// `refresh_*` every `every` ticks (any deferred scenario).
+    PeriodicRefresh {
+        /// Refresh period in ticks.
+        every: u64,
+    },
+    /// **Policy 1**: `propagate_C` every `k` ticks, full `refresh_C` every
+    /// `m` ticks (`m > k`). Low downtime: most incremental work has already
+    /// been propagated when the refresh runs.
+    Policy1 {
+        /// Propagation period `k`.
+        k: u64,
+        /// Refresh period `m`.
+        m: u64,
+    },
+    /// **Policy 2**: `propagate_C` every `k` ticks, `partial_refresh_C`
+    /// every `m` ticks. *Minimal* downtime — the refresh only applies
+    /// precomputed differential tables — at the price of the view being up
+    /// to `k` ticks stale after a refresh.
+    Policy2 {
+        /// Propagation period `k`.
+        k: u64,
+        /// Partial-refresh period `m`.
+        m: u64,
+    },
+}
+
+impl RefreshPolicy {
+    /// Whether this policy can drive a view maintained under `scenario`.
+    pub fn compatible_with(&self, scenario: Scenario) -> bool {
+        match self {
+            RefreshPolicy::OnDemand => true,
+            RefreshPolicy::OnQuery | RefreshPolicy::PeriodicRefresh { .. } => {
+                scenario != Scenario::Immediate
+            }
+            RefreshPolicy::Policy1 { .. } | RefreshPolicy::Policy2 { .. } => {
+                scenario == Scenario::Combined
+            }
+        }
+    }
+}
+
+/// What a tick executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickActions {
+    /// Number of `propagate_C` operations run.
+    pub propagates: usize,
+    /// Number of full refreshes run.
+    pub refreshes: usize,
+    /// Number of partial refreshes run.
+    pub partial_refreshes: usize,
+}
+
+/// Drives per-view policies against a database on a shared tick counter.
+pub struct PolicyDriver<'a> {
+    db: &'a Database,
+    entries: Vec<(String, RefreshPolicy)>,
+    tick: u64,
+}
+
+impl<'a> PolicyDriver<'a> {
+    /// A driver starting at tick 0.
+    pub fn new(db: &'a Database) -> Self {
+        PolicyDriver {
+            db,
+            entries: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// Register a view under a policy; validated against its scenario.
+    pub fn add_view(&mut self, name: impl Into<String>, policy: RefreshPolicy) -> Result<()> {
+        let name = name.into();
+        let scenario = self.db.view(&name)?.scenario();
+        if !policy.compatible_with(scenario) {
+            return Err(CoreError::WrongScenario {
+                view: name,
+                op: "policy registration",
+            });
+        }
+        self.entries.push((name, policy));
+        Ok(())
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advance one tick, running whatever is due. When both a propagate and
+    /// a refresh are due on the same tick, the propagate runs first (so the
+    /// refresh applies the freshest differential tables).
+    pub fn tick(&mut self) -> Result<TickActions> {
+        self.tick += 1;
+        let t = self.tick;
+        let mut actions = TickActions::default();
+        for (name, policy) in &self.entries {
+            match *policy {
+                RefreshPolicy::OnDemand | RefreshPolicy::OnQuery => {}
+                RefreshPolicy::PeriodicRefresh { every } => {
+                    if t.is_multiple_of(every) {
+                        self.db.refresh(name)?;
+                        actions.refreshes += 1;
+                    }
+                }
+                RefreshPolicy::Policy1 { k, m } => {
+                    if t.is_multiple_of(k) && !t.is_multiple_of(m) {
+                        self.db.propagate(name)?;
+                        actions.propagates += 1;
+                    }
+                    if t.is_multiple_of(m) {
+                        // refresh_C = propagate ; partial_refresh
+                        self.db.refresh(name)?;
+                        actions.refreshes += 1;
+                    }
+                }
+                RefreshPolicy::Policy2 { k, m } => {
+                    if t.is_multiple_of(k) {
+                        self.db.propagate(name)?;
+                        actions.propagates += 1;
+                    }
+                    if t.is_multiple_of(m) {
+                        self.db.partial_refresh(name)?;
+                        actions.partial_refreshes += 1;
+                    }
+                }
+            }
+        }
+        Ok(actions)
+    }
+
+    /// Advance `n` ticks.
+    pub fn run(&mut self, n: u64) -> Result<TickActions> {
+        let mut total = TickActions::default();
+        for _ in 0..n {
+            let a = self.tick()?;
+            total.propagates += a.propagates;
+            total.refreshes += a.refreshes;
+            total.partial_refreshes += a.partial_refreshes;
+        }
+        Ok(total)
+    }
+
+    /// Read a view under its policy: `OnQuery` views are refreshed first.
+    pub fn query(&self, name: &str) -> Result<dvm_storage::Bag> {
+        if let Some((_, policy)) = self.entries.iter().find(|(n, _)| n == name) {
+            if matches!(policy, RefreshPolicy::OnQuery) {
+                self.db.refresh(name)?;
+            }
+        }
+        self.db.query_view(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_algebra::Expr;
+    use dvm_delta::Transaction;
+    use dvm_storage::{tuple, Schema, ValueType};
+
+    fn db() -> Database {
+        let d = Database::new();
+        d.create_table("r", Schema::from_pairs(&[("a", ValueType::Int)]))
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn policy_compatibility() {
+        assert!(RefreshPolicy::OnDemand.compatible_with(Scenario::Immediate));
+        assert!(!RefreshPolicy::PeriodicRefresh { every: 5 }.compatible_with(Scenario::Immediate));
+        assert!(RefreshPolicy::Policy1 { k: 1, m: 24 }.compatible_with(Scenario::Combined));
+        assert!(!RefreshPolicy::Policy1 { k: 1, m: 24 }.compatible_with(Scenario::BaseLog));
+        assert!(RefreshPolicy::Policy2 { k: 1, m: 24 }.compatible_with(Scenario::Combined));
+        assert!(RefreshPolicy::OnQuery.compatible_with(Scenario::BaseLog));
+    }
+
+    #[test]
+    fn incompatible_registration_rejected() {
+        let d = db();
+        d.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        let mut driver = PolicyDriver::new(&d);
+        assert!(driver
+            .add_view("v", RefreshPolicy::Policy2 { k: 1, m: 4 })
+            .is_err());
+        assert!(driver
+            .add_view("v", RefreshPolicy::PeriodicRefresh { every: 3 })
+            .is_ok());
+    }
+
+    #[test]
+    fn periodic_refresh_fires_on_schedule() {
+        let d = db();
+        d.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        let mut driver = PolicyDriver::new(&d);
+        driver
+            .add_view("v", RefreshPolicy::PeriodicRefresh { every: 3 })
+            .unwrap();
+        d.execute(&Transaction::new().insert_tuple("r", tuple![1]))
+            .unwrap();
+        assert_eq!(driver.run(2).unwrap().refreshes, 0);
+        assert!(d.query_view("v").unwrap().is_empty(), "still stale");
+        assert_eq!(driver.tick().unwrap().refreshes, 1);
+        assert_eq!(d.query_view("v").unwrap().len(), 1);
+        assert_eq!(driver.now(), 3);
+    }
+
+    #[test]
+    fn policy1_propagates_k_refreshes_m() {
+        let d = db();
+        d.create_view("v", Expr::table("r"), Scenario::Combined)
+            .unwrap();
+        let mut driver = PolicyDriver::new(&d);
+        driver
+            .add_view("v", RefreshPolicy::Policy1 { k: 2, m: 6 })
+            .unwrap();
+        d.execute(&Transaction::new().insert_tuple("r", tuple![1]))
+            .unwrap();
+        let total = driver.run(6).unwrap();
+        // propagate at t=2,4 (t=6 is folded into refresh), refresh at t=6
+        assert_eq!(total.propagates, 2);
+        assert_eq!(total.refreshes, 1);
+        assert_eq!(d.query_view("v").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn policy2_partial_refresh_stays_one_interval_stale() {
+        let d = db();
+        d.create_view("v", Expr::table("r"), Scenario::Combined)
+            .unwrap();
+        let mut driver = PolicyDriver::new(&d);
+        driver
+            .add_view("v", RefreshPolicy::Policy2 { k: 1, m: 4 })
+            .unwrap();
+        // insert on every tick; at t=4 the partial refresh applies
+        // everything propagated through t=4's propagate (k=1 propagates
+        // first), so staleness ≤ k ticks.
+        for i in 0..4i64 {
+            d.execute(&Transaction::new().insert_tuple("r", tuple![i]))
+                .unwrap();
+            driver.tick().unwrap();
+        }
+        let v = d.query_view("v").unwrap();
+        assert_eq!(v.len(), 4, "partial refresh at t=4 saw all 4 inserts");
+        assert!(d.check_invariant("v").unwrap().ok());
+    }
+
+    #[test]
+    fn on_query_refreshes_before_read() {
+        let d = db();
+        d.create_view("v", Expr::table("r"), Scenario::BaseLog)
+            .unwrap();
+        let mut driver = PolicyDriver::new(&d);
+        driver.add_view("v", RefreshPolicy::OnQuery).unwrap();
+        d.execute(&Transaction::new().insert_tuple("r", tuple![1]))
+            .unwrap();
+        assert_eq!(d.query_view("v").unwrap().len(), 0, "stale via raw read");
+        assert_eq!(driver.query("v").unwrap().len(), 1, "fresh via policy read");
+    }
+}

@@ -1,0 +1,176 @@
+//! Randomized verification of **Theorem 5** (and Lemma 4): the Figure-3
+//! algorithms preserve the Figure-1 invariants under arbitrary weakly
+//! minimal transaction streams, with maintenance operations interleaved at
+//! random, for views drawn from the full bag algebra (self-joins, monus,
+//! duplicate elimination included).
+
+use dvm_algebra::testgen::{Rng, Universe};
+use dvm_algebra::Expr;
+use dvm_core::{Database, Minimality, Scenario};
+use dvm_delta::Transaction;
+use dvm_storage::Bag;
+
+/// Build a database whose base tables are the universe's tables with random
+/// initial contents, and one view per scenario over the same definition.
+fn build_db(u: &Universe, rng: &mut Rng, def: &Expr) -> Option<Database> {
+    let db = Database::new();
+    for t in &u.tables {
+        let table = db.create_table(t.clone(), u.schema.clone()).unwrap();
+        table.replace(u.bag(rng, 5)).unwrap();
+    }
+    for (name, scenario) in [
+        ("v_im", Scenario::Immediate),
+        ("v_bl", Scenario::BaseLog),
+        ("v_dt", Scenario::DiffTable),
+        ("v_c", Scenario::Combined),
+        ("v_cs", Scenario::Combined),
+    ] {
+        let minimality = if name == "v_cs" {
+            Minimality::Strong
+        } else {
+            Minimality::Weak
+        };
+        db.create_view_with(name, def.clone(), scenario, minimality)
+            .ok()?;
+    }
+    Some(db)
+}
+
+fn random_tx(u: &Universe, rng: &mut Rng, db: &Database) -> Transaction {
+    let mut tx = Transaction::new();
+    for t in &u.tables {
+        if rng.chance(1, 2) {
+            continue;
+        }
+        // random deletions drawn from current contents (some may miss)
+        let current = db.catalog().bag_of(t).unwrap();
+        let mut del = Bag::new();
+        for (tuple, mult) in current.iter() {
+            if rng.chance(1, 3) {
+                del.insert_n(tuple.clone(), 1 + rng.below(mult));
+            }
+        }
+        // plus occasionally a deletion of something absent (exercises
+        // weak-minimality normalization in execute())
+        if rng.chance(1, 4) {
+            del.insert(u.tuple(rng));
+        }
+        let ins = u.bag(rng, 3);
+        tx = tx.delete(t.clone(), del).insert(t.clone(), ins);
+    }
+    tx
+}
+
+fn assert_invariants(db: &Database, context: &str) {
+    let failures = db.check_all_invariants().unwrap();
+    assert!(
+        failures.is_empty(),
+        "{context}: {}",
+        failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn theorem5_invariants_preserved_under_random_streams() {
+    let u = Universe::small(3);
+    let mut rng = Rng::new(20240704);
+    let mut runs = 0;
+    while runs < 25 {
+        let def = u.expr(&mut rng, 2);
+        let Some(db) = build_db(&u, &mut rng, &def) else {
+            continue; // definition not materializable (dup output names)
+        };
+        runs += 1;
+        assert_invariants(&db, "after init");
+        for step in 0..12 {
+            let tx = random_tx(&u, &mut rng, &db);
+            db.execute(&tx).unwrap();
+            assert_invariants(&db, &format!("view {def}, after tx {step}"));
+            // Interleave random maintenance operations.
+            match rng.below(6) {
+                0 => db.refresh("v_bl").unwrap(),
+                1 => db.refresh("v_dt").unwrap(),
+                2 => db.propagate("v_c").unwrap(),
+                3 => db.partial_refresh("v_c").unwrap(),
+                4 => db.refresh("v_cs").unwrap(),
+                _ => {}
+            }
+            assert_invariants(&db, &format!("view {def}, after maintenance {step}"));
+        }
+        // Final full refresh must land every view on the recomputed truth.
+        for v in ["v_bl", "v_dt", "v_c", "v_cs"] {
+            db.refresh(v).unwrap();
+            assert_eq!(
+                db.query_view(v).unwrap(),
+                db.recompute_view(v).unwrap(),
+                "{v} after final refresh of {def}"
+            );
+        }
+        assert_eq!(
+            db.query_view("v_im").unwrap(),
+            db.recompute_view("v_im").unwrap(),
+            "immediate view tracks truth for {def}"
+        );
+        assert_invariants(&db, "after final refreshes");
+    }
+}
+
+#[test]
+fn hoare_triples_of_figure3() {
+    // {INV_*} refresh_* {Q ≡ MV} — checked directly after refresh;
+    // {INV_C} propagate_C {Q ≡ (MV ∸ ∇MV) ⊎ ΔMV};
+    // {INV_C} partial_refresh_C {PAST(L,Q) ≡ MV}.
+    let u = Universe::small(2);
+    let mut rng = Rng::new(42);
+    let mut runs = 0;
+    while runs < 15 {
+        let def = u.expr(&mut rng, 2);
+        let Some(db) = build_db(&u, &mut rng, &def) else {
+            continue;
+        };
+        runs += 1;
+        for _ in 0..4 {
+            let tx = random_tx(&u, &mut rng, &db);
+            db.execute(&tx).unwrap();
+        }
+        // propagate postcondition: Q ≡ (MV ∸ ∇MV) ⊎ ΔMV (log is empty so
+        // PAST(L,Q) = Q, i.e. the INV_DT-shaped equation holds).
+        db.propagate("v_c").unwrap();
+        let view = db.view("v_c").unwrap();
+        let (dt_del, dt_ins) = view.diff_tables().unwrap();
+        let q_now = db.recompute_view("v_c").unwrap();
+        let rhs = db
+            .query_view("v_c")
+            .unwrap()
+            .monus(&db.catalog().bag_of(dt_del).unwrap())
+            .union(&db.catalog().bag_of(dt_ins).unwrap());
+        assert_eq!(q_now, rhs, "propagate_C postcondition for {def}");
+
+        // partial_refresh postcondition: PAST(L,Q) ≡ MV.
+        let tx = random_tx(&u, &mut rng, &db);
+        db.execute(&tx).unwrap();
+        db.partial_refresh("v_c").unwrap();
+        let past = db.eval(&view.past_query()).unwrap();
+        assert_eq!(
+            past,
+            db.query_view("v_c").unwrap(),
+            "partial_refresh_C postcondition for {def}"
+        );
+
+        // refresh postcondition: Q ≡ MV for every deferred scenario.
+        for v in ["v_bl", "v_dt", "v_c", "v_cs"] {
+            let tx = random_tx(&u, &mut rng, &db);
+            db.execute(&tx).unwrap();
+            db.refresh(v).unwrap();
+            assert_eq!(
+                db.query_view(v).unwrap(),
+                db.recompute_view(v).unwrap(),
+                "refresh postcondition for {v} on {def}"
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The cancellation lemma (**Lemma 1**) — the pivot of Section 4.
+//!
+//! ```text
+//! If N ≡ (O ∸ D) ⊎ I, then O ≡ (N ∸ I) ⊎ (O min D).
+//! ```
+//!
+//! Reading `O` as the current query value `Q`, `N` as its past value
+//! `PAST(L,Q)` and `(D, I)` as `(Del(L̂,Q), Add(L̂,Q))`, the lemma solves the
+//! deferred-refresh equation: the view table (holding `PAST(L,Q)`) is
+//! brought to `Q` by deleting `Add(L̂,Q)` and inserting `Q min Del(L̂,Q)` —
+//! insertions and deletions swap roles, and under weak minimality
+//! (`Del ⊑ Q`) the `min` is the identity.
+
+use dvm_storage::Bag;
+
+/// Recover `O` from `N = (O ∸ D) ⊎ I` at the bag level:
+/// `O = (N ∸ I) ⊎ (O min D)`. The third argument is `O min D`, which the
+/// caller can compute (it only needs `O`'s current value and `D`).
+pub fn cancel(n: &Bag, i: &Bag, o_min_d: &Bag) -> Bag {
+    n.monus(i).union(o_min_d)
+}
+
+/// Apply the deferred-refresh step to a materialized value: given the view
+/// table contents `mv = PAST(L,Q)(s)`, the evaluated post-update
+/// incremental queries `del_l = Del(L̂,Q)(s)`, `add_l = Add(L̂,Q)(s)`, and
+/// the current view value `q = Q(s)` *only for the `min` correction*,
+/// return the refreshed contents.
+///
+/// With a weakly minimal log, `del_l ⊑ q` (Theorem 2b), so callers may pass
+/// `del_l` directly as `q_min_del` — see
+/// [`crate::incremental::post_update_deltas`].
+pub fn refresh_value(mv: &Bag, del_l_add: &Bag, q_min_del: &Bag) -> Bag {
+    cancel(mv, del_l_add, q_min_del)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_algebra::testgen::{Rng, Universe};
+
+    #[test]
+    fn lemma1_randomized() {
+        let u = Universe::small(1);
+        let mut rng = Rng::new(17);
+        for _ in 0..500 {
+            let o = u.bag(&mut rng, 6);
+            let d = u.bag(&mut rng, 6);
+            let i = u.bag(&mut rng, 6);
+            let n = o.monus(&d).union(&i);
+            let restored = cancel(&n, &i, &o.min_intersect(&d));
+            assert_eq!(restored, o);
+        }
+    }
+
+    #[test]
+    fn weakly_minimal_case_min_is_identity() {
+        let u = Universe::small(1);
+        let mut rng = Rng::new(18);
+        for _ in 0..200 {
+            let o = u.bag(&mut rng, 6);
+            let d = u.bag(&mut rng, 6).min_intersect(&o); // D ⊑ O
+            let i = u.bag(&mut rng, 6);
+            let n = o.monus(&d).union(&i);
+            // with D ⊑ O, O min D = D
+            assert_eq!(cancel(&n, &i, &d), o);
+        }
+    }
+}

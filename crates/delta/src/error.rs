@@ -1,0 +1,70 @@
+//! Delta-layer errors.
+
+use dvm_algebra::AlgebraError;
+use dvm_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the differential algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// Underlying algebra error (compilation, evaluation, schemas).
+    Algebra(AlgebraError),
+    /// A transaction touched a table that does not exist.
+    UnknownTable(String),
+    /// A transaction was required to be weakly minimal but is not
+    /// (`∇R ⊄ R` in the current state).
+    NotWeaklyMinimal {
+        /// The offending table.
+        table: String,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Algebra(e) => write!(f, "{e}"),
+            DeltaError::UnknownTable(t) => write!(f, "transaction references unknown table '{t}'"),
+            DeltaError::NotWeaklyMinimal { table } => {
+                write!(f, "transaction is not weakly minimal on table '{table}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Algebra(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for DeltaError {
+    fn from(e: AlgebraError) -> Self {
+        DeltaError::Algebra(e)
+    }
+}
+
+impl From<StorageError> for DeltaError {
+    fn from(e: StorageError) -> Self {
+        DeltaError::Algebra(AlgebraError::Storage(e))
+    }
+}
+
+/// Result alias for delta operations.
+pub type Result<T> = std::result::Result<T, DeltaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DeltaError = StorageError::NoSuchTable("x".into()).into();
+        assert_eq!(e.to_string(), "no such table 'x'");
+        let e = DeltaError::NotWeaklyMinimal { table: "r".into() };
+        assert!(e.to_string().contains("weakly minimal"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,567 @@
+//! Pre-update and post-update incremental queries (Sections 3–4).
+//!
+//! * **Pre-update** (immediate maintenance): for a transaction `T`,
+//!   `∇(T,Q) = Del(T̂,Q)` and `Δ(T,Q) = Add(T̂,Q)`; evaluating them *before*
+//!   `T` runs and applying `MV := (MV ∸ ∇) ⊎ Δ` keeps `MV = Q`.
+//!
+//! * **Post-update** (deferred maintenance): for a log `L` recording
+//!   `s_p → s_c`, Section 4 solves
+//!   `Q ≡ (PAST(L,Q) ∸ ▼(L,Q)) ⊎ ▲(L,Q)` via the cancellation lemma:
+//!
+//!   ```text
+//!   ▼(L,Q) = Add(L̂,Q)
+//!   ▲(L,Q) = Q min Del(L̂,Q)     (= Del(L̂,Q) when L is weakly minimal)
+//!   ```
+//!
+//!   Note the swap: what `Del`/`Add` compute against the *past* query
+//!   becomes the opposite side of the refresh. Evaluating the same
+//!   pre-update equations post-update instead is the **state bug**
+//!   ([`buggy_post_update_deltas`] exists precisely to demonstrate it).
+
+use crate::error::Result;
+use crate::transaction::Transaction;
+use crate::weak::{differentiate, DeltaPair};
+use dvm_algebra::infer::SchemaProvider;
+use dvm_algebra::subst::FactoredSubstitution;
+use dvm_algebra::Expr;
+use std::collections::BTreeMap;
+
+/// Default name of the deletion-log table `▼R` for base table `base`.
+pub fn log_del_name(base: &str) -> String {
+    format!("__log_del_{base}")
+}
+
+/// Default name of the insertion-log table `▲R` for base table `base`.
+pub fn log_ins_name(base: &str) -> String {
+    format!("__log_ins_{base}")
+}
+
+/// The auxiliary log tables `L = {▼R_1, ▲R_1, …}` (Section 2.3): for each
+/// logged base table, the names of the tables holding its recorded
+/// deletions (`▼R`) and insertions (`▲R`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogTables {
+    map: BTreeMap<String, (String, String)>,
+}
+
+impl LogTables {
+    /// Empty log description.
+    pub fn new() -> Self {
+        LogTables::default()
+    }
+
+    /// Describe the log for `base` table with the default naming convention.
+    pub fn add(&mut self, base: impl Into<String>) -> &mut Self {
+        let base = base.into();
+        let names = (log_del_name(&base), log_ins_name(&base));
+        self.map.insert(base, names);
+        self
+    }
+
+    /// Describe the log for `base` with explicit table names `(▼R, ▲R)`.
+    pub fn add_named(
+        &mut self,
+        base: impl Into<String>,
+        del_table: impl Into<String>,
+        ins_table: impl Into<String>,
+    ) -> &mut Self {
+        self.map
+            .insert(base.into(), (del_table.into(), ins_table.into()));
+        self
+    }
+
+    /// Build a log covering `bases` with the default naming convention.
+    pub fn for_bases<I, S>(bases: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut l = LogTables::new();
+        for b in bases {
+            l.add(b);
+        }
+        l
+    }
+
+    /// Logged base tables.
+    pub fn bases(&self) -> impl Iterator<Item = &String> {
+        self.map.keys()
+    }
+
+    /// `(▼R, ▲R)` table names for a base, if logged.
+    pub fn get(&self, base: &str) -> Option<(&str, &str)> {
+        self.map.get(base).map(|(d, i)| (d.as_str(), i.as_str()))
+    }
+
+    /// Whether no table is logged.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The substitution `L̂` (Section 2.4): `R ↦ (R ∸ ▲R) ⊎ ▼R`. Note the
+    /// factored `D` is the *insertion* log and `A` the *deletion* log — to
+    /// reconstruct the past we remove what was inserted and put back what
+    /// was deleted.
+    pub fn past_subst(&self) -> FactoredSubstitution {
+        let mut f = FactoredSubstitution::new();
+        for (base, (del_t, ins_t)) in &self.map {
+            f.set(
+                base.clone(),
+                Expr::table(ins_t.clone()),
+                Expr::table(del_t.clone()),
+            );
+        }
+        f
+    }
+
+    /// The *transaction-shaped* substitution over the same log tables:
+    /// `R ↦ (R ∸ ▼R) ⊎ ▲R`. This is what a pre-update algorithm would use
+    /// if it (incorrectly) treated the log as a pending transaction.
+    pub fn transaction_shaped_subst(&self) -> FactoredSubstitution {
+        self.past_subst().dual()
+    }
+}
+
+/// `(∇(T,Q), Δ(T,Q))`: the pre-update incremental queries for transaction
+/// `T`. Correct only when evaluated in the state *before* `T` runs, and
+/// only for weakly minimal `T`.
+pub fn pre_update_deltas(
+    q: &Expr,
+    tx: &Transaction,
+    provider: &dyn SchemaProvider,
+) -> Result<DeltaPair> {
+    let t_hat = tx.to_subst(provider)?;
+    differentiate(q, &t_hat, provider)
+}
+
+/// The post-update incremental refresh queries `(▼(L,Q), ▲(L,Q))` — the
+/// paper's Contribution 2.
+///
+/// `del` (`▼`) is what to remove from the view table and `ins` (`▲`) what to
+/// add: `MV := (MV ∸ ▼(L,Q)) ⊎ ▲(L,Q)`, all evaluated in the **current**
+/// (post-update) state. Requires the log to be weakly minimal
+/// (`▲R ⊑ R` — maintained by `makesafe_BL`), which licenses
+/// `▲(L,Q) = Del(L̂,Q)` without the `Q min ·` correction.
+pub fn post_update_deltas(
+    q: &Expr,
+    log: &LogTables,
+    provider: &dyn SchemaProvider,
+) -> Result<PostDeltas> {
+    let l_hat = log.past_subst();
+    let pair = differentiate(q, &l_hat, provider)?;
+    Ok(PostDeltas {
+        del: pair.add,
+        ins: pair.del,
+    })
+}
+
+/// As [`post_update_deltas`], but with **runtime emptiness pruning**: log
+/// tables that are empty *right now* (typically, tables the deferred
+/// transactions never touched — e.g. `customer` under a sales-only stream)
+/// are replaced by `φ` literals before differentiation, so φ-propagation
+/// collapses their branches out of the incremental queries. Sound because
+/// the queries are evaluated immediately, in the same state the emptiness
+/// was observed in (callers hold no-update-in-between by the single-
+/// maintenance-thread discipline).
+pub fn post_update_deltas_pruned(
+    q: &Expr,
+    log: &LogTables,
+    provider: &dyn SchemaProvider,
+    is_empty_now: &dyn Fn(&str) -> bool,
+) -> Result<PostDeltas> {
+    let mut l_hat = FactoredSubstitution::new();
+    for base in log.bases() {
+        let (del_t, ins_t) = log.get(base).expect("listed base");
+        let schema = provider.schema_of(base)?;
+        let d = if is_empty_now(ins_t) {
+            Expr::empty(schema.clone())
+        } else {
+            Expr::table(ins_t)
+        };
+        let a = if is_empty_now(del_t) {
+            Expr::empty(schema.clone())
+        } else {
+            Expr::table(del_t)
+        };
+        if d.is_empty_literal() && a.is_empty_literal() {
+            continue; // wholly unchanged table: leave it out of η entirely
+        }
+        l_hat.set(base.clone(), d, a);
+    }
+    let pair = differentiate(q, &l_hat, provider)?;
+    Ok(PostDeltas {
+        del: pair.add,
+        ins: pair.del,
+    })
+}
+
+/// As [`post_update_deltas`] but without assuming weak minimality of the
+/// log: the insertion side carries the full `Q min Del(L̂,Q)` correction of
+/// Section 4.
+pub fn post_update_deltas_general(
+    q: &Expr,
+    log: &LogTables,
+    provider: &dyn SchemaProvider,
+) -> Result<PostDeltas> {
+    let l_hat = log.past_subst();
+    let pair = differentiate(q, &l_hat, provider)?;
+    Ok(PostDeltas {
+        del: pair.add,
+        ins: q.clone().min_intersect(pair.del),
+    })
+}
+
+/// What the pre-update algorithm of \[BLT86\]/\[GL95\] would produce if naively
+/// pointed at the log and evaluated post-update — **the state bug**
+/// (Section 1.2). Kept as a first-class citizen so experiments can quantify
+/// how often and how badly it goes wrong.
+pub fn buggy_post_update_deltas(
+    q: &Expr,
+    log: &LogTables,
+    provider: &dyn SchemaProvider,
+) -> Result<PostDeltas> {
+    let tx_shaped = log.transaction_shaped_subst();
+    let pair = differentiate(q, &tx_shaped, provider)?;
+    Ok(PostDeltas {
+        del: pair.del,
+        ins: pair.add,
+    })
+}
+
+/// Post-update refresh queries: `MV := (MV ∸ del) ⊎ ins`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostDeltas {
+    /// `▼(L,Q)` — remove from the view table.
+    pub del: Expr,
+    /// `▲(L,Q)` — add to the view table.
+    pub ins: Expr,
+}
+
+impl PostDeltas {
+    /// Total AST size (experiment metric).
+    pub fn size(&self) -> usize {
+        self.del.size() + self.ins.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_algebra::eval::eval;
+    use dvm_algebra::infer::compile;
+    use dvm_algebra::testgen::{Rng, Universe};
+    use dvm_storage::{tuple, Bag, Schema, ValueType};
+    use std::collections::HashMap;
+
+    /// Build log-table state from a weakly-minimal literal substitution:
+    /// the log of the single transaction it represents.
+    fn log_state_from_subst(
+        u: &Universe,
+        f: &FactoredSubstitution,
+        state: &mut HashMap<String, Bag>,
+    ) -> LogTables {
+        let mut log = LogTables::new();
+        for t in &u.tables {
+            log.add(t.clone());
+            let (d, a) = match f.get(t) {
+                Some((Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. })) => {
+                    (d.clone(), a.clone())
+                }
+                None => (Bag::new(), Bag::new()),
+                _ => panic!("literal deltas expected"),
+            };
+            state.insert(log_del_name(t), d);
+            state.insert(log_ins_name(t), a);
+        }
+        log
+    }
+
+    fn provider_with_logs(u: &Universe) -> HashMap<String, Schema> {
+        let mut p = u.provider();
+        for t in &u.tables {
+            p.insert(log_del_name(t), u.schema.clone());
+            p.insert(log_ins_name(t), u.schema.clone());
+        }
+        p
+    }
+
+    #[test]
+    fn log_table_naming() {
+        assert_eq!(log_del_name("r"), "__log_del_r");
+        assert_eq!(log_ins_name("r"), "__log_ins_r");
+        let mut l = LogTables::new();
+        l.add("r").add_named("s", "dels", "inss");
+        assert_eq!(l.get("r"), Some(("__log_del_r", "__log_ins_r")));
+        assert_eq!(l.get("s"), Some(("dels", "inss")));
+        assert_eq!(l.get("zz"), None);
+        assert!(!l.is_empty());
+        assert!(LogTables::new().is_empty());
+    }
+
+    #[test]
+    fn past_subst_swaps_roles() {
+        let l = LogTables::for_bases(["r"]);
+        let p = l.past_subst();
+        let (d, a) = p.get("r").unwrap();
+        assert_eq!(d, &Expr::table("__log_ins_r"));
+        assert_eq!(a, &Expr::table("__log_del_r"));
+        assert_eq!(l.transaction_shaped_subst(), p.dual());
+    }
+
+    /// The central correctness property (Contribution 2): applying the
+    /// post-update deltas to the past value of Q yields the current value.
+    #[test]
+    fn post_update_refresh_randomized() {
+        let u = Universe::small(3);
+        let provider = provider_with_logs(&u);
+        let mut rng = Rng::new(42);
+        for _ in 0..200 {
+            let s_p = u.state(&mut rng, 4);
+            let q = u.expr(&mut rng, 2);
+            let f = u.weakly_minimal_subst(&mut rng, &s_p);
+            // current state: apply the transaction, then install the log.
+            let mut s_c = u.apply_subst_to_state(&f, &s_p);
+            let log = log_state_from_subst(&u, &f, &mut s_c);
+
+            let q_plan = compile(&q, &provider).unwrap().plan;
+            let mv = eval(&q_plan, &s_p).unwrap(); // MV holds the past value
+            let q_now = eval(&q_plan, &s_c).unwrap();
+
+            let pd = post_update_deltas(&q, &log, &provider).unwrap();
+            let del_v = eval(&compile(&pd.del, &provider).unwrap().plan, &s_c).unwrap();
+            let ins_v = eval(&compile(&pd.ins, &provider).unwrap().plan, &s_c).unwrap();
+            let refreshed = mv.monus(&del_v).union(&ins_v);
+            assert_eq!(refreshed, q_now, "post-update refresh failed for {q}");
+        }
+    }
+
+    #[test]
+    fn general_form_agrees_with_weakly_minimal_form() {
+        let u = Universe::small(2);
+        let provider = provider_with_logs(&u);
+        let mut rng = Rng::new(9);
+        for _ in 0..100 {
+            let s_p = u.state(&mut rng, 4);
+            let q = u.expr(&mut rng, 2);
+            let f = u.weakly_minimal_subst(&mut rng, &s_p);
+            let mut s_c = u.apply_subst_to_state(&f, &s_p);
+            let log = log_state_from_subst(&u, &f, &mut s_c);
+            let a = post_update_deltas(&q, &log, &provider).unwrap();
+            let b = post_update_deltas_general(&q, &log, &provider).unwrap();
+            let av = eval(&compile(&a.ins, &provider).unwrap().plan, &s_c).unwrap();
+            let bv = eval(&compile(&b.ins, &provider).unwrap().plan, &s_c).unwrap();
+            assert_eq!(av, bv, "weakly minimal log: min-correction is identity");
+        }
+    }
+
+    #[test]
+    fn pruned_deltas_match_unpruned_and_shrink() {
+        let u = Universe::small(3);
+        let provider = provider_with_logs(&u);
+        let mut rng = Rng::new(555);
+        for _ in 0..100 {
+            let s_p = u.state(&mut rng, 4);
+            let q = u.expr(&mut rng, 2);
+            let f = u.weakly_minimal_subst(&mut rng, &s_p);
+            let mut s_c = u.apply_subst_to_state(&f, &s_p);
+            let log = log_state_from_subst(&u, &f, &mut s_c);
+
+            let full = post_update_deltas(&q, &log, &provider).unwrap();
+            let is_empty = |t: &str| s_c.get(t).map(|b| b.is_empty()).unwrap_or(false);
+            let pruned = post_update_deltas_pruned(&q, &log, &provider, &is_empty).unwrap();
+
+            let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &s_c).unwrap();
+            assert_eq!(ev(&full.del), ev(&pruned.del), "pruning changed ▼ for {q}");
+            assert_eq!(ev(&full.ins), ev(&pruned.ins), "pruning changed ▲ for {q}");
+            assert!(
+                pruned.size() <= full.size(),
+                "pruning must never grow the queries"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_collapses_untouched_tables() {
+        // only t0 changes; t1/t2's empty logs must vanish from the queries.
+        let u = Universe::small(3);
+        let provider = provider_with_logs(&u);
+        let mut rng = Rng::new(777);
+        let s_p = u.state(&mut rng, 4);
+        let q = Expr::table("t0")
+            .union(Expr::table("t1"))
+            .union(Expr::table("t2"));
+        let mut f = FactoredSubstitution::new();
+        f.set(
+            "t0",
+            Expr::literal(Bag::new(), u.schema.clone()),
+            Expr::literal(Bag::singleton(tuple![1, 1]), u.schema.clone()),
+        );
+        let mut s_c = u.apply_subst_to_state(&f, &s_p);
+        let log = log_state_from_subst(&u, &f, &mut s_c);
+        let is_empty = |t: &str| s_c.get(t).map(|b| b.is_empty()).unwrap_or(false);
+        let pruned = post_update_deltas_pruned(&q, &log, &provider, &is_empty).unwrap();
+        for t in ["t1", "t2"] {
+            assert!(
+                !pruned.del.tables().contains(&log_del_name(t))
+                    && !pruned.del.tables().contains(&log_ins_name(t))
+                    && !pruned.ins.tables().contains(&log_del_name(t))
+                    && !pruned.ins.tables().contains(&log_ins_name(t)),
+                "untouched table {t}'s logs must be pruned: {} / {}",
+                pruned.del,
+                pruned.ins
+            );
+        }
+    }
+
+    #[test]
+    fn state_bug_example_1_2() {
+        // Example 1.2 end-to-end with the paper's exact numbers: the correct
+        // incremental insert is {[a1],[a1]}; the pre-update equations
+        // evaluated post-update yield {[a1],[a1],[a1],[a1]}.
+        let mut provider: HashMap<String, Schema> = HashMap::new();
+        provider.insert(
+            "R".into(),
+            Schema::from_pairs(&[("A", ValueType::Str), ("B", ValueType::Str)]),
+        );
+        provider.insert(
+            "S".into(),
+            Schema::from_pairs(&[("B", ValueType::Str), ("C", ValueType::Str)]),
+        );
+        let mut log = LogTables::new();
+        log.add("R").add("S");
+        provider.insert(log_del_name("R"), provider["R"].clone());
+        provider.insert(log_ins_name("R"), provider["R"].clone());
+        provider.insert(log_del_name("S"), provider["S"].clone());
+        provider.insert(log_ins_name("S"), provider["S"].clone());
+
+        let q = Expr::table("R")
+            .alias("r")
+            .product(Expr::table("S").alias("s"))
+            .select(dvm_algebra::Predicate::eq(
+                dvm_algebra::col("r.B"),
+                dvm_algebra::col("s.B"),
+            ))
+            .project(["A"]);
+
+        // Pre-update: R = {[a1,b1]}, S = {[b2,c1]}; the transaction inserts
+        // [a1,b2] into R and [b2,c2] into S. Post-update state:
+        let mut s_c: HashMap<String, Bag> = HashMap::new();
+        s_c.insert(
+            "R".into(),
+            Bag::from_tuples([tuple!["a1", "b1"], tuple!["a1", "b2"]]),
+        );
+        s_c.insert(
+            "S".into(),
+            Bag::from_tuples([tuple!["b2", "c1"], tuple!["b2", "c2"]]),
+        );
+        s_c.insert(log_del_name("R"), Bag::new());
+        s_c.insert(log_ins_name("R"), Bag::singleton(tuple!["a1", "b2"]));
+        s_c.insert(log_del_name("S"), Bag::new());
+        s_c.insert(log_ins_name("S"), Bag::singleton(tuple!["b2", "c2"]));
+
+        // MV holds the pre-update view value: old R ⋈ old S = φ.
+        let mv = Bag::new();
+        // Current truth: [a1,b2] joins both S tuples → {[a1],[a1]}.
+        let q_now = eval(&compile(&q, &provider).unwrap().plan, &s_c).unwrap();
+        assert_eq!(q_now.multiplicity(&tuple!["a1"]), 2);
+
+        // Correct post-update refresh:
+        let good = post_update_deltas(&q, &log, &provider).unwrap();
+        let del_v = eval(&compile(&good.del, &provider).unwrap().plan, &s_c).unwrap();
+        let ins_v = eval(&compile(&good.ins, &provider).unwrap().plan, &s_c).unwrap();
+        assert_eq!(ins_v.multiplicity(&tuple!["a1"]), 2, "▲ = {{[a1],[a1]}}");
+        assert_eq!(mv.monus(&del_v).union(&ins_v), q_now);
+
+        // Buggy pre-update equations evaluated post-update: ΔMU evaluates to
+        // {[a1]×4} exactly as the paper reports (ΔR⋈S_new = 2, R_new⋈ΔS = 1,
+        // ΔR⋈ΔS = 1).
+        let bad = buggy_post_update_deltas(&q, &log, &provider).unwrap();
+        let bad_ins = eval(&compile(&bad.ins, &provider).unwrap().plan, &s_c).unwrap();
+        let bad_del = eval(&compile(&bad.del, &provider).unwrap().plan, &s_c).unwrap();
+        assert_eq!(
+            bad_ins.multiplicity(&tuple!["a1"]),
+            4,
+            "paper: ΔMU incorrectly evaluates to {{[a1]×4}}"
+        );
+        let bad_result = mv.monus(&bad_del).union(&bad_ins);
+        assert_ne!(bad_result, q_now, "the state bug must reproduce");
+    }
+
+    #[test]
+    fn state_bug_example_1_3() {
+        // Example 1.3: U = R ∸ S; move [b] from R to S. Evaluated
+        // post-update, the pre-update delete equation yields φ and the view
+        // keeps the stale tuple; our equations remove it.
+        let s1 = Schema::from_pairs(&[("x", ValueType::Str)]);
+        let mut provider: HashMap<String, Schema> = HashMap::new();
+        for t in ["R", "S"] {
+            provider.insert(t.to_string(), s1.clone());
+            provider.insert(log_del_name(t), s1.clone());
+            provider.insert(log_ins_name(t), s1.clone());
+        }
+        let mut log = LogTables::new();
+        log.add("R").add("S");
+        let q = Expr::table("R").monus(Expr::table("S"));
+
+        let mut s_c: HashMap<String, Bag> = HashMap::new();
+        s_c.insert("R".into(), Bag::from_tuples([tuple!["a"], tuple!["c"]]));
+        s_c.insert(
+            "S".into(),
+            Bag::from_tuples([tuple!["b"], tuple!["c"], tuple!["d"]]),
+        );
+        s_c.insert(log_del_name("R"), Bag::singleton(tuple!["b"]));
+        s_c.insert(log_ins_name("R"), Bag::new());
+        s_c.insert(log_del_name("S"), Bag::new());
+        s_c.insert(log_ins_name("S"), Bag::singleton(tuple!["b"]));
+
+        let mv = Bag::from_tuples([tuple!["a"], tuple!["b"]]); // past value
+        let q_now = eval(&compile(&q, &provider).unwrap().plan, &s_c).unwrap();
+        assert_eq!(q_now, Bag::singleton(tuple!["a"]));
+
+        let good = post_update_deltas(&q, &log, &provider).unwrap();
+        let del_v = eval(&compile(&good.del, &provider).unwrap().plan, &s_c).unwrap();
+        let ins_v = eval(&compile(&good.ins, &provider).unwrap().plan, &s_c).unwrap();
+        assert_eq!(mv.monus(&del_v).union(&ins_v), q_now);
+
+        let bad = buggy_post_update_deltas(&q, &log, &provider).unwrap();
+        let bad_del = eval(&compile(&bad.del, &provider).unwrap().plan, &s_c).unwrap();
+        let bad_ins = eval(&compile(&bad.ins, &provider).unwrap().plan, &s_c).unwrap();
+        let bad_result = mv.monus(&bad_del).union(&bad_ins);
+        assert!(
+            bad_result.contains(&tuple!["b"]),
+            "state bug keeps the stale tuple [b]"
+        );
+        assert_ne!(bad_result, q_now);
+    }
+
+    #[test]
+    fn pre_update_deltas_maintain_view() {
+        // Immediate maintenance invariant: MV := (MV ∸ ∇) ⊎ Δ computed
+        // pre-update tracks Q across random transactions.
+        let u = Universe::small(3);
+        let provider = u.provider();
+        let mut rng = Rng::new(1234);
+        for _ in 0..150 {
+            let state = u.state(&mut rng, 4);
+            let q = u.expr(&mut rng, 2);
+            let f = u.weakly_minimal_subst(&mut rng, &state);
+            // convert literal substitution to a Transaction
+            let mut tx = Transaction::new();
+            for t in f.tables() {
+                if let Some((Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. })) = f.get(t)
+                {
+                    tx = tx.delete(t.clone(), d.clone()).insert(t.clone(), a.clone());
+                }
+            }
+            let pair = pre_update_deltas(&q, &tx, &provider).unwrap();
+            let q_plan = compile(&q, &provider).unwrap().plan;
+            let mv = eval(&q_plan, &state).unwrap();
+            let del_v = eval(&compile(&pair.del, &provider).unwrap().plan, &state).unwrap();
+            let add_v = eval(&compile(&pair.add, &provider).unwrap().plan, &state).unwrap();
+            let mut post = state.clone();
+            tx.apply_to_map(&mut post);
+            let q_after = eval(&q_plan, &post).unwrap();
+            assert_eq!(mv.monus(&del_v).union(&add_v), q_after);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Strong minimality (Section 4.1).
+//!
+//! A solution is **strongly minimal** when, in addition to weak minimality
+//! (`Del ⊑ Q`), no tuple is deleted and then reinserted
+//! (`Del min Add ≡ φ`). The paper points out (Sections 4.1, 5.3) that any
+//! weakly minimal solution can be strengthened, and that strong minimality
+//! shrinks the differential tables `∇MV`/`ΔMV`, further lowering the
+//! downtime of `partial_refresh_C` — our ablation experiment E6 measures
+//! exactly that.
+//!
+//! Strengthening subtracts the overlap from both sides:
+//!
+//! ```text
+//! O   = Del min Add
+//! Del' = Del ∸ O,   Add' = Add ∸ O
+//! ```
+//!
+//! which preserves `(Q ∸ Del) ⊎ Add` whenever `Del ⊑ Q` (proved by cases on
+//! each tuple's multiplicities; property-tested below).
+
+use crate::weak::DeltaPair;
+use dvm_storage::Bag;
+
+/// Strengthen evaluated (bag-level) deltas: remove the overlap from both
+/// sides. Requires `del ⊑ q_value` for semantics preservation (guaranteed
+/// by Theorem 2(b) when the deltas came from [`crate::weak::differentiate`]
+/// with a weakly minimal substitution).
+pub fn strongify_bags(del: &Bag, add: &Bag) -> (Bag, Bag) {
+    let overlap = del.min_intersect(add);
+    if overlap.is_empty() {
+        return (del.clone(), add.clone());
+    }
+    (del.monus(&overlap), add.monus(&overlap))
+}
+
+/// Whether a bag-level pair is strongly minimal w.r.t. a view value.
+pub fn is_strongly_minimal(del: &Bag, add: &Bag, q_value: &Bag) -> bool {
+    del.is_subbag_of(q_value) && del.min_intersect(add).is_empty()
+}
+
+/// Strengthen at the expression level: rewrite `(Del, Add)` into
+/// `(Del ∸ (Del min Add), Add ∸ (Del min Add))`. The overlap expression is
+/// duplicated syntactically; prefer [`strongify_bags`] once the deltas are
+/// materialized.
+pub fn strongify_exprs(pair: &DeltaPair) -> DeltaPair {
+    let overlap = pair.del.clone().min_intersect(pair.add.clone());
+    DeltaPair {
+        del: pair.del.clone().monus(overlap.clone()),
+        add: pair.add.clone().monus(overlap),
+    }
+}
+
+/// How much churn strengthening removes: total multiplicity of the overlap.
+pub fn overlap_volume(del: &Bag, add: &Bag) -> u64 {
+    del.min_intersect(add).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_algebra::testgen::{Rng, Universe};
+    use dvm_algebra::Expr;
+    use dvm_storage::tuple;
+
+    #[test]
+    fn strongify_removes_overlap() {
+        let mut del = Bag::new();
+        del.insert_n(tuple![1], 3);
+        del.insert_n(tuple![2], 1);
+        let mut add = Bag::new();
+        add.insert_n(tuple![1], 2);
+        add.insert_n(tuple![3], 1);
+        let (d, a) = strongify_bags(&del, &add);
+        assert_eq!(d.multiplicity(&tuple![1]), 1);
+        assert_eq!(d.multiplicity(&tuple![2]), 1);
+        assert_eq!(a.multiplicity(&tuple![1]), 0);
+        assert_eq!(a.multiplicity(&tuple![3]), 1);
+        assert!(d.min_intersect(&a).is_empty());
+    }
+
+    #[test]
+    fn no_overlap_is_identity() {
+        let del = Bag::singleton(tuple![1]);
+        let add = Bag::singleton(tuple![2]);
+        let (d, a) = strongify_bags(&del, &add);
+        assert_eq!(d, del);
+        assert_eq!(a, add);
+    }
+
+    #[test]
+    fn strongify_preserves_application_randomized() {
+        // (Q ∸ Del) ⊎ Add  ≡  (Q ∸ Del') ⊎ Add'  whenever Del ⊑ Q.
+        let u = Universe::small(1);
+        let mut rng = Rng::new(404);
+        for _ in 0..500 {
+            let q = u.bag(&mut rng, 6);
+            let del = u.bag(&mut rng, 6).min_intersect(&q); // Del ⊑ Q
+            let add = u.bag(&mut rng, 6);
+            let (d2, a2) = strongify_bags(&del, &add);
+            assert_eq!(
+                q.monus(&del).union(&add),
+                q.monus(&d2).union(&a2),
+                "strengthening changed the applied result"
+            );
+            assert!(is_strongly_minimal(&d2, &a2, &q));
+        }
+    }
+
+    #[test]
+    fn overlap_volume_counts_churn() {
+        let mut del = Bag::new();
+        del.insert_n(tuple![1], 3);
+        let mut add = Bag::new();
+        add.insert_n(tuple![1], 5);
+        assert_eq!(overlap_volume(&del, &add), 3);
+        assert_eq!(overlap_volume(&del, &Bag::new()), 0);
+    }
+
+    #[test]
+    fn expr_level_strongify_semantics() {
+        use dvm_algebra::eval::eval;
+        use dvm_algebra::infer::compile;
+        use std::collections::HashMap;
+        let u = Universe::small(2);
+        let provider = u.provider();
+        let mut rng = Rng::new(55);
+        for _ in 0..100 {
+            let state = u.state(&mut rng, 4);
+            let q = u.expr(&mut rng, 2);
+            let eta = u.weakly_minimal_subst(&mut rng, &state);
+            let weak = crate::weak::differentiate(&q, &eta, &provider).unwrap();
+            let strong = strongify_exprs(&weak);
+            let ev = |e: &Expr, s: &HashMap<String, Bag>| {
+                eval(&compile(e, &provider).unwrap().plan, s).unwrap()
+            };
+            let qv = ev(&q, &state);
+            let weak_applied = qv
+                .monus(&ev(&weak.del, &state))
+                .union(&ev(&weak.add, &state));
+            let strong_applied = qv
+                .monus(&ev(&strong.del, &state))
+                .union(&ev(&strong.add, &state));
+            assert_eq!(weak_applied, strong_applied);
+            let sd = ev(&strong.del, &state);
+            let sa = ev(&strong.add, &state);
+            assert!(is_strongly_minimal(&sd, &sa, &qv));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! SQL abstract syntax.
+
+use dvm_storage::{Value, ValueType};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE, …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names and types.
+        columns: Vec<(String, ValueType)>,
+    },
+    /// `CREATE VIEW name AS query`
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining query.
+        query: Query,
+    },
+    /// A standalone query.
+    Select(Query),
+    /// `INSERT INTO table VALUES (…), (…)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of literal values.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `DELETE FROM table [WHERE predicate]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter (all rows when absent).
+        predicate: Option<PredExpr>,
+    },
+}
+
+/// A query: one select block optionally combined with further queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A plain `SELECT … FROM … [WHERE …]`.
+    Select(SelectBlock),
+    /// `q1 UNION ALL q2` → additive union `⊎`.
+    UnionAll(Box<Query>, Box<Query>),
+    /// `q1 EXCEPT ALL q2` → monus `∸`.
+    ExceptAll(Box<Query>, Box<Query>),
+    /// `q1 EXCEPT q2` → remove all occurrences (Section 2.1's `EXCEPT`).
+    Except(Box<Query>, Box<Query>),
+    /// `q1 INTERSECT ALL q2` → minimal intersection `min`.
+    IntersectAll(Box<Query>, Box<Query>),
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBlock {
+    /// `SELECT DISTINCT` → duplicate elimination `ε`.
+    pub distinct: bool,
+    /// Projection list; `None` means `*`.
+    pub columns: Option<Vec<ColumnRef>>,
+    /// `FROM` items, combined by product.
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub predicate: Option<PredExpr>,
+}
+
+/// A `[qualifier.]name` column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table alias qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+/// A `FROM` item: `table [AS] alias?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// A predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredExpr {
+    /// Literal TRUE/FALSE.
+    Const(bool),
+    /// Comparison.
+    Cmp(Scalar, CmpOpAst, Scalar),
+    /// Conjunction.
+    And(Box<PredExpr>, Box<PredExpr>),
+    /// Disjunction.
+    Or(Box<PredExpr>, Box<PredExpr>),
+    /// Negation.
+    Not(Box<PredExpr>),
+}
+
+/// Comparison operators (AST level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOpAst {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A scalar operand: column or literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Column reference.
+    Col(ColumnRef),
+    /// Literal value.
+    Lit(Value),
+}

@@ -1,0 +1,73 @@
+//! SQL front-end errors.
+
+use dvm_algebra::AlgebraError;
+use std::fmt;
+
+/// Errors from lexing, parsing, or lowering SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Unexpected character during lexing.
+    Lex {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// Unexpected token during parsing.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// Description (what was found / expected).
+        message: String,
+    },
+    /// The statement parsed but cannot be expressed in the engine.
+    Unsupported(String),
+    /// Lowering produced an algebra-level error.
+    Algebra(AlgebraError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            SqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
+            SqlError::Algebra(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Algebra(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for SqlError {
+    fn from(e: AlgebraError) -> Self {
+        SqlError::Algebra(e)
+    }
+}
+
+/// Result alias for the SQL front end.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SqlError::Parse {
+            offset: 7,
+            message: "expected FROM".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 7: expected FROM");
+        assert!(SqlError::Unsupported("x".into()).to_string().contains("x"));
+    }
+}

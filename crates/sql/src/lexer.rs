@@ -1,0 +1,340 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{Result, SqlError};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenize SQL text. Keywords are case-insensitive; identifiers keep their
+/// case; strings are single-quoted with `''` as the escape for a quote.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    offset: start,
+                });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Collect raw bytes and decode once: the input is valid
+                // UTF-8, so a byte-accurate copy of the literal body is too
+                // (pushing bytes as chars would mangle multi-byte
+                // characters into Latin-1 mojibake).
+                let mut raw: Vec<u8> = Vec::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            raw.push(b'\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            raw.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                let s = String::from_utf8(raw).map_err(|e| SqlError::Lex {
+                    offset: start,
+                    message: format!("invalid UTF-8 in string literal: {e}"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                    if bytes[j] == b'.' {
+                        // a second dot ends the number (e.g. ranges); a dot
+                        // not followed by a digit is a qualifier dot.
+                        if is_float || !bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|e| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad float '{text}': {e}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|e| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad integer '{text}': {e}"),
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[i..j];
+                let upper = word.to_ascii_uppercase();
+                let kind = match Keyword::from_upper(&upper) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: start,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT a, b FROM t;"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("t".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive_idents_keep_case() {
+        assert_eq!(
+            kinds("select CustId"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("CustId".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escape() {
+        assert_eq!(
+            kinds("'High' 'it''s'"),
+            vec![
+                TokenKind::Str("High".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn non_ascii_string_literals_survive() {
+        assert_eq!(
+            kinds("'café über 日本'"),
+            vec![TokenKind::Str("café über 日本".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn qualified_column_is_three_tokens() {
+        assert_eq!(
+            kinds("c.custId"),
+            vec![
+                TokenKind::Ident("c".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("custId".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the columns\n a"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("a".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(matches!(lex("a @ b"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("SELECT a").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

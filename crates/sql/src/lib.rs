@@ -1,0 +1,25 @@
+//! # dvm-sql — SQL front end
+//!
+//! A small SQL dialect covering the paper's view definitions (Example 1.1,
+//! Example 1.2) and the DML needed by the examples:
+//!
+//! * `CREATE VIEW v AS SELECT [DISTINCT] … FROM t1 a1, t2 a2 WHERE …`
+//! * compound queries with `UNION ALL` (`⊎`), `EXCEPT ALL` (`∸`),
+//!   `EXCEPT` (all-occurrence difference), `INTERSECT ALL` (`min`)
+//! * `INSERT INTO t VALUES (…), (…)` and `DELETE FROM t [WHERE …]`
+//!
+//! Statements lower to [`dvm_algebra::Expr`] queries via [`lower`]; no
+//! aggregation (the paper explicitly omits it as orthogonal).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::{Result, SqlError};
+pub use lower::{sql_to_expr, sql_to_statement, LoweredStatement};
+pub use parser::{parse_query, parse_statement};

@@ -1,0 +1,328 @@
+//! Lowering: SQL AST → bag algebra.
+//!
+//! `SELECT cols FROM t1 a1, …, tn an WHERE p` becomes
+//! `Π_cols(σ_p((t1 AS a1) × … × (tn AS an)))`; `DISTINCT` adds `ε`;
+//! compound operators map onto `⊎`, `∸`, `EXCEPT`, `min` — exactly the
+//! translation the paper sketches for Example 1.1.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use dvm_algebra::predicate::{CmpOp, ColRef, Operand, Predicate};
+use dvm_algebra::Expr;
+use dvm_storage::{Schema, Tuple};
+
+/// A lowered statement, ready for an engine to act on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoweredStatement {
+    /// Create a base table.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column schema.
+        schema: Schema,
+    },
+    /// Define a view: `(name, defining query)`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining bag-algebra query.
+        definition: Expr,
+    },
+    /// Evaluate a query.
+    Query(Expr),
+    /// Insert literal rows into a table.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Tuples to insert (duplicates meaningful).
+        rows: Vec<Tuple>,
+    },
+    /// Delete the rows satisfying `selection` from `table`; the engine
+    /// evaluates `selection` to obtain the delete bag.
+    Delete {
+        /// Target table.
+        table: String,
+        /// `σ_p(table)` (or the whole table when no predicate was given).
+        selection: Expr,
+    },
+}
+
+/// Lower a parsed statement.
+pub fn lower_statement(stmt: &Statement) -> Result<LoweredStatement> {
+    Ok(match stmt {
+        Statement::CreateTable { name, columns } => {
+            let pairs: Vec<(&str, dvm_storage::ValueType)> =
+                columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let schema = Schema::new(
+                pairs
+                    .iter()
+                    .map(|(n, t)| dvm_storage::Column::new(*n, *t))
+                    .collect(),
+            )
+            .map_err(|e| SqlError::Unsupported(e.to_string()))?;
+            LoweredStatement::CreateTable {
+                name: name.clone(),
+                schema,
+            }
+        }
+        Statement::CreateView { name, query } => LoweredStatement::CreateView {
+            name: name.clone(),
+            definition: lower_query(query)?,
+        },
+        Statement::Select(q) => LoweredStatement::Query(lower_query(q)?),
+        Statement::Insert { table, rows } => LoweredStatement::Insert {
+            table: table.clone(),
+            rows: rows.iter().map(|r| Tuple::new(r.clone())).collect(),
+        },
+        Statement::Delete { table, predicate } => {
+            let base = Expr::table(table.clone());
+            let selection = match predicate {
+                Some(p) => base.select(lower_predicate(p)),
+                None => base,
+            };
+            LoweredStatement::Delete {
+                table: table.clone(),
+                selection,
+            }
+        }
+    })
+}
+
+/// Lower a query to a bag-algebra expression.
+pub fn lower_query(q: &Query) -> Result<Expr> {
+    Ok(match q {
+        Query::Select(block) => lower_select(block)?,
+        Query::UnionAll(a, b) => lower_query(a)?.union(lower_query(b)?),
+        Query::ExceptAll(a, b) => lower_query(a)?.monus(lower_query(b)?),
+        Query::Except(a, b) => lower_query(a)?.except(lower_query(b)?),
+        Query::IntersectAll(a, b) => lower_query(a)?.min_intersect(lower_query(b)?),
+    })
+}
+
+fn lower_select(block: &SelectBlock) -> Result<Expr> {
+    if block.from.is_empty() {
+        return Err(SqlError::Unsupported("FROM list must not be empty".into()));
+    }
+    let mut from_iter = block.from.iter();
+    let mut expr = lower_table_ref(from_iter.next().expect("nonempty"));
+    for tr in from_iter {
+        expr = expr.product(lower_table_ref(tr));
+    }
+    if let Some(p) = &block.predicate {
+        expr = expr.select(lower_predicate(p));
+    }
+    if let Some(cols) = &block.columns {
+        expr = expr.project_refs(cols.iter().map(lower_colref).collect());
+    }
+    if block.distinct {
+        expr = expr.dedup();
+    }
+    Ok(expr)
+}
+
+fn lower_table_ref(tr: &TableRef) -> Expr {
+    // An unaliased table is qualified by its own name, so `customer.custId`
+    // resolves after a product.
+    let alias = tr.alias.clone().unwrap_or_else(|| tr.table.clone());
+    Expr::table(tr.table.clone()).alias(alias)
+}
+
+fn lower_colref(c: &ColumnRef) -> ColRef {
+    match &c.qualifier {
+        Some(q) => ColRef::qualified(q.clone(), c.name.clone()),
+        None => ColRef::new(c.name.clone()),
+    }
+}
+
+/// Lower a predicate AST to an algebra predicate.
+pub fn lower_predicate(p: &PredExpr) -> Predicate {
+    match p {
+        PredExpr::Const(b) => Predicate::Const(*b),
+        PredExpr::Cmp(l, op, r) => {
+            Predicate::Cmp(lower_scalar(l), lower_cmp_op(*op), lower_scalar(r))
+        }
+        PredExpr::And(a, b) => lower_predicate(a).and(lower_predicate(b)),
+        PredExpr::Or(a, b) => lower_predicate(a).or(lower_predicate(b)),
+        PredExpr::Not(a) => lower_predicate(a).not(),
+    }
+}
+
+fn lower_scalar(s: &Scalar) -> Operand {
+    match s {
+        Scalar::Col(c) => Operand::Col(lower_colref(c)),
+        Scalar::Lit(v) => Operand::Const(v.clone()),
+    }
+}
+
+fn lower_cmp_op(op: CmpOpAst) -> CmpOp {
+    match op {
+        CmpOpAst::Eq => CmpOp::Eq,
+        CmpOpAst::Ne => CmpOp::Ne,
+        CmpOpAst::Lt => CmpOp::Lt,
+        CmpOpAst::Le => CmpOp::Le,
+        CmpOpAst::Gt => CmpOp::Gt,
+        CmpOpAst::Ge => CmpOp::Ge,
+    }
+}
+
+/// Convenience: parse and lower a query in one call.
+pub fn sql_to_expr(input: &str) -> Result<Expr> {
+    lower_query(&crate::parser::parse_query(input)?)
+}
+
+/// Convenience: parse and lower a statement in one call.
+pub fn sql_to_statement(input: &str) -> Result<LoweredStatement> {
+    lower_statement(&crate::parser::parse_statement(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_algebra::eval::eval;
+    use dvm_algebra::infer::compile;
+    use dvm_storage::{tuple, Bag, Schema, ValueType};
+    use std::collections::HashMap;
+
+    fn retail_provider() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "customer".to_string(),
+            Schema::from_pairs(&[
+                ("custId", ValueType::Int),
+                ("name", ValueType::Str),
+                ("address", ValueType::Str),
+                ("score", ValueType::Str),
+            ]),
+        );
+        m.insert(
+            "sales".to_string(),
+            Schema::from_pairs(&[
+                ("custId", ValueType::Int),
+                ("itemNo", ValueType::Int),
+                ("quantity", ValueType::Int),
+                ("salesPrice", ValueType::Double),
+            ]),
+        );
+        m
+    }
+
+    #[test]
+    fn example_1_1_compiles_and_evaluates() {
+        let expr = sql_to_expr(
+            "SELECT c.custId, c.name, c.score, s.itemNo, s.quantity \
+             FROM customer c, sales s \
+             WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'",
+        )
+        .unwrap();
+        let p = retail_provider();
+        let q = compile(&expr, &p).unwrap();
+        assert_eq!(q.schema.arity(), 5);
+
+        let mut state: HashMap<String, Bag> = HashMap::new();
+        state.insert(
+            "customer".into(),
+            Bag::from_tuples([
+                tuple![1, "alice", "a st", "High"],
+                tuple![2, "bob", "b st", "Low"],
+            ]),
+        );
+        state.insert(
+            "sales".into(),
+            Bag::from_tuples([
+                tuple![1, 100, 2, 9.99],
+                tuple![1, 101, 0, 5.0],  // quantity = 0: filtered
+                tuple![2, 100, 1, 9.99], // low score: filtered
+            ]),
+        );
+        let out = eval(&q.plan, &state).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1, "alice", "High", 100, 2]));
+    }
+
+    #[test]
+    fn unaliased_table_gets_self_qualifier() {
+        let expr = sql_to_expr("SELECT customer.name FROM customer").unwrap();
+        let p = retail_provider();
+        assert!(compile(&expr, &p).is_ok());
+    }
+
+    #[test]
+    fn select_star_has_full_schema() {
+        let expr = sql_to_expr("SELECT * FROM sales").unwrap();
+        let p = retail_provider();
+        let q = compile(&expr, &p).unwrap();
+        assert_eq!(q.schema.arity(), 4);
+    }
+
+    #[test]
+    fn distinct_maps_to_dedup() {
+        let expr = sql_to_expr("SELECT DISTINCT custId FROM sales").unwrap();
+        assert!(matches!(expr, Expr::DupElim(_)));
+    }
+
+    #[test]
+    fn compound_operators_map_to_bag_ops() {
+        let e =
+            sql_to_expr("SELECT custId FROM sales UNION ALL SELECT custId FROM customer").unwrap();
+        assert!(matches!(e, Expr::Union(..)));
+        let e =
+            sql_to_expr("SELECT custId FROM sales EXCEPT ALL SELECT custId FROM customer").unwrap();
+        assert!(matches!(e, Expr::Monus(..)));
+        let e = sql_to_expr("SELECT custId FROM sales EXCEPT SELECT custId FROM customer").unwrap();
+        assert!(matches!(e, Expr::Except(..)));
+        let e = sql_to_expr("SELECT custId FROM sales INTERSECT ALL SELECT custId FROM customer")
+            .unwrap();
+        assert!(matches!(e, Expr::MinIntersect(..)));
+    }
+
+    #[test]
+    fn insert_and_delete_lowering() {
+        let s = sql_to_statement("INSERT INTO sales VALUES (1, 2, 3, 4.0)").unwrap();
+        let LoweredStatement::Insert { table, rows } = s else {
+            panic!()
+        };
+        assert_eq!(table, "sales");
+        assert_eq!(rows[0], tuple![1, 2, 3, 4.0]);
+
+        let s = sql_to_statement("DELETE FROM sales WHERE quantity = 0").unwrap();
+        let LoweredStatement::Delete { table, selection } = s else {
+            panic!()
+        };
+        assert_eq!(table, "sales");
+        assert!(matches!(selection, Expr::Select { .. }));
+
+        let s = sql_to_statement("DELETE FROM sales").unwrap();
+        let LoweredStatement::Delete { selection, .. } = s else {
+            panic!()
+        };
+        assert_eq!(selection, Expr::table("sales"));
+    }
+
+    #[test]
+    fn create_view_lowering() {
+        let s = sql_to_statement("CREATE VIEW hot AS SELECT custId FROM sales").unwrap();
+        let LoweredStatement::CreateView { name, definition } = s else {
+            panic!()
+        };
+        assert_eq!(name, "hot");
+        assert!(matches!(definition, Expr::Project { .. }));
+    }
+
+    #[test]
+    fn self_join_via_sql() {
+        let expr = sql_to_expr(
+            "SELECT a.custId FROM sales a, sales b WHERE a.itemNo = b.itemNo AND a.custId != b.custId",
+        )
+        .unwrap();
+        let p = retail_provider();
+        let q = compile(&expr, &p).unwrap();
+        let mut state: HashMap<String, Bag> = HashMap::new();
+        state.insert(
+            "sales".into(),
+            Bag::from_tuples([tuple![1, 100, 2, 1.0], tuple![2, 100, 1, 1.0]]),
+        );
+        state.insert("customer".into(), Bag::new());
+        let out = eval(&q.plan, &state).unwrap();
+        assert_eq!(out.len(), 2, "both directions of the self-join");
+    }
+}

@@ -1,0 +1,501 @@
+//! Recursive-descent parser for the supported dialect.
+//!
+//! ```text
+//! statement   := create_table | create_view | query | insert | delete
+//! create_table:= CREATE TABLE ident ( ident type (, ident type)* )
+//! create_view := CREATE VIEW ident AS query
+//! query       := select_block ((UNION ALL | EXCEPT [ALL] | INTERSECT ALL) select_block)*
+//! select_block:= SELECT [DISTINCT] (columns | *) FROM table_ref (, table_ref)* [WHERE pred]
+//!              | ( query )
+//! table_ref   := ident [[AS] ident]
+//! pred        := or_pred
+//! or_pred     := and_pred (OR and_pred)*
+//! and_pred    := not_pred (AND not_pred)*
+//! not_pred    := NOT not_pred | ( pred ) | comparison | TRUE | FALSE
+//! comparison  := scalar op scalar
+//! scalar      := literal | ident [. ident]
+//! insert      := INSERT INTO ident VALUES row (, row)*
+//! delete      := DELETE FROM ident [WHERE pred]
+//! ```
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::lexer::lex;
+use crate::token::{Keyword, Token, TokenKind};
+use dvm_storage::Value;
+
+/// Parse one statement (a trailing `;` is allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect(&TokenKind::Eof)?;
+    Ok(stmt)
+}
+
+/// Parse a standalone query.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect(&TokenKind::Eof)?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(SqlError::Parse {
+            offset: self.peek().offset,
+            message: message.into(),
+        })
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        self.eat_if(&TokenKind::Keyword(kw))
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if &self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(&TokenKind::Keyword(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match &self.peek().kind {
+            TokenKind::Keyword(Keyword::Create) => {
+                self.advance();
+                if self.eat_keyword(Keyword::Table) {
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let mut columns = vec![self.column_def()?];
+                    while self.eat_if(&TokenKind::Comma) {
+                        columns.push(self.column_def()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Statement::CreateTable { name, columns });
+                }
+                self.expect_keyword(Keyword::View)?;
+                let name = self.ident()?;
+                self.expect_keyword(Keyword::As)?;
+                let query = self.query()?;
+                Ok(Statement::CreateView { name, query })
+            }
+            TokenKind::Keyword(Keyword::Insert) => {
+                self.advance();
+                self.expect_keyword(Keyword::Into)?;
+                let table = self.ident()?;
+                self.expect_keyword(Keyword::Values)?;
+                let mut rows = vec![self.row()?];
+                while self.eat_if(&TokenKind::Comma) {
+                    rows.push(self.row()?);
+                }
+                Ok(Statement::Insert { table, rows })
+            }
+            TokenKind::Keyword(Keyword::Delete) => {
+                self.advance();
+                self.expect_keyword(Keyword::From)?;
+                let table = self.ident()?;
+                let predicate = if self.eat_keyword(Keyword::Where) {
+                    Some(self.predicate()?)
+                } else {
+                    None
+                };
+                Ok(Statement::Delete { table, predicate })
+            }
+            _ => Ok(Statement::Select(self.query()?)),
+        }
+    }
+
+    fn column_def(&mut self) -> Result<(String, dvm_storage::ValueType)> {
+        let name = self.ident()?;
+        let ty = match self.peek().kind {
+            TokenKind::Keyword(Keyword::Int) => dvm_storage::ValueType::Int,
+            TokenKind::Keyword(Keyword::String_) => dvm_storage::ValueType::Str,
+            TokenKind::Keyword(Keyword::Double) => dvm_storage::ValueType::Double,
+            TokenKind::Keyword(Keyword::Boolean) => dvm_storage::ValueType::Bool,
+            ref other => return self.err(format!("expected a column type, found {other}")),
+        };
+        self.advance();
+        Ok((name, ty))
+    }
+
+    fn row(&mut self) -> Result<Vec<Value>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut vals = vec![self.literal()?];
+        while self.eat_if(&TokenKind::Comma) {
+            vals.push(self.literal()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(vals)
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let t = self.advance();
+        Ok(match t.kind {
+            TokenKind::Int(v) => Value::Int(v),
+            TokenKind::Float(v) => Value::Double(v),
+            TokenKind::Str(s) => Value::str(s),
+            TokenKind::Keyword(Keyword::True) => Value::Bool(true),
+            TokenKind::Keyword(Keyword::False) => Value::Bool(false),
+            TokenKind::Keyword(Keyword::Null) => Value::Null,
+            other => {
+                return Err(SqlError::Parse {
+                    offset: t.offset,
+                    message: format!("expected literal, found {other}"),
+                })
+            }
+        })
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut left = self.query_term()?;
+        loop {
+            if self.eat_keyword(Keyword::Union) {
+                self.expect_keyword(Keyword::All)?;
+                let right = self.query_term()?;
+                left = Query::UnionAll(Box::new(left), Box::new(right));
+            } else if self.eat_keyword(Keyword::Except) {
+                let all = self.eat_keyword(Keyword::All);
+                let right = self.query_term()?;
+                left = if all {
+                    Query::ExceptAll(Box::new(left), Box::new(right))
+                } else {
+                    Query::Except(Box::new(left), Box::new(right))
+                };
+            } else if self.eat_keyword(Keyword::Intersect) {
+                self.expect_keyword(Keyword::All)?;
+                let right = self.query_term()?;
+                left = Query::IntersectAll(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn query_term(&mut self) -> Result<Query> {
+        if self.eat_if(&TokenKind::LParen) {
+            let q = self.query()?;
+            self.expect(&TokenKind::RParen)?;
+            Ok(q)
+        } else {
+            Ok(Query::Select(self.select_block()?))
+        }
+    }
+
+    fn select_block(&mut self) -> Result<SelectBlock> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = self.eat_keyword(Keyword::Distinct);
+        let columns = if self.eat_if(&TokenKind::Star) {
+            None
+        } else {
+            let mut cols = vec![self.column_ref()?];
+            while self.eat_if(&TokenKind::Comma) {
+                cols.push(self.column_ref()?);
+            }
+            Some(cols)
+        };
+        self.expect_keyword(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_if(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let predicate = if self.eat_keyword(Keyword::Where) {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(SelectBlock {
+            distinct,
+            columns,
+            from,
+            predicate,
+        })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_if(&TokenKind::Dot) {
+            let name = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let alias =
+            if self.eat_keyword(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_)) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+        Ok(TableRef { table, alias })
+    }
+
+    fn predicate(&mut self) -> Result<PredExpr> {
+        self.or_pred()
+    }
+
+    fn or_pred(&mut self) -> Result<PredExpr> {
+        let mut left = self.and_pred()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.and_pred()?;
+            left = PredExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<PredExpr> {
+        let mut left = self.not_pred()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.not_pred()?;
+            left = PredExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_pred(&mut self) -> Result<PredExpr> {
+        if self.eat_keyword(Keyword::Not) {
+            return Ok(PredExpr::Not(Box::new(self.not_pred()?)));
+        }
+        if self.eat_keyword(Keyword::True) {
+            return Ok(PredExpr::Const(true));
+        }
+        if self.eat_keyword(Keyword::False) {
+            return Ok(PredExpr::Const(false));
+        }
+        if self.eat_if(&TokenKind::LParen) {
+            let p = self.predicate()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(p);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<PredExpr> {
+        let left = self.scalar()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOpAst::Eq,
+            TokenKind::Ne => CmpOpAst::Ne,
+            TokenKind::Lt => CmpOpAst::Lt,
+            TokenKind::Le => CmpOpAst::Le,
+            TokenKind::Gt => CmpOpAst::Gt,
+            TokenKind::Ge => CmpOpAst::Ge,
+            ref other => return self.err(format!("expected comparison operator, found {other}")),
+        };
+        self.advance();
+        let right = self.scalar()?;
+        Ok(PredExpr::Cmp(left, op, right))
+    }
+
+    fn scalar(&mut self) -> Result<Scalar> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => Ok(Scalar::Col(self.column_ref()?)),
+            _ => Ok(Scalar::Lit(self.literal()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_view() {
+        // Example 1.1.
+        let stmt = parse_statement(
+            "CREATE VIEW V AS \
+             SELECT c.custId, c.name, c.score, s.itemNo, s.quantity \
+             FROM customer c, sales s \
+             WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'",
+        )
+        .unwrap();
+        let Statement::CreateView { name, query } = stmt else {
+            panic!("expected CREATE VIEW");
+        };
+        assert_eq!(name, "V");
+        let Query::Select(block) = query else {
+            panic!("expected plain select");
+        };
+        assert!(!block.distinct);
+        assert_eq!(block.columns.as_ref().unwrap().len(), 5);
+        assert_eq!(block.from.len(), 2);
+        assert_eq!(block.from[0].alias.as_deref(), Some("c"));
+        assert!(block.predicate.is_some());
+    }
+
+    #[test]
+    fn parse_select_star_and_distinct() {
+        let q = parse_query("SELECT DISTINCT * FROM t").unwrap();
+        let Query::Select(b) = q else { panic!() };
+        assert!(b.distinct);
+        assert!(b.columns.is_none());
+    }
+
+    #[test]
+    fn parse_compound_queries() {
+        let q = parse_query("SELECT a FROM r UNION ALL SELECT a FROM s EXCEPT ALL SELECT a FROM t")
+            .unwrap();
+        // left-associative: (r ∪ s) ∸ t
+        assert!(matches!(q, Query::ExceptAll(..)));
+        let q = parse_query("SELECT a FROM r EXCEPT SELECT a FROM s").unwrap();
+        assert!(matches!(q, Query::Except(..)));
+        let q = parse_query("SELECT a FROM r INTERSECT ALL SELECT a FROM s").unwrap();
+        assert!(matches!(q, Query::IntersectAll(..)));
+    }
+
+    #[test]
+    fn parse_parenthesized_compound() {
+        let q =
+            parse_query("SELECT a FROM r EXCEPT ALL (SELECT a FROM s UNION ALL SELECT a FROM t)")
+                .unwrap();
+        let Query::ExceptAll(_, right) = q else {
+            panic!()
+        };
+        assert!(matches!(*right, Query::UnionAll(..)));
+    }
+
+    #[test]
+    fn parse_insert() {
+        let stmt =
+            parse_statement("INSERT INTO sales VALUES (1, 2, 3, 4.5), (2, 3, 4, 5.5);").unwrap();
+        let Statement::Insert { table, rows } = stmt else {
+            panic!()
+        };
+        assert_eq!(table, "sales");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][3], Value::Double(4.5));
+    }
+
+    #[test]
+    fn parse_delete() {
+        let stmt = parse_statement("DELETE FROM sales WHERE quantity = 0").unwrap();
+        let Statement::Delete { table, predicate } = stmt else {
+            panic!()
+        };
+        assert_eq!(table, "sales");
+        assert!(predicate.is_some());
+        let stmt = parse_statement("DELETE FROM sales").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Delete {
+                predicate: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn predicate_precedence_or_under_and() {
+        let q = parse_query("SELECT a FROM t WHERE a = 1 OR a = 2 AND b = 3").unwrap();
+        let Query::Select(b) = q else { panic!() };
+        // OR is the top node: a=1 OR (a=2 AND b=3)
+        assert!(matches!(b.predicate, Some(PredExpr::Or(..))));
+    }
+
+    #[test]
+    fn not_and_parens() {
+        let q = parse_query("SELECT a FROM t WHERE NOT (a = 1 OR TRUE)").unwrap();
+        let Query::Select(b) = q else { panic!() };
+        assert!(matches!(b.predicate, Some(PredExpr::Not(..))));
+    }
+
+    #[test]
+    fn literal_on_left_of_comparison() {
+        let q = parse_query("SELECT a FROM t WHERE 1 < a").unwrap();
+        let Query::Select(b) = q else { panic!() };
+        assert!(matches!(
+            b.predicate,
+            Some(PredExpr::Cmp(Scalar::Lit(_), CmpOpAst::Lt, Scalar::Col(_)))
+        ));
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse_statement("SELECT FROM t").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { offset: 7, .. }), "{err}");
+        assert!(parse_statement("SELECT a FROM t WHERE").is_err());
+        assert!(parse_statement("CREATE TABLE t").is_err());
+        assert!(parse_statement("SELECT a FROM t extra garbage = 1").is_err());
+    }
+
+    #[test]
+    fn parse_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE sales (custId INT, name VARCHAR, price DOUBLE, active BOOLEAN)",
+        )
+        .unwrap();
+        let Statement::CreateTable { name, columns } = stmt else {
+            panic!()
+        };
+        assert_eq!(name, "sales");
+        assert_eq!(columns.len(), 4);
+        assert_eq!(
+            columns[0],
+            ("custId".to_string(), dvm_storage::ValueType::Int)
+        );
+        assert_eq!(columns[1].1, dvm_storage::ValueType::Str);
+        assert_eq!(columns[2].1, dvm_storage::ValueType::Double);
+        assert_eq!(columns[3].1, dvm_storage::ValueType::Bool);
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_statement("CREATE TABLE t ()").is_err());
+    }
+
+    #[test]
+    fn union_requires_all() {
+        assert!(parse_query("SELECT a FROM r UNION SELECT a FROM s").is_err());
+    }
+}

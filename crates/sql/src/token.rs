@@ -1,0 +1,162 @@
+//! SQL tokens.
+
+use std::fmt;
+
+/// A lexical token with its source position (byte offset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds for the supported SQL dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased during lexing).
+    Keyword(Keyword),
+    /// Identifier (table, alias, or column name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (single-quoted, quotes stripped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the keywords themselves
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    As,
+    Union,
+    Except,
+    Intersect,
+    All,
+    Create,
+    View,
+    Table,
+    Int,
+    String_,
+    Double,
+    Boolean,
+    Insert,
+    Into,
+    Values,
+    Delete,
+    True,
+    False,
+    Null,
+}
+
+impl Keyword {
+    /// Parse an uppercased word into a keyword.
+    pub fn from_upper(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "SELECT" => Keyword::Select,
+            "DISTINCT" => Keyword::Distinct,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "AS" => Keyword::As,
+            "UNION" => Keyword::Union,
+            "EXCEPT" => Keyword::Except,
+            "INTERSECT" => Keyword::Intersect,
+            "ALL" => Keyword::All,
+            "CREATE" => Keyword::Create,
+            "VIEW" => Keyword::View,
+            "TABLE" => Keyword::Table,
+            "INT" | "INTEGER" | "BIGINT" => Keyword::Int,
+            "STRING" | "TEXT" | "VARCHAR" => Keyword::String_,
+            "DOUBLE" | "FLOAT" | "REAL" => Keyword::Double,
+            "BOOL" | "BOOLEAN" => Keyword::Boolean,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "DELETE" => Keyword::Delete,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "NULL" => Keyword::Null,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Ne => write!(f, "'!='"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Ge => write!(f, "'>='"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(Keyword::from_upper("SELECT"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_upper("FROB"), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TokenKind::Comma.to_string(), "','");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier 'x'");
+    }
+}

@@ -1,0 +1,123 @@
+//! Storage-layer errors.
+
+use crate::value::ValueType;
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// No table with this name exists in the catalog.
+    NoSuchTable(String),
+    /// A schema declared the same column name twice.
+    DuplicateColumn {
+        /// Table (or qualifier) in which the duplicate appeared.
+        table: String,
+        /// The duplicated column name.
+        column: String,
+    },
+    /// A referenced column does not exist in the schema.
+    NoSuchColumn {
+        /// The unresolved reference.
+        column: String,
+    },
+    /// A column name resolved to more than one position.
+    AmbiguousColumn {
+        /// The ambiguous reference.
+        column: String,
+    },
+    /// A tuple's arity does not match the schema's.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// A tuple field's type does not match the column type.
+    TypeMismatch {
+        /// Offending column name.
+        column: String,
+        /// Declared column type.
+        expected: ValueType,
+        /// Actual value type (`None` for typeless values).
+        got: Option<ValueType>,
+    },
+    /// Snapshot decoding failed (corrupt or truncated buffer).
+    CorruptSnapshot(String),
+    /// Filesystem I/O failed while saving or loading a snapshot.
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateTable(n) => write!(f, "table '{n}' already exists"),
+            StorageError::NoSuchTable(n) => write!(f, "no such table '{n}'"),
+            StorageError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column '{column}' in table '{table}'")
+            }
+            StorageError::NoSuchColumn { column } => write!(f, "no such column '{column}'"),
+            StorageError::AmbiguousColumn { column } => {
+                write!(f, "ambiguous column reference '{column}'")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => match got {
+                Some(g) => write!(f, "column '{column}' expects {expected}, got {g}"),
+                None => write!(
+                    f,
+                    "column '{column}' expects {expected}, got NULL-only value"
+                ),
+            },
+            StorageError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StorageError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StorageError::NoSuchTable("t".into()).to_string(),
+            "no such table 't'"
+        );
+        assert_eq!(
+            StorageError::ArityMismatch {
+                expected: 2,
+                got: 3
+            }
+            .to_string(),
+            "tuple arity 3 does not match schema arity 2"
+        );
+        let e = StorageError::TypeMismatch {
+            column: "a".into(),
+            expected: ValueType::Int,
+            got: Some(ValueType::Str),
+        };
+        assert_eq!(e.to_string(), "column 'a' expects INT, got STRING");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::NoSuchTable("x".into()));
+    }
+}

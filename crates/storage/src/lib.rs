@@ -1,0 +1,148 @@
+//! # dvm-storage — bag-relational storage engine
+//!
+//! The substrate under the deferred-view-maintenance reproduction of
+//! *Colby, Griffin, Libkin, Mumick, Trickey, "Algorithms for Deferred View
+//! Maintenance" (SIGMOD 1996)*.
+//!
+//! The paper assumes a relational engine with SQL **duplicate (bag)
+//! semantics**: database states map table names to finite bags of tuples
+//! (Section 2.1). This crate provides exactly that:
+//!
+//! * [`value::Value`] / [`tuple::Tuple`] — typed scalar values and immutable
+//!   reference-counted rows;
+//! * [`bag::Bag`] — multisets with native `⊎`, `∸`, `min`, `max`, `×`, `σ`,
+//!   `Π`, `ε`;
+//! * [`schema::Schema`] — named, typed, optionally qualified columns;
+//! * [`table::Table`] — schema-validated bags behind instrumented RW locks
+//!   (write-hold time = the paper's *view downtime*);
+//! * [`catalog::Catalog`] — the database state, with deep
+//!   [`snapshot::Snapshot`]s for cross-state verification and checkpointing.
+
+#![warn(missing_docs)]
+
+pub mod bag;
+pub mod catalog;
+pub mod error;
+pub mod lock;
+pub mod schema;
+pub mod snapshot;
+pub mod stats;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use bag::Bag;
+pub use catalog::Catalog;
+pub use error::{Result, StorageError};
+pub use schema::{Column, Schema};
+pub use snapshot::Snapshot;
+pub use table::{Table, TableKind};
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};
+
+#[cfg(test)]
+mod proptests {
+    //! Property tests for the algebraic laws the paper relies on
+    //! (commutativity/associativity of ⊎, the monus identities behind
+    //! `min`/`max`, and the cancellation shape of Lemma 1 at the bag level).
+
+    use crate::bag::Bag;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+    use proptest::prelude::*;
+
+    fn arb_bag() -> impl Strategy<Value = Bag> {
+        proptest::collection::vec((0i64..6, 1u64..4), 0..8).prop_map(|items| {
+            let mut b = Bag::new();
+            for (v, m) in items {
+                b.insert_n(Tuple::new(vec![Value::Int(v)]), m);
+            }
+            b
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn union_commutative(a in arb_bag(), b in arb_bag()) {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+        }
+
+        #[test]
+        fn union_associative(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
+            prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        }
+
+        #[test]
+        fn monus_identity_and_annihilation(a in arb_bag()) {
+            prop_assert_eq!(a.monus(&Bag::new()), a.clone());
+            prop_assert!(Bag::new().monus(&a).is_empty());
+            prop_assert!(a.monus(&a).is_empty());
+        }
+
+        #[test]
+        fn min_via_double_monus(a in arb_bag(), b in arb_bag()) {
+            // Q1 min Q2 = Q1 ∸ (Q1 ∸ Q2)  (Section 2.1)
+            prop_assert_eq!(a.min_intersect(&b), a.monus(&a.monus(&b)));
+        }
+
+        #[test]
+        fn max_via_union_monus(a in arb_bag(), b in arb_bag()) {
+            // Q1 max Q2 = Q1 ⊎ (Q2 ∸ Q1)  (Section 2.1)
+            prop_assert_eq!(a.max_union(&b), a.union(&b.monus(&a)));
+        }
+
+        #[test]
+        fn union_then_monus_cancels(a in arb_bag(), b in arb_bag()) {
+            // (A ⊎ B) ∸ B = A
+            prop_assert_eq!(a.union(&b).monus(&b), a.clone());
+        }
+
+        #[test]
+        fn cancellation_lemma_bag_level(o in arb_bag(), d in arb_bag(), i in arb_bag()) {
+            // Lemma 1: if N = (O ∸ D) ⊎ I then O = (N ∸ I) ⊎ (O min D),
+            // for arbitrary bags (no minimality restriction needed).
+            let n = o.monus(&d).union(&i);
+            let restored = n.monus(&i).union(&o.min_intersect(&d));
+            prop_assert_eq!(restored, o.clone());
+        }
+
+        #[test]
+        fn apply_delta_matches_formula(o in arb_bag(), d in arb_bag(), i in arb_bag()) {
+            let mut applied = o.clone();
+            applied.apply_delta(&d, &i);
+            prop_assert_eq!(applied, o.monus(&d).union(&i));
+        }
+
+        #[test]
+        fn subbag_of_union(a in arb_bag(), b in arb_bag()) {
+            prop_assert!(a.is_subbag_of(&a.union(&b)));
+            prop_assert!(a.monus(&b).is_subbag_of(&a));
+            prop_assert!(a.min_intersect(&b).is_subbag_of(&a));
+            prop_assert!(a.is_subbag_of(&a.max_union(&b)));
+        }
+
+        #[test]
+        fn product_distributes_over_union(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
+            // A × (B ⊎ C) = (A × B) ⊎ (A × C)
+            prop_assert_eq!(
+                a.product(&b.union(&c)),
+                a.product(&b).union(&a.product(&c))
+            );
+        }
+
+        #[test]
+        fn dedup_idempotent(a in arb_bag()) {
+            prop_assert_eq!(a.dedup().dedup(), a.dedup());
+        }
+
+        #[test]
+        fn snapshot_roundtrip(a in arb_bag(), b in arb_bag()) {
+            use std::collections::BTreeMap;
+            let mut bags = BTreeMap::new();
+            bags.insert("r".to_string(), a);
+            bags.insert("s".to_string(), b);
+            let snap = crate::snapshot::Snapshot::from_bags(bags);
+            prop_assert_eq!(crate::snapshot::Snapshot::decode(snap.encode()).unwrap(), snap);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Instrumented reader–writer locks.
+//!
+//! The paper defines *view downtime* as the time an exclusive write lock is
+//! held over the materialized view during refresh (Section 1.1). To measure
+//! it faithfully, every table's bag sits behind an [`InstrumentedRwLock`]
+//! that records, with nanosecond resolution:
+//!
+//! * total and maximum **write-hold** time (this *is* downtime),
+//! * total **read-block** time (time readers spent waiting — what concurrent
+//!   decision-support queries experience during refresh),
+//! * acquisition counts.
+
+use parking_lot::lock_api::ArcRwLockReadGuard;
+use parking_lot::{RawRwLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An owning read guard: keeps the lock's `Arc` alive, so it has no borrow
+/// lifetime and can be stored in evaluator state while the catalog entry that
+/// produced it goes out of scope.
+pub type OwnedReadGuard<T> = ArcRwLockReadGuard<RawRwLock, T>;
+
+/// Aggregated lock metrics. All counters are monotone; snapshot with
+/// [`LockMetrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct LockMetrics {
+    write_hold_nanos: AtomicU64,
+    write_hold_max_nanos: AtomicU64,
+    write_acquisitions: AtomicU64,
+    read_block_nanos: AtomicU64,
+    read_acquisitions: AtomicU64,
+}
+
+/// A point-in-time copy of [`LockMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockMetricsSnapshot {
+    /// Total nanoseconds the write lock was held.
+    pub write_hold_nanos: u64,
+    /// Longest single write-hold, nanoseconds.
+    pub write_hold_max_nanos: u64,
+    /// Number of write acquisitions.
+    pub write_acquisitions: u64,
+    /// Total nanoseconds readers spent blocked waiting for the lock.
+    pub read_block_nanos: u64,
+    /// Number of read acquisitions.
+    pub read_acquisitions: u64,
+}
+
+impl LockMetrics {
+    fn record_write_hold(&self, nanos: u64) {
+        self.write_hold_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.write_hold_max_nanos
+            .fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> LockMetricsSnapshot {
+        LockMetricsSnapshot {
+            write_hold_nanos: self.write_hold_nanos.load(Ordering::Relaxed),
+            write_hold_max_nanos: self.write_hold_max_nanos.load(Ordering::Relaxed),
+            write_acquisitions: self.write_acquisitions.load(Ordering::Relaxed),
+            read_block_nanos: self.read_block_nanos.load(Ordering::Relaxed),
+            read_acquisitions: self.read_acquisitions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.write_hold_nanos.store(0, Ordering::Relaxed);
+        self.write_hold_max_nanos.store(0, Ordering::Relaxed);
+        self.write_acquisitions.store(0, Ordering::Relaxed);
+        self.read_block_nanos.store(0, Ordering::Relaxed);
+        self.read_acquisitions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An RwLock that records hold and wait times into [`LockMetrics`].
+#[derive(Debug, Default)]
+pub struct InstrumentedRwLock<T> {
+    inner: Arc<RwLock<T>>,
+    metrics: LockMetrics,
+}
+
+impl<T> InstrumentedRwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        InstrumentedRwLock {
+            inner: Arc::new(RwLock::new(value)),
+            metrics: LockMetrics::default(),
+        }
+    }
+
+    /// Acquire a read guard, recording block time.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let start = Instant::now();
+        let guard = self.inner.read();
+        let waited = start.elapsed().as_nanos() as u64;
+        self.metrics
+            .read_block_nanos
+            .fetch_add(waited, Ordering::Relaxed);
+        self.metrics
+            .read_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        guard
+    }
+
+    /// Acquire an owning read guard (no borrow lifetime), recording block
+    /// time. Used by the query evaluator to pin table contents for the
+    /// duration of a scan without cloning them.
+    pub fn read_owned(&self) -> OwnedReadGuard<T> {
+        let start = Instant::now();
+        let guard = RwLock::read_arc(&self.inner);
+        let waited = start.elapsed().as_nanos() as u64;
+        self.metrics
+            .read_block_nanos
+            .fetch_add(waited, Ordering::Relaxed);
+        self.metrics
+            .read_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        guard
+    }
+
+    /// Acquire a write guard whose hold time is recorded on drop.
+    pub fn write(&self) -> TimedWriteGuard<'_, T> {
+        let guard = self.inner.write();
+        self.metrics
+            .write_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        TimedWriteGuard {
+            guard: Some(guard),
+            acquired: Instant::now(),
+            metrics: &self.metrics,
+        }
+    }
+
+    /// The lock's metrics.
+    pub fn metrics(&self) -> &LockMetrics {
+        &self.metrics
+    }
+
+    /// Consume the lock, returning the value.
+    ///
+    /// # Panics
+    /// Panics if any owned read guard is still alive.
+    pub fn into_inner(self) -> T {
+        Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("into_inner with outstanding owned guards"))
+            .into_inner()
+    }
+}
+
+/// Write guard that reports its hold duration when dropped.
+pub struct TimedWriteGuard<'a, T> {
+    guard: Option<RwLockWriteGuard<'a, T>>,
+    acquired: Instant,
+    metrics: &'a LockMetrics,
+}
+
+impl<T> std::ops::Deref for TimedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for TimedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for TimedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the lock first so the recorded hold time does not include
+        // metric bookkeeping.
+        self.guard.take();
+        let held = self.acquired.elapsed().as_nanos() as u64;
+        self.metrics.record_write_hold(held);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let l = InstrumentedRwLock::new(5i32);
+        {
+            let mut w = l.write();
+            *w = 7;
+        }
+        assert_eq!(*l.read(), 7);
+        let m = l.metrics().snapshot();
+        assert_eq!(m.write_acquisitions, 1);
+        assert_eq!(m.read_acquisitions, 1);
+    }
+
+    #[test]
+    fn write_hold_time_recorded() {
+        let l = InstrumentedRwLock::new(());
+        {
+            let _w = l.write();
+            thread::sleep(Duration::from_millis(5));
+        }
+        let m = l.metrics().snapshot();
+        assert!(m.write_hold_nanos >= 4_000_000, "held ~5ms: {m:?}");
+        assert!(m.write_hold_max_nanos >= 4_000_000);
+    }
+
+    #[test]
+    fn reader_block_time_recorded() {
+        let l = Arc::new(InstrumentedRwLock::new(0u32));
+        let l2 = Arc::clone(&l);
+        let writer = {
+            let l = Arc::clone(&l);
+            thread::spawn(move || {
+                let _w = l.write();
+                thread::sleep(Duration::from_millis(10));
+            })
+        };
+        // Give the writer time to grab the lock.
+        thread::sleep(Duration::from_millis(2));
+        let reader = thread::spawn(move || {
+            let _r = l2.read();
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+        let m = l.metrics().snapshot();
+        assert!(
+            m.read_block_nanos >= 1_000_000,
+            "reader should have blocked: {m:?}"
+        );
+    }
+
+    #[test]
+    fn max_hold_tracks_largest() {
+        let l = InstrumentedRwLock::new(());
+        {
+            let _w = l.write();
+        }
+        {
+            let _w = l.write();
+            thread::sleep(Duration::from_millis(3));
+        }
+        let m = l.metrics().snapshot();
+        assert_eq!(m.write_acquisitions, 2);
+        assert!(m.write_hold_max_nanos >= 2_000_000);
+        assert!(m.write_hold_max_nanos <= m.write_hold_nanos);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let l = InstrumentedRwLock::new(());
+        {
+            let _w = l.write();
+        }
+        l.metrics().reset();
+        assert_eq!(l.metrics().snapshot(), LockMetricsSnapshot::default());
+    }
+
+    #[test]
+    fn into_inner() {
+        let l = InstrumentedRwLock::new(42);
+        assert_eq!(l.into_inner(), 42);
+    }
+}

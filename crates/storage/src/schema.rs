@@ -1,0 +1,361 @@
+//! Schemas: ordered lists of named, typed columns.
+//!
+//! Schemas are immutable and cheaply cloneable (`Arc` inside). Column
+//! references may be unqualified (`custId`) or qualified (`c.custId`);
+//! product schemas concatenate columns and keep qualifiers so that the
+//! algebra layer can resolve names unambiguously.
+
+use crate::error::{Result, StorageError};
+use crate::tuple::Tuple;
+use crate::value::ValueType;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column, optionally qualified by a table alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Table alias qualifier (e.g. `c` in `c.custId`), if any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+impl Column {
+    /// An unqualified column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            qualifier: None,
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// A qualified column.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// Whether this column matches a reference `[qualifier.]name`.
+    ///
+    /// An unqualified reference matches any column with that name; a
+    /// qualified reference requires the qualifier to match too.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if self.name != name {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self.qualifier.as_deref() == Some(q),
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}: {}", self.name, self.ty),
+            None => write!(f, "{}: {}", self.name, self.ty),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<Vec<Column>>,
+}
+
+impl Schema {
+    /// Build a schema. Duplicate *fully qualified* names are rejected;
+    /// duplicate bare names with different qualifiers are allowed (they arise
+    /// from products) and must be disambiguated by qualified references.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            for d in &columns[i + 1..] {
+                if c.name == d.name && c.qualifier == d.qualifier {
+                    return Err(StorageError::DuplicateColumn {
+                        table: c.qualifier.clone().unwrap_or_default(),
+                        column: c.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Schema {
+            columns: Arc::new(columns),
+        })
+    }
+
+    /// Shorthand: unqualified columns from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate names — callers pass literal column lists, so a
+    /// duplicate is a programming error.
+    pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+            .expect("duplicate column name in from_pairs")
+    }
+
+    /// The empty (0-ary) schema.
+    pub fn empty() -> Self {
+        Schema {
+            columns: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> Option<&Column> {
+        self.columns.get(i)
+    }
+
+    /// Resolve a reference `[qualifier.]name` to a position.
+    ///
+    /// Errors with [`StorageError::AmbiguousColumn`] when more than one
+    /// column matches and [`StorageError::NoSuchColumn`] when none does.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(StorageError::AmbiguousColumn {
+                        column: display_ref(qualifier, name),
+                    });
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| StorageError::NoSuchColumn {
+            column: display_ref(qualifier, name),
+        })
+    }
+
+    /// Concatenate two schemas (product).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = Vec::with_capacity(self.arity() + other.arity());
+        cols.extend_from_slice(&self.columns);
+        cols.extend_from_slice(&other.columns);
+        Schema {
+            columns: Arc::new(cols),
+        }
+    }
+
+    /// Re-qualify every column with a new table alias (used by `FROM t AS a`).
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            columns: Arc::new(
+                self.columns
+                    .iter()
+                    .map(|c| Column {
+                        qualifier: Some(qualifier.to_string()),
+                        name: c.name.clone(),
+                        ty: c.ty,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Strip all qualifiers (used when materializing a view: the output
+    /// columns become plain names).
+    pub fn unqualified(&self) -> Schema {
+        Schema {
+            columns: Arc::new(
+                self.columns
+                    .iter()
+                    .map(|c| Column {
+                        qualifier: None,
+                        name: c.name.clone(),
+                        ty: c.ty,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Project onto positions, keeping names and types.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let c = self.columns.get(i).ok_or(StorageError::ArityMismatch {
+                expected: self.arity(),
+                got: i + 1,
+            })?;
+            cols.push(c.clone());
+        }
+        Ok(Schema {
+            columns: Arc::new(cols),
+        })
+    }
+
+    /// Whether two schemas are union-compatible: same arity and same column
+    /// types position-wise (names may differ).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .columns
+                .iter()
+                .zip(other.columns.iter())
+                .all(|(a, b)| a.ty == b.ty)
+    }
+
+    /// Validate a tuple against this schema.
+    pub fn validate(&self, t: &Tuple) -> Result<()> {
+        if t.arity() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                got: t.arity(),
+            });
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            let v = &t[i];
+            if !v.conforms_to(c.ty) {
+                return Err(StorageError::TypeMismatch {
+                    column: c.name.clone(),
+                    expected: c.ty,
+                    got: v.value_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Positions of every column, in order (identity projection).
+    pub fn all_positions(&self) -> Vec<usize> {
+        (0..self.arity()).collect()
+    }
+}
+
+fn display_ref(qualifier: Option<&str>, name: &str) -> String {
+    match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn s2() -> Schema {
+        Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Str)])
+    }
+
+    #[test]
+    fn build_and_resolve() {
+        let s = s2();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.resolve(None, "a").unwrap(), 0);
+        assert_eq!(s.resolve(None, "b").unwrap(), 1);
+        assert!(matches!(
+            s.resolve(None, "zz"),
+            Err(StorageError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_qualified_name_rejected() {
+        let err = Schema::new(vec![
+            Column::new("a", ValueType::Int),
+            Column::new("a", ValueType::Str),
+        ]);
+        assert!(matches!(err, Err(StorageError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn same_name_different_qualifier_allowed_but_ambiguous_unqualified() {
+        let s = Schema::new(vec![
+            Column::qualified("r", "x", ValueType::Int),
+            Column::qualified("s", "x", ValueType::Int),
+        ])
+        .unwrap();
+        assert!(matches!(
+            s.resolve(None, "x"),
+            Err(StorageError::AmbiguousColumn { .. })
+        ));
+        assert_eq!(s.resolve(Some("r"), "x").unwrap(), 0);
+        assert_eq!(s.resolve(Some("s"), "x").unwrap(), 1);
+    }
+
+    #[test]
+    fn concat_and_qualify() {
+        let r = s2().with_qualifier("r");
+        let s = s2().with_qualifier("s");
+        let p = r.concat(&s);
+        assert_eq!(p.arity(), 4);
+        assert_eq!(p.resolve(Some("s"), "a").unwrap(), 2);
+        let u = p.unqualified();
+        assert!(matches!(
+            u.resolve(None, "a"),
+            Err(StorageError::AmbiguousColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn project_schema() {
+        let s = s2();
+        let p = s.project(&[1]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.column(0).unwrap().name, "b");
+        assert!(s.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn union_compatibility_is_positional_types() {
+        let a = Schema::from_pairs(&[("x", ValueType::Int), ("y", ValueType::Str)]);
+        let b = Schema::from_pairs(&[("p", ValueType::Int), ("q", ValueType::Str)]);
+        let c = Schema::from_pairs(&[("p", ValueType::Str), ("q", ValueType::Int)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+        assert!(!a.union_compatible(&Schema::empty()));
+    }
+
+    #[test]
+    fn validate_tuples() {
+        let s = s2();
+        assert!(s.validate(&tuple![1, "x"]).is_ok());
+        assert!(s.validate(&tuple![1]).is_err());
+        assert!(s.validate(&tuple!["x", "y"]).is_err());
+        // NULL conforms to any column
+        assert!(s
+            .validate(&tuple::Tuple::new(vec![
+                crate::value::Value::Null,
+                crate::value::Value::Null
+            ]))
+            .is_ok());
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(vec![Column::qualified("c", "id", ValueType::Int)]).unwrap();
+        assert_eq!(s.to_string(), "(c.id: INT)");
+    }
+}

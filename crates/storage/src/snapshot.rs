@@ -1,0 +1,349 @@
+//! Database-state snapshots: deep copies of every table's bag, with a
+//! compact binary encoding.
+//!
+//! Snapshots serve two roles in this reproduction:
+//!
+//! 1. **Time travel for verification.** The paper's correctness statements
+//!    compare queries across states (`Q(s_p) = PAST(L,Q)(s_c)`). Tests take a
+//!    snapshot at `s_p`, run transactions to reach `s_c`, and evaluate both
+//!    sides.
+//! 2. **Persistence.** [`Snapshot::encode`]/[`Snapshot::decode`] provide a
+//!    stable binary format so long experiments can checkpoint state.
+
+use crate::bag::Bag;
+use crate::error::{Result, StorageError};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deep copy of a database state: table name → bag.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    bags: BTreeMap<String, Bag>,
+}
+
+impl Snapshot {
+    /// Build from a name → bag map.
+    pub fn from_bags(bags: BTreeMap<String, Bag>) -> Self {
+        Snapshot { bags }
+    }
+
+    /// The bag recorded for `table`, if any.
+    pub fn bag(&self, table: &str) -> Option<&Bag> {
+        self.bags.get(table)
+    }
+
+    /// Iterate over `(name, bag)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Bag)> {
+        self.bags.iter()
+    }
+
+    /// Number of tables recorded.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Whether the snapshot records no tables.
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// Tables whose contents differ between `self` and `other` (union of
+    /// both key sets; a table missing on one side counts as empty).
+    pub fn changed_tables(&self, other: &Snapshot) -> Vec<String> {
+        let empty = Bag::new();
+        let mut names: Vec<&String> = self.bags.keys().chain(other.bags.keys()).collect();
+        names.sort();
+        names.dedup();
+        names
+            .into_iter()
+            .filter(|n| self.bags.get(*n).unwrap_or(&empty) != other.bags.get(*n).unwrap_or(&empty))
+            .cloned()
+            .collect()
+    }
+
+    // ---- binary format ----------------------------------------------------
+    //
+    //   u8  version (=1)
+    //   u32 table count
+    //   per table: str name, u32 distinct tuples,
+    //     per tuple: u64 multiplicity, u16 arity, values
+    //   value: u8 tag, payload (see encode_value)
+    //   str: u32 length + UTF-8 bytes
+
+    const VERSION: u8 = 1;
+
+    /// Encode to a compact binary buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(Self::VERSION);
+        buf.put_u32(self.bags.len() as u32);
+        for (name, bag) in &self.bags {
+            put_str(&mut buf, name);
+            buf.put_u32(bag.distinct_len() as u32);
+            for (tuple, mult) in bag.sorted_entries() {
+                buf.put_u64(mult);
+                buf.put_u16(tuple.arity() as u16);
+                for v in tuple.values() {
+                    encode_value(&mut buf, v);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a buffer produced by [`Snapshot::encode`].
+    pub fn decode(mut buf: Bytes) -> Result<Self> {
+        let version = get_u8(&mut buf)?;
+        if version != Self::VERSION {
+            return Err(StorageError::CorruptSnapshot(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let ntables = get_u32(&mut buf)? as usize;
+        let mut bags = BTreeMap::new();
+        for _ in 0..ntables {
+            let name = get_str(&mut buf)?;
+            let ntuples = get_u32(&mut buf)? as usize;
+            let mut bag = Bag::with_capacity(ntuples);
+            for _ in 0..ntuples {
+                let mult = get_u64(&mut buf)?;
+                let arity = get_u16(&mut buf)? as usize;
+                let mut vals = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    vals.push(decode_value(&mut buf)?);
+                }
+                bag.insert_n(Tuple::new(vals), mult);
+            }
+            bags.insert(name, bag);
+        }
+        if buf.has_remaining() {
+            return Err(StorageError::CorruptSnapshot(format!(
+                "{} trailing bytes",
+                buf.remaining()
+            )));
+        }
+        Ok(Snapshot { bags })
+    }
+}
+
+impl Snapshot {
+    /// Persist the binary encoding to a file (atomic: written to a
+    /// temporary sibling then renamed).
+    pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode()).map_err(|e| StorageError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| StorageError::Io(e.to_string()))
+    }
+
+    /// Load a snapshot previously written by [`Snapshot::save_to`].
+    pub fn load_from(path: &std::path::Path) -> Result<Snapshot> {
+        let data = std::fs::read(path).map_err(|e| StorageError::Io(e.to_string()))?;
+        Snapshot::decode(Bytes::from(data))
+    }
+}
+
+fn encode_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64(*i);
+        }
+        Value::Double(d) => {
+            buf.put_u8(3);
+            buf.put_u64(d.to_bits());
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn decode_value(buf: &mut Bytes) -> Result<Value> {
+    match get_u8(buf)? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(get_u8(buf)? != 0)),
+        2 => Ok(Value::Int(get_u64(buf)? as i64)),
+        3 => Ok(Value::Double(f64::from_bits(get_u64(buf)?))),
+        4 => Ok(Value::Str(Arc::from(get_str(buf)?.as_str()))),
+        tag => Err(StorageError::CorruptSnapshot(format!(
+            "unknown value tag {tag}"
+        ))),
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(StorageError::CorruptSnapshot(format!(
+            "need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16> {
+    need(buf, 2)?;
+    Ok(buf.get_u16())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64())
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    need(buf, len)?;
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|e| StorageError::CorruptSnapshot(format!("bad utf8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sample() -> Snapshot {
+        let mut r = Bag::new();
+        r.insert_n(tuple![1, "a"], 2);
+        r.insert_n(tuple![2, "b"], 1);
+        let mut s = Bag::new();
+        s.insert_n(
+            Tuple::new(vec![Value::Null, Value::Bool(true), Value::Double(1.25)]),
+            7,
+        );
+        let mut bags = BTreeMap::new();
+        bags.insert("r".to_string(), r);
+        bags.insert("s".to_string(), s);
+        Snapshot::from_bags(bags)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(bytes).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::decode(snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let bytes = sample().encode();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            let truncated = bytes.slice(0..cut);
+            assert!(
+                Snapshot::decode(truncated).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let mut buf = BytesMut::from(&sample().encode()[..]);
+        buf.put_u8(0xff);
+        assert!(Snapshot::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn bad_version_errors() {
+        let mut buf = BytesMut::from(&sample().encode()[..]);
+        buf[0] = 99;
+        assert!(Snapshot::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn changed_tables() {
+        let a = sample();
+        let mut b = a.clone();
+        b.bags.get_mut("r").unwrap().insert(tuple![9, "z"]);
+        assert_eq!(a.changed_tables(&b), vec!["r".to_string()]);
+        assert!(a.changed_tables(&a).is_empty());
+    }
+
+    #[test]
+    fn changed_tables_with_disjoint_keys() {
+        let a = sample();
+        let mut bags = BTreeMap::new();
+        bags.insert("extra".to_string(), Bag::singleton(tuple![1]));
+        let b = Snapshot::from_bags(bags);
+        let changed = a.changed_tables(&b);
+        assert!(changed.contains(&"extra".to_string()));
+        assert!(changed.contains(&"r".to_string()));
+    }
+
+    #[test]
+    fn missing_table_treated_as_empty_in_diff() {
+        let mut bags = BTreeMap::new();
+        bags.insert("t".to_string(), Bag::new());
+        let a = Snapshot::from_bags(bags);
+        let b = Snapshot::default();
+        assert!(
+            a.changed_tables(&b).is_empty(),
+            "empty table equals missing table"
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = sample();
+        let dir = std::env::temp_dir().join(format!("dvm-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.dvmsnap");
+        snap.save_to(&path).unwrap();
+        assert_eq!(Snapshot::load_from(&path).unwrap(), snap);
+        // overwrite is atomic-ish: the tmp file does not linger
+        snap.save_to(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = Snapshot::load_from(std::path::Path::new("/nonexistent/xyz.snap"));
+        assert!(matches!(err, Err(StorageError::Io(_))));
+    }
+
+    #[test]
+    fn nan_survives_roundtrip() {
+        let mut bags = BTreeMap::new();
+        bags.insert(
+            "t".to_string(),
+            Bag::singleton(Tuple::new(vec![Value::Double(f64::NAN)])),
+        );
+        let snap = Snapshot::from_bags(bags);
+        assert_eq!(Snapshot::decode(snap.encode()).unwrap(), snap);
+    }
+}

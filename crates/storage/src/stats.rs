@@ -1,0 +1,82 @@
+//! Per-table operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters tracking how a table has been used. Shared across
+/// threads; all updates are relaxed atomics.
+#[derive(Debug, Default)]
+pub struct TableStats {
+    tuples_inserted: AtomicU64,
+    tuples_deleted: AtomicU64,
+    scans: AtomicU64,
+}
+
+/// Point-in-time copy of [`TableStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableStatsSnapshot {
+    /// Total tuple occurrences inserted (counting multiplicity).
+    pub tuples_inserted: u64,
+    /// Total tuple occurrences deleted (counting multiplicity).
+    pub tuples_deleted: u64,
+    /// Number of full scans (reads of the bag).
+    pub scans: u64,
+}
+
+impl TableStats {
+    /// Record `n` inserted tuple occurrences.
+    pub fn record_insert(&self, n: u64) {
+        self.tuples_inserted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` deleted tuple occurrences.
+    pub fn record_delete(&self, n: u64) {
+        self.tuples_deleted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one scan.
+    pub fn record_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy current values.
+    pub fn snapshot(&self) -> TableStatsSnapshot {
+        TableStatsSnapshot {
+            tuples_inserted: self.tuples_inserted.load(Ordering::Relaxed),
+            tuples_deleted: self.tuples_deleted.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.tuples_inserted.store(0, Ordering::Relaxed);
+        self.tuples_deleted.store(0, Ordering::Relaxed);
+        self.scans.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TableStats::default();
+        s.record_insert(3);
+        s.record_insert(2);
+        s.record_delete(1);
+        s.record_scan();
+        let snap = s.snapshot();
+        assert_eq!(snap.tuples_inserted, 5);
+        assert_eq!(snap.tuples_deleted, 1);
+        assert_eq!(snap.scans, 1);
+    }
+
+    #[test]
+    fn reset() {
+        let s = TableStats::default();
+        s.record_insert(3);
+        s.reset();
+        assert_eq!(s.snapshot(), TableStatsSnapshot::default());
+    }
+}

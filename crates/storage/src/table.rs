@@ -1,0 +1,270 @@
+//! Tables: named, schema-validated bags behind instrumented locks.
+
+use crate::bag::Bag;
+use crate::error::Result;
+use crate::lock::{InstrumentedRwLock, LockMetrics, OwnedReadGuard, TimedWriteGuard};
+use crate::schema::Schema;
+use crate::stats::TableStats;
+use crate::tuple::Tuple;
+use parking_lot::RwLockReadGuard;
+use std::fmt;
+
+/// Whether a table is user-visible or maintenance-internal.
+///
+/// The paper (Section 3.1) partitions tables into *external* tables changed
+/// by user transactions and *internal* tables (materialized views, logs,
+/// view differential files) that user transactions may not touch directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// User-defined base table.
+    External,
+    /// Maintenance-owned table (MV, log, or differential).
+    Internal,
+}
+
+/// A named bag of tuples with a fixed schema.
+///
+/// All access goes through the instrumented lock so experiments can measure
+/// write-hold (downtime) and read-block times.
+pub struct Table {
+    name: String,
+    schema: Schema,
+    kind: TableKind,
+    data: InstrumentedRwLock<Bag>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema, kind: TableKind) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            kind,
+            data: InstrumentedRwLock::new(Bag::new()),
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// External or internal.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// Lock metrics (write-hold = downtime, read-block = reader stalls).
+    pub fn lock_metrics(&self) -> &LockMetrics {
+        self.data.metrics()
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Read access to the bag. Records a scan.
+    pub fn read(&self) -> RwLockReadGuard<'_, Bag> {
+        self.stats.record_scan();
+        self.data.read()
+    }
+
+    /// Owning read access (no borrow lifetime) — lets the query evaluator
+    /// pin a table's contents without cloning. Records a scan.
+    pub fn read_owned(&self) -> OwnedReadGuard<Bag> {
+        self.stats.record_scan();
+        self.data.read_owned()
+    }
+
+    /// Write access to the bag (hold time is recorded as downtime). Callers
+    /// are responsible for schema validation of what they put in; prefer the
+    /// typed mutators below.
+    pub fn write(&self) -> TimedWriteGuard<'_, Bag> {
+        self.data.write()
+    }
+
+    /// Clone the current contents.
+    pub fn snapshot_bag(&self) -> Bag {
+        self.read().clone()
+    }
+
+    /// Current total cardinality.
+    pub fn len(&self) -> u64 {
+        self.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validate a tuple against this table's schema.
+    pub fn validate(&self, t: &Tuple) -> Result<()> {
+        self.schema.validate(t)
+    }
+
+    /// Validate every tuple in a bag against this table's schema.
+    pub fn validate_bag(&self, b: &Bag) -> Result<()> {
+        for (t, _) in b.iter() {
+            self.schema.validate(t)?;
+        }
+        Ok(())
+    }
+
+    /// Insert one tuple occurrence (validated).
+    pub fn insert(&self, t: Tuple) -> Result<()> {
+        self.validate(&t)?;
+        self.write().insert(t);
+        self.stats.record_insert(1);
+        Ok(())
+    }
+
+    /// Apply a delta atomically: `table := (table ∸ del) ⊎ ins`.
+    ///
+    /// This is the paper's simple-transaction update shape. Both bags are
+    /// validated first; the table is mutated under a single write lock.
+    pub fn apply_delta(&self, del: &Bag, ins: &Bag) -> Result<()> {
+        self.validate_bag(del)?;
+        self.validate_bag(ins)?;
+        {
+            let mut guard = self.write();
+            guard.apply_delta(del, ins);
+        }
+        self.stats.record_delete(del.len());
+        self.stats.record_insert(ins.len());
+        Ok(())
+    }
+
+    /// Replace the entire contents (validated).
+    pub fn replace(&self, new: Bag) -> Result<()> {
+        self.validate_bag(&new)?;
+        let mut guard = self.write();
+        let old_len = guard.len();
+        *guard = new;
+        let new_len = guard.len();
+        drop(guard);
+        self.stats.record_delete(old_len);
+        self.stats.record_insert(new_len);
+        Ok(())
+    }
+
+    /// Empty the table (`T := φ`).
+    pub fn clear(&self) {
+        let mut guard = self.write();
+        let n = guard.len();
+        guard.clear();
+        drop(guard);
+        self.stats.record_delete(n);
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("schema", &self.schema)
+            .field("kind", &self.kind)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn t() -> Table {
+        Table::new(
+            "r",
+            Schema::from_pairs(&[("a", ValueType::Int)]),
+            TableKind::External,
+        )
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let table = t();
+        table.insert(tuple![1]).unwrap();
+        table.insert(tuple![1]).unwrap();
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let table = t();
+        assert!(table.insert(tuple!["oops"]).is_err());
+        assert!(table.insert(tuple![1, 2]).is_err());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn apply_delta() {
+        let table = t();
+        table.insert(tuple![1]).unwrap();
+        table.insert(tuple![2]).unwrap();
+        let del = Bag::singleton(tuple![1]);
+        let ins = Bag::singleton(tuple![3]);
+        table.apply_delta(&del, &ins).unwrap();
+        let bag = table.snapshot_bag();
+        assert!(!bag.contains(&tuple![1]));
+        assert!(bag.contains(&tuple![2]));
+        assert!(bag.contains(&tuple![3]));
+    }
+
+    #[test]
+    fn apply_delta_validates_before_mutating() {
+        let table = t();
+        table.insert(tuple![1]).unwrap();
+        let bad = Bag::singleton(tuple!["bad"]);
+        assert!(table.apply_delta(&bad, &Bag::new()).is_err());
+        assert!(table.apply_delta(&Bag::new(), &bad).is_err());
+        assert_eq!(table.len(), 1, "failed delta must not change the table");
+    }
+
+    #[test]
+    fn replace_and_clear() {
+        let table = t();
+        table.insert(tuple![1]).unwrap();
+        table
+            .replace(Bag::from_tuples([tuple![7], tuple![8]]))
+            .unwrap();
+        assert_eq!(table.len(), 2);
+        table.clear();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let table = t();
+        table.insert(tuple![1]).unwrap();
+        table
+            .apply_delta(&Bag::singleton(tuple![1]), &Bag::new())
+            .unwrap();
+        let s = table.stats().snapshot();
+        assert_eq!(s.tuples_inserted, 1);
+        assert_eq!(s.tuples_deleted, 1);
+    }
+
+    #[test]
+    fn write_lock_metrics_accumulate() {
+        let table = t();
+        table.insert(tuple![1]).unwrap();
+        assert!(table.lock_metrics().snapshot().write_acquisitions >= 1);
+    }
+
+    #[test]
+    fn kind() {
+        assert_eq!(t().kind(), TableKind::External);
+    }
+}

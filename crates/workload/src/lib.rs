@@ -1,0 +1,19 @@
+//! # dvm-workload — workload generation and measurement harness
+//!
+//! * [`retail`] — the paper's Example-1.1 retail scenario (synthetic
+//!   substitute for the proprietary point-of-sale data): Zipf-skewed sales
+//!   streams, mixed insert/delete batches, churn batches, and customer
+//!   score changes;
+//! * [`zipf`] — inverse-CDF Zipf sampling;
+//! * [`runner`] — drive update streams, measure per-transaction overhead,
+//!   refresh downtime, and what concurrent readers experience.
+
+#![warn(missing_docs)]
+
+pub mod retail;
+pub mod runner;
+pub mod zipf;
+
+pub use retail::{customer_schema, sales_schema, view_expr, RetailConfig, RetailGen, VIEW_SQL};
+pub use runner::{measure_downtime, run_stream, with_concurrent_readers, ReaderStats, StreamStats};
+pub use zipf::Zipf;

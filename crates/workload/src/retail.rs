@@ -1,0 +1,325 @@
+//! The retail workload of **Example 1.1**: point-of-sale `sales` stream
+//! joined against a `customer` table, with the view over highly valued
+//! customers.
+//!
+//! The paper's motivating data (Teradata/Walmart point-of-sale) is
+//! proprietary; this generator substitutes a synthetic equivalent whose
+//! knobs — table sizes, Zipf skew of customer/item popularity, duplicate
+//! rate, fraction of "High"-score customers (the view's selectivity) —
+//! cover everything the maintenance algorithms' costs depend on.
+
+use crate::zipf::Zipf;
+use dvm_algebra::predicate::{col, lit, lit_str, Predicate};
+use dvm_algebra::Expr;
+use dvm_core::{Database, Result};
+use dvm_delta::Transaction;
+use dvm_storage::{tuple, Bag, Schema, Tuple, ValueType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the retail generator.
+#[derive(Debug, Clone)]
+pub struct RetailConfig {
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Initial number of sales rows.
+    pub initial_sales: usize,
+    /// Fraction of customers with score "High" (the view's selectivity).
+    pub high_fraction: f64,
+    /// Zipf skew for customer/item popularity.
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetailConfig {
+    fn default() -> Self {
+        RetailConfig {
+            customers: 1_000,
+            items: 500,
+            initial_sales: 10_000,
+            high_fraction: 0.1,
+            theta: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generator state: deterministic stream of sales transactions.
+pub struct RetailGen {
+    cfg: RetailConfig,
+    rng: StdRng,
+    customer_zipf: Zipf,
+    item_zipf: Zipf,
+    /// Recently inserted sales rows, for generating deletions/returns.
+    live_sales: Vec<Tuple>,
+}
+
+/// Schema of the `customer` table.
+pub fn customer_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("custId", ValueType::Int),
+        ("name", ValueType::Str),
+        ("address", ValueType::Str),
+        ("score", ValueType::Str),
+    ])
+}
+
+/// Schema of the `sales` table.
+pub fn sales_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("custId", ValueType::Int),
+        ("itemNo", ValueType::Int),
+        ("quantity", ValueType::Int),
+        ("salesPrice", ValueType::Double),
+    ])
+}
+
+/// The paper's view `V` (Example 1.1) as SQL.
+pub const VIEW_SQL: &str = "CREATE VIEW V AS \
+    SELECT c.custId, c.name, c.score, s.itemNo, s.quantity \
+    FROM customer c, sales s \
+    WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'";
+
+/// The paper's view `V` (Example 1.1) as a bag-algebra expression.
+pub fn view_expr() -> Expr {
+    Expr::table("customer")
+        .alias("c")
+        .product(Expr::table("sales").alias("s"))
+        .select(
+            Predicate::eq(col("c.custId"), col("s.custId"))
+                .and(Predicate::ne(col("s.quantity"), lit(0i64)))
+                .and(Predicate::eq(col("c.score"), lit_str("High"))),
+        )
+        .project(["c.custId", "c.name", "c.score", "s.itemNo", "s.quantity"])
+}
+
+impl RetailGen {
+    /// Build a generator.
+    pub fn new(cfg: RetailConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let customer_zipf = Zipf::new(cfg.customers, cfg.theta);
+        let item_zipf = Zipf::new(cfg.items, cfg.theta);
+        RetailGen {
+            cfg,
+            rng,
+            customer_zipf,
+            item_zipf,
+            live_sales: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RetailConfig {
+        &self.cfg
+    }
+
+    /// Create `customer` and `sales` tables in `db` and load the initial
+    /// data (customers enumerated, sales drawn from the generator).
+    pub fn install(&mut self, db: &Database) -> Result<()> {
+        db.create_table("customer", customer_schema())?;
+        db.create_table("sales", sales_schema())?;
+        let mut customers = Bag::with_capacity(self.cfg.customers);
+        for id in 0..self.cfg.customers {
+            customers.insert(self.customer_row(id));
+        }
+        db.catalog().require("customer")?.replace(customers)?;
+        let mut sales = Bag::with_capacity(self.cfg.initial_sales);
+        for _ in 0..self.cfg.initial_sales {
+            let row = self.sale_row();
+            self.live_sales.push(row.clone());
+            sales.insert(row);
+        }
+        db.catalog().require("sales")?.replace(sales)?;
+        Ok(())
+    }
+
+    fn customer_row(&mut self, id: usize) -> Tuple {
+        let high = (id as f64 / self.cfg.customers as f64) < self.cfg.high_fraction;
+        tuple![
+            id as i64,
+            format!("cust-{id}"),
+            format!("{id} main st"),
+            if high { "High" } else { "Low" }
+        ]
+    }
+
+    /// One random sale row (Zipf-skewed customer and item).
+    pub fn sale_row(&mut self) -> Tuple {
+        let cust = self.customer_zipf.sample(&mut self.rng) as i64;
+        let item = self.item_zipf.sample(&mut self.rng) as i64;
+        // quantity 0 occurs (paper's predicate filters it); price in cents.
+        let quantity = self.rng.random_range(0..10i64);
+        let price = (self.rng.random_range(50..50_000i64) as f64) / 100.0;
+        tuple![cust, item, quantity, price]
+    }
+
+    /// A transaction inserting `n` new sales (the paper's "insertions into
+    /// the sales table are made continuously").
+    pub fn sales_batch(&mut self, n: usize) -> Transaction {
+        let mut ins = Bag::with_capacity(n);
+        for _ in 0..n {
+            let row = self.sale_row();
+            self.live_sales.push(row.clone());
+            ins.insert(row);
+        }
+        Transaction::new().insert("sales", ins)
+    }
+
+    /// A mixed transaction: `inserts` new sales plus `deletes` returns of
+    /// previously inserted sales (exercises the deletion path).
+    pub fn mixed_batch(&mut self, inserts: usize, deletes: usize) -> Transaction {
+        let mut tx = self.sales_batch(inserts);
+        let mut del = Bag::new();
+        for _ in 0..deletes {
+            if self.live_sales.is_empty() {
+                break;
+            }
+            let idx = self.rng.random_range(0..self.live_sales.len());
+            del.insert(self.live_sales.swap_remove(idx));
+        }
+        if !del.is_empty() {
+            tx = tx.delete("sales", del);
+        }
+        tx
+    }
+
+    /// A churn transaction: delete `n` live rows and immediately reinsert
+    /// them (pure delete/reinsert overlap — the workload where strong
+    /// minimality pays, experiment E6).
+    pub fn churn_batch(&mut self, n: usize) -> Transaction {
+        let mut bag = Bag::new();
+        for _ in 0..n {
+            if self.live_sales.is_empty() {
+                break;
+            }
+            let idx = self.rng.random_range(0..self.live_sales.len());
+            bag.insert(self.live_sales[idx].clone());
+        }
+        Transaction::new()
+            .delete("sales", bag.clone())
+            .insert("sales", bag)
+    }
+
+    /// A transaction updating customer scores: promotes/demotes `n` random
+    /// customers (touches the *other* join side).
+    pub fn score_change_batch(&mut self, n: usize) -> Transaction {
+        let mut del = Bag::new();
+        let mut ins = Bag::new();
+        for _ in 0..n {
+            let id = self.rng.random_range(0..self.cfg.customers);
+            let old = self.customer_row(id);
+            // flip the score
+            let flipped = if (id as f64 / self.cfg.customers as f64) < self.cfg.high_fraction {
+                tuple![
+                    id as i64,
+                    format!("cust-{id}"),
+                    format!("{id} main st"),
+                    "Low"
+                ]
+            } else {
+                tuple![
+                    id as i64,
+                    format!("cust-{id}"),
+                    format!("{id} main st"),
+                    "High"
+                ]
+            };
+            del.insert(old);
+            ins.insert(flipped);
+        }
+        Transaction::new()
+            .delete("customer", del)
+            .insert("customer", ins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_core::Scenario;
+
+    fn small() -> RetailConfig {
+        RetailConfig {
+            customers: 50,
+            items: 20,
+            initial_sales: 200,
+            ..RetailConfig::default()
+        }
+    }
+
+    #[test]
+    fn install_loads_tables() {
+        let db = Database::new();
+        let mut g = RetailGen::new(small());
+        g.install(&db).unwrap();
+        assert_eq!(db.catalog().require("customer").unwrap().len(), 50);
+        assert_eq!(db.catalog().require("sales").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn view_sql_matches_expr() {
+        use dvm_sql::sql_to_statement;
+        let stmt = sql_to_statement(VIEW_SQL).unwrap();
+        let dvm_sql::LoweredStatement::CreateView { name, definition } = stmt else {
+            panic!()
+        };
+        assert_eq!(name, "V");
+        assert_eq!(definition, view_expr());
+    }
+
+    #[test]
+    fn view_over_generated_data_maintains() {
+        let db = Database::new();
+        let mut g = RetailGen::new(small());
+        g.install(&db).unwrap();
+        db.create_view("v", view_expr(), Scenario::Combined)
+            .unwrap();
+        for _ in 0..5 {
+            db.execute(&g.mixed_batch(10, 3)).unwrap();
+        }
+        db.execute(&g.score_change_batch(5)).unwrap();
+        assert!(db.check_invariant("v").unwrap().ok());
+        db.refresh("v").unwrap();
+        assert_eq!(db.query_view("v").unwrap(), db.recompute_view("v").unwrap());
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let mut a = RetailGen::new(small());
+        let mut b = RetailGen::new(small());
+        assert_eq!(a.sales_batch(5), b.sales_batch(5));
+        let mut c = RetailGen::new(RetailConfig {
+            seed: 99,
+            ..small()
+        });
+        assert_ne!(a.sales_batch(5), c.sales_batch(5));
+    }
+
+    #[test]
+    fn churn_batch_deletes_and_reinserts_same_rows() {
+        let db = Database::new();
+        let mut g = RetailGen::new(small());
+        g.install(&db).unwrap();
+        let tx = g.churn_batch(5);
+        let (d, i) = tx.get("sales").unwrap();
+        assert_eq!(d, i);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn high_fraction_controls_selectivity() {
+        let db = Database::new();
+        let mut g = RetailGen::new(RetailConfig {
+            high_fraction: 0.5,
+            ..small()
+        });
+        g.install(&db).unwrap();
+        let high = db
+            .eval(&Expr::table("customer").select(Predicate::eq(col("score"), lit_str("High"))))
+            .unwrap();
+        assert_eq!(high.len(), 25);
+    }
+}

@@ -1,0 +1,110 @@
+//! Zipf-distributed sampling via inverse-CDF lookup.
+//!
+//! Retail point-of-sale data is heavily skewed — a few items and customers
+//! account for most sales — so the workload generator draws customer and
+//! item identifiers from a Zipf(θ) distribution over `[0, n)`. The CDF is
+//! precomputed once; sampling is a binary search (O(log n)).
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution. `theta = 0` degenerates to uniform;
+    /// `theta ≈ 1` is the classic heavy skew.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(theta >= 0.0, "negative skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // guard against floating-point shortfall at the top
+        *cdf.last_mut().expect("nonempty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a rank in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // first index with cdf[i] >= u
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > 5 * counts[50].max(1),
+            "rank 0 must dominate rank 50: {} vs {}",
+            counts[0],
+            counts[50]
+        );
+        assert!(counts[0] > counts[1], "monotone head");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+        assert_eq!(z.n(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

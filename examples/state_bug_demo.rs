@@ -1,0 +1,160 @@
+//! The *state bug*, reproduced step by step (paper Examples 1.2 and 1.3).
+//!
+//! Classic incremental view maintenance computes change queries that are
+//! only correct in the **pre-update** state. Deferred maintenance must
+//! evaluate them **after** the base tables changed — and doing so naively
+//! gives wrong multiplicities (Example 1.2) or leaves stale tuples behind
+//! (Example 1.3). The paper's post-update algorithm (Section 4) exploits
+//! the FUTURE/PAST duality plus the cancellation lemma to get it right.
+//!
+//! ```sh
+//! cargo run --example state_bug_demo
+//! ```
+
+use dvm::dvm_algebra::{col, Predicate};
+use dvm::dvm_delta::{
+    buggy_post_update_deltas, log_del_name, log_ins_name, post_update_deltas, LogTables,
+};
+use dvm::{Bag, Expr, Schema, ValueType};
+use dvm_algebra::eval::eval;
+use dvm_algebra::infer::compile;
+use dvm_storage::tuple;
+use std::collections::HashMap;
+
+fn show(label: &str, bag: &Bag) {
+    println!("    {label:<28} {bag}");
+}
+
+fn main() {
+    example_1_2();
+    println!();
+    example_1_3();
+}
+
+/// Example 1.2: a join view; evaluating the pre-update Δ equation in the
+/// post-update state overcounts {[a1]×2} as {[a1]×4}.
+fn example_1_2() {
+    println!("=== Example 1.2: wrong multiplicities ===");
+    println!("view U(A) = Π_A(σ_(R.B=S.B)(R × S)), R = {{[a1,b1]}}, S = {{[b2,c1]}}");
+    println!("transaction inserts [a1,b2] into R and [b2,c2] into S\n");
+
+    let mut provider: HashMap<String, Schema> = HashMap::new();
+    provider.insert(
+        "R".into(),
+        Schema::from_pairs(&[("A", ValueType::Str), ("B", ValueType::Str)]),
+    );
+    provider.insert(
+        "S".into(),
+        Schema::from_pairs(&[("B", ValueType::Str), ("C", ValueType::Str)]),
+    );
+    let mut log = LogTables::new();
+    log.add("R").add("S");
+    for t in ["R", "S"] {
+        provider.insert(log_del_name(t), provider[t].clone());
+        provider.insert(log_ins_name(t), provider[t].clone());
+    }
+
+    let q = Expr::table("R")
+        .alias("r")
+        .product(Expr::table("S").alias("s"))
+        .select(Predicate::eq(col("r.B"), col("s.B")))
+        .project(["A"]);
+
+    // Post-update state: the transaction has already been applied and
+    // logged.
+    let mut s_c: HashMap<String, Bag> = HashMap::new();
+    s_c.insert(
+        "R".into(),
+        Bag::from_tuples([tuple!["a1", "b1"], tuple!["a1", "b2"]]),
+    );
+    s_c.insert(
+        "S".into(),
+        Bag::from_tuples([tuple!["b2", "c1"], tuple!["b2", "c2"]]),
+    );
+    s_c.insert(log_del_name("R"), Bag::new());
+    s_c.insert(log_ins_name("R"), Bag::singleton(tuple!["a1", "b2"]));
+    s_c.insert(log_del_name("S"), Bag::new());
+    s_c.insert(log_ins_name("S"), Bag::singleton(tuple!["b2", "c2"]));
+
+    let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &s_c).unwrap();
+
+    let mv = Bag::new(); // MU materialized before the transaction: old R ⋈ old S = φ
+    let truth = ev(&q);
+    show("current truth Q", &truth);
+
+    let good = post_update_deltas(&q, &log, &provider).unwrap();
+    let good_result = mv.monus(&ev(&good.del)).union(&ev(&good.ins));
+    show("correct ▲(L,Q)", &ev(&good.ins));
+    show("correct refreshed MU", &good_result);
+    assert_eq!(good_result, truth);
+
+    let bad = buggy_post_update_deltas(&q, &log, &provider).unwrap();
+    let bad_ins = ev(&bad.ins);
+    let bad_result = mv.monus(&ev(&bad.del)).union(&bad_ins);
+    show("STATE BUG Δ (pre-update eqn)", &bad_ins);
+    show("STATE BUG refreshed MU", &bad_result);
+    assert_eq!(
+        bad_ins.multiplicity(&tuple!["a1"]),
+        4,
+        "the paper's {{[a1]×4}}"
+    );
+    println!("\n  → pre-update equations evaluated post-update double-count the");
+    println!(
+        "    new tuples ({} copies instead of {}).",
+        bad_ins.len(),
+        truth.len()
+    );
+}
+
+/// Example 1.3: U = R ∸ S; move [b] from R to S. The pre-update delete
+/// equation evaluates to φ post-update, so the view keeps the stale [b].
+fn example_1_3() {
+    println!("=== Example 1.3: stale tuple survives ===");
+    println!("view U = R ∸ S, R = {{[a],[b],[c]}}, S = {{[c],[d]}}");
+    println!("transaction deletes [b] from R and inserts it into S\n");
+
+    let s1 = Schema::from_pairs(&[("x", ValueType::Str)]);
+    let mut provider: HashMap<String, Schema> = HashMap::new();
+    for t in ["R", "S"] {
+        provider.insert(t.to_string(), s1.clone());
+        provider.insert(log_del_name(t), s1.clone());
+        provider.insert(log_ins_name(t), s1.clone());
+    }
+    let mut log = LogTables::new();
+    log.add("R").add("S");
+    let q = Expr::table("R").monus(Expr::table("S"));
+
+    let mut s_c: HashMap<String, Bag> = HashMap::new();
+    s_c.insert("R".into(), Bag::from_tuples([tuple!["a"], tuple!["c"]]));
+    s_c.insert(
+        "S".into(),
+        Bag::from_tuples([tuple!["b"], tuple!["c"], tuple!["d"]]),
+    );
+    s_c.insert(log_del_name("R"), Bag::singleton(tuple!["b"]));
+    s_c.insert(log_ins_name("R"), Bag::new());
+    s_c.insert(log_del_name("S"), Bag::new());
+    s_c.insert(log_ins_name("S"), Bag::singleton(tuple!["b"]));
+
+    let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &s_c).unwrap();
+
+    let mv = Bag::from_tuples([tuple!["a"], tuple!["b"]]); // past value of U
+    let truth = ev(&q);
+    show("current truth Q", &truth);
+    show("stale MU", &mv);
+
+    let good = post_update_deltas(&q, &log, &provider).unwrap();
+    let good_result = mv.monus(&ev(&good.del)).union(&ev(&good.ins));
+    show("correct ▼(L,Q)", &ev(&good.del));
+    show("correct refreshed MU", &good_result);
+    assert_eq!(good_result, truth);
+
+    let bad = buggy_post_update_deltas(&q, &log, &provider).unwrap();
+    let bad_del = ev(&bad.del);
+    let bad_result = mv.monus(&bad_del).union(&ev(&bad.ins));
+    show("STATE BUG ∇MU (pre-update eqn)", &bad_del);
+    show("STATE BUG refreshed MU", &bad_result);
+    assert!(bad_result.contains(&tuple!["b"]));
+    println!("\n  → ∇MU = (∇R ∸ S) ⊎ (ΔS min R) evaluates to φ in the post-state");
+    println!("    ([b] is already in S and no longer in R), so MU keeps the");
+    println!("    incorrect tuple [b] — exactly the failure the paper describes.");
+}

@@ -1,0 +1,40 @@
+//! Interactive shell: SQL plus deferred-maintenance meta-commands.
+//!
+//! ```sh
+//! cargo run --bin dvm-cli
+//! ```
+
+use dvm::repl::{Repl, ReplOutcome, HELP};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    println!("dvm — deferred view maintenance (Colby et al., SIGMOD 1996)");
+    println!("{HELP}\n");
+    let mut repl = Repl::new();
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    loop {
+        print!("dvm> ");
+        stdout.flush().expect("flush stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match repl.process(&line) {
+                ReplOutcome::Output(s) => {
+                    if !s.is_empty() {
+                        print!("{s}");
+                        if !s.ends_with('\n') {
+                            println!();
+                        }
+                    }
+                }
+                ReplOutcome::Quit => break,
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+    println!("bye");
+}

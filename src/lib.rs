@@ -1,0 +1,330 @@
+//! # deferred-view-maintenance (`dvm`)
+//!
+//! A production-quality Rust implementation of **"Algorithms for Deferred
+//! View Maintenance"** (Colby, Griffin, Libkin, Mumick, Trickey — SIGMOD
+//! 1996): materialized views over a bag-relational engine, maintained
+//! immediately or deferred via base logs, view differential tables, or
+//! both, with post-update differential algorithms that avoid the *state
+//! bug* and refresh policies that minimize view downtime.
+//!
+//! ```
+//! use dvm::{Database, Scenario, Transaction, SqlSession};
+//! use dvm_storage::{tuple, Schema, ValueType};
+//!
+//! let db = Database::new();
+//! db.create_table("sales", Schema::from_pairs(&[
+//!     ("custId", ValueType::Int), ("quantity", ValueType::Int),
+//! ])).unwrap();
+//!
+//! // Define a view in SQL, maintained deferred with logs + differentials.
+//! let session = SqlSession::new(&db).with_default_scenario(Scenario::Combined);
+//! session.run("CREATE VIEW big AS SELECT custId FROM sales WHERE quantity > 5").unwrap();
+//!
+//! // Updates only pay a log append…
+//! db.execute(&Transaction::new().insert_tuple("sales", tuple![1, 9])).unwrap();
+//! assert!(db.query_view("big").unwrap().is_empty()); // still stale
+//!
+//! // …until the view is refreshed.
+//! db.refresh("big").unwrap();
+//! assert_eq!(db.query_view("big").unwrap().len(), 1);
+//! ```
+//!
+//! The heavy lifting lives in the member crates, re-exported here:
+//!
+//! * [`dvm_storage`] — bag-relational storage with instrumented locks;
+//! * [`dvm_algebra`] — the bag algebra `BA`, evaluation, substitutions;
+//! * [`dvm_delta`] — the Figure-2 differential algorithms (pre- and
+//!   post-update), composition and cancellation lemmas;
+//! * [`dvm_core`] — scenarios, invariants, `makesafe`/`refresh`/
+//!   `propagate`/`partial_refresh`, policies;
+//! * [`dvm_sql`] — the SQL front end;
+//! * [`dvm_workload`] — the Example-1.1 retail workload and measurement
+//!   harness.
+
+#![warn(missing_docs)]
+
+pub use dvm_algebra::{self, Expr, Predicate};
+pub use dvm_core::{
+    self, Database, ExecReport, InvariantReport, Minimality, PolicyDriver, RefreshPolicy, Scenario,
+    ViewMetricsSnapshot,
+};
+pub use dvm_delta::{self, LogTables, PostDeltas, Transaction};
+pub use dvm_sql::{self, LoweredStatement, SqlError};
+pub use dvm_storage::{self, Bag, Catalog, Schema, Tuple, Value, ValueType};
+pub use dvm_workload as workload;
+
+pub mod repl;
+
+use std::fmt;
+
+/// Top-level error: SQL or engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DvmError {
+    /// SQL front-end error.
+    Sql(SqlError),
+    /// Engine error.
+    Core(dvm_core::CoreError),
+}
+
+impl fmt::Display for DvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DvmError::Sql(e) => write!(f, "{e}"),
+            DvmError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DvmError {}
+
+impl From<SqlError> for DvmError {
+    fn from(e: SqlError) -> Self {
+        DvmError::Sql(e)
+    }
+}
+
+impl From<dvm_core::CoreError> for DvmError {
+    fn from(e: dvm_core::CoreError) -> Self {
+        DvmError::Core(e)
+    }
+}
+
+/// What a SQL statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlOutcome {
+    /// `CREATE TABLE` succeeded.
+    TableCreated(String),
+    /// `CREATE VIEW` succeeded.
+    ViewCreated(String),
+    /// A query's result rows.
+    Rows(Bag),
+    /// Number of tuple occurrences inserted.
+    Inserted(u64),
+    /// Number of tuple occurrences deleted.
+    Deleted(u64),
+}
+
+/// Executes SQL statements against a [`Database`].
+///
+/// Views created through the session are maintained under the session's
+/// default scenario (configure with
+/// [`SqlSession::with_default_scenario`]).
+pub struct SqlSession<'a> {
+    db: &'a Database,
+    default_scenario: Scenario,
+    default_minimality: Minimality,
+}
+
+impl<'a> SqlSession<'a> {
+    /// A session creating views under [`Scenario::Combined`].
+    pub fn new(db: &'a Database) -> Self {
+        SqlSession {
+            db,
+            default_scenario: Scenario::Combined,
+            default_minimality: Minimality::Weak,
+        }
+    }
+
+    /// Set the scenario used by `CREATE VIEW`.
+    pub fn with_default_scenario(mut self, scenario: Scenario) -> Self {
+        self.default_scenario = scenario;
+        self
+    }
+
+    /// Set the minimality discipline used by `CREATE VIEW`.
+    pub fn with_default_minimality(mut self, minimality: Minimality) -> Self {
+        self.default_minimality = minimality;
+        self
+    }
+
+    /// Parse, lower, and execute one statement.
+    pub fn run(&self, sql: &str) -> Result<SqlOutcome, DvmError> {
+        match dvm_sql::sql_to_statement(sql)? {
+            LoweredStatement::CreateTable { name, schema } => {
+                self.db.create_table(&name, schema)?;
+                Ok(SqlOutcome::TableCreated(name))
+            }
+            LoweredStatement::CreateView { name, definition } => {
+                self.db.create_view_with(
+                    &name,
+                    definition,
+                    self.default_scenario,
+                    self.default_minimality,
+                )?;
+                Ok(SqlOutcome::ViewCreated(name))
+            }
+            LoweredStatement::Query(expr) => {
+                let expr = self.resolve_views(&expr);
+                Ok(SqlOutcome::Rows(self.db.eval(&expr)?))
+            }
+            LoweredStatement::Insert { table, rows } => {
+                let bag: Bag = rows.into_iter().collect();
+                let n = bag.len();
+                self.db.execute(&Transaction::new().insert(table, bag))?;
+                Ok(SqlOutcome::Inserted(n))
+            }
+            LoweredStatement::Delete { table, selection } => {
+                let victims = self.db.eval(&selection)?;
+                let n = victims.len();
+                self.db
+                    .execute(&Transaction::new().delete(table, victims))?;
+                Ok(SqlOutcome::Deleted(n))
+            }
+        }
+    }
+
+    /// Rewrite references to view names into their materialized tables, so
+    /// ad-hoc queries can `SELECT … FROM viewname` (reading the possibly
+    /// stale materialization, exactly like the paper's decision-support
+    /// readers).
+    fn resolve_views(&self, expr: &Expr) -> Expr {
+        let mut subst = dvm_algebra::Substitution::new();
+        for name in self.db.view_names() {
+            if expr.tables().contains(&name) {
+                if let Ok(view) = self.db.view(&name) {
+                    subst.set(name, Expr::table(view.mv_table()));
+                }
+            }
+        }
+        subst.apply(expr)
+    }
+
+    /// Run several `;`-separated statements, returning each outcome.
+    /// Semicolons inside single-quoted string literals do not split.
+    pub fn run_script(&self, sql: &str) -> Result<Vec<SqlOutcome>, DvmError> {
+        let mut out = Vec::new();
+        for stmt in split_statements(sql) {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            out.push(self.run(stmt)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Split a script on `;`, ignoring semicolons inside single-quoted string
+/// literals (with `''` as the quote escape, matching the lexer).
+fn split_statements(sql: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' => {
+                if in_string && bytes.get(i + 1) == Some(&b'\'') {
+                    i += 1; // escaped quote, stay in string
+                } else {
+                    in_string = !in_string;
+                }
+            }
+            b';' if !in_string => {
+                out.push(&sql[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out.push(&sql[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let d = Database::new();
+        d.create_table(
+            "sales",
+            Schema::from_pairs(&[("custId", ValueType::Int), ("quantity", ValueType::Int)]),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn sql_session_end_to_end() {
+        let d = db();
+        let s = SqlSession::new(&d).with_default_scenario(Scenario::BaseLog);
+        assert_eq!(
+            s.run("CREATE VIEW v AS SELECT custId FROM sales WHERE quantity > 2")
+                .unwrap(),
+            SqlOutcome::ViewCreated("v".into())
+        );
+        assert_eq!(
+            s.run("INSERT INTO sales VALUES (1, 5), (2, 1)").unwrap(),
+            SqlOutcome::Inserted(2)
+        );
+        // query goes against base tables (fresh), view table is stale
+        let SqlOutcome::Rows(rows) = s
+            .run("SELECT custId FROM sales WHERE quantity > 2")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 1);
+        assert!(d.query_view("v").unwrap().is_empty());
+        d.refresh("v").unwrap();
+        assert_eq!(d.query_view("v").unwrap(), rows);
+    }
+
+    #[test]
+    fn sql_delete_with_predicate() {
+        let d = db();
+        let s = SqlSession::new(&d);
+        s.run("INSERT INTO sales VALUES (1, 0), (2, 3)").unwrap();
+        assert_eq!(
+            s.run("DELETE FROM sales WHERE quantity = 0").unwrap(),
+            SqlOutcome::Deleted(1)
+        );
+        assert_eq!(d.catalog().require("sales").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn run_script_multiple_statements() {
+        let d = db();
+        let s = SqlSession::new(&d);
+        let outcomes = s
+            .run_script(
+                "INSERT INTO sales VALUES (1, 1); \
+                 CREATE VIEW v AS SELECT custId FROM sales; \
+                 SELECT custId FROM sales;",
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(matches!(outcomes[1], SqlOutcome::ViewCreated(_)));
+    }
+
+    #[test]
+    fn script_split_respects_string_literals() {
+        let d = Database::new();
+        d.create_table("t", Schema::from_pairs(&[("a", ValueType::Str)]))
+            .unwrap();
+        let s = SqlSession::new(&d);
+        let outcomes = s
+            .run_script("INSERT INTO t VALUES ('a;b'); INSERT INTO t VALUES ('it''s; fine')")
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let SqlOutcome::Rows(rows) = s.run("SELECT a FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(rows.contains(&dvm_storage::tuple!["a;b"]));
+        assert!(rows.contains(&dvm_storage::tuple!["it's; fine"]));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let d = db();
+        let s = SqlSession::new(&d);
+        assert!(matches!(s.run("SELECT FROM"), Err(DvmError::Sql(_))));
+        assert!(matches!(
+            s.run("SELECT x FROM missing_table"),
+            Err(DvmError::Core(_))
+        ));
+    }
+}

@@ -1,0 +1,357 @@
+//! An interactive shell over a [`Database`]: SQL statements plus
+//! maintenance meta-commands (`\refresh`, `\propagate`, …).
+//!
+//! The command engine is a pure function from input line to rendered
+//! output so it can be unit-tested without a terminal; the `dvm-cli`
+//! binary is a thin stdin loop over it.
+
+use crate::{Database, DvmError, Minimality, Scenario, SqlOutcome, SqlSession};
+use dvm_storage::TableKind;
+use std::fmt::Write as _;
+
+/// Interactive session state.
+pub struct Repl {
+    db: Database,
+    scenario: Scenario,
+    minimality: Minimality,
+}
+
+/// Result of processing one input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplOutcome {
+    /// Text to print.
+    Output(String),
+    /// The user asked to exit.
+    Quit,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Repl {
+    /// A fresh shell over an empty database, creating views under
+    /// [`Scenario::Combined`].
+    pub fn new() -> Self {
+        Repl {
+            db: Database::new(),
+            scenario: Scenario::Combined,
+            minimality: Minimality::Weak,
+        }
+    }
+
+    /// The underlying database (for tests and embedding).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Process one line of input (a SQL statement or a `\` meta-command)
+    /// and render the response.
+    pub fn process(&mut self, line: &str) -> ReplOutcome {
+        let line = line.trim();
+        if line.is_empty() {
+            return ReplOutcome::Output(String::new());
+        }
+        if let Some(meta) = line.strip_prefix('\\') {
+            return self.meta(meta.trim_end_matches(';'));
+        }
+        match self.run_sql(line) {
+            Ok(out) => ReplOutcome::Output(out),
+            Err(e) => ReplOutcome::Output(format!("error: {e}")),
+        }
+    }
+
+    fn run_sql(&mut self, sql: &str) -> Result<String, DvmError> {
+        let session = SqlSession::new(&self.db)
+            .with_default_scenario(self.scenario)
+            .with_default_minimality(self.minimality);
+        let mut out = String::new();
+        for outcome in session.run_script(sql)? {
+            match outcome {
+                SqlOutcome::TableCreated(n) => writeln!(out, "created table '{n}'").unwrap(),
+                SqlOutcome::ViewCreated(n) => writeln!(
+                    out,
+                    "created view '{n}' (scenario {}, {} minimality)",
+                    self.scenario.label(),
+                    match self.minimality {
+                        Minimality::Weak => "weak",
+                        Minimality::Strong => "strong",
+                    }
+                )
+                .unwrap(),
+                SqlOutcome::Inserted(n) => writeln!(out, "inserted {n} row(s)").unwrap(),
+                SqlOutcome::Deleted(n) => writeln!(out, "deleted {n} row(s)").unwrap(),
+                SqlOutcome::Rows(bag) => {
+                    for (t, m) in bag.sorted_entries() {
+                        if m == 1 {
+                            writeln!(out, "  {t}").unwrap();
+                        } else {
+                            writeln!(out, "  {t} ×{m}").unwrap();
+                        }
+                    }
+                    writeln!(out, "({} row(s))", bag.len()).unwrap();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn meta(&mut self, cmd: &str) -> ReplOutcome {
+        let mut parts = cmd.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        let arg = parts.next();
+        let render = |r: Result<String, DvmError>| match r {
+            Ok(s) => ReplOutcome::Output(s),
+            Err(e) => ReplOutcome::Output(format!("error: {e}")),
+        };
+        match head {
+            "q" | "quit" | "exit" => ReplOutcome::Quit,
+            "help" | "h" | "?" => ReplOutcome::Output(HELP.to_string()),
+            "tables" => {
+                let mut out = String::new();
+                for t in self.db.catalog().tables() {
+                    if t.kind() == TableKind::External {
+                        writeln!(out, "  {} {} — {} rows", t.name(), t.schema(), t.len()).unwrap();
+                    }
+                }
+                ReplOutcome::Output(out)
+            }
+            "views" => {
+                let mut out = String::new();
+                for name in self.db.view_names() {
+                    let view = self.db.view(&name).expect("listed view");
+                    let (log, dt) = self.db.aux_sizes(&name).unwrap_or((0, 0));
+                    let shared = if self.db.is_shared_log_view(&name) {
+                        ", shared log"
+                    } else {
+                        ""
+                    };
+                    writeln!(
+                        out,
+                        "  {name} [{}{shared}] — {} rows materialized, {log} logged, {dt} in differentials",
+                        view.scenario().label(),
+                        self.db.query_view(&name).map(|b| b.len()).unwrap_or(0),
+                    )
+                    .unwrap();
+                }
+                ReplOutcome::Output(out)
+            }
+            "scenario" => match arg {
+                Some("IM") => self.set_scenario(Scenario::Immediate),
+                Some("BL") => self.set_scenario(Scenario::BaseLog),
+                Some("DT") => self.set_scenario(Scenario::DiffTable),
+                Some("C") => self.set_scenario(Scenario::Combined),
+                _ => ReplOutcome::Output("usage: \\scenario IM|BL|DT|C".to_string()),
+            },
+            "minimality" => match arg {
+                Some("weak") => {
+                    self.minimality = Minimality::Weak;
+                    ReplOutcome::Output("minimality: weak".to_string())
+                }
+                Some("strong") => {
+                    self.minimality = Minimality::Strong;
+                    ReplOutcome::Output("minimality: strong".to_string())
+                }
+                _ => ReplOutcome::Output("usage: \\minimality weak|strong".to_string()),
+            },
+            "refresh" => render(self.view_op(arg, |db, v| {
+                db.refresh(v)?;
+                Ok(format!("refreshed '{v}'"))
+            })),
+            "propagate" => render(self.view_op(arg, |db, v| {
+                db.propagate(v)?;
+                Ok(format!("propagated '{v}'"))
+            })),
+            "partial" => render(self.view_op(arg, |db, v| {
+                db.partial_refresh(v)?;
+                Ok(format!("partially refreshed '{v}'"))
+            })),
+            "fresh" => render(self.view_op(arg, |db, v| {
+                let bag = db.read_through(v)?;
+                let mut out = String::new();
+                for (t, m) in bag.sorted_entries() {
+                    writeln!(out, "  {t} ×{m}").unwrap();
+                }
+                writeln!(out, "({} fresh row(s), view table untouched)", bag.len()).unwrap();
+                Ok(out)
+            })),
+            "invariant" => {
+                render(self.view_op(arg, |db, v| Ok(format!("{}", db.check_invariant(v)?))))
+            }
+            "explain" => render(self.view_op(arg, |db, v| Ok(db.explain_view(v)?))),
+            "invariants" => {
+                let failures = match self.db.check_all_invariants() {
+                    Ok(f) => f,
+                    Err(e) => return ReplOutcome::Output(format!("error: {e}")),
+                };
+                if failures.is_empty() {
+                    ReplOutcome::Output("all invariants hold".to_string())
+                } else {
+                    let mut out = String::new();
+                    for f in failures {
+                        writeln!(out, "  {f}").unwrap();
+                    }
+                    ReplOutcome::Output(out)
+                }
+            }
+            "metrics" => render(self.view_op(arg, |db, v| {
+                let m = db.view_metrics(v)?;
+                let lock = db.mv_table(v)?.lock_metrics().snapshot();
+                Ok(format!(
+                    "makesafe: {} ops, {:.1}µs mean | propagate: {} ops, {:.1}µs mean | \
+                     refresh: {} ops, {:.1}µs mean | downtime: {:.3}ms total",
+                    m.makesafe_count,
+                    m.mean_makesafe_nanos() / 1e3,
+                    m.propagate_count,
+                    m.mean_propagate_nanos() / 1e3,
+                    m.refresh_count,
+                    m.mean_refresh_nanos() / 1e3,
+                    lock.write_hold_nanos as f64 / 1e6,
+                ))
+            })),
+            other => ReplOutcome::Output(format!("unknown command '\\{other}' — try \\help")),
+        }
+    }
+
+    fn set_scenario(&mut self, s: Scenario) -> ReplOutcome {
+        self.scenario = s;
+        ReplOutcome::Output(format!("new views will use scenario {}", s.label()))
+    }
+
+    fn view_op(
+        &self,
+        arg: Option<&str>,
+        f: impl FnOnce(&Database, &str) -> Result<String, DvmError>,
+    ) -> Result<String, DvmError> {
+        match arg {
+            Some(v) => f(&self.db, v),
+            None => Ok("usage: \\<command> <view>".to_string()),
+        }
+    }
+}
+
+/// Help text shown by `\help`.
+pub const HELP: &str = "\
+SQL:   CREATE TABLE t (a INT, b STRING, c DOUBLE, d BOOL)
+       CREATE VIEW v AS SELECT ... FROM ... WHERE ...
+       INSERT INTO t VALUES (...), (...)    DELETE FROM t [WHERE ...]
+       SELECT ... (FROM tables or views; view reads see the stale MV)
+meta:  \\tables            list base tables
+       \\views             list views with staleness info
+       \\scenario IM|BL|DT|C   scenario for new views
+       \\minimality weak|strong
+       \\refresh <v>       bring the view fully up to date
+       \\propagate <v>     fold logged changes into differential tables
+       \\partial <v>       apply differential tables (minimal downtime)
+       \\fresh <v>         read-through: fresh answer, zero downtime
+       \\explain <v>       definition, materialization and refresh plans
+       \\invariant <v> | \\invariants
+       \\metrics <v>       maintenance cost counters
+       \\quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(repl: &mut Repl, lines: &[&str]) -> String {
+        let mut out = String::new();
+        for l in lines {
+            match repl.process(l) {
+                ReplOutcome::Output(s) => out.push_str(&s),
+                ReplOutcome::Quit => out.push_str("<quit>"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ddl_dml_and_query_flow() {
+        let mut repl = Repl::new();
+        let out = feed(
+            &mut repl,
+            &[
+                "CREATE TABLE s (id INT, qty INT)",
+                "CREATE VIEW big AS SELECT id FROM s WHERE qty > 5",
+                "INSERT INTO s VALUES (1, 9), (2, 1)",
+                "SELECT id FROM big",
+            ],
+        );
+        assert!(out.contains("created table 's'"));
+        assert!(out.contains("created view 'big' (scenario C"));
+        assert!(out.contains("inserted 2 row(s)"));
+        assert!(out.contains("(0 row(s))"), "stale view read: {out}");
+        let out = feed(&mut repl, &["\\refresh big", "SELECT id FROM big"]);
+        assert!(out.contains("refreshed 'big'"));
+        assert!(out.contains("(1 row(s))"));
+    }
+
+    #[test]
+    fn fresh_reads_without_refresh() {
+        let mut repl = Repl::new();
+        feed(
+            &mut repl,
+            &[
+                "CREATE TABLE s (id INT)",
+                "CREATE VIEW v AS SELECT id FROM s",
+                "INSERT INTO s VALUES (7)",
+            ],
+        );
+        let out = feed(&mut repl, &["\\fresh v"]);
+        assert!(out.contains("1 fresh row(s)"), "{out}");
+        // materialization untouched
+        let out = feed(&mut repl, &["SELECT id FROM v"]);
+        assert!(out.contains("(0 row(s))"));
+    }
+
+    #[test]
+    fn meta_commands() {
+        let mut repl = Repl::new();
+        feed(&mut repl, &["CREATE TABLE t (a INT)"]);
+        assert!(feed(&mut repl, &["\\tables"]).contains("t (a: INT) — 0 rows"));
+        let out = feed(
+            &mut repl,
+            &["\\scenario BL", "CREATE VIEW v AS SELECT a FROM t"],
+        );
+        assert!(out.contains("scenario BL"));
+        assert!(feed(&mut repl, &["\\views"]).contains("v [BL]"));
+        assert!(feed(&mut repl, &["\\invariants"]).contains("all invariants hold"));
+        assert!(feed(&mut repl, &["\\invariant v"]).contains("INV_BL"));
+        assert!(feed(&mut repl, &["\\metrics v"]).contains("makesafe"));
+        let explained = feed(&mut repl, &["\\explain v"]);
+        assert!(explained.contains("materialization plan"), "{explained}");
+        assert!(explained.contains("Scan"), "{explained}");
+        assert!(feed(&mut repl, &["\\minimality strong"]).contains("strong"));
+        assert!(feed(&mut repl, &["\\help"]).contains("SQL:"));
+        assert!(feed(&mut repl, &["\\nonsense"]).contains("unknown command"));
+        assert_eq!(repl.process("\\quit"), ReplOutcome::Quit);
+    }
+
+    #[test]
+    fn propagate_and_partial_via_repl() {
+        let mut repl = Repl::new();
+        feed(
+            &mut repl,
+            &[
+                "CREATE TABLE t (a INT)",
+                "CREATE VIEW v AS SELECT a FROM t",
+                "INSERT INTO t VALUES (1)",
+            ],
+        );
+        assert!(feed(&mut repl, &["\\propagate v"]).contains("propagated"));
+        assert!(feed(&mut repl, &["\\partial v"]).contains("partially refreshed"));
+        let out = feed(&mut repl, &["SELECT a FROM v"]);
+        assert!(out.contains("(1 row(s))"));
+    }
+
+    #[test]
+    fn sql_errors_are_reported_not_fatal() {
+        let mut repl = Repl::new();
+        let out = feed(&mut repl, &["SELEKT nonsense"]);
+        assert!(out.contains("error:"), "{out}");
+        // the shell keeps working
+        let out = feed(&mut repl, &["CREATE TABLE t (a INT)"]);
+        assert!(out.contains("created table"));
+    }
+}

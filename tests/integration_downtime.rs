@@ -1,0 +1,130 @@
+//! Downtime semantics across crates: refresh operations hold the MV write
+//! lock, concurrent readers observe blocking, `propagate_C` does not touch
+//! the lock, and the BL-vs-C downtime ordering holds on a real workload.
+//!
+//! Timing assertions use generous ratios to stay robust on loaded machines.
+
+use dvm::workload::{view_expr, with_concurrent_readers, RetailConfig, RetailGen};
+use dvm::{Database, Minimality, Scenario};
+
+fn build(scenario: Scenario) -> (Database, RetailGen) {
+    let db = Database::new();
+    let mut gen = RetailGen::new(RetailConfig {
+        customers: 400,
+        items: 150,
+        initial_sales: 3_000,
+        high_fraction: 0.1,
+        theta: 1.0,
+        seed: 21,
+    });
+    gen.install(&db).unwrap();
+    db.create_view_with("v", view_expr(), scenario, Minimality::Weak)
+        .unwrap();
+    (db, gen)
+}
+
+fn downtime_nanos(db: &Database) -> u64 {
+    db.mv_table("v")
+        .unwrap()
+        .lock_metrics()
+        .snapshot()
+        .write_hold_nanos
+}
+
+#[test]
+fn refresh_holds_write_lock_and_readers_still_work() {
+    let (db, mut gen) = build(Scenario::BaseLog);
+    for _ in 0..30 {
+        db.execute(&gen.sales_batch(20)).unwrap();
+    }
+    let before = downtime_nanos(&db);
+    let ((), readers) = with_concurrent_readers(&db, "v", 3, || db.refresh("v")).unwrap();
+    let after = downtime_nanos(&db);
+    assert!(after > before, "refresh must register write-hold time");
+    assert!(readers.reads > 0, "readers kept making progress");
+    assert_eq!(db.query_view("v").unwrap(), db.recompute_view("v").unwrap());
+}
+
+#[test]
+fn propagate_never_takes_the_view_lock() {
+    let (db, mut gen) = build(Scenario::Combined);
+    for _ in 0..30 {
+        db.execute(&gen.sales_batch(20)).unwrap();
+    }
+    let mv = db.mv_table("v").unwrap();
+    let writes_before = mv.lock_metrics().snapshot().write_acquisitions;
+    db.propagate("v").unwrap();
+    db.propagate("v").unwrap();
+    assert_eq!(
+        mv.lock_metrics().snapshot().write_acquisitions,
+        writes_before,
+        "propagate_C is downtime-free"
+    );
+}
+
+#[test]
+fn partial_refresh_downtime_is_much_smaller_than_bl_refresh() {
+    // BL: all incremental computation inside the lock.
+    let (db_bl, mut gen_bl) = build(Scenario::BaseLog);
+    for _ in 0..80 {
+        db_bl.execute(&gen_bl.sales_batch(20)).unwrap();
+    }
+    let b0 = downtime_nanos(&db_bl);
+    db_bl.refresh("v").unwrap();
+    let bl_downtime = downtime_nanos(&db_bl) - b0;
+
+    // C + full propagation: the lock only covers 'apply two bags'.
+    let (db_c, mut gen_c) = build(Scenario::Combined);
+    for _ in 0..80 {
+        db_c.execute(&gen_c.sales_batch(20)).unwrap();
+    }
+    db_c.propagate("v").unwrap();
+    let c0 = downtime_nanos(&db_c);
+    db_c.partial_refresh("v").unwrap();
+    let c_downtime = downtime_nanos(&db_c) - c0;
+
+    assert_eq!(
+        db_bl.query_view("v").unwrap(),
+        db_c.query_view("v").unwrap(),
+        "both paths reach the same contents"
+    );
+    assert!(
+        bl_downtime > 2 * c_downtime,
+        "paper's ordering: refresh_BL downtime ({bl_downtime}ns) must exceed \
+         partial_refresh_C downtime ({c_downtime}ns) by a wide margin"
+    );
+}
+
+#[test]
+fn per_tx_overhead_bl_far_below_immediate() {
+    // Needs a join side big enough that incremental-query evaluation
+    // dominates fixed per-transaction costs, even in debug builds.
+    let run = |scenario| {
+        let db = Database::new();
+        let mut gen = RetailGen::new(RetailConfig {
+            customers: 3_000,
+            items: 500,
+            initial_sales: 9_000,
+            high_fraction: 0.1,
+            theta: 1.0,
+            seed: 22,
+        });
+        gen.install(&db).unwrap();
+        db.create_view_with("v", view_expr(), scenario, Minimality::Weak)
+            .unwrap();
+        let mut total = 0u64;
+        for _ in 0..25 {
+            total += db
+                .execute(&gen.mixed_batch(10, 2))
+                .unwrap()
+                .maintenance_nanos;
+        }
+        total
+    };
+    let im = run(Scenario::Immediate);
+    let bl = run(Scenario::BaseLog);
+    assert!(
+        im > 3 * bl,
+        "immediate per-tx overhead ({im}ns) must far exceed log appends ({bl}ns)"
+    );
+}

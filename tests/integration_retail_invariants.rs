@@ -1,0 +1,125 @@
+//! The Figure-1 invariants under the retail workload (Example 1.1):
+//! realistic data volumes, skewed updates to both join sides, every
+//! scenario and both minimality disciplines, invariants checked throughout.
+
+use dvm::workload::{view_expr, RetailConfig, RetailGen};
+use dvm::{Database, Minimality, Scenario};
+
+fn cfg() -> RetailConfig {
+    RetailConfig {
+        customers: 300,
+        items: 100,
+        initial_sales: 2_000,
+        high_fraction: 0.15,
+        theta: 1.0,
+        seed: 99,
+    }
+}
+
+#[test]
+fn retail_stream_preserves_all_invariants() {
+    let db = Database::new();
+    let mut gen = RetailGen::new(cfg());
+    gen.install(&db).unwrap();
+    for (name, scenario, minimality) in [
+        ("v_im", Scenario::Immediate, Minimality::Weak),
+        ("v_bl", Scenario::BaseLog, Minimality::Weak),
+        ("v_dt", Scenario::DiffTable, Minimality::Weak),
+        ("v_c", Scenario::Combined, Minimality::Weak),
+        ("v_cs", Scenario::Combined, Minimality::Strong),
+    ] {
+        db.create_view_with(name, view_expr(), scenario, minimality)
+            .unwrap();
+    }
+
+    for round in 0..30 {
+        // mix of sales inserts, returns, churn, and customer-side changes
+        let tx = match round % 4 {
+            0 => gen.sales_batch(25),
+            1 => gen.mixed_batch(15, 10),
+            2 => gen.churn_batch(10),
+            _ => gen.score_change_batch(5),
+        };
+        db.execute(&tx).unwrap();
+        let failures = db.check_all_invariants().unwrap();
+        assert!(failures.is_empty(), "round {round}: {failures:?}");
+
+        match round % 5 {
+            1 => db.refresh("v_bl").unwrap(),
+            2 => db.propagate("v_c").unwrap(),
+            3 => {
+                db.partial_refresh("v_c").unwrap();
+                db.refresh("v_cs").unwrap();
+            }
+            4 => db.refresh("v_dt").unwrap(),
+            _ => {}
+        }
+        let failures = db.check_all_invariants().unwrap();
+        assert!(failures.is_empty(), "round {round} after maintenance");
+    }
+
+    for v in ["v_bl", "v_dt", "v_c", "v_cs"] {
+        db.refresh(v).unwrap();
+        assert_eq!(db.query_view(v).unwrap(), db.recompute_view(v).unwrap());
+    }
+    assert_eq!(
+        db.query_view("v_im").unwrap(),
+        db.recompute_view("v_im").unwrap()
+    );
+}
+
+#[test]
+fn weak_and_strong_combined_agree_on_contents() {
+    let db_w = Database::new();
+    let db_s = Database::new();
+    let mut gen_w = RetailGen::new(cfg());
+    let mut gen_s = RetailGen::new(cfg());
+    gen_w.install(&db_w).unwrap();
+    gen_s.install(&db_s).unwrap();
+    db_w.create_view_with("v", view_expr(), Scenario::Combined, Minimality::Weak)
+        .unwrap();
+    db_s.create_view_with("v", view_expr(), Scenario::Combined, Minimality::Strong)
+        .unwrap();
+
+    for i in 0..20 {
+        // identical seeds → identical transactions
+        let tx_w = gen_w.churn_batch(8);
+        let tx_s = gen_s.churn_batch(8);
+        assert_eq!(tx_w, tx_s);
+        db_w.execute(&tx_w).unwrap();
+        db_s.execute(&tx_s).unwrap();
+        if i % 3 == 0 {
+            db_w.propagate("v").unwrap();
+            db_s.propagate("v").unwrap();
+            let (_, dt_w) = db_w.aux_sizes("v").unwrap();
+            let (_, dt_s) = db_s.aux_sizes("v").unwrap();
+            assert!(
+                dt_s <= dt_w,
+                "strong differential tables never larger: {dt_s} vs {dt_w}"
+            );
+        }
+    }
+    db_w.refresh("v").unwrap();
+    db_s.refresh("v").unwrap();
+    assert_eq!(db_w.query_view("v").unwrap(), db_s.query_view("v").unwrap());
+}
+
+#[test]
+fn deferred_staleness_is_observable_and_bounded_by_refresh() {
+    let db = Database::new();
+    let mut gen = RetailGen::new(cfg());
+    gen.install(&db).unwrap();
+    db.create_view("v", view_expr(), Scenario::BaseLog).unwrap();
+    let initial = db.query_view("v").unwrap();
+
+    db.execute(&gen.sales_batch(50)).unwrap();
+    // still the old value — deferred means deferred
+    assert_eq!(db.query_view("v").unwrap(), initial);
+    let (log_size, _) = db.aux_sizes("v").unwrap();
+    assert_eq!(log_size, 50);
+
+    db.refresh("v").unwrap();
+    assert_ne!(db.query_view("v").unwrap(), initial);
+    let (log_size, _) = db.aux_sizes("v").unwrap();
+    assert_eq!(log_size, 0, "refresh empties the log");
+}
