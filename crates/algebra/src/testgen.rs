@@ -17,41 +17,11 @@ use crate::subst::FactoredSubstitution;
 use dvm_storage::{Bag, Schema, Tuple, Value, ValueType};
 use std::collections::HashMap;
 
-/// A minimal xorshift64* RNG — deterministic, seed-reproducible.
-#[derive(Debug, Clone)]
-pub struct Rng(u64);
-
-impl Rng {
-    /// Seeded constructor (seed 0 is remapped to a fixed constant).
-    pub fn new(seed: u64) -> Self {
-        Rng(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
-    }
-
-    /// Next raw value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-
-    /// Uniform in `[0, n)`.
-    pub fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n.max(1)
-    }
-
-    /// Uniform in `[lo, hi)`.
-    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + (self.below((hi - lo).max(1) as u64) as i64)
-    }
-
-    /// Bernoulli with probability `num/den`.
-    pub fn chance(&mut self, num: u64, den: u64) -> bool {
-        self.below(den) < num
-    }
-}
+// The xorshift64* generator that used to live here was promoted to
+// `dvm-testkit` (so crates below this one can use it, and so the property
+// harness can record/replay its draws for shrinking); re-exported under
+// the old path for the many call sites across the workspace.
+pub use dvm_testkit::Rng;
 
 /// The generated universe: table names, their shared schema, and the value
 /// domain bounds.
@@ -257,23 +227,6 @@ mod tests {
     use super::*;
     use crate::eval::eval;
     use crate::infer::compile;
-
-    #[test]
-    fn rng_deterministic() {
-        let mut a = Rng::new(42);
-        let mut b = Rng::new(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-        let mut c = Rng::new(43);
-        assert_ne!(a.next_u64(), c.next_u64());
-    }
-
-    #[test]
-    fn zero_seed_is_remapped() {
-        let mut z = Rng::new(0);
-        assert_ne!(z.next_u64(), 0);
-    }
 
     #[test]
     fn generated_exprs_compile_and_eval() {

@@ -1,159 +1,180 @@
-//! Property tests (proptest) for the algebra layer: the paper's derived-
-//! operator equations, simplifier and optimizer semantics preservation,
-//! and substitution laws — all over proptest-generated instances (which
-//! shrink on failure, complementing the seeded `testgen` searches).
+//! Property tests for the algebra layer: the paper's derived-operator
+//! equations, simplifier and optimizer semantics preservation, and
+//! substitution laws — run on the in-workspace `dvm-testkit` harness,
+//! which shrinks the failing input tape and prints the reproducing seed.
 
 use dvm_algebra::eval::eval;
 use dvm_algebra::infer::{compile, compile_unoptimized, infer_schema};
 use dvm_algebra::simplify::simplify;
-use dvm_algebra::testgen::{Rng, Universe};
+use dvm_algebra::testgen::Universe;
 use dvm_algebra::Expr;
 use dvm_storage::{Bag, Schema, Tuple, Value, ValueType};
-use proptest::prelude::*;
+use dvm_testkit::{Prop, Rng};
 use std::collections::HashMap;
 
 fn schema_ab() -> Schema {
     Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Int)])
 }
 
-/// Strategy: a small bag over the (a, b) integer schema.
-fn arb_bag() -> impl Strategy<Value = Bag> {
-    proptest::collection::vec(((0i64..5, 0i64..5), 1u64..4), 0..7).prop_map(|items| {
-        let mut b = Bag::new();
-        for ((x, y), m) in items {
-            b.insert_n(Tuple::new(vec![Value::Int(x), Value::Int(y)]), m);
-        }
-        b
-    })
+/// A small bag over the (a, b) integer schema.
+fn arb_bag(rng: &mut Rng) -> Bag {
+    let mut b = Bag::new();
+    for _ in 0..rng.below(7) {
+        b.insert_n(
+            Tuple::new(vec![Value::Int(rng.range(0, 5)), Value::Int(rng.range(0, 5))]),
+            1 + rng.below(3),
+        );
+    }
+    b
 }
 
-/// Strategy: a state over tables t0..t2 plus a testgen seed for the
-/// expression shape (proptest shrinks the seed; testgen makes it a
-/// well-typed expression).
-fn arb_state_and_seed() -> impl Strategy<Value = (HashMap<String, Bag>, u64, usize)> {
-    (
-        proptest::collection::vec(arb_bag(), 3),
-        any::<u64>(),
-        1usize..4,
-    )
-        .prop_map(|(bags, seed, depth)| {
-            let mut state = HashMap::new();
-            for (i, b) in bags.into_iter().enumerate() {
-                state.insert(format!("t{i}"), b);
-            }
-            (state, seed, depth)
-        })
+/// A state over tables t0..t2 plus an expression depth, all drawn from the
+/// harness RNG (so the shrinker can minimize the state and the expression
+/// shape together).
+fn arb_state_and_depth(rng: &mut Rng) -> (HashMap<String, Bag>, usize) {
+    let mut state = HashMap::new();
+    for i in 0..3 {
+        state.insert(format!("t{i}"), arb_bag(rng));
+    }
+    let depth = rng.range_usize(1, 4);
+    (state, depth)
 }
 
 fn ev(e: &Expr, provider: &HashMap<String, Schema>, state: &HashMap<String, Bag>) -> Bag {
     eval(&compile(e, provider).expect("typecheck").plan, state).expect("eval")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// The paper's defining equations for min/max/EXCEPT agree with the
+/// native operators on arbitrary expressions (Section 2.1).
+#[test]
+fn derived_operators_match_their_definitions() {
+    let u = Universe::small(3);
+    let provider = u.provider();
+    Prop::new("derived_operators_match_their_definitions")
+        .cases(128)
+        .run(|rng| {
+            let (state, depth) = arb_state_and_depth(rng);
+            let q1 = u.expr(rng, depth - 1);
+            let q2 = u.expr(rng, depth - 1);
 
-    /// The paper's defining equations for min/max/EXCEPT agree with the
-    /// native operators on arbitrary expressions (Section 2.1).
-    #[test]
-    fn derived_operators_match_their_definitions((state, seed, depth) in arb_state_and_seed()) {
-        let u = Universe::small(3);
-        let provider = u.provider();
-        let mut rng = Rng::new(seed);
-        let q1 = u.expr(&mut rng, depth - 1);
-        let q2 = u.expr(&mut rng, depth - 1);
+            let native_min = ev(&q1.clone().min_intersect(q2.clone()), &provider, &state);
+            let defined_min = ev(
+                &q1.clone().monus(q1.clone().monus(q2.clone())),
+                &provider,
+                &state,
+            );
+            assert_eq!(native_min, defined_min);
 
-        let native_min = ev(&q1.clone().min_intersect(q2.clone()), &provider, &state);
-        let defined_min = ev(
-            &q1.clone().monus(q1.clone().monus(q2.clone())),
-            &provider,
-            &state,
-        );
-        prop_assert_eq!(native_min, defined_min);
+            let native_max = ev(&q1.clone().max_union(q2.clone()), &provider, &state);
+            let defined_max = ev(
+                &q1.clone().union(q2.clone().monus(q1.clone())),
+                &provider,
+                &state,
+            );
+            assert_eq!(native_max, defined_max);
 
-        let native_max = ev(&q1.clone().max_union(q2.clone()), &provider, &state);
-        let defined_max = ev(
-            &q1.clone().union(q2.clone().monus(q1.clone())),
-            &provider,
-            &state,
-        );
-        prop_assert_eq!(native_max, defined_max);
+            // EXCEPT: native vs the paper's Π(σ(Q1 × (ε(Q1) ∸ Q2))) expansion.
+            let native_except = ev(&q1.clone().except(q2.clone()), &provider, &state);
+            let schema_of = |e: &Expr| infer_schema(e, &provider);
+            let expanded = q1
+                .clone()
+                .except(q2.clone())
+                .expand_derived(&schema_of)
+                .unwrap();
+            let expanded_val = ev(&expanded, &provider, &state);
+            assert_eq!(native_except, expanded_val);
+        });
+}
 
-        // EXCEPT: native vs the paper's Π(σ(Q1 × (ε(Q1) ∸ Q2))) expansion.
-        let native_except = ev(&q1.clone().except(q2.clone()), &provider, &state);
-        let schema_of = |e: &Expr| infer_schema(e, &provider);
-        let expanded = q1.clone().except(q2.clone()).expand_derived(&schema_of).unwrap();
-        let expanded_val = ev(&expanded, &provider, &state);
-        prop_assert_eq!(native_except, expanded_val);
-    }
+/// `simplify` preserves both the value (in every state) and the schema.
+#[test]
+fn simplify_preserves_value_and_schema() {
+    let u = Universe::small(3);
+    let provider = u.provider();
+    Prop::new("simplify_preserves_value_and_schema")
+        .cases(128)
+        .run(|rng| {
+            let (state, depth) = arb_state_and_depth(rng);
+            let q = u.expr(rng, depth);
+            let s = simplify(&q, &provider).unwrap();
+            assert_eq!(ev(&q, &provider, &state), ev(&s, &provider, &state));
+            assert_eq!(
+                infer_schema(&q, &provider).unwrap(),
+                infer_schema(&s, &provider).unwrap()
+            );
+            assert!(s.size() <= q.size() + 1, "simplify must not grow");
+        });
+}
 
-    /// `simplify` preserves both the value (in every state) and the schema.
-    #[test]
-    fn simplify_preserves_value_and_schema((state, seed, depth) in arb_state_and_seed()) {
-        let u = Universe::small(3);
-        let provider = u.provider();
-        let mut rng = Rng::new(seed);
-        let q = u.expr(&mut rng, depth);
-        let s = simplify(&q, &provider).unwrap();
-        prop_assert_eq!(ev(&q, &provider, &state), ev(&s, &provider, &state));
-        prop_assert_eq!(
-            infer_schema(&q, &provider).unwrap(),
-            infer_schema(&s, &provider).unwrap()
-        );
-        prop_assert!(s.size() <= q.size() + 1, "simplify must not grow");
-    }
+/// The plan optimizer (join formation, pushdown) never changes results.
+#[test]
+fn optimizer_preserves_semantics() {
+    let u = Universe::small(3);
+    let provider = u.provider();
+    Prop::new("optimizer_preserves_semantics")
+        .cases(128)
+        .run(|rng| {
+            let (state, depth) = arb_state_and_depth(rng);
+            let q = u.expr(rng, depth);
+            let optimized = compile(&q, &provider).unwrap();
+            let naive = compile_unoptimized(&q, &provider).unwrap();
+            assert_eq!(
+                eval(&optimized.plan, &state).unwrap(),
+                eval(&naive.plan, &state).unwrap()
+            );
+        });
+}
 
-    /// The plan optimizer (join formation, pushdown) never changes results.
-    #[test]
-    fn optimizer_preserves_semantics((state, seed, depth) in arb_state_and_seed()) {
-        let u = Universe::small(3);
-        let provider = u.provider();
-        let mut rng = Rng::new(seed);
-        let q = u.expr(&mut rng, depth);
-        let optimized = compile(&q, &provider).unwrap();
-        let naive = compile_unoptimized(&q, &provider).unwrap();
-        prop_assert_eq!(
-            eval(&optimized.plan, &state).unwrap(),
-            eval(&naive.plan, &state).unwrap()
-        );
-    }
-
-    /// FUTURE/PAST duality (Section 2.5): FUTURE(T,Q)(s) = Q(T(s)) and
-    /// PAST of the corresponding log recovers Q(s).
-    #[test]
-    fn future_past_duality((state, seed, depth) in arb_state_and_seed()) {
-        let u = Universe::small(3);
-        let provider = u.provider();
-        let mut rng = Rng::new(seed);
-        let q = u.expr(&mut rng, depth.min(2));
-        let f = u.weakly_minimal_subst(&mut rng, &state);
+/// FUTURE/PAST duality (Section 2.5): FUTURE(T,Q)(s) = Q(T(s)) and
+/// PAST of the corresponding log recovers Q(s).
+#[test]
+fn future_past_duality() {
+    let u = Universe::small(3);
+    let provider = u.provider();
+    Prop::new("future_past_duality").cases(128).run(|rng| {
+        let (state, depth) = arb_state_and_depth(rng);
+        let q = u.expr(rng, depth.min(2));
+        let f = u.weakly_minimal_subst(rng, &state);
         let post = u.apply_subst_to_state(&f, &state);
 
         let future = f.apply(&q);
-        prop_assert_eq!(ev(&future, &provider, &state), ev(&q, &provider, &post));
+        assert_eq!(ev(&future, &provider, &state), ev(&q, &provider, &post));
 
         let past = f.dual().apply(&q);
-        prop_assert_eq!(ev(&past, &provider, &post), ev(&q, &provider, &state));
-    }
+        assert_eq!(ev(&past, &provider, &post), ev(&q, &provider, &state));
+    });
+}
 
-    /// Bag EXCEPT via the paper's equation at the bag level:
-    /// `Q1 EXCEPT Q2` removes all occurrences of tuples present in Q2.
-    #[test]
-    fn except_all_occurrences_bag_law(q1 in arb_bag(), q2 in arb_bag()) {
-        let e = q1.except_all_occurrences(&q2);
-        for (t, m) in q1.iter() {
-            let expected = if q2.contains(t) { 0 } else { m };
-            prop_assert_eq!(e.multiplicity(t), expected);
-        }
-        prop_assert!(e.is_subbag_of(&q1));
-    }
+/// Bag EXCEPT via the paper's equation at the bag level:
+/// `Q1 EXCEPT Q2` removes all occurrences of tuples present in Q2.
+#[test]
+fn except_all_occurrences_bag_law() {
+    Prop::new("except_all_occurrences_bag_law")
+        .cases(128)
+        .run(|rng| {
+            let q1 = arb_bag(rng);
+            let q2 = arb_bag(rng);
+            let e = q1.except_all_occurrences(&q2);
+            for (t, m) in q1.iter() {
+                let expected = if q2.contains(t) { 0 } else { m };
+                assert_eq!(e.multiplicity(t), expected);
+            }
+            assert!(e.is_subbag_of(&q1));
+        });
+}
 
-    /// Literal round-trip through compilation: a literal expression
-    /// evaluates to exactly its bag regardless of state.
-    #[test]
-    fn literal_identity(b in arb_bag()) {
+/// Literal round-trip through compilation: a literal expression
+/// evaluates to exactly its bag regardless of state.
+#[test]
+fn literal_identity() {
+    Prop::new("literal_identity").cases(128).run(|rng| {
+        let b = arb_bag(rng);
         let provider: HashMap<String, Schema> = HashMap::new();
         let e = Expr::literal(b.clone(), schema_ab());
         let state: HashMap<String, Bag> = HashMap::new();
-        prop_assert_eq!(eval(&compile(&e, &provider).unwrap().plan, &state).unwrap(), b);
-    }
+        assert_eq!(
+            eval(&compile(&e, &provider).unwrap().plan, &state).unwrap(),
+            b
+        );
+    });
 }

@@ -1,14 +1,20 @@
-//! Criterion micro-benchmarks for the building blocks behind every
-//! experiment: bag-algebra primitives, join evaluation, differential-query
-//! generation, the composition lemma, and the three refresh paths.
+//! Micro-benchmarks for the building blocks behind every experiment:
+//! bag-algebra primitives, join evaluation, differential-query generation,
+//! the composition lemma, and the three refresh paths.
+//!
+//! Runs on the in-workspace `dvm-testkit` bench harness (`harness = false`).
+//! Invoked by `cargo bench` it takes full statistical samples, prints an
+//! aligned table, and writes `results/BENCH_micro.json`; invoked by
+//! `cargo test` (cargo passes `--test`) it smoke-runs every body once.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use dvm_algebra::infer::{compile, compile_unoptimized};
 use dvm_algebra::testgen::{Rng, Universe};
+use dvm_bench::report::{summary_table, write_json};
 use dvm_bench::retail_db;
 use dvm_core::{Minimality, Scenario};
 use dvm_delta::{compose, post_update_deltas, pre_update_deltas};
 use dvm_storage::{tuple, Bag};
+use dvm_testkit::bench::{Bench, Summary};
 use dvm_workload::view_expr;
 
 fn bag_of_ints(n: i64, seed: i64) -> Bag {
@@ -19,35 +25,24 @@ fn bag_of_ints(n: i64, seed: i64) -> Bag {
     b
 }
 
-fn bench_bag_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bag_ops");
+fn bench_bag_ops(b: &Bench, out: &mut Vec<Summary>) {
     for &n in &[1_000i64, 10_000] {
-        let a = bag_of_ints(n, 1);
-        let b = bag_of_ints(n, 3);
-        g.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
-            bench.iter(|| a.union(&b))
-        });
-        g.bench_with_input(BenchmarkId::new("monus", n), &n, |bench, _| {
-            bench.iter(|| a.monus(&b))
-        });
-        g.bench_with_input(BenchmarkId::new("min_intersect", n), &n, |bench, _| {
-            bench.iter(|| a.min_intersect(&b))
-        });
-        g.bench_with_input(BenchmarkId::new("dedup", n), &n, |bench, _| {
-            bench.iter(|| a.dedup())
-        });
-        g.bench_with_input(BenchmarkId::new("compose_lemma3", n), &n, |bench, _| {
-            let d2 = bag_of_ints(n / 10, 5);
-            let i2 = bag_of_ints(n / 10, 7);
-            bench.iter(|| compose(&a, &b, &d2, &i2))
-        });
+        let x = bag_of_ints(n, 1);
+        let y = bag_of_ints(n, 3);
+        out.push(b.run(format!("bag_ops/union/{n}"), || x.union(&y)));
+        out.push(b.run(format!("bag_ops/monus/{n}"), || x.monus(&y)));
+        out.push(b.run(format!("bag_ops/min_intersect/{n}"), || x.min_intersect(&y)));
+        out.push(b.run(format!("bag_ops/dedup/{n}"), || x.dedup()));
+        let d2 = bag_of_ints(n / 10, 5);
+        let i2 = bag_of_ints(n / 10, 7);
+        out.push(b.run(format!("bag_ops/compose_lemma3/{n}"), || {
+            compose(&x, &y, &d2, &i2)
+        }));
     }
-    g.finish();
 }
 
-fn bench_join(c: &mut Criterion) {
-    let mut g = c.benchmark_group("retail_view_eval");
-    g.sample_size(20);
+fn bench_join(b: &Bench, out: &mut Vec<Summary>) {
+    let b = b.clone().samples(20);
     for &customers in &[1_000usize, 5_000] {
         let (db, _gen) = retail_db(
             customers,
@@ -57,38 +52,30 @@ fn bench_join(c: &mut Criterion) {
             3,
         );
         let q = compile(&view_expr(), db.catalog()).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("hash_join", customers),
-            &customers,
-            |bench, _| bench.iter(|| dvm_algebra::eval_in_catalog(&q, db.catalog()).unwrap()),
-        );
+        out.push(b.run(format!("retail_view_eval/hash_join/{customers}"), || {
+            dvm_algebra::eval_in_catalog(&q, db.catalog()).unwrap()
+        }));
         if customers <= 1_000 {
             let naive = compile_unoptimized(&view_expr(), db.catalog()).unwrap();
-            g.bench_with_input(
-                BenchmarkId::new("naive_product", customers),
-                &customers,
-                |bench, _| {
-                    bench.iter(|| dvm_algebra::eval_in_catalog(&naive, db.catalog()).unwrap())
-                },
-            );
+            out.push(b.run(format!("retail_view_eval/naive_product/{customers}"), || {
+                dvm_algebra::eval_in_catalog(&naive, db.catalog()).unwrap()
+            }));
         }
     }
-    g.finish();
 }
 
-fn bench_differentiation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("differentiation");
+fn bench_differentiation(b: &Bench, out: &mut Vec<Summary>) {
     // query-generation cost (what IM/DT pay per transaction, symbolically)
     let (db, mut gen) = retail_db(500, 2_000, Scenario::BaseLog, Minimality::Weak, 5);
     let tx = gen.sales_batch(10);
-    g.bench_function("pre_update_deltas_retail", |bench| {
-        bench.iter(|| pre_update_deltas(&view_expr(), &tx, db.catalog()).unwrap())
-    });
+    out.push(b.run("differentiation/pre_update_deltas_retail", || {
+        pre_update_deltas(&view_expr(), &tx, db.catalog()).unwrap()
+    }));
     let view = db.view("V").unwrap();
     let log = view.log().unwrap().clone();
-    g.bench_function("post_update_deltas_retail", |bench| {
-        bench.iter(|| post_update_deltas(&view_expr(), &log, db.catalog()).unwrap())
-    });
+    out.push(b.run("differentiation/post_update_deltas_retail", || {
+        post_update_deltas(&view_expr(), &log, db.catalog()).unwrap()
+    }));
     // random deep expressions
     let u = Universe::small(3);
     let provider = u.provider();
@@ -96,97 +83,98 @@ fn bench_differentiation(c: &mut Criterion) {
     let state = u.state(&mut rng, 5);
     let q = u.expr(&mut rng, 4);
     let eta = u.weakly_minimal_subst(&mut rng, &state);
-    g.bench_function("differentiate_depth4", |bench| {
-        bench.iter(|| dvm_delta::differentiate(&q, &eta, &provider).unwrap())
-    });
-    g.finish();
+    out.push(b.run("differentiation/differentiate_depth4", || {
+        dvm_delta::differentiate(&q, &eta, &provider).unwrap()
+    }));
 }
 
-fn bench_refresh_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("refresh_paths");
-    g.sample_size(10);
-    // Each iteration builds its own deferred backlog, so use iter_batched.
-    g.bench_function("refresh_BL_100tx", |bench| {
-        bench.iter_batched(
-            || {
-                let (db, mut gen) = retail_db(1_000, 5_000, Scenario::BaseLog, Minimality::Weak, 8);
-                for _ in 0..100 {
-                    db.execute(&gen.sales_batch(10)).unwrap();
-                }
-                db
-            },
-            |db| db.refresh("V").unwrap(),
-            BatchSize::PerIteration,
-        )
-    });
-    g.bench_function("partial_refresh_C_100tx", |bench| {
-        bench.iter_batched(
-            || {
-                let (db, mut gen) =
-                    retail_db(1_000, 5_000, Scenario::Combined, Minimality::Weak, 8);
-                for _ in 0..100 {
-                    db.execute(&gen.sales_batch(10)).unwrap();
-                }
-                db.propagate("V").unwrap();
-                db
-            },
-            |db| db.partial_refresh("V").unwrap(),
-            BatchSize::PerIteration,
-        )
-    });
-    g.bench_function("recompute_100tx_backlog", |bench| {
-        bench.iter_batched(
-            || {
-                let (db, mut gen) = retail_db(1_000, 5_000, Scenario::BaseLog, Minimality::Weak, 8);
-                for _ in 0..100 {
-                    db.execute(&gen.sales_batch(10)).unwrap();
-                }
-                db
-            },
-            |db| db.recompute_view("V").unwrap(),
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
+fn bench_refresh_paths(b: &Bench, out: &mut Vec<Summary>) {
+    let b = b.clone().samples(10);
+    // Each round builds its own deferred backlog, so use the batched shape.
+    out.push(b.run_batched(
+        "refresh_paths/refresh_BL_100tx",
+        || {
+            let (db, mut gen) = retail_db(1_000, 5_000, Scenario::BaseLog, Minimality::Weak, 8);
+            for _ in 0..100 {
+                db.execute(&gen.sales_batch(10)).unwrap();
+            }
+            db
+        },
+        |db| db.refresh("V").unwrap(),
+    ));
+    out.push(b.run_batched(
+        "refresh_paths/partial_refresh_C_100tx",
+        || {
+            let (db, mut gen) = retail_db(1_000, 5_000, Scenario::Combined, Minimality::Weak, 8);
+            for _ in 0..100 {
+                db.execute(&gen.sales_batch(10)).unwrap();
+            }
+            db.propagate("V").unwrap();
+            db
+        },
+        |db| db.partial_refresh("V").unwrap(),
+    ));
+    out.push(b.run_batched(
+        "refresh_paths/recompute_100tx_backlog",
+        || {
+            let (db, mut gen) = retail_db(1_000, 5_000, Scenario::BaseLog, Minimality::Weak, 8);
+            for _ in 0..100 {
+                db.execute(&gen.sales_batch(10)).unwrap();
+            }
+            db
+        },
+        |db| db.recompute_view("V").unwrap(),
+    ));
 }
 
-fn bench_makesafe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("makesafe_per_tx");
-    g.sample_size(30);
+fn bench_makesafe(b: &Bench, out: &mut Vec<Summary>) {
     for (label, scenario) in [
         ("IM", Scenario::Immediate),
         ("BL", Scenario::BaseLog),
         ("DT", Scenario::DiffTable),
         ("C", Scenario::Combined),
     ] {
-        g.bench_function(label, |bench| {
-            bench.iter_batched(
-                || {
-                    let (db, mut gen) = retail_db(1_000, 5_000, scenario, Minimality::Weak, 13);
-                    let tx = gen.mixed_batch(10, 2);
-                    (db, tx)
-                },
-                |(db, tx)| db.execute(&tx).unwrap(),
-                BatchSize::PerIteration,
-            )
-        });
+        out.push(b.run_batched(
+            format!("makesafe_per_tx/{label}"),
+            || {
+                let (db, mut gen) = retail_db(1_000, 5_000, scenario, Minimality::Weak, 13);
+                let tx = gen.mixed_batch(10, 2);
+                (db, tx)
+            },
+            |(db, tx)| db.execute(&tx).unwrap(),
+        ));
     }
-    g.finish();
 }
 
-fn bench_sql(c: &mut Criterion) {
-    c.bench_function("sql_parse_lower_example_1_1", |bench| {
-        bench.iter(|| dvm_sql::sql_to_statement(dvm_workload::VIEW_SQL).unwrap())
-    });
+fn bench_sql(b: &Bench, out: &mut Vec<Summary>) {
+    out.push(b.run("sql/parse_lower_example_1_1", || {
+        dvm_sql::sql_to_statement(dvm_workload::VIEW_SQL).unwrap()
+    }));
 }
 
-criterion_group!(
-    benches,
-    bench_bag_ops,
-    bench_join,
-    bench_differentiation,
-    bench_refresh_paths,
-    bench_makesafe,
-    bench_sql
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo test` runs bench targets with `--test` (criterion's smoke-mode
+    // convention); there, run every body once and skip reporting.
+    let quick = std::env::args().any(|a| a == "--test");
+    let bench = if quick { Bench::quick() } else { Bench::from_env() };
+    let mut out = Vec::new();
+    bench_bag_ops(&bench, &mut out);
+    bench_join(&bench, &mut out);
+    bench_differentiation(&bench, &mut out);
+    bench_refresh_paths(&bench, &mut out);
+    bench_makesafe(&bench, &mut out);
+    bench_sql(&bench, &mut out);
+    if quick {
+        println!("micro: {} benchmarks smoke-ran", out.len());
+        return;
+    }
+    summary_table(&out).print();
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("BENCH_micro.json");
+        match write_json(&path, &out) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! # dvm-bench — experiment harness
 //!
 //! One `exp_*` binary per paper figure / performance claim (see the
-//! experiment index in `DESIGN.md`), plus Criterion micro-benchmarks and
-//! shared setup helpers.
+//! experiment index in `DESIGN.md`), plus `dvm-testkit`-based
+//! micro-benchmarks and shared setup helpers.
 
 #![warn(missing_docs)]
 

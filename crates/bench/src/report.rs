@@ -1,4 +1,8 @@
-//! Plain-text table reporting for experiment binaries.
+//! Plain-text table and JSON reporting for experiment binaries and the
+//! micro-benchmark harness.
+
+use dvm_testkit::bench::Summary;
+pub use dvm_testkit::bench::{to_json_report, write_json};
 
 /// A simple fixed-width table printer: header + rows, columns sized to fit.
 pub struct TableReport {
@@ -77,6 +81,23 @@ impl TableReport {
     }
 }
 
+/// Render benchmark summaries as an aligned table (the human-readable
+/// counterpart of [`to_json_report`]).
+pub fn summary_table(summaries: &[Summary]) -> TableReport {
+    let mut t = TableReport::new(["benchmark", "median", "p95", "min", "max", "samples"]);
+    for s in summaries {
+        t.row([
+            s.name.clone(),
+            fmt_nanos(s.median_ns),
+            fmt_nanos(s.p95_ns),
+            fmt_nanos(s.min_ns),
+            fmt_nanos(s.max_ns),
+            s.samples.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Format nanoseconds with an adaptive unit.
 pub fn fmt_nanos(nanos: f64) -> String {
     if nanos < 1_000.0 {
@@ -124,5 +145,13 @@ mod tests {
         assert_eq!(fmt_nanos(1_500.0), "1.5µs");
         assert_eq!(fmt_nanos(2_500_000.0), "2.50ms");
         assert_eq!(fmt_nanos(3_000_000_000.0), "3.000s");
+    }
+
+    #[test]
+    fn summary_table_renders_each_benchmark() {
+        let s = dvm_testkit::Bench::quick().run("bag_ops/union/1000", || 1 + 1);
+        let out = summary_table(&[s]).render();
+        assert!(out.contains("bag_ops/union/1000"));
+        assert!(out.lines().next().unwrap().contains("median"));
     }
 }

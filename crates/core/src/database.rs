@@ -23,7 +23,7 @@ use dvm_algebra::infer::compile;
 use dvm_algebra::Expr;
 use dvm_delta::{compose_into, Transaction};
 use dvm_storage::{Bag, Catalog, Schema, Table, TableKind};
-use parking_lot::RwLock;
+use dvm_testkit::sync::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;

@@ -17,7 +17,7 @@
 use dvm_delta::compose_into;
 use dvm_delta::Transaction;
 use dvm_storage::Bag;
-use parking_lot::Mutex;
+use dvm_testkit::sync::Mutex;
 use std::collections::BTreeMap;
 
 /// One logged change set for one table.

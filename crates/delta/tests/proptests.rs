@@ -1,140 +1,163 @@
-//! Property tests (proptest) for the differential layer: Theorem 2, the
-//! refresh identity behind Contribution 2, Lemma 1, Lemma 3, and strong
-//! minimality — shrinking variants of the seeded randomized suites.
+//! Property tests for the differential layer: Theorem 2, the refresh
+//! identity behind Contribution 2, Lemma 1, Lemma 3, and strong
+//! minimality — run on the in-workspace `dvm-testkit` shrinking harness
+//! (complementing the seeded randomized suites in each crate).
 
 use dvm_algebra::eval::eval;
 use dvm_algebra::infer::compile;
-use dvm_algebra::testgen::{Rng, Universe};
+use dvm_algebra::testgen::Universe;
 use dvm_algebra::Expr;
 use dvm_delta::{compose, differentiate, strongify_bags, Transaction};
 use dvm_storage::{Bag, Tuple, Value};
-use proptest::prelude::*;
+use dvm_testkit::{Prop, Rng};
 use std::collections::HashMap;
 
-fn arb_bag() -> impl Strategy<Value = Bag> {
-    proptest::collection::vec(((0i64..5, 0i64..5), 1u64..4), 0..7).prop_map(|items| {
-        let mut b = Bag::new();
-        for ((x, y), m) in items {
-            b.insert_n(Tuple::new(vec![Value::Int(x), Value::Int(y)]), m);
-        }
-        b
-    })
+fn arb_bag(rng: &mut Rng) -> Bag {
+    let mut b = Bag::new();
+    for _ in 0..rng.below(7) {
+        b.insert_n(
+            Tuple::new(vec![Value::Int(rng.range(0, 5)), Value::Int(rng.range(0, 5))]),
+            1 + rng.below(3),
+        );
+    }
+    b
 }
 
-fn arb_instance() -> impl Strategy<Value = (HashMap<String, Bag>, u64, usize)> {
-    (
-        proptest::collection::vec(arb_bag(), 3),
-        any::<u64>(),
-        1usize..4,
-    )
-        .prop_map(|(bags, seed, depth)| {
-            let mut state = HashMap::new();
-            for (i, b) in bags.into_iter().enumerate() {
-                state.insert(format!("t{i}"), b);
-            }
-            (state, seed, depth)
-        })
+fn arb_state_and_depth(rng: &mut Rng) -> (HashMap<String, Bag>, usize) {
+    let mut state = HashMap::new();
+    for i in 0..3 {
+        state.insert(format!("t{i}"), arb_bag(rng));
+    }
+    let depth = rng.range_usize(1, 4);
+    (state, depth)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Theorem 2 over proptest-shrunk instances.
-    #[test]
-    fn theorem2((state, seed, depth) in arb_instance()) {
-        let u = Universe::small(3);
-        let provider = u.provider();
-        let mut rng = Rng::new(seed);
-        let q = u.expr(&mut rng, depth.min(2));
-        let eta = u.weakly_minimal_subst(&mut rng, &state);
+/// Theorem 2 over harness-shrunk instances.
+#[test]
+fn theorem2() {
+    let u = Universe::small(3);
+    let provider = u.provider();
+    Prop::new("theorem2").cases(96).run(|rng| {
+        let (state, depth) = arb_state_and_depth(rng);
+        let q = u.expr(rng, depth.min(2));
+        let eta = u.weakly_minimal_subst(rng, &state);
         let pair = differentiate(&q, &eta, &provider).unwrap();
         let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &state).unwrap();
         let q_val = ev(&q);
         let del = ev(&pair.del);
         let add = ev(&pair.add);
-        prop_assert_eq!(ev(&eta.apply(&q)), q_val.monus(&del).union(&add), "Theorem 2(a)");
-        prop_assert!(del.is_subbag_of(&q_val), "Theorem 2(b)");
-    }
+        assert_eq!(
+            ev(&eta.apply(&q)),
+            q_val.monus(&del).union(&add),
+            "Theorem 2(a)"
+        );
+        assert!(del.is_subbag_of(&q_val), "Theorem 2(b)");
+    });
+}
 
-    /// The deferred-refresh identity (Contribution 2): MV holding Q(s_p)
-    /// refreshed with the post-update deltas equals Q(s_c).
-    #[test]
-    fn post_update_refresh_identity((s_p, seed, depth) in arb_instance()) {
-        use dvm_delta::{log_del_name, log_ins_name, post_update_deltas, LogTables};
-        let u = Universe::small(3);
-        let mut provider = u.provider();
-        for t in &u.tables {
-            provider.insert(log_del_name(t), u.schema.clone());
-            provider.insert(log_ins_name(t), u.schema.clone());
-        }
-        let mut rng = Rng::new(seed);
-        let q = u.expr(&mut rng, depth.min(2));
-        let f = u.weakly_minimal_subst(&mut rng, &s_p);
-        let mut s_c = u.apply_subst_to_state(&f, &s_p);
-        let mut log = LogTables::new();
-        for t in &u.tables {
-            log.add(t.clone());
-            let (d, a) = match f.get(t) {
-                Some((Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. })) => {
-                    (d.clone(), a.clone())
-                }
-                None => (Bag::new(), Bag::new()),
-                _ => unreachable!(),
-            };
-            s_c.insert(log_del_name(t), d);
-            s_c.insert(log_ins_name(t), a);
-        }
-        let q_plan = compile(&q, &provider).unwrap().plan;
-        let mv = eval(&q_plan, &s_p).unwrap();
-        let truth = eval(&q_plan, &s_c).unwrap();
-        let deltas = post_update_deltas(&q, &log, &provider).unwrap();
-        let del = eval(&compile(&deltas.del, &provider).unwrap().plan, &s_c).unwrap();
-        let ins = eval(&compile(&deltas.ins, &provider).unwrap().plan, &s_c).unwrap();
-        prop_assert_eq!(mv.monus(&del).union(&ins), truth);
+/// The deferred-refresh identity (Contribution 2): MV holding Q(s_p)
+/// refreshed with the post-update deltas equals Q(s_c).
+#[test]
+fn post_update_refresh_identity() {
+    use dvm_delta::{log_del_name, log_ins_name, post_update_deltas, LogTables};
+    let u = Universe::small(3);
+    let mut provider = u.provider();
+    for t in &u.tables {
+        provider.insert(log_del_name(t), u.schema.clone());
+        provider.insert(log_ins_name(t), u.schema.clone());
     }
+    Prop::new("post_update_refresh_identity")
+        .cases(96)
+        .run(|rng| {
+            let (s_p, depth) = arb_state_and_depth(rng);
+            let q = u.expr(rng, depth.min(2));
+            let f = u.weakly_minimal_subst(rng, &s_p);
+            let mut s_c = u.apply_subst_to_state(&f, &s_p);
+            let mut log = LogTables::new();
+            for t in &u.tables {
+                log.add(t.clone());
+                let (d, a) = match f.get(t) {
+                    Some((Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. })) => {
+                        (d.clone(), a.clone())
+                    }
+                    None => (Bag::new(), Bag::new()),
+                    _ => unreachable!(),
+                };
+                s_c.insert(log_del_name(t), d);
+                s_c.insert(log_ins_name(t), a);
+            }
+            let q_plan = compile(&q, &provider).unwrap().plan;
+            let mv = eval(&q_plan, &s_p).unwrap();
+            let truth = eval(&q_plan, &s_c).unwrap();
+            let deltas = post_update_deltas(&q, &log, &provider).unwrap();
+            let del = eval(&compile(&deltas.del, &provider).unwrap().plan, &s_c).unwrap();
+            let ins = eval(&compile(&deltas.ins, &provider).unwrap().plan, &s_c).unwrap();
+            assert_eq!(mv.monus(&del).union(&ins), truth);
+        });
+}
 
-    /// Lemma 1 (cancellation) for arbitrary bags.
-    #[test]
-    fn lemma1(o in arb_bag(), d in arb_bag(), i in arb_bag()) {
+/// Lemma 1 (cancellation) for arbitrary bags.
+#[test]
+fn lemma1() {
+    Prop::new("lemma1").cases(96).run(|rng| {
+        let (o, d, i) = (arb_bag(rng), arb_bag(rng), arb_bag(rng));
         let n = o.monus(&d).union(&i);
-        prop_assert_eq!(n.monus(&i).union(&o.min_intersect(&d)), o);
-    }
+        assert_eq!(n.monus(&i).union(&o.min_intersect(&d)), o);
+    });
+}
 
-    /// Lemma 3 (composition) with its side conditions.
-    #[test]
-    fn lemma3(o in arb_bag(), d1 in arb_bag(), i1 in arb_bag(), d2 in arb_bag(), i2 in arb_bag()) {
-        let d1 = d1.min_intersect(&o); // D1 ⊑ O
+/// Lemma 3 (composition) with its side conditions.
+#[test]
+fn lemma3() {
+    Prop::new("lemma3").cases(96).run(|rng| {
+        let o = arb_bag(rng);
+        let d1 = arb_bag(rng).min_intersect(&o); // D1 ⊑ O
+        let i1 = arb_bag(rng);
         let mid = o.monus(&d1).union(&i1);
-        let d2 = d2.min_intersect(&mid); // D2 ⊑ (O ∸ D1) ⊎ I1
+        let d2 = arb_bag(rng).min_intersect(&mid); // D2 ⊑ (O ∸ D1) ⊎ I1
+        let i2 = arb_bag(rng);
         let (d3, i3) = compose(&d1, &i1, &d2, &i2);
-        prop_assert_eq!(mid.monus(&d2).union(&i2), o.monus(&d3).union(&i3), "Lemma 3(a)");
-        prop_assert!(d3.is_subbag_of(&o), "Lemma 3(b)");
-    }
+        assert_eq!(
+            mid.monus(&d2).union(&i2),
+            o.monus(&d3).union(&i3),
+            "Lemma 3(a)"
+        );
+        assert!(d3.is_subbag_of(&o), "Lemma 3(b)");
+    });
+}
 
-    /// Strong minimality preserves application and achieves disjointness.
-    #[test]
-    fn strongify(q in arb_bag(), del in arb_bag(), add in arb_bag()) {
-        let del = del.min_intersect(&q); // weak minimality precondition
+/// Strong minimality preserves application and achieves disjointness.
+#[test]
+fn strongify() {
+    Prop::new("strongify").cases(96).run(|rng| {
+        let q = arb_bag(rng);
+        let del = arb_bag(rng).min_intersect(&q); // weak minimality precondition
+        let add = arb_bag(rng);
         let (d2, a2) = strongify_bags(&del, &add);
-        prop_assert_eq!(q.monus(&del).union(&add), q.monus(&d2).union(&a2));
-        prop_assert!(d2.min_intersect(&a2).is_empty());
-        prop_assert!(d2.is_subbag_of(&q));
-    }
+        assert_eq!(q.monus(&del).union(&add), q.monus(&d2).union(&a2));
+        assert!(d2.min_intersect(&a2).is_empty());
+        assert!(d2.is_subbag_of(&q));
+    });
+}
 
-    /// Transaction normalization: `make_weakly_minimal` changes the
-    /// deletion bags but never the applied result.
-    #[test]
-    fn weak_minimality_normalization_sound(state in proptest::collection::vec(arb_bag(), 1),
-                                           del in arb_bag(), ins in arb_bag()) {
-        let mut s: HashMap<String, Bag> = HashMap::new();
-        s.insert("t0".to_string(), state[0].clone());
-        let tx = Transaction::new().delete("t0", del).insert("t0", ins);
-        let normalized = tx.make_weakly_minimal(&s).unwrap();
-        prop_assert!(normalized.is_weakly_minimal(&s).unwrap());
-        let mut a = s.clone();
-        tx.apply_to_map(&mut a);
-        let mut b = s.clone();
-        normalized.apply_to_map(&mut b);
-        prop_assert_eq!(a, b);
-    }
+/// Transaction normalization: `make_weakly_minimal` changes the
+/// deletion bags but never the applied result.
+#[test]
+fn weak_minimality_normalization_sound() {
+    Prop::new("weak_minimality_normalization_sound")
+        .cases(96)
+        .run(|rng| {
+            let mut s: HashMap<String, Bag> = HashMap::new();
+            s.insert("t0".to_string(), arb_bag(rng));
+            let tx = Transaction::new()
+                .delete("t0", arb_bag(rng))
+                .insert("t0", arb_bag(rng));
+            let normalized = tx.make_weakly_minimal(&s).unwrap();
+            assert!(normalized.is_weakly_minimal(&s).unwrap());
+            let mut a = s.clone();
+            tx.apply_to_map(&mut a);
+            let mut b = s.clone();
+            normalized.apply_to_map(&mut b);
+            assert_eq!(a, b);
+        });
 }

@@ -6,7 +6,7 @@ use crate::error::{Result, StorageError};
 use crate::schema::Schema;
 use crate::snapshot::Snapshot;
 use crate::table::{Table, TableKind};
-use parking_lot::RwLock;
+use dvm_testkit::sync::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;

@@ -44,105 +44,134 @@ pub use value::{Value, ValueType};
 mod proptests {
     //! Property tests for the algebraic laws the paper relies on
     //! (commutativity/associativity of ⊎, the monus identities behind
-    //! `min`/`max`, and the cancellation shape of Lemma 1 at the bag level).
+    //! `min`/`max`, and the cancellation shape of Lemma 1 at the bag level),
+    //! run on the in-workspace `dvm-testkit` shrinking harness.
 
     use crate::bag::Bag;
     use crate::tuple::Tuple;
     use crate::value::Value;
-    use proptest::prelude::*;
+    use dvm_testkit::{Prop, Rng};
 
-    fn arb_bag() -> impl Strategy<Value = Bag> {
-        proptest::collection::vec((0i64..6, 1u64..4), 0..8).prop_map(|items| {
-            let mut b = Bag::new();
-            for (v, m) in items {
-                b.insert_n(Tuple::new(vec![Value::Int(v)]), m);
-            }
-            b
-        })
+    fn arb_bag(rng: &mut Rng) -> Bag {
+        let mut b = Bag::new();
+        for _ in 0..rng.below(8) {
+            b.insert_n(Tuple::new(vec![Value::Int(rng.range(0, 6))]), 1 + rng.below(3));
+        }
+        b
     }
 
-    proptest! {
-        #[test]
-        fn union_commutative(a in arb_bag(), b in arb_bag()) {
-            prop_assert_eq!(a.union(&b), b.union(&a));
-        }
+    #[test]
+    fn union_commutative() {
+        Prop::new("union_commutative").run(|rng| {
+            let (a, b) = (arb_bag(rng), arb_bag(rng));
+            assert_eq!(a.union(&b), b.union(&a));
+        });
+    }
 
-        #[test]
-        fn union_associative(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
-            prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-        }
+    #[test]
+    fn union_associative() {
+        Prop::new("union_associative").run(|rng| {
+            let (a, b, c) = (arb_bag(rng), arb_bag(rng), arb_bag(rng));
+            assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        });
+    }
 
-        #[test]
-        fn monus_identity_and_annihilation(a in arb_bag()) {
-            prop_assert_eq!(a.monus(&Bag::new()), a.clone());
-            prop_assert!(Bag::new().monus(&a).is_empty());
-            prop_assert!(a.monus(&a).is_empty());
-        }
+    #[test]
+    fn monus_identity_and_annihilation() {
+        Prop::new("monus_identity_and_annihilation").run(|rng| {
+            let a = arb_bag(rng);
+            assert_eq!(a.monus(&Bag::new()), a.clone());
+            assert!(Bag::new().monus(&a).is_empty());
+            assert!(a.monus(&a).is_empty());
+        });
+    }
 
-        #[test]
-        fn min_via_double_monus(a in arb_bag(), b in arb_bag()) {
+    #[test]
+    fn min_via_double_monus() {
+        Prop::new("min_via_double_monus").run(|rng| {
             // Q1 min Q2 = Q1 ∸ (Q1 ∸ Q2)  (Section 2.1)
-            prop_assert_eq!(a.min_intersect(&b), a.monus(&a.monus(&b)));
-        }
+            let (a, b) = (arb_bag(rng), arb_bag(rng));
+            assert_eq!(a.min_intersect(&b), a.monus(&a.monus(&b)));
+        });
+    }
 
-        #[test]
-        fn max_via_union_monus(a in arb_bag(), b in arb_bag()) {
+    #[test]
+    fn max_via_union_monus() {
+        Prop::new("max_via_union_monus").run(|rng| {
             // Q1 max Q2 = Q1 ⊎ (Q2 ∸ Q1)  (Section 2.1)
-            prop_assert_eq!(a.max_union(&b), a.union(&b.monus(&a)));
-        }
+            let (a, b) = (arb_bag(rng), arb_bag(rng));
+            assert_eq!(a.max_union(&b), a.union(&b.monus(&a)));
+        });
+    }
 
-        #[test]
-        fn union_then_monus_cancels(a in arb_bag(), b in arb_bag()) {
+    #[test]
+    fn union_then_monus_cancels() {
+        Prop::new("union_then_monus_cancels").run(|rng| {
             // (A ⊎ B) ∸ B = A
-            prop_assert_eq!(a.union(&b).monus(&b), a.clone());
-        }
+            let (a, b) = (arb_bag(rng), arb_bag(rng));
+            assert_eq!(a.union(&b).monus(&b), a);
+        });
+    }
 
-        #[test]
-        fn cancellation_lemma_bag_level(o in arb_bag(), d in arb_bag(), i in arb_bag()) {
+    #[test]
+    fn cancellation_lemma_bag_level() {
+        Prop::new("cancellation_lemma_bag_level").run(|rng| {
             // Lemma 1: if N = (O ∸ D) ⊎ I then O = (N ∸ I) ⊎ (O min D),
             // for arbitrary bags (no minimality restriction needed).
+            let (o, d, i) = (arb_bag(rng), arb_bag(rng), arb_bag(rng));
             let n = o.monus(&d).union(&i);
             let restored = n.monus(&i).union(&o.min_intersect(&d));
-            prop_assert_eq!(restored, o.clone());
-        }
+            assert_eq!(restored, o);
+        });
+    }
 
-        #[test]
-        fn apply_delta_matches_formula(o in arb_bag(), d in arb_bag(), i in arb_bag()) {
+    #[test]
+    fn apply_delta_matches_formula() {
+        Prop::new("apply_delta_matches_formula").run(|rng| {
+            let (o, d, i) = (arb_bag(rng), arb_bag(rng), arb_bag(rng));
             let mut applied = o.clone();
             applied.apply_delta(&d, &i);
-            prop_assert_eq!(applied, o.monus(&d).union(&i));
-        }
+            assert_eq!(applied, o.monus(&d).union(&i));
+        });
+    }
 
-        #[test]
-        fn subbag_of_union(a in arb_bag(), b in arb_bag()) {
-            prop_assert!(a.is_subbag_of(&a.union(&b)));
-            prop_assert!(a.monus(&b).is_subbag_of(&a));
-            prop_assert!(a.min_intersect(&b).is_subbag_of(&a));
-            prop_assert!(a.is_subbag_of(&a.max_union(&b)));
-        }
+    #[test]
+    fn subbag_of_union() {
+        Prop::new("subbag_of_union").run(|rng| {
+            let (a, b) = (arb_bag(rng), arb_bag(rng));
+            assert!(a.is_subbag_of(&a.union(&b)));
+            assert!(a.monus(&b).is_subbag_of(&a));
+            assert!(a.min_intersect(&b).is_subbag_of(&a));
+            assert!(a.is_subbag_of(&a.max_union(&b)));
+        });
+    }
 
-        #[test]
-        fn product_distributes_over_union(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
+    #[test]
+    fn product_distributes_over_union() {
+        Prop::new("product_distributes_over_union").run(|rng| {
             // A × (B ⊎ C) = (A × B) ⊎ (A × C)
-            prop_assert_eq!(
-                a.product(&b.union(&c)),
-                a.product(&b).union(&a.product(&c))
-            );
-        }
+            let (a, b, c) = (arb_bag(rng), arb_bag(rng), arb_bag(rng));
+            assert_eq!(a.product(&b.union(&c)), a.product(&b).union(&a.product(&c)));
+        });
+    }
 
-        #[test]
-        fn dedup_idempotent(a in arb_bag()) {
-            prop_assert_eq!(a.dedup().dedup(), a.dedup());
-        }
+    #[test]
+    fn dedup_idempotent() {
+        Prop::new("dedup_idempotent").run(|rng| {
+            let a = arb_bag(rng);
+            assert_eq!(a.dedup().dedup(), a.dedup());
+        });
+    }
 
-        #[test]
-        fn snapshot_roundtrip(a in arb_bag(), b in arb_bag()) {
+    #[test]
+    fn snapshot_roundtrip() {
+        Prop::new("snapshot_roundtrip").run(|rng| {
             use std::collections::BTreeMap;
             let mut bags = BTreeMap::new();
-            bags.insert("r".to_string(), a);
-            bags.insert("s".to_string(), b);
+            bags.insert("r".to_string(), arb_bag(rng));
+            bags.insert("s".to_string(), arb_bag(rng));
             let snap = crate::snapshot::Snapshot::from_bags(bags);
-            prop_assert_eq!(crate::snapshot::Snapshot::decode(snap.encode()).unwrap(), snap);
-        }
+            assert_eq!(crate::snapshot::Snapshot::decode(snap.encode()).unwrap(), snap);
+        });
     }
 }

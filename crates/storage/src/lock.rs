@@ -10,8 +10,7 @@
 //!   decision-support queries experience during refresh),
 //! * acquisition counts.
 
-use parking_lot::lock_api::ArcRwLockReadGuard;
-use parking_lot::{RawRwLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use dvm_testkit::sync::{ArcRwLockReadGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,7 +18,7 @@ use std::time::Instant;
 /// An owning read guard: keeps the lock's `Arc` alive, so it has no borrow
 /// lifetime and can be stored in evaluator state while the catalog entry that
 /// produced it goes out of scope.
-pub type OwnedReadGuard<T> = ArcRwLockReadGuard<RawRwLock, T>;
+pub type OwnedReadGuard<T> = ArcRwLockReadGuard<T>;
 
 /// Aggregated lock metrics. All counters are monotone; snapshot with
 /// [`LockMetrics::snapshot`].
@@ -108,7 +107,10 @@ impl<T> InstrumentedRwLock<T> {
     /// Acquire an owning read guard (no borrow lifetime), recording block
     /// time. Used by the query evaluator to pin table contents for the
     /// duration of a scan without cloning them.
-    pub fn read_owned(&self) -> OwnedReadGuard<T> {
+    pub fn read_owned(&self) -> OwnedReadGuard<T>
+    where
+        T: 'static,
+    {
         let start = Instant::now();
         let guard = RwLock::read_arc(&self.inner);
         let waited = start.elapsed().as_nanos() as u64;

@@ -14,7 +14,6 @@ use crate::bag::Bag;
 use crate::error::{Result, StorageError};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -76,41 +75,42 @@ impl Snapshot {
     const VERSION: u8 = 1;
 
     /// Encode to a compact binary buffer.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_u8(Self::VERSION);
-        buf.put_u32(self.bags.len() as u32);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.push(Self::VERSION);
+        put_u32(&mut buf, self.bags.len() as u32);
         for (name, bag) in &self.bags {
             put_str(&mut buf, name);
-            buf.put_u32(bag.distinct_len() as u32);
+            put_u32(&mut buf, bag.distinct_len() as u32);
             for (tuple, mult) in bag.sorted_entries() {
-                buf.put_u64(mult);
-                buf.put_u16(tuple.arity() as u16);
+                put_u64(&mut buf, mult);
+                put_u16(&mut buf, tuple.arity() as u16);
                 for v in tuple.values() {
                     encode_value(&mut buf, v);
                 }
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Decode a buffer produced by [`Snapshot::encode`].
-    pub fn decode(mut buf: Bytes) -> Result<Self> {
-        let version = get_u8(&mut buf)?;
+    pub fn decode(buf: impl AsRef<[u8]>) -> Result<Self> {
+        let mut buf = Reader(buf.as_ref());
+        let version = buf.u8()?;
         if version != Self::VERSION {
             return Err(StorageError::CorruptSnapshot(format!(
                 "unsupported version {version}"
             )));
         }
-        let ntables = get_u32(&mut buf)? as usize;
+        let ntables = buf.u32()? as usize;
         let mut bags = BTreeMap::new();
         for _ in 0..ntables {
-            let name = get_str(&mut buf)?;
-            let ntuples = get_u32(&mut buf)? as usize;
+            let name = buf.str()?;
+            let ntuples = buf.u32()? as usize;
             let mut bag = Bag::with_capacity(ntuples);
             for _ in 0..ntuples {
-                let mult = get_u64(&mut buf)?;
-                let arity = get_u16(&mut buf)? as usize;
+                let mult = buf.u64()?;
+                let arity = buf.u16()? as usize;
                 let mut vals = Vec::with_capacity(arity);
                 for _ in 0..arity {
                     vals.push(decode_value(&mut buf)?);
@@ -119,10 +119,10 @@ impl Snapshot {
             }
             bags.insert(name, bag);
         }
-        if buf.has_remaining() {
+        if !buf.0.is_empty() {
             return Err(StorageError::CorruptSnapshot(format!(
                 "{} trailing bytes",
-                buf.remaining()
+                buf.0.len()
             )));
         }
         Ok(Snapshot { bags })
@@ -141,87 +141,102 @@ impl Snapshot {
     /// Load a snapshot previously written by [`Snapshot::save_to`].
     pub fn load_from(path: &std::path::Path) -> Result<Snapshot> {
         let data = std::fs::read(path).map_err(|e| StorageError::Io(e.to_string()))?;
-        Snapshot::decode(Bytes::from(data))
+        Snapshot::decode(data)
     }
 }
 
-fn encode_value(buf: &mut BytesMut, v: &Value) {
+fn encode_value(buf: &mut Vec<u8>, v: &Value) {
     match v {
-        Value::Null => buf.put_u8(0),
+        Value::Null => buf.push(0),
         Value::Bool(b) => {
-            buf.put_u8(1);
-            buf.put_u8(*b as u8);
+            buf.push(1);
+            buf.push(*b as u8);
         }
         Value::Int(i) => {
-            buf.put_u8(2);
-            buf.put_i64(*i);
+            buf.push(2);
+            put_u64(buf, *i as u64);
         }
         Value::Double(d) => {
-            buf.put_u8(3);
-            buf.put_u64(d.to_bits());
+            buf.push(3);
+            put_u64(buf, d.to_bits());
         }
         Value::Str(s) => {
-            buf.put_u8(4);
+            buf.push(4);
             put_str(buf, s);
         }
     }
 }
 
-fn decode_value(buf: &mut Bytes) -> Result<Value> {
-    match get_u8(buf)? {
+fn decode_value(buf: &mut Reader<'_>) -> Result<Value> {
+    match buf.u8()? {
         0 => Ok(Value::Null),
-        1 => Ok(Value::Bool(get_u8(buf)? != 0)),
-        2 => Ok(Value::Int(get_u64(buf)? as i64)),
-        3 => Ok(Value::Double(f64::from_bits(get_u64(buf)?))),
-        4 => Ok(Value::Str(Arc::from(get_str(buf)?.as_str()))),
+        1 => Ok(Value::Bool(buf.u8()? != 0)),
+        2 => Ok(Value::Int(buf.u64()? as i64)),
+        3 => Ok(Value::Double(f64::from_bits(buf.u64()?))),
+        4 => Ok(Value::Str(Arc::from(buf.str()?.as_str()))),
         tag => Err(StorageError::CorruptSnapshot(format!(
             "unknown value tag {tag}"
         ))),
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+// Big-endian writers over a plain byte vector.
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
 }
 
-fn need(buf: &Bytes, n: usize) -> Result<()> {
-    if buf.remaining() < n {
-        Err(StorageError::CorruptSnapshot(format!(
-            "need {n} bytes, have {}",
-            buf.remaining()
-        )))
-    } else {
-        Ok(())
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked big-endian reader over a byte slice; consumed front-first.
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(StorageError::CorruptSnapshot(format!(
+                "need {n} bytes, have {}",
+                self.0.len()
+            )));
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
     }
-}
 
-fn get_u8(buf: &mut Bytes) -> Result<u8> {
-    need(buf, 1)?;
-    Ok(buf.get_u8())
-}
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
 
-fn get_u16(buf: &mut Bytes) -> Result<u16> {
-    need(buf, 2)?;
-    Ok(buf.get_u16())
-}
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
 
-fn get_u32(buf: &mut Bytes) -> Result<u32> {
-    need(buf, 4)?;
-    Ok(buf.get_u32())
-}
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64> {
-    need(buf, 8)?;
-    Ok(buf.get_u64())
-}
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
-    let len = get_u32(buf)? as usize;
-    need(buf, len)?;
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|e| StorageError::CorruptSnapshot(format!("bad utf8: {e}")))
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StorageError::CorruptSnapshot(format!("bad utf8: {e}")))
+    }
 }
 
 #[cfg(test)]
@@ -262,9 +277,8 @@ mod tests {
     fn truncated_buffer_errors() {
         let bytes = sample().encode();
         for cut in [0, 1, 5, bytes.len() - 1] {
-            let truncated = bytes.slice(0..cut);
             assert!(
-                Snapshot::decode(truncated).is_err(),
+                Snapshot::decode(&bytes[..cut]).is_err(),
                 "cut at {cut} should fail"
             );
         }
@@ -272,16 +286,16 @@ mod tests {
 
     #[test]
     fn trailing_garbage_errors() {
-        let mut buf = BytesMut::from(&sample().encode()[..]);
-        buf.put_u8(0xff);
-        assert!(Snapshot::decode(buf.freeze()).is_err());
+        let mut buf = sample().encode();
+        buf.push(0xff);
+        assert!(Snapshot::decode(buf).is_err());
     }
 
     #[test]
     fn bad_version_errors() {
-        let mut buf = BytesMut::from(&sample().encode()[..]);
+        let mut buf = sample().encode();
         buf[0] = 99;
-        assert!(Snapshot::decode(buf.freeze()).is_err());
+        assert!(Snapshot::decode(buf).is_err());
     }
 
     #[test]

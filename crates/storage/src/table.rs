@@ -6,7 +6,7 @@ use crate::lock::{InstrumentedRwLock, LockMetrics, OwnedReadGuard, TimedWriteGua
 use crate::schema::Schema;
 use crate::stats::TableStats;
 use crate::tuple::Tuple;
-use parking_lot::RwLockReadGuard;
+use dvm_testkit::sync::RwLockReadGuard;
 use std::fmt;
 
 /// Whether a table is user-visible or maintenance-internal.

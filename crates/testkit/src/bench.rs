@@ -1,0 +1,306 @@
+//! Statistical micro-benchmark runner replacing Criterion.
+//!
+//! Each benchmark is timed over `samples` samples after a warmup; a sample
+//! is `iters` back-to-back calls (auto-calibrated so one sample takes at
+//! least ~1 ms), reported as per-call nanoseconds. Summaries carry
+//! min/median/p95/max/mean and serialize to JSON so experiment trajectories
+//! (`BENCH_*.json`) can be tracked across commits.
+//!
+//! Environment knobs: `DVM_BENCH_SAMPLES`, `DVM_BENCH_WARMUP_MS` override
+//! the defaults; a runner built with [`Bench::quick`] executes every body
+//! exactly once (used when a bench binary is invoked by `cargo test`).
+
+use std::hint::black_box;
+use std::io::Write;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    samples: u32,
+    warmup: Duration,
+    target_sample: Duration,
+    quick: bool,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            samples: 30,
+            warmup: Duration::from_millis(200),
+            target_sample: Duration::from_millis(1),
+            quick: false,
+        }
+    }
+}
+
+impl Bench {
+    /// Defaults (30 samples, 200 ms warmup), overridable via
+    /// `DVM_BENCH_SAMPLES` / `DVM_BENCH_WARMUP_MS`.
+    pub fn from_env() -> Self {
+        let mut b = Bench::default();
+        if let Some(s) = env_u64("DVM_BENCH_SAMPLES") {
+            b.samples = (s as u32).max(1);
+        }
+        if let Some(ms) = env_u64("DVM_BENCH_WARMUP_MS") {
+            b.warmup = Duration::from_millis(ms);
+        }
+        b
+    }
+
+    /// A smoke-test runner: no warmup, every body runs exactly once.
+    pub fn quick() -> Self {
+        Bench {
+            samples: 1,
+            warmup: Duration::ZERO,
+            target_sample: Duration::ZERO,
+            quick: true,
+        }
+    }
+
+    /// Set the sample count.
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Time `f`, auto-calibrating iterations per sample.
+    pub fn run<T>(&self, name: impl Into<String>, mut f: impl FnMut() -> T) -> Summary {
+        let name = name.into();
+        if self.quick {
+            let start = Instant::now();
+            black_box(f());
+            return Summary::from_samples(name, 1, &[start.elapsed().as_nanos() as f64]);
+        }
+        // Calibrate: double iters until one sample meets the target time.
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = time_iters(&mut f, iters);
+            if elapsed >= self.target_sample || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        // Warmup for the configured wall time.
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.warmup {
+            time_iters(&mut f, iters);
+        }
+        let mut samples = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let elapsed = time_iters(&mut f, iters);
+            samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        Summary::from_samples(name, iters, &samples)
+    }
+
+    /// Time `routine` on a fresh `setup()` value per sample (the
+    /// Criterion `iter_batched`/`PerIteration` shape: setup cost excluded,
+    /// one timed call per sample — for routines that consume their input,
+    /// like a refresh draining a backlog).
+    pub fn run_batched<S, T>(
+        &self,
+        name: impl Into<String>,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) -> Summary {
+        let name = name.into();
+        let rounds = if self.quick { 1 } else { self.samples };
+        let mut samples = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        Summary::from_samples(name, 1, &samples)
+    }
+}
+
+fn time_iters<T>(f: &mut impl FnMut() -> T, iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Aggregated timing result for one benchmark, in per-call nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Benchmark name (`group/name/param`).
+    pub name: String,
+    /// Number of samples taken.
+    pub samples: u32,
+    /// Calls per sample.
+    pub iters_per_sample: u64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+}
+
+impl Summary {
+    fn from_samples(name: String, iters_per_sample: u64, samples: &[f64]) -> Self {
+        assert!(!samples.is_empty());
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let pct = |p: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Summary {
+            name,
+            samples: samples.len() as u32,
+            iters_per_sample,
+            min_ns: sorted[0],
+            median_ns: pct(0.5),
+            p95_ns: pct(0.95),
+            max_ns: *sorted.last().expect("nonempty"),
+            mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    }
+
+    /// One JSON object, flat numeric fields.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"samples\":{},\"iters_per_sample\":{},\
+             \"min_ns\":{:.1},\"median_ns\":{:.1},\"p95_ns\":{:.1},\
+             \"max_ns\":{:.1},\"mean_ns\":{:.1}}}",
+            json_string(&self.name),
+            self.samples,
+            self.iters_per_sample,
+            self.min_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.max_ns,
+            self.mean_ns,
+        )
+    }
+}
+
+/// Escape a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize a benchmark run as a `{"benchmarks": [...]}` JSON document.
+pub fn to_json_report(summaries: &[Summary]) -> String {
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&s.to_json());
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write [`to_json_report`] to a file.
+pub fn write_json(path: &Path, summaries: &[Summary]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json_report(summaries).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics_are_ordered() {
+        let s = Summary::from_samples("t".into(), 4, &[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 3.0);
+        assert_eq!(s.max_ns, 5.0);
+        assert_eq!(s.mean_ns, 3.0);
+        assert!(s.p95_ns >= s.median_ns && s.p95_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn quick_runs_body_once() {
+        let mut calls = 0;
+        let s = Bench::quick().run("once", || calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(s.samples, 1);
+    }
+
+    #[test]
+    fn run_measures_something_positive() {
+        let b = Bench::default().samples(5);
+        let s = b.run("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn run_batched_gets_fresh_input() {
+        let mut produced = 0;
+        let s = Bench::quick().run_batched(
+            "consume",
+            || {
+                produced += 1;
+                vec![1, 2, 3]
+            },
+            |v| drop(v),
+        );
+        assert_eq!(produced, 1);
+        assert_eq!(s.iters_per_sample, 1);
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        let s = Summary::from_samples("g/n".into(), 2, &[1.0, 2.0]);
+        let doc = to_json_report(&[s]);
+        assert!(doc.starts_with("{\"benchmarks\":["));
+        assert!(doc.contains("\"name\":\"g/n\""));
+        assert!(doc.contains("\"median_ns\""));
+        assert!(doc.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn write_json_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("dvm-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let s = Summary::from_samples("x".into(), 1, &[7.0]);
+        write_json(&path, &[s]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\":\"x\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! # dvm-testkit — hermetic test infrastructure
+//!
+//! Everything the workspace needs from external crates for testing,
+//! benchmarking, and synchronization, reimplemented on `std` alone so the
+//! whole repository builds and tests fully offline:
+//!
+//! * [`rng`] — the deterministic xorshift64* generator (promoted from
+//!   `dvm_algebra::testgen`), extended with `f64`/range/choice/shuffle
+//!   draws and a record/replay *tape* that powers shrinking;
+//! * [`prop`] — a property-test harness: seed-driven generators, bounded
+//!   shrink search over the RNG tape, pinned-seed regression cases, and
+//!   failure reports that print the reproducing seed;
+//! * [`bench`] — a statistical micro-benchmark runner (warmup,
+//!   N-sample median/p95, JSON emission) replacing Criterion;
+//! * [`sync`] — thin `RwLock`/`Mutex` wrappers with poison-unwrapping and
+//!   owned (`Arc`-backed) read guards, plus a scoped-worker helper,
+//!   replacing `parking_lot` and `crossbeam`.
+//!
+//! The crate deliberately has **no dependencies** (not even workspace
+//! ones), so every other crate — including `dvm-storage` at the bottom of
+//! the stack — can use it.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod sync;
+
+pub use bench::Bench;
+pub use prop::Prop;
+pub use rng::Rng;

@@ -1,0 +1,354 @@
+//! Shrinking property-test harness replacing `proptest`.
+//!
+//! A property is a closure `Fn(&mut Rng)` that draws a random input and
+//! asserts something about it (plain `assert!`/`assert_eq!` — a panic is a
+//! failure). The harness runs it for a configurable number of cases, each
+//! under a distinct case seed derived from the base seed, with the RNG in
+//! *recording* mode. When a case fails, the recorded tape of raw draws is
+//! shrunk — tail truncation, zeroing, and halving of entries, replayed
+//! after each edit — and the final report prints the failing case seed,
+//! the environment variable that reproduces it, and the shrunk tape.
+//!
+//! Pinned regressions: [`Prop::regression_seeds`] re-runs saved case seeds
+//! before any novel cases are generated (the moral equivalent of a
+//! `proptest-regressions` file), and [`replay_tape`] re-runs one explicit
+//! shrunk tape.
+//!
+//! Reproduction: set `DVM_PROP_SEED=<hex-or-decimal>` to run only that
+//! case seed (with full panic output, no shrinking).
+
+use crate::rng::Rng;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Environment variable that pins a single reproducing case seed.
+pub const SEED_ENV: &str = "DVM_PROP_SEED";
+
+/// Environment variable that overrides the number of cases per property.
+pub const CASES_ENV: &str = "DVM_PROP_CASES";
+
+/// Serializes panic-hook swapping across concurrently running properties
+/// (the libtest harness runs tests on many threads).
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Total shrink attempts per failure (replays of candidate tapes).
+const SHRINK_BUDGET: usize = 600;
+
+/// A configured property run.
+#[derive(Debug, Clone)]
+pub struct Prop {
+    name: String,
+    cases: u32,
+    base_seed: u64,
+    regressions: Vec<u64>,
+}
+
+impl Prop {
+    /// A property named `name` (used in failure reports), defaulting to
+    /// 256 cases under a fixed base seed.
+    pub fn new(name: impl Into<String>) -> Self {
+        Prop {
+            name: name.into(),
+            cases: 256,
+            base_seed: 0xD5_F3_7A_11,
+            regressions: Vec::new(),
+        }
+    }
+
+    /// Set the number of cases (the `DVM_PROP_CASES` env var overrides).
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Set the base seed from which case seeds are derived.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Pin previously failing case seeds: they run first, before any novel
+    /// cases, so a fixed bug stays fixed.
+    pub fn regression_seeds(mut self, seeds: &[u64]) -> Self {
+        self.regressions.extend_from_slice(seeds);
+        self
+    }
+
+    /// Run the property. Panics (failing the enclosing `#[test]`) on the
+    /// first failing case, after shrinking, with a reproduction recipe.
+    pub fn run(self, f: impl Fn(&mut Rng)) {
+        // Pinned reproduction: run exactly one case, without catching the
+        // panic, so the natural assertion message and backtrace surface.
+        if let Ok(v) = std::env::var(SEED_ENV) {
+            let seed = parse_seed(&v)
+                .unwrap_or_else(|| panic!("{SEED_ENV}={v}: not a u64 (decimal or 0x-hex)"));
+            eprintln!("property '{}': replaying pinned seed {seed:#x}", self.name);
+            f(&mut Rng::recording(seed));
+            return;
+        }
+        let cases = std::env::var(CASES_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases);
+        let seeds = self
+            .regressions
+            .iter()
+            .copied()
+            .chain((0..cases).map(|i| splitmix64(self.base_seed.wrapping_add(i as u64))));
+        for (i, case_seed) in seeds.enumerate() {
+            let mut rng = Rng::recording(case_seed);
+            if let Err(msg) = quiet_catch(|| f(&mut rng)) {
+                let tape = rng.tape().expect("recording mode").to_vec();
+                self.report_failure(&f, i, case_seed, tape, msg);
+            }
+        }
+    }
+
+    fn report_failure(
+        &self,
+        f: &impl Fn(&mut Rng),
+        case: usize,
+        case_seed: u64,
+        tape: Vec<u64>,
+        msg: String,
+    ) -> ! {
+        let (tape, msg) = shrink(f, tape, msg);
+        let shown = 24.min(tape.len());
+        panic!(
+            "property '{}' failed at case {case} (seed {case_seed:#x})\n\
+             reproduce with: {SEED_ENV}={case_seed:#x} cargo test\n\
+             shrunk input tape: {} draws, first {shown}: {:?}\n\
+             assertion: {msg}",
+            self.name,
+            tape.len(),
+            &tape[..shown],
+        );
+    }
+}
+
+/// Replay one explicit shrunk tape against a property — for pinning a
+/// minimal counterexample found by the shrinker as a regression test.
+pub fn replay_tape(tape: &[u64], f: impl Fn(&mut Rng)) {
+    f(&mut Rng::replay(tape.to_vec()));
+}
+
+/// Derive a well-mixed case seed from a base seed + index (splitmix64).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+thread_local! {
+    /// Nesting depth of [`quiet_catch`] on this thread — a nested call
+    /// (a property run inside another caught closure) must not re-acquire
+    /// [`HOOK_LOCK`], which is not reentrant.
+    static QUIET_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Run `f`, catching a panic and extracting its message, with the global
+/// panic hook silenced so shrink attempts don't flood the captured output.
+fn quiet_catch(f: impl FnOnce()) -> Result<(), String> {
+    let nested = QUIET_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v > 0
+    });
+    let result = if nested {
+        // The outer call on this thread already silenced the hook and
+        // holds the lock; just catch.
+        panic::catch_unwind(AssertUnwindSafe(f))
+    } else {
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        panic::set_hook(prev);
+        result
+    };
+    QUIET_DEPTH.with(|d| d.set(d.get() - 1));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Bounded shrink search over the raw-draw tape: keep any edit that still
+/// fails. Edits, in order of aggressiveness: truncate the tail, zero single
+/// entries, halve single entries. Returns the smallest failing tape found
+/// and its assertion message.
+fn shrink(f: &impl Fn(&mut Rng), tape: Vec<u64>, msg: String) -> (Vec<u64>, String) {
+    let mut best = tape;
+    let mut best_msg = msg;
+    let mut budget = SHRINK_BUDGET;
+    let try_candidate = |cand: &[u64], budget: &mut usize| -> Option<String> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        quiet_catch(|| f(&mut Rng::replay(cand.to_vec()))).err()
+    };
+
+    // Phase 1: binary-search the shortest failing prefix.
+    let mut lo = 0usize;
+    let mut hi = best.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match try_candidate(&best[..mid], &mut budget) {
+            Some(m) => {
+                best_msg = m;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+    best.truncate(hi);
+
+    // Phases 2–3: per-entry zeroing, then halving, looped to fixpoint.
+    loop {
+        let mut improved = false;
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand[i] = 0;
+            if let Some(m) = try_candidate(&cand, &mut budget) {
+                best = cand;
+                best_msg = m;
+                improved = true;
+            }
+        }
+        for i in 0..best.len() {
+            if best[i] <= 1 {
+                continue;
+            }
+            let mut cand = best.clone();
+            cand[i] /= 2;
+            if let Some(m) = try_candidate(&cand, &mut budget) {
+                best = cand;
+                best_msg = m;
+                improved = true;
+            }
+        }
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+    (best, best_msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = AtomicU32::new(0);
+        Prop::new("always-true").cases(40).run(|rng| {
+            count.fetch_add(1, Ordering::Relaxed);
+            assert!(rng.below(10) < 10);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_tape() {
+        let failure = quiet_catch(|| {
+            Prop::new("finds-big-value").cases(200).run(|rng| {
+                let v = rng.below(1_000);
+                assert!(v < 990, "drew {v}");
+            });
+        });
+        let msg = failure.expect_err("property must fail");
+        assert!(msg.contains("finds-big-value"), "{msg}");
+        assert!(msg.contains(SEED_ENV), "{msg}");
+        assert!(msg.contains("shrunk input tape"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vector_length() {
+        // Property: any drawn vector has < 3 elements ≥ 5. Up to 51 draws
+        // are made per case; the greedy tape shrinker (truncate/zero/halve
+        // — it cannot move draws) must still cut the tape down hard.
+        let failure = quiet_catch(|| {
+            Prop::new("short-vectors").cases(300).run(|rng| {
+                let len = rng.below(50) as usize;
+                let v: Vec<u64> = (0..len).map(|_| rng.below(10)).collect();
+                assert!(v.iter().filter(|&&x| x >= 5).count() < 3);
+            });
+        });
+        let msg = failure.expect_err("property must fail");
+        let draws: u64 = msg
+            .split("shrunk input tape: ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("tape size in report");
+        assert!(draws <= 20, "shrinker left {draws} draws: {msg}");
+    }
+
+    #[test]
+    fn regression_seeds_run_first() {
+        let count = AtomicU32::new(0);
+        let failure = quiet_catch(|| {
+            Prop::new("pinned")
+                .cases(100)
+                .regression_seeds(&[0xBAD])
+                .run(|rng| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    // Every seed fails; the point is that the pinned seed is
+                    // case 0 and is what gets reported.
+                    let _ = rng.next_u64();
+                    panic!("always fails");
+                });
+        });
+        let msg = failure.expect_err("must fail");
+        assert!(msg.contains("case 0"), "{msg}");
+        assert!(msg.contains("0xbad"), "{msg}");
+    }
+
+    #[test]
+    fn replay_tape_feeds_exact_draws() {
+        replay_tape(&[7, 3], |rng| {
+            assert_eq!(rng.next_u64(), 7);
+            assert_eq!(rng.next_u64(), 3);
+            assert_eq!(rng.next_u64(), 0, "exhausted tape yields zero");
+        });
+    }
+
+    #[test]
+    fn splitmix_spreads_adjacent_indices() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10, "adjacent seeds must decorrelate");
+    }
+
+    #[test]
+    fn parse_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("123"), Some(123));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed(" 0XFF "), Some(255));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! Deterministic xorshift64* PRNG with a record/replay *tape*.
+//!
+//! This is the generator that used to live in `dvm_algebra::testgen`,
+//! promoted here so every crate (including `dvm-storage`, below the algebra
+//! crate) can use it, and extended with the draws the workload and bench
+//! crates previously took from `rand`: unit-interval `f64`, integer ranges,
+//! choice, and shuffle.
+//!
+//! Beyond plain seeded generation, an [`Rng`] can run in one of two extra
+//! modes used by the property-test harness in [`crate::prop`]:
+//!
+//! * **recording** — every raw `u64` draw is appended to a tape;
+//! * **replay** — draws come from a fixed tape (zero once exhausted).
+//!
+//! Because every derived draw (`below`, `range`, `chance`, ...) consumes
+//! exactly one raw draw, editing the tape (truncating, zeroing, halving
+//! entries) and replaying it yields a *smaller* but structurally related
+//! input — which is what makes generator-agnostic shrinking possible.
+
+/// A minimal xorshift64* RNG — deterministic, seed-reproducible, with
+/// optional tape recording/replay.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+    mode: Mode,
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Plain seeded generation.
+    Free,
+    /// Seeded generation, raw draws appended to the tape.
+    Record(Vec<u64>),
+    /// Draws come from the tape; zero once exhausted.
+    Replay { tape: Vec<u64>, pos: usize },
+}
+
+impl Rng {
+    /// Seeded constructor (seed 0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+            mode: Mode::Free,
+        }
+    }
+
+    /// Seeded constructor that records every raw draw on a tape.
+    pub fn recording(seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        rng.mode = Mode::Record(Vec::new());
+        rng
+    }
+
+    /// Constructor that replays a fixed tape of raw draws, yielding `0`
+    /// for every draw past the end of the tape.
+    pub fn replay(tape: Vec<u64>) -> Self {
+        Rng {
+            state: 0x9E3779B97F4A7C15,
+            mode: Mode::Replay { tape, pos: 0 },
+        }
+    }
+
+    /// The recorded tape, if this RNG is in recording mode.
+    pub fn tape(&self) -> Option<&[u64]> {
+        match &self.mode {
+            Mode::Record(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        if let Mode::Replay { tape, pos } = &mut self.mode {
+            let v = tape.get(*pos).copied().unwrap_or(0);
+            *pos += 1;
+            return v;
+        }
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let out = x.wrapping_mul(0x2545F4914F6CDD1D);
+        if let Mode::Record(tape) = &mut self.mode {
+            tape.push(out);
+        }
+        out
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform index into a collection of length `n` (`n` must be > 0).
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.below((hi - lo).max(1) as u64) as i64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo).max(1) as u64) as usize
+    }
+
+    /// Bernoulli with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// An arbitrary `i64` (full range).
+    pub fn any_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics when `items` is empty.
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = Rng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn recording_replays_identically() {
+        let mut rec = Rng::recording(7);
+        let drawn: Vec<u64> = (0..20).map(|_| rec.below(100)).collect();
+        let tape = rec.tape().unwrap().to_vec();
+        let mut rep = Rng::replay(tape);
+        let replayed: Vec<u64> = (0..20).map(|_| rep.below(100)).collect();
+        assert_eq!(drawn, replayed);
+        // past the tape end, draws are zero
+        assert_eq!(rep.next_u64(), 0);
+        assert_eq!(rep.below(5), 0);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1_000 {
+            let v = rng.range(-5, 9);
+            assert!((-5..9).contains(&v));
+            let u = rng.range_usize(2, 6);
+            assert!((2..6).contains(&u));
+            let f = rng.f64_unit();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.f64_range(1.0, 2.5);
+            assert!((1.0..2.5).contains(&g));
+            assert!(rng.below(17) < 17);
+            assert!(rng.index(4) < 4);
+        }
+    }
+
+    #[test]
+    fn f64_unit_is_roughly_uniform() {
+        let mut rng = Rng::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.f64_unit()).sum::<f64>() / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn choice_and_shuffle_cover_all_elements() {
+        let mut rng = Rng::new(5);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*rng.choice(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        rng.shuffle(&mut v);
+        assert_ne!(v, orig, "50 elements should not shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::new(9);
+        for _ in 0..100 {
+            assert!(rng.chance(1, 1));
+            assert!(!rng.chance(0, 3));
+        }
+    }
+}

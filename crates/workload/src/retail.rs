@@ -14,8 +14,7 @@ use dvm_algebra::Expr;
 use dvm_core::{Database, Result};
 use dvm_delta::Transaction;
 use dvm_storage::{tuple, Bag, Schema, Tuple, ValueType};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dvm_testkit::Rng;
 
 /// Configuration for the retail generator.
 #[derive(Debug, Clone)]
@@ -50,7 +49,7 @@ impl Default for RetailConfig {
 /// Generator state: deterministic stream of sales transactions.
 pub struct RetailGen {
     cfg: RetailConfig,
-    rng: StdRng,
+    rng: Rng,
     customer_zipf: Zipf,
     item_zipf: Zipf,
     /// Recently inserted sales rows, for generating deletions/returns.
@@ -99,7 +98,7 @@ pub fn view_expr() -> Expr {
 impl RetailGen {
     /// Build a generator.
     pub fn new(cfg: RetailConfig) -> Self {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Rng::new(cfg.seed);
         let customer_zipf = Zipf::new(cfg.customers, cfg.theta);
         let item_zipf = Zipf::new(cfg.items, cfg.theta);
         RetailGen {
@@ -151,8 +150,8 @@ impl RetailGen {
         let cust = self.customer_zipf.sample(&mut self.rng) as i64;
         let item = self.item_zipf.sample(&mut self.rng) as i64;
         // quantity 0 occurs (paper's predicate filters it); price in cents.
-        let quantity = self.rng.random_range(0..10i64);
-        let price = (self.rng.random_range(50..50_000i64) as f64) / 100.0;
+        let quantity = self.rng.range(0, 10);
+        let price = (self.rng.range(50, 50_000) as f64) / 100.0;
         tuple![cust, item, quantity, price]
     }
 
@@ -177,7 +176,7 @@ impl RetailGen {
             if self.live_sales.is_empty() {
                 break;
             }
-            let idx = self.rng.random_range(0..self.live_sales.len());
+            let idx = self.rng.index(self.live_sales.len());
             del.insert(self.live_sales.swap_remove(idx));
         }
         if !del.is_empty() {
@@ -195,7 +194,7 @@ impl RetailGen {
             if self.live_sales.is_empty() {
                 break;
             }
-            let idx = self.rng.random_range(0..self.live_sales.len());
+            let idx = self.rng.index(self.live_sales.len());
             bag.insert(self.live_sales[idx].clone());
         }
         Transaction::new()
@@ -209,7 +208,7 @@ impl RetailGen {
         let mut del = Bag::new();
         let mut ins = Bag::new();
         for _ in 0..n {
-            let id = self.rng.random_range(0..self.cfg.customers);
+            let id = self.rng.index(self.cfg.customers);
             let old = self.customer_row(id);
             // flip the score
             let flipped = if (id as f64 / self.cfg.customers as f64) < self.cfg.high_fraction {

@@ -4,8 +4,8 @@
 use dvm_core::{Database, Result};
 use dvm_delta::Transaction;
 use dvm_storage::lock::LockMetricsSnapshot;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use dvm_testkit::sync::with_workers;
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Aggregate over an executed update stream.
@@ -87,38 +87,25 @@ pub fn with_concurrent_readers<T>(
 ) -> Result<(T, ReaderStats)> {
     let mv = db.mv_table(view)?;
     let before = mv.lock_metrics().snapshot();
-    let stop = Arc::new(AtomicBool::new(false));
-    let mut reads_total = 0u64;
     let started = Instant::now();
-    let result = crossbeam::thread::scope(|scope| -> Result<(T, u64)> {
-        let mut handles = Vec::new();
-        for _ in 0..readers {
-            let mv = Arc::clone(&mv);
-            let stop = Arc::clone(&stop);
-            handles.push(scope.spawn(move |_| {
-                let mut reads = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    let guard = mv.read();
-                    // touch the bag so the read isn't optimized away
-                    std::hint::black_box(guard.len());
-                    drop(guard);
-                    reads += 1;
-                    std::thread::yield_now();
-                }
-                reads
-            }));
-        }
-        let out = f();
-        stop.store(true, Ordering::Relaxed);
-        let mut reads = 0;
-        for h in handles {
-            reads += h.join().expect("reader thread panicked");
-        }
-        Ok((out?, reads))
-    })
-    .expect("reader scope panicked");
-    let (out, reads) = result?;
-    reads_total += reads;
+    let (out, per_reader) = with_workers(
+        readers,
+        |_, stop| {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let guard = mv.read();
+                // touch the bag so the read isn't optimized away
+                std::hint::black_box(guard.len());
+                drop(guard);
+                reads += 1;
+                std::thread::yield_now();
+            }
+            reads
+        },
+        f,
+    );
+    let out = out?;
+    let reads_total: u64 = per_reader.iter().sum();
     let body = started.elapsed();
     let after = mv.lock_metrics().snapshot();
     let lock_delta = LockMetricsSnapshot {

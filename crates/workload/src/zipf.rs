@@ -5,7 +5,7 @@
 //! item identifiers from a Zipf(θ) distribution over `[0, n)`. The CDF is
 //! precomputed once; sampling is a binary search (O(log n)).
 
-use rand::Rng;
+use dvm_testkit::Rng;
 
 /// A Zipf(θ) distribution over ranks `0..n` (rank 0 most popular).
 #[derive(Debug, Clone)]
@@ -43,8 +43,8 @@ impl Zipf {
     }
 
     /// Sample a rank in `[0, n)`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.random();
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.f64_unit();
         // first index with cdf[i] >= u
         match self
             .cdf
@@ -59,13 +59,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_theta_zero() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         let mut counts = [0usize; 10];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -78,7 +76,7 @@ mod tests {
     #[test]
     fn skewed_when_theta_high() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::new(2);
         let mut counts = vec![0usize; 100];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -95,7 +93,7 @@ mod tests {
     #[test]
     fn samples_in_range() {
         let z = Zipf::new(7, 1.2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::new(3);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 7);
         }

@@ -1,0 +1,87 @@
+//! Workload determinism: the retail generator is a pure function of its
+//! seed. Two generators with the same configuration must emit *byte-for-
+//! byte identical* transaction traces (Zipf sampling included), because
+//! every experiment's reproducibility — and the bench harness's
+//! comparability across commits — rests on it.
+
+use dvm_testkit::Rng;
+use dvm_workload::{RetailConfig, RetailGen, Zipf};
+
+fn cfg(seed: u64) -> RetailConfig {
+    RetailConfig {
+        customers: 80,
+        items: 40,
+        initial_sales: 300,
+        seed,
+        ..RetailConfig::default()
+    }
+}
+
+/// Canonical serialization of a bag: tuples with multiplicities, sorted
+/// (bags hash-map iteration order is not stable, the *contents* are).
+fn canon(bag: &dvm_storage::Bag) -> String {
+    let mut rows: Vec<String> = bag.iter().map(|(t, m)| format!("{t:?}x{m}")).collect();
+    rows.sort();
+    rows.join(",")
+}
+
+/// Serialize a full mixed workload trace (the exact tuples, per batch).
+fn trace(seed: u64) -> String {
+    let mut g = RetailGen::new(cfg(seed));
+    let mut out = String::new();
+    for round in 0..10 {
+        let tx = match round % 4 {
+            0 => g.sales_batch(7),
+            1 => g.mixed_batch(5, 2),
+            2 => g.churn_batch(3),
+            _ => g.score_change_batch(4),
+        };
+        for table in ["sales", "customer"] {
+            if let Some((del, ins)) = tx.get(table) {
+                out.push_str(&format!(
+                    "{round} {table} del=[{}] ins=[{}]\n",
+                    canon(&del),
+                    canon(&ins)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn same_seed_produces_identical_traces() {
+    assert_eq!(trace(7), trace(7), "trace must be a function of the seed");
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    assert_ne!(trace(7), trace(8));
+}
+
+#[test]
+fn install_is_deterministic_too() {
+    use dvm_core::Database;
+    let load = |seed| {
+        let db = Database::new();
+        let mut g = RetailGen::new(cfg(seed));
+        g.install(&db).unwrap();
+        (
+            db.catalog().require("customer").unwrap().snapshot_bag(),
+            db.catalog().require("sales").unwrap().snapshot_bag(),
+        )
+    };
+    assert_eq!(load(5), load(5));
+    assert_ne!(load(5).1, load(6).1, "sales rows depend on the seed");
+}
+
+#[test]
+fn zipf_sampling_is_deterministic() {
+    let z = Zipf::new(100, 0.9);
+    let draw = |seed| {
+        let mut rng = Rng::new(seed);
+        (0..1_000).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+    };
+    assert_eq!(draw(42), draw(42));
+    assert_ne!(draw(42), draw(43));
+}

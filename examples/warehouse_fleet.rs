@@ -95,7 +95,7 @@ fn main() {
     );
 
     // Ad-hoc fresh analytics without any refresh lock: read-through.
-    let mut gen2 = RetailGen::new(RetailConfig {
+    let gen2 = RetailGen::new(RetailConfig {
         customers: 800,
         items: 200,
         initial_sales: 0,

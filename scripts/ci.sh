@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Offline CI: the whole workspace must build, test, and resolve its
+# dependency graph without touching any registry or network.
+#
+#   1. hermeticity gate — `cargo tree` may list only crates that live at a
+#      local path (the workspace members themselves); any registry dep
+#      (`crate v1.2.3` with no `(/path)` suffix) fails the build.
+#   2. release build, fully offline.
+#   3. the tier-1 test suite, fully offline.
+#
+# Usage: scripts/ci.sh  (from anywhere inside the repo)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> hermeticity: dependency graph must be workspace-only"
+# Every node `cargo tree` prints is either a workspace crate (path suffix
+# like `(/root/repo/crates/x)`, possibly followed by `(*)` dedup markers)
+# or an external registry crate. Keep dependency lines that lack a path.
+external=$(cargo tree --offline --workspace --edges normal,build,dev \
+  | grep -E '^[^a-zA-Z]*[a-zA-Z0-9_-]+ v[0-9]' \
+  | grep -v ' (/' \
+  | grep -v '(\*)' \
+  | sort -u || true)
+if [ -n "$external" ]; then
+  echo "FAIL: non-workspace registry dependencies found:" >&2
+  echo "$external" >&2
+  exit 1
+fi
+echo "    OK: only workspace-local crates in the graph"
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> CI green"

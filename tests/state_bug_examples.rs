@@ -1,0 +1,198 @@
+//! The paper's *state bug* (Section 1.2, Examples 1.2 & 1.3; Section 4.2,
+//! Remark 1) as tier-1 tests: evaluating pre-update delta equations in the
+//! post-update state double-counts (insertions) or under-counts
+//! (deletions), while the post-update algorithm of Section 4 is exact.
+//!
+//! Promoted from the `exp_state_bug` experiment binary so the claim is
+//! checked on every `cargo test`, not only when experiments run.
+
+use dvm_algebra::eval::eval;
+use dvm_algebra::infer::compile;
+use dvm_algebra::testgen::{Rng, Universe};
+use dvm_algebra::{col, Expr, Predicate};
+use dvm_delta::{
+    buggy_post_update_deltas, log_del_name, log_ins_name, post_update_deltas, LogTables,
+};
+use dvm_storage::{tuple, Bag, Schema, ValueType};
+use std::collections::HashMap;
+
+/// The paper's view: Q = Π_A(σ_{r.B = s.B}(R × S)).
+fn paper_query() -> Expr {
+    Expr::table("R")
+        .alias("r")
+        .product(Expr::table("S").alias("s"))
+        .select(Predicate::eq(col("r.B"), col("s.B")))
+        .project(["A"])
+}
+
+fn paper_provider() -> HashMap<String, Schema> {
+    let mut provider: HashMap<String, Schema> = HashMap::new();
+    provider.insert(
+        "R".into(),
+        Schema::from_pairs(&[("A", ValueType::Str), ("B", ValueType::Str)]),
+    );
+    provider.insert(
+        "S".into(),
+        Schema::from_pairs(&[("B", ValueType::Str), ("C", ValueType::Str)]),
+    );
+    for t in ["R", "S"] {
+        provider.insert(log_del_name(t), provider[t].clone());
+        provider.insert(log_ins_name(t), provider[t].clone());
+    }
+    provider
+}
+
+fn paper_log() -> LogTables {
+    let mut log = LogTables::new();
+    log.add("R").add("S");
+    log
+}
+
+/// Example 1.2: insertions into both join sides. The pre-update equations,
+/// evaluated after the update, see each new tuple join with the *other*
+/// side's new tuple as well and produce four `[a1]` rows instead of two.
+#[test]
+fn example_1_2_insertions_double_count() {
+    let provider = paper_provider();
+    let log = paper_log();
+    let q = paper_query();
+
+    // Post-update state: the transaction inserted [a1,b2] into R and
+    // [b2,c2] into S (the paper's exact numbers).
+    let mut s_c: HashMap<String, Bag> = HashMap::new();
+    s_c.insert(
+        "R".into(),
+        Bag::from_tuples([tuple!["a1", "b1"], tuple!["a1", "b2"]]),
+    );
+    s_c.insert(
+        "S".into(),
+        Bag::from_tuples([tuple!["b2", "c1"], tuple!["b2", "c2"]]),
+    );
+    s_c.insert(log_del_name("R"), Bag::new());
+    s_c.insert(log_ins_name("R"), Bag::singleton(tuple!["a1", "b2"]));
+    s_c.insert(log_del_name("S"), Bag::new());
+    s_c.insert(log_ins_name("S"), Bag::singleton(tuple!["b2", "c2"]));
+
+    let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &s_c).unwrap();
+
+    // Correct change: V grows from φ ({[a1,b1]} × {[b2,c1]} has no match)
+    // to {[a1], [a1]} — two new rows.
+    let good = post_update_deltas(&q, &log, &provider).unwrap();
+    assert_eq!(ev(&good.ins).len(), 2, "▲(L,Q) must produce two [a1] rows");
+    assert!(ev(&good.del).is_empty());
+
+    // The buggy equations count [a1,b2] ⋈ [b2,c1], [a1,b2] ⋈ [b2,c2],
+    // [a1,b1..b2] ⋈ [b2,c2] — the new-joins-new pair twice: four rows.
+    let bad = buggy_post_update_deltas(&q, &log, &provider).unwrap();
+    assert_eq!(ev(&bad.ins).len(), 4, "the state bug must reproduce");
+}
+
+/// Example 1.3: U = R ∸ S; the transaction moves `[b]` from R to S. The
+/// pre-update delete equation `∇U = (∇R ∸ S) ⊎ (ΔS min R)` evaluates to φ
+/// in the post-update state ([b] is already in S and no longer in R), so
+/// the stale `[b]` survives in the refreshed view.
+#[test]
+fn example_1_3_stale_tuple_survives() {
+    let s1 = Schema::from_pairs(&[("x", ValueType::Str)]);
+    let mut provider: HashMap<String, Schema> = HashMap::new();
+    for t in ["R", "S"] {
+        provider.insert(t.to_string(), s1.clone());
+        provider.insert(log_del_name(t), s1.clone());
+        provider.insert(log_ins_name(t), s1.clone());
+    }
+    let log = paper_log();
+    let q = Expr::table("R").monus(Expr::table("S"));
+
+    // Post-update state: R was {[a],[b],[c]}, S was {[c],[d]}; the
+    // transaction deleted [b] from R and inserted it into S.
+    let mut s_c: HashMap<String, Bag> = HashMap::new();
+    s_c.insert("R".into(), Bag::from_tuples([tuple!["a"], tuple!["c"]]));
+    s_c.insert(
+        "S".into(),
+        Bag::from_tuples([tuple!["b"], tuple!["c"], tuple!["d"]]),
+    );
+    s_c.insert(log_del_name("R"), Bag::singleton(tuple!["b"]));
+    s_c.insert(log_ins_name("R"), Bag::new());
+    s_c.insert(log_del_name("S"), Bag::new());
+    s_c.insert(log_ins_name("S"), Bag::singleton(tuple!["b"]));
+
+    let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &s_c).unwrap();
+
+    let mv = Bag::from_tuples([tuple!["a"], tuple!["b"]]); // U materialized pre-update
+    let truth = ev(&q);
+    assert_eq!(truth, Bag::singleton(tuple!["a"]));
+
+    let good = post_update_deltas(&q, &log, &provider).unwrap();
+    assert_eq!(
+        mv.monus(&ev(&good.del)).union(&ev(&good.ins)),
+        truth,
+        "post-update refresh must remove the stale [b]"
+    );
+
+    let bad = buggy_post_update_deltas(&q, &log, &provider).unwrap();
+    let bad_result = mv.monus(&ev(&bad.del)).union(&ev(&bad.ins));
+    assert!(
+        bad_result.contains(&tuple!["b"]),
+        "pre-update equations post-update must leave the stale [b] behind"
+    );
+}
+
+/// Bounded randomized search (a tier-1 slice of experiment E1): over the
+/// unrestricted class the post-update algorithm never fails and the buggy
+/// one does; over the Remark-1 restricted class both agree.
+#[test]
+fn randomized_search_confirms_remark_1() {
+    let u = Universe::small(3);
+    let mut provider = u.provider();
+    for t in &u.tables {
+        provider.insert(log_del_name(t), u.schema.clone());
+        provider.insert(log_ins_name(t), u.schema.clone());
+    }
+
+    let mut rng = Rng::new(0xDEAD);
+    let mut buggy_wrong = 0usize;
+    let mut instances = 0usize;
+    while instances < 400 {
+        let s_p = u.state(&mut rng, 4);
+        let q = u.expr(&mut rng, 2);
+        let f = u.weakly_minimal_subst(&mut rng, &s_p);
+        if f.is_empty() {
+            continue;
+        }
+        instances += 1;
+        let mut s_c = u.apply_subst_to_state(&f, &s_p);
+        let mut log = LogTables::new();
+        for t in &u.tables {
+            log.add(t.clone());
+            let (d, a) = match f.get(t) {
+                Some((Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. })) => {
+                    (d.clone(), a.clone())
+                }
+                None => (Bag::new(), Bag::new()),
+                _ => unreachable!("literal deltas"),
+            };
+            s_c.insert(log_del_name(t), d);
+            s_c.insert(log_ins_name(t), a);
+        }
+        let q_plan = compile(&q, &provider).unwrap().plan;
+        let mv = eval(&q_plan, &s_p).unwrap();
+        let truth = eval(&q_plan, &s_c).unwrap();
+        let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &s_c).unwrap();
+
+        let good = post_update_deltas(&q, &log, &provider).unwrap();
+        assert_eq!(
+            mv.monus(&ev(&good.del)).union(&ev(&good.ins)),
+            truth,
+            "post-update algorithm failed on {q}"
+        );
+
+        let bad = buggy_post_update_deltas(&q, &log, &provider).unwrap();
+        if mv.monus(&ev(&bad.del)).union(&ev(&bad.ins)) != truth {
+            buggy_wrong += 1;
+        }
+    }
+    assert!(
+        buggy_wrong > 0,
+        "the state bug must reproduce somewhere in 400 unrestricted instances"
+    );
+}
