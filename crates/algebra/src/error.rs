@@ -29,6 +29,17 @@ pub enum AlgebraError {
     BadLiteral(String),
     /// EXCEPT expansion requires distinct, nonempty column names.
     UnexpandableExcept(String),
+    /// Joining two tuples overflowed the `u64` multiplicity counter.
+    ///
+    /// Deferred maintenance trades in exact multiplicities (the differential
+    /// formulas of Lemma 1 cancel occurrence counts), so clamping here would
+    /// silently corrupt every downstream delta — surface it instead.
+    MultiplicityOverflow {
+        /// Multiplicity of the probe-side tuple.
+        left: u64,
+        /// Multiplicity of the build-side tuple.
+        right: u64,
+    },
 }
 
 impl fmt::Display for AlgebraError {
@@ -47,6 +58,12 @@ impl fmt::Display for AlgebraError {
             AlgebraError::BadLiteral(msg) => write!(f, "bad literal bag: {msg}"),
             AlgebraError::UnexpandableExcept(msg) => {
                 write!(f, "cannot expand EXCEPT: {msg}")
+            }
+            AlgebraError::MultiplicityOverflow { left, right } => {
+                write!(
+                    f,
+                    "joined multiplicity overflows u64: {left} * {right}"
+                )
             }
         }
     }

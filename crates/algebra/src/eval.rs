@@ -142,20 +142,22 @@ fn eval_cow<'a>(plan: &'a Plan, src: &'a dyn BagSource) -> Result<Cow<'a, Bag>> 
         } => {
             let l = eval_cow(left, src)?;
             let r = eval_cow(right, src)?;
-            Cow::Owned(hash_join(&l, &r, left_keys, right_keys, residual))
+            Cow::Owned(hash_join(&l, &r, left_keys, right_keys, residual)?)
         }
     })
 }
 
 /// Hash equi-join: build on the right side, probe with the left.
-/// Multiplicities multiply; `residual` filters the concatenated tuple.
+/// Multiplicities multiply (checked — an overflow is surfaced as
+/// [`crate::AlgebraError::MultiplicityOverflow`], never clamped); `residual`
+/// filters the concatenated tuple.
 fn hash_join(
     left: &Bag,
     right: &Bag,
     left_keys: &[usize],
     right_keys: &[usize],
     residual: &crate::plan::PhysPredicate,
-) -> Bag {
+) -> Result<Bag> {
     use dvm_storage::{Tuple, Value};
     // Key values are normalized so hash-equality coincides with the
     // evaluator's SQL comparison semantics: integers coerce to doubles
@@ -189,12 +191,18 @@ fn hash_join(
             for (rt, rm) in matches {
                 let joined = lt.concat(rt);
                 if residual.eval(&joined) {
-                    out.insert_n(joined, lm.saturating_mul(*rm));
+                    let m = lm.checked_mul(*rm).ok_or(
+                        crate::AlgebraError::MultiplicityOverflow {
+                            left: lm,
+                            right: *rm,
+                        },
+                    )?;
+                    out.insert_n(joined, m);
                 }
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -334,6 +342,62 @@ mod tests {
         let e = Expr::literal(Bag::singleton(tuple![7, 70]), s);
         let out = run(&c, &e.union(Expr::table("r")));
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn hash_join_multiplicity_overflow_is_an_error() {
+        use crate::AlgebraError;
+        let c = Catalog::new();
+        for name in ["hl", "hr"] {
+            let t = c
+                .create_table(
+                    name,
+                    Schema::from_pairs(&[("k", ValueType::Int)]),
+                    TableKind::External,
+                )
+                .unwrap();
+            let mut huge = Bag::new();
+            huge.insert_n(tuple![1], u64::MAX / 2);
+            t.replace(huge).unwrap();
+        }
+        let e = Expr::table("hl")
+            .alias("l")
+            .product(Expr::table("hr").alias("r"))
+            .select(Predicate::eq(col("l.k"), col("r.k")));
+        let q = compile(&e, &c).unwrap();
+        assert!(
+            matches!(q.plan, Plan::HashJoin { .. }),
+            "equi-join must compile to a hash join for this test to bite"
+        );
+        let err = eval_in_catalog(&q, &c).unwrap_err();
+        assert!(matches!(err, AlgebraError::MultiplicityOverflow { .. }));
+        assert!(err.to_string().contains("overflows u64"));
+    }
+
+    #[test]
+    fn hash_join_large_but_representable_multiplicities_ok() {
+        let c = Catalog::new();
+        let mk = |name: &str, m: u64| {
+            let t = c
+                .create_table(
+                    name,
+                    Schema::from_pairs(&[("k", ValueType::Int)]),
+                    TableKind::External,
+                )
+                .unwrap();
+            let mut b = Bag::new();
+            b.insert_n(tuple![1], m);
+            t.replace(b).unwrap();
+        };
+        mk("gl", 1 << 32);
+        mk("gr", (1 << 31) - 1);
+        let e = Expr::table("gl")
+            .alias("l")
+            .product(Expr::table("gr").alias("r"))
+            .select(Predicate::eq(col("l.k"), col("r.k")));
+        let q = compile(&e, &c).unwrap();
+        let out = eval_in_catalog(&q, &c).unwrap();
+        assert_eq!(out.multiplicity(&tuple![1, 1]), (1u64 << 32) * ((1 << 31) - 1));
     }
 
     #[test]

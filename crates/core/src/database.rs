@@ -3,14 +3,39 @@
 //!
 //! ### Concurrency model
 //!
-//! Readers (`query_view`, `eval`) may run from any thread at any time; they
-//! only take read locks and observe consistent table states. Update
-//! transactions and maintenance operations (`execute`, `refresh`,
-//! `propagate`, `partial_refresh`) must be driven from a single maintenance
-//! thread — the paper assumes transactional isolation between updaters,
-//! which this engine does not re-implement. This matches the experimental
-//! setup: decision-support readers concurrent with a serialized update/
-//! refresh stream (Example 1.1).
+//! Any number of threads may execute transactions, run maintenance
+//! operations, and read views concurrently. Correctness rests on two
+//! mechanisms:
+//!
+//! **Commit claims.** Every table carries a commit-intent `RwLock` separate
+//! from its data lock (`Table::commit_shared` / `commit_exclusive`).
+//! `execute` claims the transaction's write set *exclusively* and every
+//! other base table of a relevant view *shared*, and holds the claims from
+//! weak-minimality normalization through delta apply — closing the TOCTOU
+//! window where a concurrent writer could invalidate the weakly-minimal
+//! precondition Lemma 1 depends on. `refresh`/`propagate` claim a view's
+//! base tables shared, so maintenance of independent views runs in
+//! parallel while conflicting writers serialize. Plain readers
+//! (`query_view`, `eval`, `read_through`) never touch commit claims.
+//!
+//! **Lock order.** Nested acquisition always follows
+//!
+//! 1. per-view maintenance mutex ([`View::maintenance_lock`]);
+//! 2. table commit claims, as one batch in ascending table-name order
+//!    (`Catalog::lock_commit`);
+//! 3. table data locks (also in sorted order, via `PinnedState::pin` or
+//!    one table at a time);
+//! 4. `shared_cursors`, then the shared log's internal mutex.
+//!
+//! The views map and catalog map are leaf locks: they are only held for
+//! map lookups/insertions, never while blocking on anything above. A
+//! generation counter on the views map lets `execute` detect a view
+//! created between snapshotting the view set and acquiring claims, and
+//! retry.
+//!
+//! Invariants (`INV_*`, Figure 1) hold whenever no commit claim is held;
+//! mid-flight, readers still see each individual table in a consistent
+//! state (data locks are only dropped at consistent points).
 
 use crate::epochlog::SharedLog;
 use crate::error::{CoreError, Result};
@@ -22,9 +47,10 @@ use dvm_algebra::eval::PinnedState;
 use dvm_algebra::infer::compile;
 use dvm_algebra::Expr;
 use dvm_delta::{compose_into, Transaction};
-use dvm_storage::{Bag, Catalog, Schema, Table, TableKind};
-use dvm_testkit::sync::RwLock;
-use std::collections::{BTreeMap, HashMap};
+use dvm_storage::{Bag, Catalog, CommitGuard, CommitMode, Schema, Table, TableKind};
+use dvm_testkit::sync::{with_workers, RwLock};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,10 +66,22 @@ pub struct ExecReport {
     pub views_maintained: usize,
 }
 
+/// What [`Database::lock_for_execute`] pins: the held commit claims, the
+/// views relevant to the transaction, and the shared-log view names as of
+/// claim time (stable for as long as the claims are held).
+type ExecuteClaims = (Vec<CommitGuard>, Vec<Arc<View>>, BTreeSet<String>);
+
 /// A database with deferred-view-maintenance support.
 pub struct Database {
     catalog: Catalog,
     views: RwLock<BTreeMap<String, Arc<View>>>,
+    /// Bumped (under the `views` write lock) whenever the view set changes;
+    /// lets `execute` detect a racing `create_view`/`drop_view` after it
+    /// has acquired commit claims, and retry with the fresh set.
+    views_gen: AtomicU64,
+    /// Worker threads for fanning maintenance across views: 0 = pick from
+    /// `std::thread::available_parallelism`.
+    maintenance_threads: AtomicUsize,
     /// The shared epoch log (Section 7): transactions append once,
     /// regardless of how many shared-log views exist.
     shared_log: SharedLog,
@@ -64,9 +102,34 @@ impl Database {
         Database {
             catalog: Catalog::new(),
             views: RwLock::new(BTreeMap::new()),
+            views_gen: AtomicU64::new(0),
+            maintenance_threads: AtomicUsize::new(0),
             shared_log: SharedLog::new(),
             shared_cursors: RwLock::new(BTreeMap::new()),
         }
+    }
+
+    /// Set the number of worker threads used to fan per-view maintenance
+    /// work (`makesafe` in `execute`, [`Database::propagate_all`],
+    /// [`Database::refresh_all`]) across views. `0` (the default) sizes the
+    /// pool from `std::thread::available_parallelism`; `1` forces the
+    /// serial path.
+    pub fn set_maintenance_threads(&self, n: usize) {
+        self.maintenance_threads.store(n, Ordering::Relaxed);
+    }
+
+    /// Worker count for a fan-out over `jobs` independent items (at least
+    /// 1, never more than the configured/available parallelism or `jobs`).
+    fn maintenance_workers(&self, jobs: usize) -> usize {
+        let configured = self.maintenance_threads.load(Ordering::Relaxed);
+        let cap = if configured == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            configured
+        };
+        cap.min(jobs).max(1)
     }
 
     /// The underlying catalog (all tables, including internal ones).
@@ -101,7 +164,32 @@ impl Database {
         scenario: Scenario,
         minimality: Minimality,
     ) -> Result<()> {
-        let name = name.into();
+        self.create_view_inner(name.into(), definition, scenario, minimality, false)
+    }
+
+    /// Create a [`Scenario::Combined`] view that reads the **shared epoch
+    /// log** instead of maintaining private logs per transaction (paper
+    /// Section 7: makesafe work independent of the number of views).
+    /// Transactions append their changes to the shared log once; this
+    /// view's private log tables act as a staging area filled by
+    /// [`Database::propagate`] when it drains the shared-log suffix.
+    pub fn create_view_shared(
+        &self,
+        name: impl Into<String>,
+        definition: Expr,
+        minimality: Minimality,
+    ) -> Result<()> {
+        self.create_view_inner(name.into(), definition, Scenario::Combined, minimality, true)
+    }
+
+    fn create_view_inner(
+        &self,
+        name: String,
+        definition: Expr,
+        scenario: Scenario,
+        minimality: Minimality,
+        shared: bool,
+    ) -> Result<()> {
         {
             let views = self.views.read();
             if views.contains_key(&name) {
@@ -110,6 +198,17 @@ impl Database {
         }
         let compiled = compile(&definition, &self.catalog)?;
         let view = View::new(&name, definition, compiled, scenario, minimality)?;
+        // Hold shared commit claims on every base table from here through
+        // registration: a concurrent `execute` over these bases is either
+        // fully before (the MV initialization sees its effects) or fully
+        // after (the registered view's makesafe hooks cover it) — never
+        // split across the initialization.
+        let modes: BTreeMap<String, CommitMode> = view
+            .base_tables()
+            .iter()
+            .map(|t| (t.clone(), CommitMode::Shared))
+            .collect();
+        let _claims = self.catalog.lock_commit(&modes)?;
         // Create MV + auxiliary tables. The MV table gets the unqualified
         // output schema; logs mirror base-table schemas; differential
         // tables mirror the MV schema.
@@ -135,27 +234,19 @@ impl Database {
         // Initialize MV := Q (evaluated now).
         let initial = scenario::recompute(&self.catalog, &view)?;
         self.catalog.require(view.mv_table())?.replace(initial)?;
-        self.views.write().insert(name, Arc::new(view));
-        Ok(())
-    }
-
-    /// Create a [`Scenario::Combined`] view that reads the **shared epoch
-    /// log** instead of maintaining private logs per transaction (paper
-    /// Section 7: makesafe work independent of the number of views).
-    /// Transactions append their changes to the shared log once; this
-    /// view's private log tables act as a staging area filled by
-    /// [`Database::propagate`] when it drains the shared-log suffix.
-    pub fn create_view_shared(
-        &self,
-        name: impl Into<String>,
-        definition: Expr,
-        minimality: Minimality,
-    ) -> Result<()> {
-        let name = name.into();
-        self.create_view_with(&name, definition, Scenario::Combined, minimality)?;
-        self.shared_cursors
-            .write()
-            .insert(name, self.shared_log.current_epoch());
+        if shared {
+            // Register the cursor before the view becomes visible; the
+            // claims ensure no relevant transaction commits in between, so
+            // the cursor exactly covers what the MV initialization saw.
+            self.shared_cursors
+                .write()
+                .insert(name.clone(), self.shared_log.current_epoch());
+        }
+        {
+            let mut views = self.views.write();
+            views.insert(name, Arc::new(view));
+            self.views_gen.fetch_add(1, Ordering::SeqCst);
+        }
         Ok(())
     }
 
@@ -172,25 +263,37 @@ impl Database {
     /// Reclaim shared-log entries consumed by every shared view. Returns
     /// the number of entries dropped.
     pub fn vacuum_shared_log(&self) -> usize {
+        // Hold the cursors lock across the vacuum: a concurrent
+        // `create_view_shared` registering a cursor, or a drain advancing
+        // one, blocks on the map until the reclaim is done, so the min we
+        // computed stays a true lower bound while entries are dropped.
+        // (Lock order: cursors, then the shared log's internal mutex.)
         let cursors = self.shared_cursors.read();
         let min_cursor = cursors
             .values()
             .copied()
             .min()
             .unwrap_or_else(|| self.shared_log.current_epoch());
-        drop(cursors);
         self.shared_log.vacuum(min_cursor)
     }
 
     /// Drain the shared-log suffix for a shared view into its staging log
     /// tables (composition lemma), advancing its cursor.
+    ///
+    /// The caller must hold the view's maintenance mutex — that makes this
+    /// view's cursor ours alone to advance, so the cursors map lock is
+    /// only held for the point read and the point write, never across the
+    /// staging-table writes (which sit above it in the lock order).
     fn drain_shared(&self, view: &View) -> Result<()> {
-        let mut cursors = self.shared_cursors.write();
-        let Some(cursor) = cursors.get_mut(view.name()) else {
-            return Ok(()); // not a shared view
+        let cursor = {
+            let cursors = self.shared_cursors.read();
+            match cursors.get(view.name()) {
+                Some(c) => *c,
+                None => return Ok(()), // not a shared view
+            }
         };
         let bases: Vec<String> = view.base_tables().iter().cloned().collect();
-        let (folds, upto) = self.shared_log.fold_suffixes(bases.iter(), *cursor);
+        let (folds, upto) = self.shared_log.fold_suffixes(bases.iter(), cursor);
         let log = view.log().expect("shared views are Combined");
         for (table, (suffix_del, suffix_ins)) in folds {
             if suffix_del.is_empty() && suffix_ins.is_empty() {
@@ -203,7 +306,9 @@ impl Database {
             let mut ins_guard = ins_table.write();
             compose_into(&mut del_guard, &mut ins_guard, &suffix_del, &suffix_ins);
         }
-        *cursor = upto;
+        if let Some(c) = self.shared_cursors.write().get_mut(view.name()) {
+            *c = upto;
+        }
         Ok(())
     }
 
@@ -233,11 +338,24 @@ impl Database {
 
     /// Drop a view and all its auxiliary tables.
     pub fn drop_view(&self, name: &str) -> Result<()> {
-        let view = self
-            .views
-            .write()
-            .remove(name)
-            .ok_or_else(|| CoreError::NoSuchView(name.to_string()))?;
+        let view = self.view(name)?;
+        // Serialize against maintenance of this view, then claim its base
+        // tables exclusively so no in-flight `execute` still holds hooks
+        // into the auxiliary tables we are about to drop.
+        let _maint = view.maintenance_lock();
+        let modes: BTreeMap<String, CommitMode> = view
+            .base_tables()
+            .iter()
+            .map(|t| (t.clone(), CommitMode::Exclusive))
+            .collect();
+        let _claims = self.catalog.lock_commit(&modes)?;
+        {
+            let mut views = self.views.write();
+            if views.remove(name).is_none() {
+                return Err(CoreError::NoSuchView(name.to_string()));
+            }
+            self.views_gen.fetch_add(1, Ordering::SeqCst);
+        }
         self.shared_cursors.write().remove(name);
         for t in view.internal_tables() {
             self.catalog.drop_table(&t)?;
@@ -259,8 +377,117 @@ impl Database {
             .ok_or_else(|| CoreError::NoSuchView(name.to_string()))
     }
 
+    /// Acquire the commit claims for one `execute`: exclusive on the
+    /// transaction's write set, shared on every other base table of a
+    /// relevant view. Retries if the view set changes between snapshotting
+    /// it and holding the claims, so the returned view set is exactly the
+    /// registered set for as long as the claims are held.
+    fn lock_for_execute(&self, tx_tables: &BTreeSet<String>) -> Result<ExecuteClaims> {
+        loop {
+            let gen = self.views_gen.load(Ordering::SeqCst);
+            let relevant: Vec<Arc<View>> = self
+                .views
+                .read()
+                .values()
+                .filter(|v| v.relevant_to(tx_tables))
+                .cloned()
+                .collect();
+            let mut modes: BTreeMap<String, CommitMode> = BTreeMap::new();
+            for view in &relevant {
+                for base in view.base_tables() {
+                    modes.insert(base.clone(), CommitMode::Shared);
+                }
+            }
+            for t in tx_tables {
+                modes.insert(t.clone(), CommitMode::Exclusive);
+            }
+            let claims = self.catalog.lock_commit(&modes)?;
+            // Read the shared-view set only now: a racing
+            // `create_view_shared` over our tables held conflicting claims
+            // and has fully finished (cursor included) before we got here.
+            let shared_names: BTreeSet<String> =
+                self.shared_cursors.read().keys().cloned().collect();
+            if self.views_gen.load(Ordering::SeqCst) == gen {
+                return Ok((claims, relevant, shared_names));
+            }
+            // A view appeared or vanished while we were acquiring; redo
+            // with the fresh view set (claims drop here).
+        }
+    }
+
+    /// Pre-update `makesafe_*[T]` for one view. Records the view's
+    /// makesafe metric; returns the nanos spent and, for Immediate views,
+    /// the MV update to apply post-update.
+    fn makesafe_one(
+        &self,
+        view: &View,
+        tx: &Transaction,
+    ) -> Result<(u64, Option<immediate::PendingMvUpdate>)> {
+        let start = Instant::now();
+        let pending = match view.scenario() {
+            Scenario::Immediate => Some(immediate::prepare(&self.catalog, view, tx)?),
+            Scenario::BaseLog => {
+                base_log::extend_log(&self.catalog, view, tx)?;
+                None
+            }
+            Scenario::Combined => {
+                combined::extend_log(&self.catalog, view, tx)?;
+                None
+            }
+            Scenario::DiffTable => {
+                diff_table::fold_transaction(&self.catalog, view, tx)?;
+                None
+            }
+        };
+        let nanos = start.elapsed().as_nanos() as u64;
+        view.metrics().record_makesafe(nanos);
+        Ok((nanos, pending))
+    }
+
+    /// Run `makesafe_one` for every view, fanning across worker threads
+    /// when both views and workers are plural. Each view touches only its
+    /// own auxiliary tables (and takes only read locks on shared base
+    /// state), so the per-view work is independent. Results come back in
+    /// input order.
+    fn makesafe_fanout(
+        &self,
+        views: &[Arc<View>],
+        tx: &Transaction,
+    ) -> Vec<Result<(u64, Option<immediate::PendingMvUpdate>)>> {
+        let n = self.maintenance_workers(views.len());
+        if n <= 1 || views.len() <= 1 {
+            return views.iter().map(|v| self.makesafe_one(v, tx)).collect();
+        }
+        let (_, per_worker) = with_workers(
+            n,
+            |i, _stop| {
+                // Strided split: worker i handles views i, i+n, i+2n, ...
+                views
+                    .iter()
+                    .enumerate()
+                    .skip(i)
+                    .step_by(n)
+                    .map(|(idx, v)| (idx, self.makesafe_one(v, tx)))
+                    .collect::<Vec<_>>()
+            },
+            || {},
+        );
+        let mut out: Vec<_> = views.iter().map(|_| None).collect();
+        for (idx, res) in per_worker.into_iter().flatten() {
+            out[idx] = Some(res);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index covered by exactly one stride"))
+            .collect()
+    }
+
     /// Execute a user transaction with maintenance: `makesafe_*[T]` for
     /// every view, per Figure 3.
+    ///
+    /// Safe to call from any number of threads: commit claims are held
+    /// from weak-minimality normalization through delta apply (see the
+    /// module docs), so concurrent writers of overlapping tables
+    /// serialize and the weakly-minimal precondition cannot go stale.
     pub fn execute(&self, tx: &Transaction) -> Result<ExecReport> {
         // Reject writes to internal tables, unknown tables, and
         // schema-invalid tuples up front — BEFORE any maintenance hook
@@ -276,51 +503,46 @@ impl Database {
             table.validate_bag(del)?;
             table.validate_bag(ins)?;
         }
-        // Normalize to weak minimality against the current state.
-        let tx_tables = tx.tables().cloned().collect();
+        let tx_tables: BTreeSet<String> = tx.tables().cloned().collect();
+        let (_claims, relevant, shared_names) = self.lock_for_execute(&tx_tables)?;
+
+        // Normalize to weak minimality against the current state. The
+        // commit claims keep that state authoritative until the delta is
+        // applied below — no concurrent writer can invalidate it.
         let pinned = PinnedState::pin(&self.catalog, &tx_tables)?;
         let tx = tx.make_weakly_minimal(&pinned)?;
         drop(pinned);
 
-        let views: Vec<Arc<View>> = self.views.read().values().cloned().collect();
         let mut report = ExecReport::default();
 
-        // Pre-update maintenance phase.
-        let shared_names: std::collections::BTreeSet<String> =
-            self.shared_cursors.read().keys().cloned().collect();
+        // Pre-update maintenance phase: private views fan out across
+        // workers; shared-log views are covered by the single append.
+        let (shared_relevant, private_relevant): (Vec<_>, Vec<_>) = relevant
+            .into_iter()
+            .partition(|v| shared_names.contains(v.name()));
         let mut pending_immediate: Vec<(Arc<View>, immediate::PendingMvUpdate)> = Vec::new();
-        let mut any_shared_relevant = false;
-        for view in &views {
-            if !view.relevant_to(&tx_tables) {
-                continue;
+        let outcomes = self.makesafe_fanout(&private_relevant, &tx);
+        for (view, outcome) in private_relevant.iter().zip(outcomes) {
+            let (nanos, pending) = outcome?;
+            if let Some(p) = pending {
+                pending_immediate.push((Arc::clone(view), p));
             }
-            if shared_names.contains(view.name()) {
-                // Shared-log views pay nothing here; the single shared
-                // append below covers all of them.
-                any_shared_relevant = true;
-                continue;
-            }
-            let start = Instant::now();
-            match view.scenario() {
-                Scenario::Immediate => {
-                    let pending = immediate::prepare(&self.catalog, view, &tx)?;
-                    pending_immediate.push((Arc::clone(view), pending));
-                }
-                Scenario::BaseLog => base_log::extend_log(&self.catalog, view, &tx)?,
-                Scenario::Combined => combined::extend_log(&self.catalog, view, &tx)?,
-                Scenario::DiffTable => diff_table::fold_transaction(&self.catalog, view, &tx)?,
-            }
-            let nanos = start.elapsed().as_nanos() as u64;
-            view.metrics().record_makesafe(nanos);
             report.maintenance_nanos += nanos;
             report.views_maintained += 1;
         }
-        if any_shared_relevant {
-            // One append, independent of the number of shared views.
+        if !shared_relevant.is_empty() {
+            // One append, independent of the number of shared views; each
+            // relevant shared view was maintained by it, so each is
+            // counted and charged its amortized slice of the append cost.
             let start = Instant::now();
             self.shared_log.append(&tx);
-            report.maintenance_nanos += start.elapsed().as_nanos() as u64;
-            report.views_maintained += 1;
+            let nanos = start.elapsed().as_nanos() as u64;
+            let share = (nanos / shared_relevant.len() as u64).max(1);
+            for view in &shared_relevant {
+                view.metrics().record_makesafe(share);
+            }
+            report.maintenance_nanos += nanos;
+            report.views_maintained += shared_relevant.len();
         }
 
         // Apply T itself.
@@ -350,7 +572,13 @@ impl Database {
                 return Err(CoreError::InternalTableWrite(t.clone()));
             }
         }
-        let tx_tables = tx.tables().cloned().collect();
+        let tx_tables: BTreeSet<String> = tx.tables().cloned().collect();
+        // Same pin-to-apply protection as `execute`, minus the view hooks.
+        let modes: BTreeMap<String, CommitMode> = tx_tables
+            .iter()
+            .map(|t| (t.clone(), CommitMode::Exclusive))
+            .collect();
+        let _claims = self.catalog.lock_commit(&modes)?;
         let pinned = PinnedState::pin(&self.catalog, &tx_tables)?;
         let tx = tx.make_weakly_minimal(&pinned)?;
         drop(pinned);
@@ -362,10 +590,24 @@ impl Database {
         Ok(start.elapsed().as_nanos() as u64)
     }
 
+    /// Shared commit claims on every base table of `view` (for maintenance
+    /// ops that read base state): conflicting `execute`s wait; maintenance
+    /// of other views over the same bases runs concurrently.
+    fn lock_view_bases(&self, view: &View) -> Result<Vec<CommitGuard>> {
+        let modes: BTreeMap<String, CommitMode> = view
+            .base_tables()
+            .iter()
+            .map(|t| (t.clone(), CommitMode::Shared))
+            .collect();
+        Ok(self.catalog.lock_commit(&modes)?)
+    }
+
     /// `refresh_*`: bring the view fully up to date
     /// (`{INV_*} refresh_* {Q ≡ MV}`).
     pub fn refresh(&self, name: &str) -> Result<()> {
         let view = self.view(name)?;
+        let _maint = view.maintenance_lock();
+        let _claims = self.lock_view_bases(&view)?;
         let start = Instant::now();
         match view.scenario() {
             Scenario::Immediate => {} // always consistent
@@ -391,6 +633,8 @@ impl Database {
                 op: "propagate",
             });
         }
+        let _maint = view.maintenance_lock();
+        let _claims = self.lock_view_bases(&view)?;
         let start = Instant::now();
         self.drain_shared(&view)?;
         combined::propagate(&self.catalog, &view)?;
@@ -410,11 +654,76 @@ impl Database {
                 op: "partial_refresh",
             });
         }
+        // Touches only the view's own MV and differential tables, so the
+        // maintenance mutex suffices — no base-table claims needed.
+        let _maint = view.maintenance_lock();
         let start = Instant::now();
         combined::partial_refresh(&self.catalog, &view)?;
         view.metrics()
             .record_refresh(start.elapsed().as_nanos() as u64);
         Ok(())
+    }
+
+    /// Run an operation for each named view, fanning independent views
+    /// across worker threads (per-view serialization and writer conflicts
+    /// are handled by the maintenance mutex and commit claims the ops
+    /// themselves take). Returns the first error in stride order, after
+    /// every worker has finished.
+    fn for_each_view_parallel(
+        &self,
+        names: &[String],
+        op: impl Fn(&str) -> Result<()> + Sync,
+    ) -> Result<()> {
+        let n = self.maintenance_workers(names.len());
+        if n <= 1 || names.len() <= 1 {
+            for name in names {
+                op(name)?;
+            }
+            return Ok(());
+        }
+        let (_, results) = with_workers(
+            n,
+            |i, _stop| {
+                names
+                    .iter()
+                    .skip(i)
+                    .step_by(n)
+                    .map(|name| op(name))
+                    .find(Result::is_err)
+                    .unwrap_or(Ok(()))
+            },
+            || {},
+        );
+        results.into_iter().collect()
+    }
+
+    /// `propagate_C` for the named views, independent views in parallel.
+    pub fn propagate_many(&self, names: &[String]) -> Result<()> {
+        self.for_each_view_parallel(names, |name| self.propagate(name))
+    }
+
+    /// `propagate_C` for every [`Scenario::Combined`] view, independent
+    /// views in parallel. Returns the names propagated.
+    pub fn propagate_all(&self) -> Result<Vec<String>> {
+        let names: Vec<String> = self
+            .views
+            .read()
+            .values()
+            .filter(|v| v.scenario() == Scenario::Combined)
+            .map(|v| v.name().to_string())
+            .collect();
+        self.propagate_many(&names)?;
+        Ok(names)
+    }
+
+    /// `refresh_*` for the named views, independent views in parallel.
+    pub fn refresh_many(&self, names: &[String]) -> Result<()> {
+        self.for_each_view_parallel(names, |name| self.refresh(name))
+    }
+
+    /// `refresh_*` for every view, independent views in parallel.
+    pub fn refresh_all(&self) -> Result<()> {
+        self.refresh_many(&self.view_names())
     }
 
     /// Read the materialized contents of a view (possibly stale under
@@ -431,6 +740,11 @@ impl Database {
     /// nothing mutated.
     pub fn read_through(&self, name: &str) -> Result<Bag> {
         let view = self.view(name)?;
+        // The maintenance mutex keeps a concurrent propagate/refresh from
+        // moving entries between the log, differential tables, and MV
+        // while we read them (each would be individually consistent but
+        // mutually torn). `query_view` stays mutex-free.
+        let _maint = view.maintenance_lock();
         if self.is_shared_log_view(name) {
             let overrides = self.shared_log_overrides(&view)?;
             crate::readthrough::read_through_with_log_overrides(
@@ -449,6 +763,7 @@ impl Database {
     /// queries — only the matching part of the deferred work is computed.
     pub fn read_through_where(&self, name: &str, pred: &dvm_algebra::Predicate) -> Result<Bag> {
         let view = self.view(name)?;
+        let _maint = view.maintenance_lock();
         if self.is_shared_log_view(name) {
             let overrides = self.shared_log_overrides(&view)?;
             crate::readthrough::read_through_with_log_overrides(
@@ -477,8 +792,13 @@ impl Database {
     /// Check the view's Figure-1 invariant and minimality invariants.
     /// For shared-log views the *effective* log (staging tables composed
     /// with the un-drained shared suffix) is used.
+    ///
+    /// Safe to call mid-traffic: the maintenance mutex and shared base
+    /// claims hold the view at a commit boundary for the check's duration.
     pub fn check_invariant(&self, name: &str) -> Result<InvariantReport> {
         let view = self.view(name)?;
+        let _maint = view.maintenance_lock();
+        let _claims = self.lock_view_bases(&view)?;
         if self.is_shared_log_view(name) {
             let overrides = self.shared_log_overrides(&view)?;
             check_view_with_log_overrides(&self.catalog, &view, &overrides)

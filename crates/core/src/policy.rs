@@ -111,10 +111,29 @@ impl<'a> PolicyDriver<'a> {
     /// Advance one tick, running whatever is due. When both a propagate and
     /// a refresh are due on the same tick, the propagate runs first (so the
     /// refresh applies the freshest differential tables).
+    ///
+    /// All due propagates run as one batch through
+    /// [`Database::propagate_many`], so independent views propagate in
+    /// parallel; refreshes then run in registration order.
     pub fn tick(&mut self) -> Result<TickActions> {
         self.tick += 1;
         let t = self.tick;
         let mut actions = TickActions::default();
+        let due_propagates: Vec<String> = self
+            .entries
+            .iter()
+            .filter_map(|(name, policy)| match *policy {
+                RefreshPolicy::Policy1 { k, m }
+                    if t.is_multiple_of(k) && !t.is_multiple_of(m) =>
+                {
+                    Some(name.clone())
+                }
+                RefreshPolicy::Policy2 { k, .. } if t.is_multiple_of(k) => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        actions.propagates = due_propagates.len();
+        self.db.propagate_many(&due_propagates)?;
         for (name, policy) in &self.entries {
             match *policy {
                 RefreshPolicy::OnDemand | RefreshPolicy::OnQuery => {}
@@ -124,22 +143,14 @@ impl<'a> PolicyDriver<'a> {
                         actions.refreshes += 1;
                     }
                 }
-                RefreshPolicy::Policy1 { k, m } => {
-                    if t.is_multiple_of(k) && !t.is_multiple_of(m) {
-                        self.db.propagate(name)?;
-                        actions.propagates += 1;
-                    }
+                RefreshPolicy::Policy1 { m, .. } => {
                     if t.is_multiple_of(m) {
                         // refresh_C = propagate ; partial_refresh
                         self.db.refresh(name)?;
                         actions.refreshes += 1;
                     }
                 }
-                RefreshPolicy::Policy2 { k, m } => {
-                    if t.is_multiple_of(k) {
-                        self.db.propagate(name)?;
-                        actions.propagates += 1;
-                    }
+                RefreshPolicy::Policy2 { m, .. } => {
                     if t.is_multiple_of(m) {
                         self.db.partial_refresh(name)?;
                         actions.partial_refreshes += 1;

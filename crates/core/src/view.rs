@@ -6,6 +6,7 @@ use dvm_algebra::infer::CompiledQuery;
 use dvm_algebra::Expr;
 use dvm_delta::LogTables;
 use dvm_storage::{Column, Schema};
+use dvm_testkit::sync::{Mutex, MutexGuard};
 use std::collections::BTreeSet;
 
 /// The four maintenance scenarios of Figure 1.
@@ -73,6 +74,11 @@ pub struct View {
     dt_ins_table: Option<String>,
     base_tables: BTreeSet<String>,
     metrics: ViewMetrics,
+    // Serializes maintenance operations (refresh / propagate /
+    // partial_refresh / invariant checks) on this view: each op reads and
+    // rewrites several auxiliary tables and must see them mutually
+    // consistent. In the lock order this sits *above* table commit claims.
+    maintenance: Mutex<()>,
 }
 
 /// Name of the table materializing view `view`.
@@ -145,7 +151,14 @@ impl View {
             dt_ins_table,
             base_tables,
             metrics: ViewMetrics::default(),
+            maintenance: Mutex::new(()),
         })
+    }
+
+    /// Serialize a maintenance operation on this view. Acquire *before* any
+    /// table commit claim (see the lock order in `database.rs`).
+    pub fn maintenance_lock(&self) -> MutexGuard<'_, ()> {
+        self.maintenance.lock()
     }
 
     /// View name.

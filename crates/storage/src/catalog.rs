@@ -5,11 +5,21 @@ use crate::bag::Bag;
 use crate::error::{Result, StorageError};
 use crate::schema::Schema;
 use crate::snapshot::Snapshot;
-use crate::table::{Table, TableKind};
+use crate::table::{CommitGuard, Table, TableKind};
 use dvm_testkit::sync::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// How a commit-protocol participant intends to touch a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMode {
+    /// Read the table's state consistently (other shared claimants may
+    /// interleave).
+    Shared,
+    /// Mutate the table (sole claimant while held).
+    Exclusive,
+}
 
 /// A mapping from table names to tables. Tables themselves are internally
 /// synchronized, so the catalog only guards the name → table map.
@@ -125,6 +135,27 @@ impl Catalog {
     pub fn bag_of(&self, name: &str) -> Result<Bag> {
         Ok(self.require(name)?.snapshot_bag())
     }
+
+    /// Acquire commit-intent claims on a set of tables, always in ascending
+    /// table-name order (the `BTreeMap` iteration order), which makes the
+    /// acquisition deadlock-free across all callers of this method.
+    ///
+    /// The catalog map lock is *not* held while blocking on commit claims:
+    /// table `Arc`s are resolved first, then claimed one by one. Errors with
+    /// `NoSuchTable` (holding no claims) if any name is absent up front.
+    pub fn lock_commit(&self, modes: &BTreeMap<String, CommitMode>) -> Result<Vec<CommitGuard>> {
+        let mut resolved = Vec::with_capacity(modes.len());
+        for (name, mode) in modes {
+            resolved.push((self.require(name)?, *mode));
+        }
+        Ok(resolved
+            .iter()
+            .map(|(table, mode)| match mode {
+                CommitMode::Shared => table.commit_shared(),
+                CommitMode::Exclusive => table.commit_exclusive(),
+            })
+            .collect())
+    }
 }
 
 impl fmt::Debug for Catalog {
@@ -212,5 +243,33 @@ mod tests {
         r.insert(tuple![5]).unwrap();
         assert_eq!(c.bag_of("r").unwrap().len(), 1);
         assert!(c.bag_of("zz").is_err());
+    }
+
+    #[test]
+    fn lock_commit_acquires_in_sorted_order_with_modes() {
+        let c = Catalog::new();
+        c.create_table("z", schema(), TableKind::External).unwrap();
+        c.create_table("a", schema(), TableKind::External).unwrap();
+        let mut modes = BTreeMap::new();
+        modes.insert("z".to_string(), CommitMode::Exclusive);
+        modes.insert("a".to_string(), CommitMode::Shared);
+        let guards = c.lock_commit(&modes).unwrap();
+        // BTreeMap order: "a" (shared) then "z" (exclusive)
+        assert_eq!(guards.len(), 2);
+        assert!(!guards[0].is_exclusive());
+        assert!(guards[1].is_exclusive());
+    }
+
+    #[test]
+    fn lock_commit_missing_table_errors_without_claims() {
+        let c = Catalog::new();
+        c.create_table("r", schema(), TableKind::External).unwrap();
+        let mut modes = BTreeMap::new();
+        modes.insert("r".to_string(), CommitMode::Exclusive);
+        modes.insert("zz".to_string(), CommitMode::Shared);
+        assert!(c.lock_commit(&modes).is_err());
+        // "r" must not be left claimed: an immediate exclusive claim works
+        let g = c.require("r").unwrap().commit_exclusive();
+        assert!(g.is_exclusive());
     }
 }

@@ -32,11 +32,11 @@ pub mod tuple;
 pub mod value;
 
 pub use bag::Bag;
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CommitMode};
 pub use error::{Result, StorageError};
 pub use schema::{Column, Schema};
 pub use snapshot::Snapshot;
-pub use table::{Table, TableKind};
+pub use table::{CommitGuard, Table, TableKind};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
 

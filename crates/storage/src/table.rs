@@ -6,8 +6,9 @@ use crate::lock::{InstrumentedRwLock, LockMetrics, OwnedReadGuard, TimedWriteGua
 use crate::schema::Schema;
 use crate::stats::TableStats;
 use crate::tuple::Tuple;
-use dvm_testkit::sync::RwLockReadGuard;
+use dvm_testkit::sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RwLock, RwLockReadGuard};
 use std::fmt;
+use std::sync::Arc;
 
 /// Whether a table is user-visible or maintenance-internal.
 ///
@@ -32,6 +33,33 @@ pub struct Table {
     kind: TableKind,
     data: InstrumentedRwLock<Bag>,
     stats: TableStats,
+    // Commit-intent lock, distinct from the data lock: writers that must
+    // keep this table's state stable across a multi-step protocol (pin →
+    // normalize → apply) hold it for the whole span, while the data lock is
+    // only held for the instants of actual reads/writes. Plain readers
+    // never touch it.
+    commit: Arc<RwLock<()>>,
+}
+
+/// A held commit-intent claim on one table (see [`Table::commit_shared`]).
+///
+/// Dropping the guard releases the claim. The variants only differ in
+/// exclusivity; neither grants data access by itself.
+#[derive(Debug)]
+pub enum CommitGuard {
+    /// Shared claim: the table's state may be read consistently across a
+    /// multi-step protocol; other shared claimants may interleave reads.
+    Shared(ArcRwLockReadGuard<()>),
+    /// Exclusive claim: the holder may mutate the table; no other commit
+    /// claimant (shared or exclusive) is active.
+    Exclusive(ArcRwLockWriteGuard<()>),
+}
+
+impl CommitGuard {
+    /// Whether this is an exclusive claim.
+    pub fn is_exclusive(&self) -> bool {
+        matches!(self, CommitGuard::Exclusive(_))
+    }
 }
 
 impl Table {
@@ -43,6 +71,7 @@ impl Table {
             kind,
             data: InstrumentedRwLock::new(Bag::new()),
             stats: TableStats::default(),
+            commit: Arc::new(RwLock::new(())),
         }
     }
 
@@ -89,6 +118,25 @@ impl Table {
     /// typed mutators below.
     pub fn write(&self) -> TimedWriteGuard<'_, Bag> {
         self.data.write()
+    }
+
+    /// Take a shared commit-intent claim: the table's state is guaranteed
+    /// not to be mutated by any protocol-respecting writer until the guard
+    /// drops. Blocks while an exclusive claim is held.
+    ///
+    /// Lock-order discipline: commit claims on a *set* of tables must be
+    /// acquired in ascending table-name order (use `Catalog::lock_commit`),
+    /// and always before any data lock.
+    pub fn commit_shared(&self) -> CommitGuard {
+        CommitGuard::Shared(RwLock::read_arc(&self.commit))
+    }
+
+    /// Take an exclusive commit-intent claim: the holder is the only
+    /// protocol-respecting writer of this table until the guard drops.
+    ///
+    /// Same ordering discipline as [`Table::commit_shared`].
+    pub fn commit_exclusive(&self) -> CommitGuard {
+        CommitGuard::Exclusive(RwLock::write_arc(&self.commit))
     }
 
     /// Clone the current contents.
@@ -266,5 +314,36 @@ mod tests {
     #[test]
     fn kind() {
         assert_eq!(t().kind(), TableKind::External);
+    }
+
+    #[test]
+    fn commit_guards_shared_coexist_exclusive_flagged() {
+        let table = t();
+        let a = table.commit_shared();
+        let b = table.commit_shared();
+        assert!(!a.is_exclusive());
+        assert!(!b.is_exclusive());
+        drop(a);
+        drop(b);
+        let e = table.commit_exclusive();
+        assert!(e.is_exclusive());
+        // data access is independent of commit claims
+        table.insert(tuple![1]).unwrap();
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn commit_exclusive_blocks_shared_claimants() {
+        let table = Arc::new(t());
+        let g = table.commit_exclusive();
+        let t2 = Arc::clone(&table);
+        let h = std::thread::spawn(move || {
+            let _s = t2.commit_shared(); // blocks until the exclusive drops
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!h.is_finished(), "shared claim must wait for exclusive");
+        drop(g);
+        assert!(h.join().unwrap());
     }
 }

@@ -275,7 +275,7 @@ mod tests {
                 produced += 1;
                 vec![1, 2, 3]
             },
-            |v| drop(v),
+            drop,
         );
         assert_eq!(produced, 1);
         assert_eq!(s.iters_per_sample, 1);

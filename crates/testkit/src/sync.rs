@@ -70,6 +70,26 @@ impl<T> RwLock<T> {
             _owner: owner,
         }
     }
+
+    /// Acquire an owned write guard (the `write` counterpart of
+    /// [`RwLock::read_arc`]): holds the exclusive lock plus a strong
+    /// reference to the lock itself, so it can be stored in lock-set
+    /// collections that outlive the reference it was acquired through.
+    pub fn write_arc(this: &Arc<Self>) -> ArcRwLockWriteGuard<T>
+    where
+        T: 'static,
+    {
+        let owner = Arc::clone(this);
+        let guard = owner.write();
+        // SAFETY: as in `read_arc` — the Arc moved into the returned struct
+        // outlives the guard (fields drop in declaration order).
+        let guard: std::sync::RwLockWriteGuard<'static, T> =
+            unsafe { std::mem::transmute::<RwLockWriteGuard<'_, T>, _>(guard) };
+        ArcRwLockWriteGuard {
+            guard,
+            _owner: owner,
+        }
+    }
 }
 
 /// An owning read guard returned by [`RwLock::read_arc`]: holds both the
@@ -89,6 +109,34 @@ impl<T> std::ops::Deref for ArcRwLockReadGuard<T> {
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for ArcRwLockReadGuard<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// An owning write guard returned by [`RwLock::write_arc`]: holds both the
+/// exclusive lock and a strong reference to the lock itself.
+pub struct ArcRwLockWriteGuard<T: 'static> {
+    // Field order matters: `guard` must drop (releasing the lock) before
+    // `_owner` (which keeps the lock's memory alive).
+    guard: std::sync::RwLockWriteGuard<'static, T>,
+    _owner: Arc<RwLock<T>>,
+}
+
+impl<T> std::ops::Deref for ArcRwLockWriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for ArcRwLockWriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcRwLockWriteGuard<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         std::fmt::Debug::fmt(&**self, f)
     }
@@ -183,6 +231,26 @@ mod tests {
             // `l` dropped here; the guard must keep the data alive
         };
         assert_eq!(*guard, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn write_arc_outlives_original_reference() {
+        let mut guard = {
+            let l = Arc::new(RwLock::new(vec![1, 2]));
+            RwLock::write_arc(&l)
+            // `l` dropped here; the guard must keep the data alive
+        };
+        guard.push(3);
+        assert_eq!(*guard, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn write_arc_excludes_other_access_until_dropped() {
+        let l = Arc::new(RwLock::new(0));
+        let mut g = RwLock::write_arc(&l);
+        *g = 9;
+        drop(g);
+        assert_eq!(*l.read(), 9);
     }
 
     #[test]

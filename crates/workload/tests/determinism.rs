@@ -40,8 +40,8 @@ fn trace(seed: u64) -> String {
             if let Some((del, ins)) = tx.get(table) {
                 out.push_str(&format!(
                     "{round} {table} del=[{}] ins=[{}]\n",
-                    canon(&del),
-                    canon(&ins)
+                    canon(del),
+                    canon(ins)
                 ));
             }
         }

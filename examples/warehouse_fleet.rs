@@ -19,7 +19,7 @@ const TXS: usize = 200;
 /// One view per market segment: the Example-1.1 join filtered to a score.
 fn segment_view(i: usize) -> dvm::Expr {
     use dvm::Expr;
-    let score = if i % 2 == 0 { "High" } else { "Low" };
+    let score = if i.is_multiple_of(2) { "High" } else { "Low" };
     Expr::table("customer")
         .alias("c")
         .product(Expr::table("sales").alias("s"))

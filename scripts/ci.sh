@@ -32,7 +32,20 @@ echo "    OK: only workspace-local crates in the graph"
 echo "==> cargo build --release --offline --workspace"
 cargo build --release --offline --workspace
 
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+  echo "    SKIP: clippy not installed in this toolchain"
+fi
+
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
+
+# The concurrency suite must also pass with the test runner's own thread
+# pool unconstrained, so worker threads from different #[test] bodies
+# genuinely contend with the engine's maintenance fan-out.
+echo "==> concurrent stress (RUST_TEST_THREADS unconstrained)"
+env -u RUST_TEST_THREADS cargo test -q --offline -p dvm-core --test concurrent_stress
 
 echo "==> CI green"
