@@ -12,13 +12,21 @@
 //! interval, and `partial_refresh_C` merely applies precomputed
 //! differential tables.
 //!
-//! Setup: accumulate N deferred transactions since the last refresh, then
-//! measure the write-lock hold of one refresh, with 2 concurrent readers
-//! hammering the view (their total blocked time is also reported).
+//! Two phases:
+//!
+//! 1. **ordering** — accumulate N deferred transactions, then measure the
+//!    write-lock hold of one refresh, with 2 concurrent readers hammering
+//!    the view (their total blocked time is also reported);
+//! 2. **distributions** — run many refresh cycles per configuration and
+//!    report p50/p95/p99 of downtime, reader wait (attributed to the
+//!    waiting view's MV lock), and the maintenance operations, from the
+//!    engine's observability registry. The same registry snapshot is
+//!    written to `results/exp_downtime.json`.
 
 use dvm_bench::report::{fmt_duration, fmt_nanos, TableReport};
 use dvm_bench::retail_db;
 use dvm_core::{Database, Minimality, Scenario};
+use dvm_obs::json;
 use dvm_workload::with_concurrent_readers;
 use std::time::Duration;
 
@@ -77,13 +85,7 @@ fn recompute_refresh(db: &Database) -> dvm_core::Result<()> {
     Ok(())
 }
 
-fn main() {
-    println!("=== E3: view downtime (write-lock hold during one refresh) ===\n");
-    println!(
-        "retail view over {CUSTOMERS} customers / {INITIAL_SALES}+ sales; N deferred tx of\n\
-         (10 inserts + 2 deletes); 2 concurrent readers\n"
-    );
-
+fn phase1_ordering() {
     let mut table = TableReport::new([
         "N deferred tx",
         "recompute (BL)",
@@ -115,6 +117,84 @@ fn main() {
         ]);
     }
     table.print();
+}
+
+/// One phase-2 configuration: many refresh cycles under a fixed policy.
+struct CycleConfig {
+    name: &'static str,
+    scenario: Scenario,
+    /// Propagate before each refresh (Policies 1/2).
+    propagate_first: bool,
+    /// Use `partial_refresh_C` instead of `refresh_*` (Policy 2).
+    partial: bool,
+}
+
+const CYCLES: usize = 25;
+const TXS_PER_CYCLE: usize = 10;
+
+/// Run `CYCLES` refresh cycles and return the registry's JSON for the
+/// run, after printing the percentile rows.
+fn phase2_distributions(cfg: &CycleConfig, table: &mut TableReport) -> String {
+    let (db, mut gen) = retail_db(1_000, 5_000, cfg.scenario, Minimality::Weak, 31);
+    for _ in 0..CYCLES {
+        for _ in 0..TXS_PER_CYCLE {
+            db.execute(&gen.mixed_batch(10, 2)).unwrap();
+        }
+        // 2 concurrent readers per cycle: their lock waits land in the MV
+        // lock's read-wait histogram, attributed to this view.
+        let ((), _stats) = with_concurrent_readers(&db, "V", 2, || {
+            if cfg.propagate_first {
+                db.propagate("V")?;
+            }
+            if cfg.partial {
+                db.partial_refresh("V")
+            } else {
+                db.refresh("V")
+            }
+        })
+        .unwrap();
+    }
+    let obs = db.observability();
+    let v = obs
+        .views
+        .iter()
+        .find(|v| v.name == "V")
+        .expect("view V observed");
+    for (op, h) in [
+        ("refresh", &v.latency.refresh),
+        ("propagate", &v.latency.propagate),
+        ("makesafe", &v.latency.makesafe),
+        ("downtime (write-hold)", &v.mv_write_hold),
+        ("reader wait (V)", &v.mv_read_wait),
+    ] {
+        if h.is_empty() {
+            continue;
+        }
+        table.row([
+            cfg.name.to_string(),
+            op.to_string(),
+            h.count.to_string(),
+            fmt_nanos(h.p50() as f64),
+            fmt_nanos(h.p95() as f64),
+            fmt_nanos(h.p99() as f64),
+            fmt_nanos(h.max as f64),
+        ]);
+    }
+    json::object([
+        ("name", json::string(cfg.name)),
+        ("cycles", json::num_u(CYCLES as u64)),
+        ("txs_per_cycle", json::num_u(TXS_PER_CYCLE as u64)),
+        ("observability", obs.to_json()),
+    ])
+}
+
+fn main() {
+    println!("=== E3: view downtime (write-lock hold during one refresh) ===\n");
+    println!(
+        "retail view over {CUSTOMERS} customers / {INITIAL_SALES}+ sales; N deferred tx of\n\
+         (10 inserts + 2 deletes); 2 concurrent readers\n"
+    );
+    phase1_ordering();
 
     println!(
         "\npaper claim reproduced when each column is cheaper than the one to its\n\
@@ -122,5 +202,43 @@ fn main() {
          Policy 2's downtime is just 'apply two bags', independent of how the\n\
          incremental changes were computed."
     );
-    let _ = fmt_nanos(0.0);
+
+    println!(
+        "\n=== downtime & maintenance distributions ({CYCLES} refresh cycles, \
+         {TXS_PER_CYCLE} tx/cycle, 2 readers) ===\n"
+    );
+    let configs = [
+        CycleConfig {
+            name: "refresh_BL",
+            scenario: Scenario::BaseLog,
+            propagate_first: false,
+            partial: false,
+        },
+        CycleConfig {
+            name: "refresh_C (P1)",
+            scenario: Scenario::Combined,
+            propagate_first: true,
+            partial: false,
+        },
+        CycleConfig {
+            name: "partial_refresh_C (P2)",
+            scenario: Scenario::Combined,
+            propagate_first: true,
+            partial: true,
+        },
+    ];
+    let mut table = TableReport::new(["configuration", "op", "count", "p50", "p95", "p99", "max"]);
+    let mut docs = Vec::new();
+    for cfg in &configs {
+        docs.push(phase2_distributions(cfg, &mut table));
+    }
+    table.print();
+
+    let doc = json::object([
+        ("experiment", json::string("exp_downtime")),
+        ("configs", json::array(docs)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/exp_downtime.json", format!("{doc}\n")).expect("write results");
+    println!("\nwrote results/exp_downtime.json");
 }

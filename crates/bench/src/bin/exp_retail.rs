@@ -13,9 +13,10 @@
 //! minute) under three configurations and report the downtime of the
 //! end-of-day refresh plus the staleness after it.
 
-use dvm_bench::report::{fmt_duration, TableReport};
+use dvm_bench::report::{fmt_duration, fmt_nanos, TableReport};
 use dvm_bench::retail_db;
-use dvm_core::{Database, Minimality, PolicyDriver, RefreshPolicy, Scenario};
+use dvm_core::{Database, Minimality, Observability, PolicyDriver, RefreshPolicy, Scenario};
+use dvm_obs::json;
 use std::time::Duration;
 
 const MINUTES: u64 = 1_440; // 24 h
@@ -28,6 +29,10 @@ struct DayResult {
     propagate_total: Duration,
     day_end_downtime: Duration,
     staleness_min: u64,
+    /// Full observability snapshot of the day (taken before the
+    /// out-of-window convergence refresh, so Policy 2's numbers reflect
+    /// the minimal-downtime path it is claimed to have).
+    obs: Observability,
 }
 
 fn run_day(label: &'static str, scenario: Scenario, policy: Option<RefreshPolicy>) -> DayResult {
@@ -72,6 +77,7 @@ fn run_day(label: &'static str, scenario: Scenario, policy: Option<RefreshPolicy
     }
     let after = db.mv_table("V").unwrap().lock_metrics().snapshot();
     let metrics = db.view_metrics("V").unwrap();
+    let obs = db.observability();
     let _ = last_refresh_tick;
 
     // verify
@@ -100,6 +106,7 @@ fn run_day(label: &'static str, scenario: Scenario, policy: Option<RefreshPolicy
         propagate_total: Duration::from_nanos(metrics.propagate_nanos),
         day_end_downtime: Duration::from_nanos(after.write_hold_nanos - before.write_hold_nanos),
         staleness_min,
+        obs,
     }
 }
 
@@ -147,6 +154,60 @@ fn main() {
         ]);
     }
     t.print();
+
+    // Distribution of the day's maintenance work, from the observability
+    // registry: 1439 policy ticks' worth of makesafe/propagate samples.
+    println!("\n--- maintenance latency distributions over the day ---\n");
+    let mut pt = TableReport::new(["configuration", "op", "count", "p50", "p95", "p99", "max"]);
+    for r in &results {
+        let Some(v) = r.obs.views.iter().find(|v| v.name == "V") else {
+            continue;
+        };
+        for (op, h) in [
+            ("makesafe", &v.latency.makesafe),
+            ("propagate", &v.latency.propagate),
+            ("refresh", &v.latency.refresh),
+            ("downtime (write-hold)", &v.mv_write_hold),
+        ] {
+            if h.is_empty() {
+                continue;
+            }
+            pt.row([
+                r.label.to_string(),
+                op.to_string(),
+                h.count.to_string(),
+                fmt_nanos(h.p50() as f64),
+                fmt_nanos(h.p95() as f64),
+                fmt_nanos(h.p99() as f64),
+                fmt_nanos(h.max as f64),
+            ]);
+        }
+    }
+    pt.print();
+
+    let doc = json::object([
+        ("experiment", json::string("exp_retail")),
+        ("minutes", json::num_u(MINUTES)),
+        ("propagate_every_min", json::num_u(K)),
+        ("batch_per_min", json::num_u(BATCH as u64)),
+        (
+            "configs",
+            json::array(results.iter().map(|r| {
+                json::object([
+                    ("name", json::string(r.label)),
+                    ("staleness_min", json::num_u(r.staleness_min)),
+                    (
+                        "day_end_downtime_ns",
+                        json::num_u(r.day_end_downtime.as_nanos() as u64),
+                    ),
+                    ("observability", r.obs.to_json()),
+                ])
+            })),
+        ),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/exp_retail.json", format!("{doc}\n")).expect("write results");
+    println!("\nwrote results/exp_retail.json");
 
     let bl = results[0].day_end_downtime;
     let p1 = results[1].day_end_downtime;

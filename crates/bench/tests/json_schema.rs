@@ -1,0 +1,193 @@
+//! Schema validation for every JSON artifact under `results/` — the
+//! pure-Rust replacement for a `jq`-based CI check, built on the
+//! zero-dependency parser in `dvm_obs::json`.
+//!
+//! Two families of artifacts:
+//!
+//! * `BENCH_*.json` (from the testkit bench harness): a `benchmarks`
+//!   array of summaries with `name`/`samples`/`median_ns`/… fields;
+//! * `exp_*.json` (from experiment binaries): an `experiment` name and a
+//!   `configs` array, each config wrapping a full `observability`
+//!   registry snapshot with per-view latency histograms and staleness
+//!   gauges.
+//!
+//! The test is lenient about *which* files exist (a fresh checkout may
+//! only carry the committed ones) but strict about the shape of every
+//! file that does.
+
+use dvm_obs::json::{self, Value};
+use std::path::{Path, PathBuf};
+
+fn results_dir() -> PathBuf {
+    // Tests run with CWD = crate root (crates/bench); results/ lives at
+    // the workspace root.
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    ws.join("results")
+}
+
+fn json_files() -> Vec<PathBuf> {
+    let dir = results_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn require<'a>(v: &'a Value, key: &str, ctx: &str) -> &'a Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("{ctx}: missing key `{key}`"))
+}
+
+fn require_num(v: &Value, key: &str, ctx: &str) -> f64 {
+    require(v, key, ctx)
+        .as_f64()
+        .unwrap_or_else(|| panic!("{ctx}: `{key}` is not a number"))
+}
+
+/// A histogram snapshot as serialized by `HistogramSnapshot::to_json`.
+fn check_histogram(v: &Value, ctx: &str) {
+    let count = require_num(v, "count", ctx);
+    require_num(v, "sum_ns", ctx);
+    require_num(v, "mean_ns", ctx);
+    let p50 = require_num(v, "p50_ns", ctx);
+    let p95 = require_num(v, "p95_ns", ctx);
+    let p99 = require_num(v, "p99_ns", ctx);
+    let max = require_num(v, "max_ns", ctx);
+    if count > 0.0 {
+        assert!(p50 <= p95, "{ctx}: p50 > p95");
+        assert!(p95 <= p99, "{ctx}: p95 > p99");
+        // Quantiles report bucket upper bounds (≤ 6.25% relative error),
+        // so p99 may slightly exceed the exact recorded max.
+        assert!(
+            p99 as u64 <= (max as u64).next_power_of_two().max(16),
+            "{ctx}: p99 implausibly above max"
+        );
+    } else {
+        assert_eq!(max, 0.0, "{ctx}: empty histogram with nonzero max");
+    }
+}
+
+fn check_staleness(v: &Value, ctx: &str) {
+    require_num(v, "epochs_pending", ctx);
+    require_num(v, "pending_entries", ctx);
+    require_num(v, "retained_volume", ctx);
+    // nanos_since_refresh is nullable (view never refreshed)
+    let nsr = require(v, "nanos_since_refresh", ctx);
+    assert!(
+        nsr.as_f64().is_some() || matches!(nsr, Value::Null),
+        "{ctx}: nanos_since_refresh must be number or null"
+    );
+}
+
+/// An `Observability::to_json` document.
+fn check_observability(v: &Value, ctx: &str) {
+    let views = require(v, "views", ctx)
+        .as_arr()
+        .unwrap_or_else(|| panic!("{ctx}: `views` is not an array"));
+    for view in views {
+        let name = require(view, "view", ctx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{ctx}: `view` is not a string"))
+            .to_string();
+        let vctx = format!("{ctx}/view {name}");
+        require(view, "scenario", &vctx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{vctx}: `scenario` is not a string"));
+        for hist in ["makesafe", "propagate", "refresh", "mv_write_hold", "mv_read_wait"] {
+            check_histogram(require(view, hist, &vctx), &format!("{vctx}/{hist}"));
+        }
+        require_num(view, "log_tuples", &vctx);
+        require_num(view, "dt_tuples", &vctx);
+        check_staleness(require(view, "staleness", &vctx), &format!("{vctx}/staleness"));
+    }
+    let shared = require(v, "shared_log", ctx);
+    for k in ["entries", "volume", "epoch"] {
+        require_num(shared, k, &format!("{ctx}/shared_log"));
+    }
+    let trace = require(v, "trace", ctx);
+    for k in ["retained", "dropped"] {
+        require_num(trace, k, &format!("{ctx}/trace"));
+    }
+}
+
+fn check_bench_report(doc: &Value, ctx: &str) {
+    let benches = require(doc, "benchmarks", ctx)
+        .as_arr()
+        .unwrap_or_else(|| panic!("{ctx}: `benchmarks` is not an array"));
+    assert!(!benches.is_empty(), "{ctx}: empty benchmark report");
+    for b in benches {
+        let name = require(b, "name", ctx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{ctx}: benchmark `name` not a string"))
+            .to_string();
+        let bctx = format!("{ctx}/{name}");
+        let min = require_num(b, "min_ns", &bctx);
+        let median = require_num(b, "median_ns", &bctx);
+        let p95 = require_num(b, "p95_ns", &bctx);
+        let max = require_num(b, "max_ns", &bctx);
+        assert!(min <= median && median <= p95 && p95 <= max, "{bctx}: unordered quantiles");
+        assert!(require_num(b, "samples", &bctx) >= 1.0, "{bctx}: no samples");
+    }
+}
+
+fn check_experiment(doc: &Value, ctx: &str) {
+    require(doc, "experiment", ctx)
+        .as_str()
+        .unwrap_or_else(|| panic!("{ctx}: `experiment` is not a string"));
+    let configs = require(doc, "configs", ctx)
+        .as_arr()
+        .unwrap_or_else(|| panic!("{ctx}: `configs` is not an array"));
+    assert!(!configs.is_empty(), "{ctx}: no configs");
+    for c in configs {
+        let name = require(c, "name", ctx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{ctx}: config `name` not a string"))
+            .to_string();
+        check_observability(
+            require(c, "observability", &format!("{ctx}/{name}")),
+            &format!("{ctx}/{name}"),
+        );
+    }
+}
+
+#[test]
+fn every_results_json_parses_and_matches_its_schema() {
+    let files = json_files();
+    let mut checked = 0;
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(path).unwrap();
+        let doc = json::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: invalid JSON at byte {}: {}", e.pos, e.msg));
+        if name.starts_with("BENCH_") {
+            check_bench_report(&doc, &name);
+            checked += 1;
+        } else if name.starts_with("exp_") {
+            check_experiment(&doc, &name);
+            checked += 1;
+        } else {
+            panic!("{name}: unknown results/ artifact family (expected BENCH_* or exp_*)");
+        }
+    }
+    println!("validated {checked}/{} results/*.json files", files.len());
+}
+
+#[test]
+fn observability_snapshot_passes_its_own_schema() {
+    // End-to-end: a live registry export must satisfy the same schema the
+    // CI gate applies to committed artifacts.
+    use dvm_bench::retail_db;
+    use dvm_core::{Minimality, Scenario};
+    let (db, mut gen) = retail_db(50, 200, Scenario::Combined, Minimality::Weak, 7);
+    db.execute(&gen.sales_batch(5)).unwrap();
+    db.refresh("V").unwrap();
+    let text = db.observability().to_json();
+    let doc = json::parse(&text).expect("registry export parses");
+    check_observability(&doc, "live");
+}

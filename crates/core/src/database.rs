@@ -41,12 +41,14 @@ use crate::epochlog::SharedLog;
 use crate::error::{CoreError, Result};
 use crate::invariant::{check_view, check_view_with_log_overrides, InvariantReport};
 use crate::metrics::ViewMetricsSnapshot;
+use crate::obs::{Observability, StalenessGauges, ViewObservability};
 use crate::scenario::{self, base_log, combined, diff_table, immediate};
 use crate::view::{Minimality, Scenario, View};
 use dvm_algebra::eval::PinnedState;
 use dvm_algebra::infer::compile;
 use dvm_algebra::Expr;
 use dvm_delta::{compose_into, Transaction};
+use dvm_obs::{EventKind, Tracer};
 use dvm_storage::{Bag, Catalog, CommitGuard, CommitMode, Schema, Table, TableKind};
 use dvm_testkit::sync::{with_workers, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -88,6 +90,13 @@ pub struct Database {
     /// Per-shared-view cursor: the epoch through which the view has
     /// consumed the shared log.
     shared_cursors: RwLock<BTreeMap<String, u64>>,
+    /// Span/event journal over maintenance operations (off by default;
+    /// toggled via [`Database::tracer`]).
+    tracer: Tracer,
+    /// Origin of the database's monotonic clock — staleness stamps
+    /// ([`ViewMetrics::mark_refreshed`](crate::ViewMetrics::mark_refreshed))
+    /// are nanoseconds since here.
+    started: Instant,
 }
 
 impl Default for Database {
@@ -106,7 +115,20 @@ impl Database {
             maintenance_threads: AtomicUsize::new(0),
             shared_log: SharedLog::new(),
             shared_cursors: RwLock::new(BTreeMap::new()),
+            tracer: Tracer::default(),
+            started: Instant::now(),
         }
+    }
+
+    /// The database's event tracer. Disabled by default; enable with
+    /// `db.tracer().set_enabled(true)` to journal maintenance spans.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Nanoseconds since the database was created (its monotonic clock).
+    pub fn now_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
     }
 
     /// Set the number of worker threads used to fan per-view maintenance
@@ -231,9 +253,11 @@ impl Database {
             self.catalog
                 .create_table(i, mv_schema, TableKind::Internal)?;
         }
-        // Initialize MV := Q (evaluated now).
+        // Initialize MV := Q (evaluated now). Initialization counts as the
+        // view's first refresh for the staleness gauges.
         let initial = scenario::recompute(&self.catalog, &view)?;
         self.catalog.require(view.mv_table())?.replace(initial)?;
+        view.metrics().mark_refreshed(self.now_nanos());
         if shared {
             // Register the cursor before the view becomes visible; the
             // claims ensure no relevant transaction commits in between, so
@@ -268,13 +292,22 @@ impl Database {
         // one, blocks on the map until the reclaim is done, so the min we
         // computed stays a true lower bound while entries are dropped.
         // (Lock order: cursors, then the shared log's internal mutex.)
+        let start = Instant::now();
         let cursors = self.shared_cursors.read();
         let min_cursor = cursors
             .values()
             .copied()
             .min()
             .unwrap_or_else(|| self.shared_log.current_epoch());
-        self.shared_log.vacuum(min_cursor)
+        let reclaimed = self.shared_log.vacuum(min_cursor);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                EventKind::Vacuum,
+                &format!("shared log ≤{min_cursor}: {reclaimed} entries"),
+                Some(start.elapsed().as_nanos() as u64),
+            );
+        }
+        reclaimed
     }
 
     /// Drain the shared-log suffix for a shared view into its staging log
@@ -423,6 +456,7 @@ impl Database {
         view: &View,
         tx: &Transaction,
     ) -> Result<(u64, Option<immediate::PendingMvUpdate>)> {
+        let _span = self.tracer.span(EventKind::Makesafe, view.name());
         let start = Instant::now();
         let pending = match view.scenario() {
             Scenario::Immediate => Some(immediate::prepare(&self.catalog, view, tx)?),
@@ -504,7 +538,22 @@ impl Database {
             table.validate_bag(ins)?;
         }
         let tx_tables: BTreeSet<String> = tx.tables().cloned().collect();
+        // Only pay for target-string construction when journaling.
+        let _span = if self.tracer.is_enabled() {
+            let tables: Vec<&str> = tx_tables.iter().map(String::as_str).collect();
+            Some(self.tracer.span(EventKind::TxnExecute, &tables.join(",")))
+        } else {
+            None
+        };
+        let lock_start = Instant::now();
         let (_claims, relevant, shared_names) = self.lock_for_execute(&tx_tables)?;
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                EventKind::LockWait,
+                "execute claims",
+                Some(lock_start.elapsed().as_nanos() as u64),
+            );
+        }
 
         // Normalize to weak minimality against the current state. The
         // commit claims keep that state authoritative until the delta is
@@ -599,13 +648,23 @@ impl Database {
             .iter()
             .map(|t| (t.clone(), CommitMode::Shared))
             .collect();
-        Ok(self.catalog.lock_commit(&modes)?)
+        let start = Instant::now();
+        let claims = self.catalog.lock_commit(&modes)?;
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                EventKind::LockWait,
+                &format!("bases of {}", view.name()),
+                Some(start.elapsed().as_nanos() as u64),
+            );
+        }
+        Ok(claims)
     }
 
     /// `refresh_*`: bring the view fully up to date
     /// (`{INV_*} refresh_* {Q ≡ MV}`).
     pub fn refresh(&self, name: &str) -> Result<()> {
         let view = self.view(name)?;
+        let _span = self.tracer.span(EventKind::Refresh, name);
         let _maint = view.maintenance_lock();
         let _claims = self.lock_view_bases(&view)?;
         let start = Instant::now();
@@ -620,6 +679,7 @@ impl Database {
         }
         view.metrics()
             .record_refresh(start.elapsed().as_nanos() as u64);
+        view.metrics().mark_refreshed(self.now_nanos());
         Ok(())
     }
 
@@ -633,6 +693,7 @@ impl Database {
                 op: "propagate",
             });
         }
+        let _span = self.tracer.span(EventKind::Propagate, name);
         let _maint = view.maintenance_lock();
         let _claims = self.lock_view_bases(&view)?;
         let start = Instant::now();
@@ -656,11 +717,13 @@ impl Database {
         }
         // Touches only the view's own MV and differential tables, so the
         // maintenance mutex suffices — no base-table claims needed.
+        let _span = self.tracer.span(EventKind::PartialRefresh, name);
         let _maint = view.maintenance_lock();
         let start = Instant::now();
         combined::partial_refresh(&self.catalog, &view)?;
         view.metrics()
             .record_refresh(start.elapsed().as_nanos() as u64);
+        view.metrics().mark_refreshed(self.now_nanos());
         Ok(())
     }
 
@@ -876,6 +939,80 @@ impl Database {
             dt_size += self.catalog.require(i)?.len();
         }
         Ok((log_size, dt_size))
+    }
+
+    /// Staleness gauges for one view: shared-log epochs/entries pending
+    /// behind its cursor (zero for non-shared views — their private logs
+    /// are written in-transaction) and time since its last refresh.
+    pub fn staleness(&self, name: &str) -> Result<StalenessGauges> {
+        let view = self.view(name)?;
+        let cursor = self.shared_cursors.read().get(name).copied();
+        let (epochs_pending, pending_entries, pending_volume) = match cursor {
+            Some(c) => {
+                let epoch = self.shared_log.current_epoch();
+                let bases: Vec<String> = view.base_tables().iter().cloned().collect();
+                let (entries, volume) = self.shared_log.suffix_stats(bases.iter(), c);
+                (epoch.saturating_sub(c), entries, volume)
+            }
+            None => (0, 0, 0),
+        };
+        let nanos_since_refresh = view
+            .metrics()
+            .last_refresh_nanos()
+            .map(|at| self.now_nanos().saturating_sub(at));
+        Ok(StalenessGauges {
+            epochs_pending,
+            pending_entries,
+            pending_volume,
+            nanos_since_refresh,
+        })
+    }
+
+    /// Snapshot the observability registry: per-view latency histograms,
+    /// MV-lock distributions, auxiliary footprints, staleness gauges, and
+    /// shared-log/tracer state. Safe to call mid-traffic — every number is
+    /// an independent point-in-time read.
+    pub fn observability(&self) -> Observability {
+        let views_list: Vec<Arc<View>> = self.views.read().values().cloned().collect();
+        let mut views = Vec::with_capacity(views_list.len());
+        for view in views_list {
+            let name = view.name().to_string();
+            // The view can race a concurrent drop_view; skip it if its
+            // tables vanished mid-snapshot.
+            let Ok(mv) = self.catalog.require(view.mv_table()) else {
+                continue;
+            };
+            let (log_tuples, dt_tuples) = match self.aux_sizes(&name) {
+                Ok(sizes) => sizes,
+                Err(_) => continue,
+            };
+            let Ok(staleness) = self.staleness(&name) else {
+                continue;
+            };
+            let lock = mv.lock_metrics();
+            views.push(ViewObservability {
+                name,
+                scenario: view.scenario().label(),
+                totals: view.metrics().snapshot(),
+                latency: view.metrics().histograms(),
+                mv_write_hold: lock.write_hold_histogram(),
+                mv_read_wait: lock.read_wait_histogram(),
+                mv_lock: lock.snapshot(),
+                log_tuples,
+                dt_tuples,
+                staleness,
+            });
+        }
+        let (shared_log_entries, shared_log_volume) = self.shared_log_stats();
+        Observability {
+            views,
+            shared_log_entries: shared_log_entries as u64,
+            shared_log_volume,
+            shared_log_epoch: self.shared_log.current_epoch(),
+            trace_enabled: self.tracer.is_enabled(),
+            trace_len: self.tracer.len() as u64,
+            trace_dropped: self.tracer.dropped(),
+        }
     }
 }
 

@@ -23,6 +23,7 @@ pub mod epochlog;
 pub mod error;
 pub mod invariant;
 pub mod metrics;
+pub mod obs;
 pub mod policy;
 pub mod readthrough;
 pub mod scenario;
@@ -32,7 +33,8 @@ pub use database::{Database, ExecReport};
 pub use epochlog::SharedLog;
 pub use error::{CoreError, Result};
 pub use invariant::{check_view, InvariantReport};
-pub use metrics::{ViewMetrics, ViewMetricsSnapshot};
+pub use metrics::{ViewHistograms, ViewMetrics, ViewMetricsSnapshot};
+pub use obs::{Observability, StalenessGauges, ViewObservability};
 pub use policy::{PolicyDriver, RefreshPolicy, TickActions};
 pub use readthrough::{read_through, read_through_where};
 pub use view::{Minimality, Scenario, View};

@@ -11,21 +11,42 @@
 //! * **propagate work** — background cost of `propagate_C`, which is
 //!   *neither* downtime nor per-transaction overhead (that displacement is
 //!   the whole point of the `INV_C` scenario).
+//!
+//! Each quantity is backed by a [`dvm_obs::Histogram`], so besides the
+//! totals/means of [`ViewMetricsSnapshot`] (kept for compatibility with
+//! the experiment binaries) the full latency distribution is available via
+//! [`ViewMetrics::histograms`] — the paper's policies are about tails, and
+//! means hide them.
+//!
+//! ### Reset semantics
+//!
+//! [`ViewMetrics::reset`] used to `store(0)` six counters independently; a
+//! concurrent `record_*` interleaving with the stores could leave a
+//! count/nanos pair inconsistent forever (count=1, nanos=0 → skewed means
+//! for the rest of the run). The histograms reset by snapshot-and-subtract
+//! instead (see [`dvm_obs::Histogram::reset`]): monotone cells are never
+//! zeroed, so the residual skew is bounded by one *in-flight* sample per
+//! recording thread and vanishes once those recordings land — verified by
+//! `concurrent_reset_never_desynchronizes` below.
 
+use dvm_obs::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotone nanosecond/count accumulators for one view.
+/// Monotone nanosecond/count accumulators for one view, with full latency
+/// distributions per operation kind.
 #[derive(Debug, Default)]
 pub struct ViewMetrics {
-    makesafe_nanos: AtomicU64,
-    makesafe_count: AtomicU64,
-    propagate_nanos: AtomicU64,
-    propagate_count: AtomicU64,
-    refresh_nanos: AtomicU64,
-    refresh_count: AtomicU64,
+    makesafe: Histogram,
+    propagate: Histogram,
+    refresh: Histogram,
+    /// Completion stamp of the most recent refresh/partial-refresh, as
+    /// nanoseconds on the owning database's monotonic clock, +1 so that 0
+    /// means "never refreshed".
+    last_refresh_stamp: AtomicU64,
 }
 
-/// Point-in-time copy of [`ViewMetrics`].
+/// Point-in-time copy of [`ViewMetrics`] totals (means only — see
+/// [`ViewMetrics::histograms`] for distributions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ViewMetricsSnapshot {
     /// Total time spent in `makesafe_*[T]` hooks (per-transaction overhead).
@@ -41,6 +62,17 @@ pub struct ViewMetricsSnapshot {
     pub refresh_nanos: u64,
     /// Number of refresh operations.
     pub refresh_count: u64,
+}
+
+/// Latency distributions for one view's maintenance operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewHistograms {
+    /// Per-transaction `makesafe_*[T]` hook times.
+    pub makesafe: HistogramSnapshot,
+    /// `propagate_C` times.
+    pub propagate: HistogramSnapshot,
+    /// `refresh_*` / `partial_refresh_C` times.
+    pub refresh: HistogramSnapshot,
 }
 
 impl ViewMetricsSnapshot {
@@ -71,42 +103,68 @@ fn mean(total: u64, count: u64) -> f64 {
 impl ViewMetrics {
     /// Record one makesafe hook taking `nanos`.
     pub fn record_makesafe(&self, nanos: u64) {
-        self.makesafe_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.makesafe_count.fetch_add(1, Ordering::Relaxed);
+        self.makesafe.record(nanos);
     }
 
     /// Record one propagate taking `nanos`.
     pub fn record_propagate(&self, nanos: u64) {
-        self.propagate_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.propagate_count.fetch_add(1, Ordering::Relaxed);
+        self.propagate.record(nanos);
     }
 
     /// Record one refresh taking `nanos`.
     pub fn record_refresh(&self, nanos: u64) {
-        self.refresh_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.refresh_count.fetch_add(1, Ordering::Relaxed);
+        self.refresh.record(nanos);
     }
 
-    /// Copy current values.
-    pub fn snapshot(&self) -> ViewMetricsSnapshot {
-        ViewMetricsSnapshot {
-            makesafe_nanos: self.makesafe_nanos.load(Ordering::Relaxed),
-            makesafe_count: self.makesafe_count.load(Ordering::Relaxed),
-            propagate_nanos: self.propagate_nanos.load(Ordering::Relaxed),
-            propagate_count: self.propagate_count.load(Ordering::Relaxed),
-            refresh_nanos: self.refresh_nanos.load(Ordering::Relaxed),
-            refresh_count: self.refresh_count.load(Ordering::Relaxed),
+    /// Stamp the completion of a refresh (`now_nanos` = nanoseconds on the
+    /// owning database's monotonic clock). Feeds the `nanos_since_refresh`
+    /// staleness gauge.
+    pub fn mark_refreshed(&self, now_nanos: u64) {
+        self.last_refresh_stamp
+            .store(now_nanos.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// When the view last completed a refresh, on the owning database's
+    /// monotonic clock; `None` if it never has.
+    pub fn last_refresh_nanos(&self) -> Option<u64> {
+        match self.last_refresh_stamp.load(Ordering::Relaxed) {
+            0 => None,
+            stamp => Some(stamp - 1),
         }
     }
 
-    /// Zero all counters.
+    /// Copy current totals.
+    pub fn snapshot(&self) -> ViewMetricsSnapshot {
+        let (m, p, r) = (
+            self.makesafe.snapshot(),
+            self.propagate.snapshot(),
+            self.refresh.snapshot(),
+        );
+        ViewMetricsSnapshot {
+            makesafe_nanos: m.sum,
+            makesafe_count: m.count,
+            propagate_nanos: p.sum,
+            propagate_count: p.count,
+            refresh_nanos: r.sum,
+            refresh_count: r.count,
+        }
+    }
+
+    /// Copy the full latency distributions.
+    pub fn histograms(&self) -> ViewHistograms {
+        ViewHistograms {
+            makesafe: self.makesafe.snapshot(),
+            propagate: self.propagate.snapshot(),
+            refresh: self.refresh.snapshot(),
+        }
+    }
+
+    /// Start a new measurement phase (snapshot-and-subtract; see the
+    /// module docs — never tears a count/nanos pair).
     pub fn reset(&self) {
-        self.makesafe_nanos.store(0, Ordering::Relaxed);
-        self.makesafe_count.store(0, Ordering::Relaxed);
-        self.propagate_nanos.store(0, Ordering::Relaxed);
-        self.propagate_count.store(0, Ordering::Relaxed);
-        self.refresh_nanos.store(0, Ordering::Relaxed);
-        self.refresh_count.store(0, Ordering::Relaxed);
+        self.makesafe.reset();
+        self.propagate.reset();
+        self.refresh.reset();
     }
 }
 
@@ -141,5 +199,62 @@ mod tests {
         m.record_refresh(5);
         m.reset();
         assert_eq!(m.snapshot(), ViewMetricsSnapshot::default());
+        m.record_refresh(7);
+        assert_eq!(m.snapshot().refresh_nanos, 7);
+    }
+
+    #[test]
+    fn histograms_expose_percentiles() {
+        let m = ViewMetrics::default();
+        for i in 1..=100u64 {
+            m.record_makesafe(i * 100);
+        }
+        let h = m.histograms();
+        assert_eq!(h.makesafe.count, 100);
+        assert!(h.makesafe.p95() >= h.makesafe.p50());
+        assert_eq!(h.makesafe.max, 10_000);
+        assert!(h.propagate.is_empty() && h.refresh.is_empty());
+    }
+
+    #[test]
+    fn refresh_stamp_round_trips() {
+        let m = ViewMetrics::default();
+        assert_eq!(m.last_refresh_nanos(), None);
+        m.mark_refreshed(0);
+        assert_eq!(m.last_refresh_nanos(), Some(0));
+        m.mark_refreshed(12345);
+        assert_eq!(m.last_refresh_nanos(), Some(12345));
+    }
+
+    #[test]
+    fn concurrent_reset_never_desynchronizes() {
+        // Regression for the torn-reset bug: six independent store(0)s
+        // could interleave with a concurrent record_* and leave a
+        // permanently inconsistent count/nanos pair (count=1, nanos=0).
+        // With snapshot-subtract, any skew is bounded by in-flight samples
+        // and is exactly zero once recording stops.
+        const THREADS: u64 = 4;
+        const V: u64 = 500;
+        let m = ViewMetrics::default();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        m.record_makesafe(V);
+                    }
+                });
+            }
+            for _ in 0..40 {
+                m.reset();
+                let snap = m.snapshot();
+                assert!(
+                    snap.makesafe_nanos.abs_diff(snap.makesafe_count * V) <= THREADS * V,
+                    "torn beyond in-flight tolerance: {snap:?}"
+                );
+                std::thread::yield_now();
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.makesafe_nanos, snap.makesafe_count * V);
     }
 }

@@ -1,0 +1,312 @@
+//! The observability registry: one structured report over everything the
+//! engine instruments, with a JSON exporter (consumed by the `exp_*`
+//! binaries and the CI schema gate) and a human [`TableReport`] exporter
+//! (the REPL's `\metrics`).
+//!
+//! Built by [`Database::observability`](crate::Database::observability);
+//! every number is a point-in-time snapshot, safe to take mid-traffic.
+//!
+//! Three families of signals per view:
+//!
+//! * **latency distributions** — makesafe / propagate / refresh
+//!   histograms from [`ViewMetrics`](crate::ViewMetrics), plus the MV
+//!   lock's write-hold (downtime) and read-wait distributions;
+//! * **staleness gauges** — how far behind the view is: shared-log epochs
+//!   pending behind its cursor, retained backlog volume, and time since
+//!   its last refresh;
+//! * **auxiliary footprint** — log and differential-table tuple counts
+//!   (the space the deferral is buying time with).
+
+use crate::metrics::{ViewHistograms, ViewMetricsSnapshot};
+use dvm_obs::json;
+use dvm_obs::{fmt_nanos, HistogramSnapshot, TableReport};
+use dvm_storage::lock::LockMetricsSnapshot;
+
+/// How far behind one view is (all zero / `None` for a view that cannot
+/// lag, e.g. [`Scenario::Immediate`](crate::Scenario::Immediate)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StalenessGauges {
+    /// Shared-log epochs appended since this view's cursor last advanced
+    /// (0 for non-shared views: their private logs are always current).
+    pub epochs_pending: u64,
+    /// Shared-log entries this view still has to fold.
+    pub pending_entries: u64,
+    /// Tuple volume of that backlog.
+    pub pending_volume: u64,
+    /// Nanoseconds since the view's last completed refresh /
+    /// partial-refresh; `None` if it has never refreshed (a fresh view's
+    /// initialization counts as current, so this starts at creation).
+    pub nanos_since_refresh: Option<u64>,
+}
+
+/// Everything observable about one view.
+#[derive(Debug, Clone)]
+pub struct ViewObservability {
+    /// View name.
+    pub name: String,
+    /// Scenario label (`IM`/`BL`/`DT`/`C`).
+    pub scenario: &'static str,
+    /// Monotone totals (means).
+    pub totals: ViewMetricsSnapshot,
+    /// Latency distributions per maintenance operation.
+    pub latency: ViewHistograms,
+    /// MV-lock write-hold distribution — each sample is one exclusive
+    /// hold, so its tail is the view-downtime tail.
+    pub mv_write_hold: HistogramSnapshot,
+    /// MV-lock read-wait distribution — what readers of *this view*
+    /// experienced waiting out refreshes (read-side wait attribution).
+    pub mv_read_wait: HistogramSnapshot,
+    /// MV-lock counter totals.
+    pub mv_lock: LockMetricsSnapshot,
+    /// Tuples in the view's log tables.
+    pub log_tuples: u64,
+    /// Tuples in the view's differential tables.
+    pub dt_tuples: u64,
+    /// Staleness gauges.
+    pub staleness: StalenessGauges,
+}
+
+/// The full registry snapshot.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    /// Per-view reports, in name order.
+    pub views: Vec<ViewObservability>,
+    /// Shared-log retained entries (all tables).
+    pub shared_log_entries: u64,
+    /// Shared-log retained tuple volume.
+    pub shared_log_volume: u64,
+    /// Current shared-log epoch.
+    pub shared_log_epoch: u64,
+    /// Whether the tracer is journaling.
+    pub trace_enabled: bool,
+    /// Events currently retained in the trace ring.
+    pub trace_len: u64,
+    /// Events evicted from the trace ring.
+    pub trace_dropped: u64,
+}
+
+impl StalenessGauges {
+    fn to_json(self) -> String {
+        json::object([
+            ("epochs_pending", json::num_u(self.epochs_pending)),
+            ("pending_entries", json::num_u(self.pending_entries)),
+            ("retained_volume", json::num_u(self.pending_volume)),
+            (
+                "nanos_since_refresh",
+                match self.nanos_since_refresh {
+                    Some(n) => json::num_u(n),
+                    None => "null".to_string(),
+                },
+            ),
+        ])
+    }
+}
+
+impl ViewObservability {
+    /// This view's report as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("view", json::string(&self.name)),
+            ("scenario", json::string(self.scenario)),
+            ("makesafe", self.latency.makesafe.to_json()),
+            ("propagate", self.latency.propagate.to_json()),
+            ("refresh", self.latency.refresh.to_json()),
+            ("mv_write_hold", self.mv_write_hold.to_json()),
+            ("mv_read_wait", self.mv_read_wait.to_json()),
+            ("log_tuples", json::num_u(self.log_tuples)),
+            ("dt_tuples", json::num_u(self.dt_tuples)),
+            ("staleness", self.staleness.to_json()),
+        ])
+    }
+}
+
+impl Observability {
+    /// The whole registry as one JSON document.
+    pub fn to_json(&self) -> String {
+        json::object([
+            (
+                "views",
+                json::array(self.views.iter().map(|v| v.to_json())),
+            ),
+            (
+                "shared_log",
+                json::object([
+                    ("entries", json::num_u(self.shared_log_entries)),
+                    ("volume", json::num_u(self.shared_log_volume)),
+                    ("epoch", json::num_u(self.shared_log_epoch)),
+                ]),
+            ),
+            (
+                "trace",
+                json::object([
+                    ("enabled", json::boolean(self.trace_enabled)),
+                    ("retained", json::num_u(self.trace_len)),
+                    ("dropped", json::num_u(self.trace_dropped)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Per-view latency percentiles as a [`TableReport`]: one row per view
+    /// and operation with samples.
+    pub fn latency_table(&self) -> TableReport {
+        let mut t = TableReport::new(["view", "op", "count", "mean", "p50", "p95", "p99", "max"]);
+        for v in &self.views {
+            for (op, h) in [
+                ("makesafe", &v.latency.makesafe),
+                ("propagate", &v.latency.propagate),
+                ("refresh", &v.latency.refresh),
+                ("mv write-hold", &v.mv_write_hold),
+                ("mv read-wait", &v.mv_read_wait),
+            ] {
+                if h.is_empty() {
+                    continue;
+                }
+                t.row([
+                    v.name.clone(),
+                    op.to_string(),
+                    h.count.to_string(),
+                    fmt_nanos(h.mean()),
+                    fmt_nanos(h.p50() as f64),
+                    fmt_nanos(h.p95() as f64),
+                    fmt_nanos(h.p99() as f64),
+                    fmt_nanos(h.max as f64),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Per-view staleness gauges as a [`TableReport`].
+    pub fn staleness_table(&self) -> TableReport {
+        let mut t = TableReport::new([
+            "view",
+            "scenario",
+            "epochs pending",
+            "backlog tuples",
+            "log tuples",
+            "dt tuples",
+            "since refresh",
+        ]);
+        for v in &self.views {
+            t.row([
+                v.name.clone(),
+                v.scenario.to_string(),
+                v.staleness.epochs_pending.to_string(),
+                v.staleness.pending_volume.to_string(),
+                v.log_tuples.to_string(),
+                v.dt_tuples.to_string(),
+                match v.staleness.nanos_since_refresh {
+                    Some(n) => fmt_nanos(n as f64),
+                    None => "never".to_string(),
+                },
+            ]);
+        }
+        t
+    }
+
+    /// Both tables plus the shared-log line, as one human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.latency_table().render());
+        out.push('\n');
+        out.push_str(&self.staleness_table().render());
+        out.push_str(&format!(
+            "\nshared log: epoch {}, {} entries retained ({} tuples)\n",
+            self.shared_log_epoch, self.shared_log_entries, self.shared_log_volume
+        ));
+        if self.trace_enabled || self.trace_len > 0 {
+            out.push_str(&format!(
+                "trace: {}, {} events retained, {} dropped\n",
+                if self.trace_enabled { "on" } else { "off" },
+                self.trace_len,
+                self.trace_dropped
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Observability {
+        let hist = dvm_obs::Histogram::new();
+        hist.record(1_000);
+        hist.record(2_000);
+        Observability {
+            views: vec![ViewObservability {
+                name: "v".into(),
+                scenario: "C",
+                totals: ViewMetricsSnapshot::default(),
+                latency: ViewHistograms {
+                    makesafe: hist.snapshot(),
+                    propagate: HistogramSnapshot::default(),
+                    refresh: HistogramSnapshot::default(),
+                },
+                mv_write_hold: HistogramSnapshot::default(),
+                mv_read_wait: HistogramSnapshot::default(),
+                mv_lock: LockMetricsSnapshot::default(),
+                log_tuples: 3,
+                dt_tuples: 1,
+                staleness: StalenessGauges {
+                    epochs_pending: 2,
+                    pending_entries: 2,
+                    pending_volume: 5,
+                    nanos_since_refresh: Some(1_500_000),
+                },
+            }],
+            shared_log_entries: 2,
+            shared_log_volume: 5,
+            shared_log_epoch: 7,
+            trace_enabled: false,
+            trace_len: 0,
+            trace_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn json_parses_back_with_expected_shape() {
+        let doc = sample().to_json();
+        let v = json::parse(&doc).unwrap();
+        let views = v.get("views").unwrap().as_arr().unwrap();
+        assert_eq!(views.len(), 1);
+        let view = &views[0];
+        assert_eq!(view.get("view").unwrap().as_str().unwrap(), "v");
+        let ms = view.get("makesafe").unwrap();
+        assert_eq!(ms.get("count").unwrap().as_f64().unwrap(), 2.0);
+        assert!(ms.get("p99_ns").is_some());
+        let st = view.get("staleness").unwrap();
+        assert_eq!(st.get("epochs_pending").unwrap().as_f64().unwrap(), 2.0);
+        assert_eq!(st.get("retained_volume").unwrap().as_f64().unwrap(), 5.0);
+        assert!(st.get("nanos_since_refresh").unwrap().as_f64().is_some());
+        assert_eq!(
+            v.get("shared_log").unwrap().get("epoch").unwrap().as_f64(),
+            Some(7.0)
+        );
+        assert!(v.get("trace").unwrap().get("enabled").is_some());
+    }
+
+    #[test]
+    fn null_refresh_stamp_serializes_as_null() {
+        let mut obs = sample();
+        obs.views[0].staleness.nanos_since_refresh = None;
+        let v = json::parse(&obs.to_json()).unwrap();
+        let st = v.get("views").unwrap().as_arr().unwrap()[0]
+            .get("staleness")
+            .unwrap();
+        assert_eq!(st.get("nanos_since_refresh"), Some(&json::Value::Null));
+    }
+
+    #[test]
+    fn render_includes_tables_and_gauges() {
+        let s = sample().render();
+        assert!(s.contains("p99"), "{s}");
+        assert!(s.contains("makesafe"), "{s}");
+        assert!(s.contains("epochs pending"), "{s}");
+        assert!(s.contains("shared log: epoch 7"), "{s}");
+        // empty histograms are skipped in the latency table
+        assert!(!s.contains("propagate"), "{s}");
+    }
+}

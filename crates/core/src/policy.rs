@@ -12,6 +12,7 @@
 use crate::database::Database;
 use crate::error::{CoreError, Result};
 use crate::view::Scenario;
+use dvm_obs::EventKind;
 
 /// When maintenance operations fire for one view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,18 +134,38 @@ impl<'a> PolicyDriver<'a> {
             })
             .collect();
         actions.propagates = due_propagates.len();
+        let trace = self.db.tracer();
+        if trace.is_enabled() {
+            for name in &due_propagates {
+                trace.event(EventKind::Policy, &format!("t{t}: propagate {name} due"), None);
+            }
+        }
         self.db.propagate_many(&due_propagates)?;
         for (name, policy) in &self.entries {
             match *policy {
                 RefreshPolicy::OnDemand | RefreshPolicy::OnQuery => {}
                 RefreshPolicy::PeriodicRefresh { every } => {
                     if t.is_multiple_of(every) {
+                        if trace.is_enabled() {
+                            trace.event(
+                                EventKind::Policy,
+                                &format!("t{t}: refresh {name} (periodic, every {every})"),
+                                None,
+                            );
+                        }
                         self.db.refresh(name)?;
                         actions.refreshes += 1;
                     }
                 }
                 RefreshPolicy::Policy1 { m, .. } => {
                     if t.is_multiple_of(m) {
+                        if trace.is_enabled() {
+                            trace.event(
+                                EventKind::Policy,
+                                &format!("t{t}: refresh {name} (policy 1, m={m})"),
+                                None,
+                            );
+                        }
                         // refresh_C = propagate ; partial_refresh
                         self.db.refresh(name)?;
                         actions.refreshes += 1;
@@ -152,6 +173,13 @@ impl<'a> PolicyDriver<'a> {
                 }
                 RefreshPolicy::Policy2 { m, .. } => {
                     if t.is_multiple_of(m) {
+                        if trace.is_enabled() {
+                            trace.event(
+                                EventKind::Policy,
+                                &format!("t{t}: partial refresh {name} (policy 2, m={m})"),
+                                None,
+                            );
+                        }
                         self.db.partial_refresh(name)?;
                         actions.partial_refreshes += 1;
                     }

@@ -1,0 +1,161 @@
+//! Staleness accounting over the shared epoch log: `epochs_pending` must
+//! track appends monotonically, collapse to zero on refresh, and the
+//! vacuum must never reclaim past the minimum live cursor the registry
+//! reports.
+
+use dvm_algebra::Expr;
+use dvm_core::{Database, Minimality};
+use dvm_delta::Transaction;
+use dvm_storage::{tuple, Schema, ValueType};
+
+fn shared_db(views: &[&str]) -> Database {
+    let db = Database::new();
+    db.create_table("r", Schema::from_pairs(&[("a", ValueType::Int)]))
+        .unwrap();
+    for v in views {
+        db.create_view_shared(*v, Expr::table("r"), Minimality::Weak)
+            .unwrap();
+    }
+    db
+}
+
+fn pending(db: &Database, view: &str) -> u64 {
+    db.staleness(view).unwrap().epochs_pending
+}
+
+#[test]
+fn epochs_pending_monotone_under_appends() {
+    let db = shared_db(&["v"]);
+    assert_eq!(pending(&db, "v"), 0, "fresh view starts caught up");
+    let mut last = 0;
+    for i in 0..5i64 {
+        db.execute(&Transaction::new().insert_tuple("r", tuple![i]))
+            .unwrap();
+        let now = pending(&db, "v");
+        assert!(now > last, "append must grow the backlog: {last} → {now}");
+        last = now;
+    }
+    assert_eq!(last, 5);
+    let gauges = db.staleness("v").unwrap();
+    assert_eq!(gauges.pending_entries, 5);
+    assert_eq!(gauges.pending_volume, 5);
+}
+
+#[test]
+fn refresh_drops_pending_to_zero() {
+    let db = shared_db(&["v"]);
+    for i in 0..3i64 {
+        db.execute(&Transaction::new().insert_tuple("r", tuple![i]))
+            .unwrap();
+    }
+    assert_eq!(pending(&db, "v"), 3);
+    db.refresh("v").unwrap();
+    let gauges = db.staleness("v").unwrap();
+    assert_eq!(gauges.epochs_pending, 0);
+    assert_eq!(gauges.pending_entries, 0);
+    assert_eq!(gauges.pending_volume, 0);
+    assert_eq!(db.query_view("v").unwrap().len(), 3);
+}
+
+#[test]
+fn propagate_also_advances_the_cursor() {
+    let db = shared_db(&["v"]);
+    db.execute(&Transaction::new().insert_tuple("r", tuple![1]))
+        .unwrap();
+    assert_eq!(pending(&db, "v"), 1);
+    db.propagate("v").unwrap();
+    assert_eq!(pending(&db, "v"), 0, "drain happens at propagate");
+    // ... but the work now sits in the differential tables, not the MV
+    let obs = db.observability();
+    let v = &obs.views[0];
+    assert_eq!(v.dt_tuples, 1);
+}
+
+#[test]
+fn vacuum_never_reclaims_past_min_live_cursor() {
+    // Two views over the same base: "slow" never refreshes, so its cursor
+    // pins the log; vacuuming may reclaim nothing. After "slow" catches
+    // up, the suffix becomes reclaimable.
+    let db = shared_db(&["fast", "slow"]);
+    for i in 0..4i64 {
+        db.execute(&Transaction::new().insert_tuple("r", tuple![i]))
+            .unwrap();
+    }
+    db.refresh("fast").unwrap();
+    assert_eq!(pending(&db, "fast"), 0);
+    assert_eq!(pending(&db, "slow"), 4);
+
+    let reclaimed = db.vacuum_shared_log();
+    assert_eq!(reclaimed, 0, "slow's cursor pins every entry");
+    let obs = db.observability();
+    assert_eq!(obs.shared_log_entries, 4);
+    // slow can still fold its whole backlog and land on the truth
+    db.refresh("slow").unwrap();
+    assert_eq!(
+        db.query_view("slow").unwrap(),
+        db.recompute_view("slow").unwrap()
+    );
+
+    // now everyone is caught up; the vacuum may take the lot
+    let reclaimed = db.vacuum_shared_log();
+    assert_eq!(reclaimed, 4);
+    assert_eq!(db.observability().shared_log_entries, 0);
+}
+
+#[test]
+fn vacuum_respects_partial_progress() {
+    let db = shared_db(&["a", "b"]);
+    db.execute(&Transaction::new().insert_tuple("r", tuple![1]))
+        .unwrap();
+    db.refresh("a").unwrap();
+    db.refresh("b").unwrap();
+    db.execute(&Transaction::new().insert_tuple("r", tuple![2]))
+        .unwrap();
+    db.refresh("a").unwrap(); // b still one epoch behind
+    assert_eq!(pending(&db, "b"), 1);
+    let reclaimed = db.vacuum_shared_log();
+    assert_eq!(reclaimed, 1, "only the entry both views consumed goes");
+    // b's backlog survives the vacuum intact
+    assert_eq!(db.staleness("b").unwrap().pending_entries, 1);
+    db.refresh("b").unwrap();
+    assert_eq!(
+        db.query_view("b").unwrap(),
+        db.recompute_view("b").unwrap()
+    );
+}
+
+#[test]
+fn nanos_since_refresh_resets_on_refresh() {
+    let db = shared_db(&["v"]);
+    let initial = db
+        .staleness("v")
+        .unwrap()
+        .nanos_since_refresh
+        .expect("initialization stamps the view");
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let aged = db.staleness("v").unwrap().nanos_since_refresh.unwrap();
+    assert!(aged > initial, "gauge ages while idle: {initial} → {aged}");
+    assert!(aged >= 4_000_000);
+    db.refresh("v").unwrap();
+    let fresh = db.staleness("v").unwrap().nanos_since_refresh.unwrap();
+    assert!(fresh < aged, "refresh rewinds the gauge: {fresh} < {aged}");
+}
+
+#[test]
+fn observability_json_round_trips_staleness() {
+    let db = shared_db(&["v"]);
+    db.execute(&Transaction::new().insert_tuple("r", tuple![7]))
+        .unwrap();
+    let doc = db.observability().to_json();
+    let parsed = dvm_obs::json::parse(&doc).unwrap();
+    let views = parsed.get("views").unwrap().as_arr().unwrap();
+    assert_eq!(views.len(), 1);
+    let st = views[0].get("staleness").unwrap();
+    assert_eq!(st.get("epochs_pending").unwrap().as_f64(), Some(1.0));
+    assert_eq!(st.get("retained_volume").unwrap().as_f64(), Some(1.0));
+    assert!(st.get("nanos_since_refresh").unwrap().as_f64().is_some());
+    assert_eq!(
+        parsed.get("shared_log").unwrap().get("entries").unwrap().as_f64(),
+        Some(1.0)
+    );
+}

@@ -1,0 +1,125 @@
+//! Fixed-width plain-text tables — the human-readable exporter shared by
+//! the REPL's `\metrics` command and every `exp_*` binary (`dvm-bench`
+//! re-exports these under `dvm_bench::report`).
+
+/// A simple fixed-width table printer: header + rows, columns sized to fit.
+pub struct TableReport {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    /// Start a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TableReport {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // left-align first column, right-align the rest
+                let pad = widths[i].saturating_sub(c.chars().count());
+                if i == 0 {
+                    line.push_str(c);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(c);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format nanoseconds with an adaptive unit.
+pub fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.0}ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.1}µs", nanos / 1e3)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2}ms", nanos / 1e6)
+    } else {
+        format!("{:.3}s", nanos / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TableReport::new(["name", "value"]);
+        t.row(["longer-name", "1"]);
+        t.row(["x", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        TableReport::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert_eq!(fmt_nanos(500.0), "500ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.5µs");
+        assert_eq!(fmt_nanos(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_nanos(3_000_000_000.0), "3.000s");
+    }
+}

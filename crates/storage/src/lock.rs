@@ -8,8 +8,13 @@
 //! * total and maximum **write-hold** time (this *is* downtime),
 //! * total **read-block** time (time readers spent waiting — what concurrent
 //!   decision-support queries experience during refresh),
-//! * acquisition counts.
+//! * acquisition counts,
+//! * full latency **distributions** of write-holds and read-waits
+//!   ([`dvm_obs::Histogram`]) — the totals above tell you the mean; the
+//!   histograms surface the p95/p99 tail the refresh policies trade
+//!   against.
 
+use dvm_obs::{atomic_max, Histogram, HistogramSnapshot};
 use dvm_testkit::sync::{ArcRwLockReadGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,6 +34,11 @@ pub struct LockMetrics {
     write_acquisitions: AtomicU64,
     read_block_nanos: AtomicU64,
     read_acquisitions: AtomicU64,
+    /// Distribution of individual write-hold times (downtime tail).
+    write_hold: Histogram,
+    /// Distribution of individual read-wait times (what each blocked
+    /// reader experienced, attributable to the table's view).
+    read_wait: Histogram,
 }
 
 /// A point-in-time copy of [`LockMetrics`].
@@ -49,8 +59,26 @@ pub struct LockMetricsSnapshot {
 impl LockMetrics {
     fn record_write_hold(&self, nanos: u64) {
         self.write_hold_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.write_hold_max_nanos
-            .fetch_max(nanos, Ordering::Relaxed);
+        atomic_max(&self.write_hold_max_nanos, nanos);
+        self.write_hold.record(nanos);
+    }
+
+    fn record_read_wait(&self, nanos: u64) {
+        self.read_block_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.read_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.read_wait.record(nanos);
+    }
+
+    /// Distribution of individual write-hold times (each sample is one
+    /// hold; p99 of this is the downtime tail).
+    pub fn write_hold_histogram(&self) -> HistogramSnapshot {
+        self.write_hold.snapshot()
+    }
+
+    /// Distribution of individual read-wait times (each sample is one
+    /// reader's wait to acquire the lock).
+    pub fn read_wait_histogram(&self) -> HistogramSnapshot {
+        self.read_wait.snapshot()
     }
 
     /// Copy the current counter values.
@@ -65,12 +93,18 @@ impl LockMetrics {
     }
 
     /// Reset all counters to zero (between experiment phases).
+    ///
+    /// Single-word counters are stored to zero (each is self-contained, so
+    /// a concurrent recording lands wholly in the old or the new phase);
+    /// the histograms reset by snapshot-and-subtract, which never tears.
     pub fn reset(&self) {
         self.write_hold_nanos.store(0, Ordering::Relaxed);
         self.write_hold_max_nanos.store(0, Ordering::Relaxed);
         self.write_acquisitions.store(0, Ordering::Relaxed);
         self.read_block_nanos.store(0, Ordering::Relaxed);
         self.read_acquisitions.store(0, Ordering::Relaxed);
+        self.write_hold.reset();
+        self.read_wait.reset();
     }
 }
 
@@ -94,13 +128,8 @@ impl<T> InstrumentedRwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         let start = Instant::now();
         let guard = self.inner.read();
-        let waited = start.elapsed().as_nanos() as u64;
         self.metrics
-            .read_block_nanos
-            .fetch_add(waited, Ordering::Relaxed);
-        self.metrics
-            .read_acquisitions
-            .fetch_add(1, Ordering::Relaxed);
+            .record_read_wait(start.elapsed().as_nanos() as u64);
         guard
     }
 
@@ -113,13 +142,8 @@ impl<T> InstrumentedRwLock<T> {
     {
         let start = Instant::now();
         let guard = RwLock::read_arc(&self.inner);
-        let waited = start.elapsed().as_nanos() as u64;
         self.metrics
-            .read_block_nanos
-            .fetch_add(waited, Ordering::Relaxed);
-        self.metrics
-            .read_acquisitions
-            .fetch_add(1, Ordering::Relaxed);
+            .record_read_wait(start.elapsed().as_nanos() as u64);
         guard
     }
 
@@ -261,8 +285,30 @@ mod tests {
         {
             let _w = l.write();
         }
+        drop(l.read());
         l.metrics().reset();
         assert_eq!(l.metrics().snapshot(), LockMetricsSnapshot::default());
+        assert!(l.metrics().write_hold_histogram().is_empty());
+        assert!(l.metrics().read_wait_histogram().is_empty());
+    }
+
+    #[test]
+    fn histograms_track_distributions() {
+        let l = InstrumentedRwLock::new(());
+        for _ in 0..10 {
+            let _w = l.write();
+        }
+        {
+            let _w = l.write();
+            thread::sleep(Duration::from_millis(3));
+        }
+        drop(l.read());
+        let wh = l.metrics().write_hold_histogram();
+        assert_eq!(wh.count, 11);
+        assert!(wh.max >= 2_000_000, "slow hold in the tail: {wh:?}");
+        assert!(wh.p50() < wh.max, "fast holds dominate the median");
+        assert_eq!(wh.max, l.metrics().snapshot().write_hold_max_nanos);
+        assert_eq!(l.metrics().read_wait_histogram().count, 1);
     }
 
     #[test]

@@ -130,13 +130,19 @@ pub fn with_concurrent_readers<T>(
     let (out, per_reader) = with_workers(
         readers,
         |_, stop| {
+            // Always complete at least one read, even if `f` finishes
+            // before this thread is first scheduled — a reader harness
+            // that observed nothing has measured nothing.
             let mut reads = 0u64;
-            while !stop.load(Ordering::Relaxed) {
+            loop {
                 let guard = mv.read();
                 // touch the bag so the read isn't optimized away
                 std::hint::black_box(guard.len());
                 drop(guard);
                 reads += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
                 std::thread::yield_now();
             }
             reads

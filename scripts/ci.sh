@@ -48,4 +48,15 @@ cargo test -q --offline --workspace
 echo "==> concurrent stress (RUST_TEST_THREADS unconstrained)"
 env -u RUST_TEST_THREADS cargo test -q --offline -p dvm-core --test concurrent_stress
 
+# Every JSON artifact under results/ must parse and match its schema
+# (pure-Rust validation via dvm_obs::json — no jq in the image).
+echo "==> results/ JSON schema validation"
+cargo test -q --offline -p dvm-bench --test json_schema
+
+# The observability layer claims a compile-out-cheap disabled path: the
+# instrumented execute path must stay within 5% of the recorded baseline
+# (release build; widen with OBS_GUARD_TOLERANCE=0.15 on noisy hosts).
+echo "==> disabled-tracer overhead guard"
+cargo run --release --offline -q -p dvm-bench --bin obs_guard
+
 echo "==> CI green"

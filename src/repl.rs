@@ -196,21 +196,90 @@ impl Repl {
                     ReplOutcome::Output(out)
                 }
             }
-            "metrics" => render(self.view_op(arg, |db, v| {
-                let m = db.view_metrics(v)?;
-                let lock = db.mv_table(v)?.lock_metrics().snapshot();
-                Ok(format!(
-                    "makesafe: {} ops, {:.1}µs mean | propagate: {} ops, {:.1}µs mean | \
-                     refresh: {} ops, {:.1}µs mean | downtime: {:.3}ms total",
-                    m.makesafe_count,
-                    m.mean_makesafe_nanos() / 1e3,
-                    m.propagate_count,
-                    m.mean_propagate_nanos() / 1e3,
-                    m.refresh_count,
-                    m.mean_refresh_nanos() / 1e3,
-                    lock.write_hold_nanos as f64 / 1e6,
-                ))
-            })),
+            "metrics" => match arg {
+                // `\metrics` — the full observability registry, rendered.
+                None => ReplOutcome::Output(self.db.observability().render()),
+                // `\metrics json` — the same registry as one JSON document.
+                Some("json") => ReplOutcome::Output(self.db.observability().to_json()),
+                // `\metrics <view>` — one view's counters and percentiles.
+                Some(v) => render(self.view_op(Some(v), |db, v| {
+                    let m = db.view_metrics(v)?;
+                    let h = db.view(v)?.metrics().histograms();
+                    let mv = db.mv_table(v)?;
+                    let lock = mv.lock_metrics();
+                    let wh = lock.write_hold_histogram();
+                    let pct = |h: &dvm_obs::HistogramSnapshot| {
+                        format!(
+                            "p50 {} / p95 {} / p99 {}",
+                            dvm_obs::fmt_nanos(h.p50() as f64),
+                            dvm_obs::fmt_nanos(h.p95() as f64),
+                            dvm_obs::fmt_nanos(h.p99() as f64),
+                        )
+                    };
+                    let st = db.staleness(v)?;
+                    Ok(format!(
+                        "makesafe:  {} ops, {:.1}µs mean, {}\n\
+                         propagate: {} ops, {:.1}µs mean, {}\n\
+                         refresh:   {} ops, {:.1}µs mean, {}\n\
+                         downtime:  {:.3}ms total over {} holds, {}\n\
+                         staleness: {} epochs pending, {} tuples backlog",
+                        m.makesafe_count,
+                        m.mean_makesafe_nanos() / 1e3,
+                        pct(&h.makesafe),
+                        m.propagate_count,
+                        m.mean_propagate_nanos() / 1e3,
+                        pct(&h.propagate),
+                        m.refresh_count,
+                        m.mean_refresh_nanos() / 1e3,
+                        pct(&h.refresh),
+                        lock.snapshot().write_hold_nanos as f64 / 1e6,
+                        wh.count,
+                        pct(&wh),
+                        st.epochs_pending,
+                        st.pending_volume,
+                    ))
+                })),
+            },
+            "trace" => match arg {
+                Some("on") => {
+                    self.db.tracer().set_enabled(true);
+                    ReplOutcome::Output("trace: on".to_string())
+                }
+                Some("off") => {
+                    self.db.tracer().set_enabled(false);
+                    ReplOutcome::Output("trace: off".to_string())
+                }
+                Some("clear") => {
+                    self.db.tracer().clear();
+                    ReplOutcome::Output("trace: cleared".to_string())
+                }
+                Some("show") | None => {
+                    let n = parts
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or(40);
+                    let tracer = self.db.tracer();
+                    let events = tracer.recent(n);
+                    if events.is_empty() {
+                        let hint = if tracer.is_enabled() {
+                            "no events journaled yet"
+                        } else {
+                            "no events — enable with \\trace on"
+                        };
+                        ReplOutcome::Output(hint.to_string())
+                    } else {
+                        let mut out = String::new();
+                        for e in &events {
+                            writeln!(out, "{}", e.render()).unwrap();
+                        }
+                        if tracer.dropped() > 0 {
+                            writeln!(out, "({} older events dropped)", tracer.dropped()).unwrap();
+                        }
+                        ReplOutcome::Output(out)
+                    }
+                }
+                Some(_) => ReplOutcome::Output("usage: \\trace on|off|show [n]|clear".to_string()),
+            },
             other => ReplOutcome::Output(format!("unknown command '\\{other}' — try \\help")),
         }
     }
@@ -248,7 +317,12 @@ meta:  \\tables            list base tables
        \\fresh <v>         read-through: fresh answer, zero downtime
        \\explain <v>       definition, materialization and refresh plans
        \\invariant <v> | \\invariants
-       \\metrics <v>       maintenance cost counters
+       \\metrics           latency/staleness tables for every view
+       \\metrics json      the same registry as JSON
+       \\metrics <v>       one view's counters and percentiles
+       \\trace on|off      journal maintenance spans and events
+       \\trace show [n]    print the most recent n events (default 40)
+       \\trace clear       discard the journal
        \\quit";
 
 #[cfg(test)]
@@ -319,6 +393,7 @@ mod tests {
         assert!(feed(&mut repl, &["\\invariants"]).contains("all invariants hold"));
         assert!(feed(&mut repl, &["\\invariant v"]).contains("INV_BL"));
         assert!(feed(&mut repl, &["\\metrics v"]).contains("makesafe"));
+        assert!(feed(&mut repl, &["\\metrics v"]).contains("p99"));
         let explained = feed(&mut repl, &["\\explain v"]);
         assert!(explained.contains("materialization plan"), "{explained}");
         assert!(explained.contains("Scan"), "{explained}");
@@ -343,6 +418,50 @@ mod tests {
         assert!(feed(&mut repl, &["\\partial v"]).contains("partially refreshed"));
         let out = feed(&mut repl, &["SELECT a FROM v"]);
         assert!(out.contains("(1 row(s))"));
+    }
+
+    #[test]
+    fn metrics_registry_and_json() {
+        let mut repl = Repl::new();
+        feed(
+            &mut repl,
+            &[
+                "CREATE TABLE t (a INT)",
+                "CREATE VIEW v AS SELECT a FROM t",
+                "INSERT INTO t VALUES (1)",
+                "\\refresh v",
+            ],
+        );
+        let table = feed(&mut repl, &["\\metrics"]);
+        assert!(table.contains("p99"), "{table}");
+        assert!(table.contains("epochs pending"), "{table}");
+        assert!(table.contains("shared log"), "{table}");
+        let json = feed(&mut repl, &["\\metrics json"]);
+        let parsed = dvm_obs::json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("views").unwrap().as_arr().unwrap().len(),
+            1,
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn trace_journal_flow() {
+        let mut repl = Repl::new();
+        feed(
+            &mut repl,
+            &["CREATE TABLE t (a INT)", "CREATE VIEW v AS SELECT a FROM t"],
+        );
+        assert!(feed(&mut repl, &["\\trace show"]).contains("\\trace on"));
+        assert!(feed(&mut repl, &["\\trace on"]).contains("trace: on"));
+        feed(&mut repl, &["INSERT INTO t VALUES (1)", "\\refresh v"]);
+        let shown = feed(&mut repl, &["\\trace show 100"]);
+        assert!(shown.contains("txn_execute"), "{shown}");
+        assert!(shown.contains("refresh v"), "{shown}");
+        assert!(feed(&mut repl, &["\\trace clear"]).contains("cleared"));
+        assert!(feed(&mut repl, &["\\trace show"]).contains("no events"));
+        assert!(feed(&mut repl, &["\\trace off"]).contains("trace: off"));
+        assert!(feed(&mut repl, &["\\trace bogus"]).contains("usage"));
     }
 
     #[test]
