@@ -24,14 +24,26 @@
 //!    written to `results/exp_downtime.json`.
 
 use dvm_bench::report::{fmt_duration, fmt_nanos, TableReport};
-use dvm_bench::retail_db;
+use dvm_bench::{retail_db, retail_db_durable};
 use dvm_core::{Database, Minimality, Scenario};
+use dvm_durability::{DurabilityPolicy, WalOptions};
 use dvm_obs::json;
 use dvm_workload::with_concurrent_readers;
 use std::time::Duration;
 
-const CUSTOMERS: usize = 5_000;
-const INITIAL_SALES: usize = 25_000;
+/// `EXP_DOWNTIME_QUICK=1` shrinks every phase to smoke-test size (the CI
+/// crash-recovery gate runs the binary this way).
+fn quick() -> bool {
+    std::env::var("EXP_DOWNTIME_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn sizes() -> (usize, usize) {
+    if quick() {
+        (300, 1_200)
+    } else {
+        (5_000, 25_000)
+    }
+}
 
 /// Run `n_tx` deferred transactions, then measure one refresh op.
 fn measure(
@@ -42,7 +54,8 @@ fn measure(
     // the refresh op to time at the end
     refresh: impl Fn(&Database) -> dvm_core::Result<()>,
 ) -> (Duration, Duration) {
-    let (db, mut gen) = retail_db(CUSTOMERS, INITIAL_SALES, scenario, Minimality::Weak, 9);
+    let (customers, initial_sales) = sizes();
+    let (db, mut gen) = retail_db(customers, initial_sales, scenario, Minimality::Weak, 9);
     for i in 0..n_tx {
         db.execute(&gen.mixed_batch(10, 2)).unwrap();
         if let Some(k) = propagate_every {
@@ -95,7 +108,8 @@ fn phase1_ordering() {
         "readers blocked (BL)",
     ]);
 
-    for &n_tx in &[100usize, 500, 2_000] {
+    let tx_counts: &[usize] = if quick() { &[50] } else { &[100, 500, 2_000] };
+    for &n_tx in tx_counts {
         let (recompute_dt, _) = measure(Scenario::BaseLog, n_tx, None, recompute_refresh);
         let (bl, bl_blocked) = measure(Scenario::BaseLog, n_tx, None, |db| db.refresh("V"));
         // Policy 1: propagation has happened periodically; final refresh_C
@@ -129,15 +143,25 @@ struct CycleConfig {
     partial: bool,
 }
 
-const CYCLES: usize = 25;
-const TXS_PER_CYCLE: usize = 10;
+fn cycles() -> (usize, usize) {
+    if quick() {
+        (5, 4)
+    } else {
+        (25, 10)
+    }
+}
 
-/// Run `CYCLES` refresh cycles and return the registry's JSON for the
-/// run, after printing the percentile rows.
+/// Run the configured refresh cycles and return the registry's JSON for
+/// the run, after printing the percentile rows.
 fn phase2_distributions(cfg: &CycleConfig, table: &mut TableReport) -> String {
-    let (db, mut gen) = retail_db(1_000, 5_000, cfg.scenario, Minimality::Weak, 31);
-    for _ in 0..CYCLES {
-        for _ in 0..TXS_PER_CYCLE {
+    let (n_cycles, txs_per_cycle) = cycles();
+    let (db, mut gen) = if quick() {
+        retail_db(300, 1_200, cfg.scenario, Minimality::Weak, 31)
+    } else {
+        retail_db(1_000, 5_000, cfg.scenario, Minimality::Weak, 31)
+    };
+    for _ in 0..n_cycles {
+        for _ in 0..txs_per_cycle {
             db.execute(&gen.mixed_batch(10, 2)).unwrap();
         }
         // 2 concurrent readers per cycle: their lock waits land in the MV
@@ -182,16 +206,82 @@ fn phase2_distributions(cfg: &CycleConfig, table: &mut TableReport) -> String {
     }
     json::object([
         ("name", json::string(cfg.name)),
-        ("cycles", json::num_u(CYCLES as u64)),
-        ("txs_per_cycle", json::num_u(TXS_PER_CYCLE as u64)),
+        ("cycles", json::num_u(n_cycles as u64)),
+        ("txs_per_cycle", json::num_u(txs_per_cycle as u64)),
         ("observability", obs.to_json()),
     ])
 }
 
+/// When `DVM_DURABLE_DIR` is set, re-run the downtime measurement against
+/// a database that went through a full durability cycle: built durably,
+/// loaded with deferred transactions, closed, and reopened from
+/// checkpoint + WAL. The recovered engine must produce the same correct
+/// refresh with comparable downtime — recovery restores the deferred
+/// state, it does not collapse it.
+fn durable_reopen_phase(dir: &str) {
+    let n_tx = if quick() { 50 } else { 500 };
+    let (customers, initial_sales) = sizes();
+    let path = std::path::Path::new(dir).join("exp_downtime");
+    {
+        let (db, mut gen) = retail_db_durable(
+            &path,
+            WalOptions {
+                policy: DurabilityPolicy::EveryN(64),
+                segment_bytes: 1 << 20,
+            },
+            customers,
+            initial_sales,
+            Scenario::Combined,
+            Minimality::Weak,
+            9,
+        );
+        let k = (n_tx / 10).max(1);
+        for i in 0..n_tx {
+            db.execute(&gen.mixed_batch(10, 2)).unwrap();
+            if (i + 1) % k == 0 {
+                db.propagate("V").unwrap();
+            }
+        }
+    } // dropped: clean close, nothing refreshed
+
+    let db = Database::open(&path).unwrap();
+    let r = db.recovery_report().expect("durable open");
+    let before = db.mv_table("V").unwrap().lock_metrics().snapshot();
+    let (_, readers) = with_concurrent_readers(&db, "V", 2, || {
+        db.propagate("V")?;
+        db.partial_refresh("V")
+    })
+    .unwrap();
+    let after = db.mv_table("V").unwrap().lock_metrics().snapshot();
+    assert_eq!(
+        db.query_view("V").unwrap(),
+        db.recompute_view("V").unwrap(),
+        "recovered database refreshes incorrectly"
+    );
+    assert!(db.check_all_invariants().unwrap().is_empty());
+    println!(
+        "\n=== recovered database (reopened from {}) ===\n\
+         replayed {} wal record(s) ({} bytes) past checkpoint lsn {} in {}\n\
+         partial_refresh_C downtime {}, readers blocked {}\n\
+         refresh lands on the truth; all invariants hold",
+        path.display(),
+        r.wal_records_replayed,
+        r.wal_bytes_replayed,
+        r.checkpoint_lsn,
+        fmt_nanos(r.recovery_nanos as f64),
+        fmt_duration(Duration::from_nanos(
+            after.write_hold_nanos - before.write_hold_nanos
+        )),
+        fmt_duration(Duration::from_nanos(readers.lock_delta.read_block_nanos)),
+    );
+    let _ = std::fs::remove_dir_all(&path);
+}
+
 fn main() {
     println!("=== E3: view downtime (write-lock hold during one refresh) ===\n");
+    let (customers, initial_sales) = sizes();
     println!(
-        "retail view over {CUSTOMERS} customers / {INITIAL_SALES}+ sales; N deferred tx of\n\
+        "retail view over {customers} customers / {initial_sales}+ sales; N deferred tx of\n\
          (10 inserts + 2 deletes); 2 concurrent readers\n"
     );
     phase1_ordering();
@@ -203,9 +293,10 @@ fn main() {
          incremental changes were computed."
     );
 
+    let (n_cycles, txs_per_cycle) = cycles();
     println!(
-        "\n=== downtime & maintenance distributions ({CYCLES} refresh cycles, \
-         {TXS_PER_CYCLE} tx/cycle, 2 readers) ===\n"
+        "\n=== downtime & maintenance distributions ({n_cycles} refresh cycles, \
+         {txs_per_cycle} tx/cycle, 2 readers) ===\n"
     );
     let configs = [
         CycleConfig {
@@ -234,11 +325,19 @@ fn main() {
     }
     table.print();
 
-    let doc = json::object([
-        ("experiment", json::string("exp_downtime")),
-        ("configs", json::array(docs)),
-    ]);
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/exp_downtime.json", format!("{doc}\n")).expect("write results");
-    println!("\nwrote results/exp_downtime.json");
+    if quick() {
+        println!("\n(quick mode: results/exp_downtime.json left untouched)");
+    } else {
+        let doc = json::object([
+            ("experiment", json::string("exp_downtime")),
+            ("configs", json::array(docs)),
+        ]);
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write("results/exp_downtime.json", format!("{doc}\n")).expect("write results");
+        println!("\nwrote results/exp_downtime.json");
+    }
+
+    if let Ok(dir) = std::env::var("DVM_DURABLE_DIR") {
+        durable_reopen_phase(&dir);
+    }
 }

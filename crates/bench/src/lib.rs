@@ -9,7 +9,9 @@
 pub mod report;
 
 use dvm_core::{Database, Minimality, Scenario};
+use dvm_durability::WalOptions;
 use dvm_workload::{view_expr, RetailConfig, RetailGen};
+use std::path::Path;
 
 /// A retail database with the Example-1.1 view installed under `scenario`.
 pub fn retail_db(
@@ -31,6 +33,37 @@ pub fn retail_db(
     gen.install(&db).expect("install retail schema");
     db.create_view_with("V", view_expr(), scenario, minimality)
         .expect("create view");
+    (db, gen)
+}
+
+/// [`retail_db`], but durable: the database lives at `dir` (created or
+/// wiped first), and a checkpoint is cut right after the initial load —
+/// `install` seeds tables by bulk `replace`, which bypasses the WAL, so
+/// the checkpoint is what makes the seed state recoverable. Subsequent
+/// transactions land in the WAL suffix.
+pub fn retail_db_durable(
+    dir: &Path,
+    options: WalOptions,
+    customers: usize,
+    initial_sales: usize,
+    scenario: Scenario,
+    minimality: Minimality,
+    seed: u64,
+) -> (Database, RetailGen) {
+    let _ = std::fs::remove_dir_all(dir);
+    let db = Database::open_with_options(dir, options).expect("open durable dir");
+    let mut gen = RetailGen::new(RetailConfig {
+        customers,
+        items: (customers / 2).max(10),
+        initial_sales,
+        high_fraction: 0.1,
+        theta: 1.0,
+        seed,
+    });
+    gen.install(&db).expect("install retail schema");
+    db.create_view_with("V", view_expr(), scenario, minimality)
+        .expect("create view");
+    db.checkpoint().expect("baseline checkpoint");
     (db, gen)
 }
 

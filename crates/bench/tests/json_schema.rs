@@ -136,6 +136,44 @@ fn check_bench_report(doc: &Value, ctx: &str) {
     }
 }
 
+/// `BENCH_recovery.json` carries, beyond the standard `benchmarks` array,
+/// one `recovery` detail record per configuration (the replayed
+/// checkpoint/WAL breakdown) and the observability snapshot of the last
+/// reopened database.
+fn check_recovery_report(doc: &Value, ctx: &str) {
+    let details = require(doc, "recovery", ctx)
+        .as_arr()
+        .unwrap_or_else(|| panic!("{ctx}: `recovery` is not an array"));
+    assert!(!details.is_empty(), "{ctx}: no recovery configurations");
+    for d in details {
+        let name = require(d, "name", ctx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{ctx}: recovery `name` not a string"))
+            .to_string();
+        let dctx = format!("{ctx}/{name}");
+        require(d, "cadence", &dctx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{dctx}: `cadence` not a string"));
+        let txs = require_num(d, "txs", &dctx);
+        require_num(d, "checkpoint_lsn", &dctx);
+        let records = require_num(d, "wal_records_replayed", &dctx);
+        let txns = require_num(d, "txns_replayed", &dctx);
+        let bytes = require_num(d, "wal_bytes_replayed", &dctx);
+        require_num(d, "torn_bytes_dropped", &dctx);
+        require_num(d, "recovery_nanos", &dctx);
+        assert!(txns <= records, "{dctx}: more txns than records replayed");
+        assert!(txns <= txs, "{dctx}: more txns replayed than executed");
+        assert!(
+            (records > 0.0) == (bytes > 0.0),
+            "{dctx}: records/bytes replayed disagree"
+        );
+    }
+    check_observability(
+        require(doc, "observability", ctx),
+        &format!("{ctx}/observability"),
+    );
+}
+
 fn check_experiment(doc: &Value, ctx: &str) {
     require(doc, "experiment", ctx)
         .as_str()
@@ -167,6 +205,9 @@ fn every_results_json_parses_and_matches_its_schema() {
             .unwrap_or_else(|e| panic!("{name}: invalid JSON at byte {}: {}", e.pos, e.msg));
         if name.starts_with("BENCH_") {
             check_bench_report(&doc, &name);
+            if name == "BENCH_recovery.json" {
+                check_recovery_report(&doc, &name);
+            }
             checked += 1;
         } else if name.starts_with("exp_") {
             check_experiment(&doc, &name);

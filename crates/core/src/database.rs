@@ -37,6 +37,7 @@
 //! mid-flight, readers still see each individual table in a consistent
 //! state (data locks are only dropped at consistent points).
 
+use crate::durable::{self, DurableOp, RecoveryReport, StateImage, TableImage, ViewImage};
 use crate::epochlog::SharedLog;
 use crate::error::{CoreError, Result};
 use crate::invariant::{check_view, check_view_with_log_overrides, InvariantReport};
@@ -48,11 +49,16 @@ use dvm_algebra::eval::PinnedState;
 use dvm_algebra::infer::compile;
 use dvm_algebra::Expr;
 use dvm_delta::{compose_into, Transaction};
+use dvm_durability::{
+    checkpoint as checkpoint_file, Checkpoint, CrashFs, DurabilityError, Wal, WalOptions,
+    WalStatus,
+};
 use dvm_obs::{EventKind, Tracer};
 use dvm_storage::{Bag, Catalog, CommitGuard, CommitMode, Schema, Table, TableKind};
-use dvm_testkit::sync::{with_workers, RwLock};
+use dvm_testkit::sync::{with_workers, Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -72,6 +78,18 @@ pub struct ExecReport {
 /// views relevant to the transaction, and the shared-log view names as of
 /// claim time (stable for as long as the claims are held).
 type ExecuteClaims = (Vec<CommitGuard>, Vec<Arc<View>>, BTreeSet<String>);
+
+/// The durable sink attached by [`Database::open`]: the WAL plus the
+/// checkpoint bookkeeping needed to bound replay and WAL truncation.
+struct DurableState {
+    wal: Wal,
+    dir: PathBuf,
+    /// WAL LSN of the last durable checkpoint (0 = none). Vacuum may only
+    /// drop WAL segments at or below this cut.
+    last_checkpoint_lsn: u64,
+    /// What the `open` that built this database did.
+    last_recovery: Option<RecoveryReport>,
+}
 
 /// A database with deferred-view-maintenance support.
 pub struct Database {
@@ -97,6 +115,13 @@ pub struct Database {
     /// ([`ViewMetrics::mark_refreshed`](crate::ViewMetrics::mark_refreshed))
     /// are nanoseconds since here.
     started: Instant,
+    /// Durable sink, attached by [`Database::open`]. A leaf lock: taken
+    /// while commit claims / maintenance locks are held (never the other
+    /// way around), so WAL append order is a serialization order.
+    durable: Mutex<Option<DurableState>>,
+    /// Fast-path flag mirroring `durable.is_some()` — lets the hot execute
+    /// path skip the mutex and the op clone entirely when not durable.
+    durable_attached: AtomicBool,
 }
 
 impl Default for Database {
@@ -117,6 +142,8 @@ impl Database {
             shared_cursors: RwLock::new(BTreeMap::new()),
             tracer: Tracer::default(),
             started: Instant::now(),
+            durable: Mutex::new(None),
+            durable_attached: AtomicBool::new(false),
         }
     }
 
@@ -161,9 +188,12 @@ impl Database {
 
     /// Create a user (external) base table.
     pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> Result<Arc<Table>> {
-        Ok(self
+        let name = name.into();
+        let table = self
             .catalog
-            .create_table(name, schema, TableKind::External)?)
+            .create_table(name.clone(), schema.clone(), TableKind::External)?;
+        self.log_op(&DurableOp::CreateTable { name, schema })?;
+        Ok(table)
     }
 
     /// Create a materialized view maintained under `scenario` with weak
@@ -218,6 +248,17 @@ impl Database {
                 return Err(CoreError::DuplicateView(name));
             }
         }
+        let durable_op = if self.durable_attached.load(Ordering::Acquire) {
+            Some(DurableOp::CreateView {
+                name: name.clone(),
+                definition: definition.clone(),
+                scenario,
+                minimality,
+                shared,
+            })
+        } else {
+            None
+        };
         let compiled = compile(&definition, &self.catalog)?;
         let view = View::new(&name, definition, compiled, scenario, minimality)?;
         // Hold shared commit claims on every base table from here through
@@ -271,6 +312,9 @@ impl Database {
             views.insert(name, Arc::new(view));
             self.views_gen.fetch_add(1, Ordering::SeqCst);
         }
+        if let Some(op) = durable_op {
+            self.log_op(&op)?;
+        }
         Ok(())
     }
 
@@ -306,6 +350,19 @@ impl Database {
                 &format!("shared log ≤{min_cursor}: {reclaimed} entries"),
                 Some(start.elapsed().as_nanos() as u64),
             );
+        }
+        // Best-effort durability bookkeeping: the vacuum is a pure space
+        // optimization, so a WAL hiccup here must not fail the call. WAL
+        // truncation is bounded by the last durable checkpoint — records
+        // past it are still needed for replay even once the shared log
+        // entries they produced are reclaimed in memory.
+        if self.durable_attached.load(Ordering::Acquire) {
+            let _ = self.log_op(&DurableOp::VacuumSharedLog);
+            let mut guard = self.durable.lock();
+            if let Some(d) = guard.as_mut() {
+                let cut = d.last_checkpoint_lsn;
+                let _ = d.wal.truncate_through(cut);
+            }
         }
         reclaimed
     }
@@ -393,6 +450,7 @@ impl Database {
         for t in view.internal_tables() {
             self.catalog.drop_table(&t)?;
         }
+        self.log_op(&DurableOp::DropView(name.to_string()))?;
         Ok(())
     }
 
@@ -610,6 +668,12 @@ impl Database {
             view.metrics().record_makesafe(nanos);
             report.maintenance_nanos += nanos;
         }
+        // Log the *normalized* transaction while the claims are still held
+        // (WAL order = serialization order); replay re-normalizes against
+        // the identical state, which is a fixpoint.
+        if self.durable_attached.load(Ordering::Acquire) {
+            self.log_op(&DurableOp::Txn(tx.clone()))?;
+        }
         Ok(report)
     }
 
@@ -636,7 +700,11 @@ impl Database {
             let (d, i) = tx.get(t).expect("listed table");
             self.catalog.require(t)?.apply_delta(d, i)?;
         }
-        Ok(start.elapsed().as_nanos() as u64)
+        let nanos = start.elapsed().as_nanos() as u64;
+        if self.durable_attached.load(Ordering::Acquire) {
+            self.log_op(&DurableOp::TxnUnmaintained(tx.clone()))?;
+        }
+        Ok(nanos)
     }
 
     /// Shared commit claims on every base table of `view` (for maintenance
@@ -680,6 +748,7 @@ impl Database {
         view.metrics()
             .record_refresh(start.elapsed().as_nanos() as u64);
         view.metrics().mark_refreshed(self.now_nanos());
+        self.log_op(&DurableOp::Refresh(name.to_string()))?;
         Ok(())
     }
 
@@ -701,6 +770,7 @@ impl Database {
         combined::propagate(&self.catalog, &view)?;
         view.metrics()
             .record_propagate(start.elapsed().as_nanos() as u64);
+        self.log_op(&DurableOp::Propagate(name.to_string()))?;
         Ok(())
     }
 
@@ -724,6 +794,7 @@ impl Database {
         view.metrics()
             .record_refresh(start.elapsed().as_nanos() as u64);
         view.metrics().mark_refreshed(self.now_nanos());
+        self.log_op(&DurableOp::PartialRefresh(name.to_string()))?;
         Ok(())
     }
 
@@ -1012,6 +1083,366 @@ impl Database {
             trace_enabled: self.tracer.is_enabled(),
             trace_len: self.tracer.len() as u64,
             trace_dropped: self.tracer.dropped(),
+        }
+    }
+
+    // ---- durability ------------------------------------------------------
+
+    /// Append a redo record for a just-committed operation. Callers invoke
+    /// this *while still holding* the locks that serialized the operation
+    /// (commit claims / maintenance mutex), so WAL order is a valid
+    /// serialization order. No-op when no durable sink is attached. On
+    /// append failure the in-memory effect stands but is not durable; the
+    /// error tells the caller exactly that.
+    fn log_op(&self, op: &DurableOp) -> Result<()> {
+        if !self.durable_attached.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut guard = self.durable.lock();
+        if let Some(d) = guard.as_mut() {
+            d.wal.append(&durable::encode_op(op))?;
+        }
+        Ok(())
+    }
+
+    /// Whether a durable directory is attached (database came from
+    /// [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable_attached.load(Ordering::Acquire)
+    }
+
+    /// The attached durable directory, if any.
+    pub fn durability_dir(&self) -> Option<PathBuf> {
+        self.durable.lock().as_ref().map(|d| d.dir.clone())
+    }
+
+    /// What the `open` that built this database replayed, if it was opened
+    /// from a durable directory.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.durable.lock().as_ref().and_then(|d| d.last_recovery)
+    }
+
+    /// WAL status plus the last durable checkpoint LSN. Errors with
+    /// [`CoreError::NotDurable`] when nothing is attached.
+    pub fn wal_status(&self) -> Result<(WalStatus, u64)> {
+        match self.durable.lock().as_ref() {
+            Some(d) => Ok((d.wal.status(), d.last_checkpoint_lsn)),
+            None => Err(CoreError::NotDurable),
+        }
+    }
+
+    /// Force every appended WAL record onto stable storage now, whatever
+    /// the fsync policy.
+    pub fn sync_wal(&self) -> Result<()> {
+        match self.durable.lock().as_mut() {
+            Some(d) => Ok(d.wal.sync()?),
+            None => Err(CoreError::NotDurable),
+        }
+    }
+
+    /// Open (or create) a durable database at `dir` with default WAL
+    /// options: load the checkpoint, replay the WAL suffix, and attach the
+    /// WAL so every subsequent mutation is logged.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Self::open_with_options(dir, WalOptions::default())
+    }
+
+    /// [`Database::open`] with explicit WAL tunables (fsync policy, segment
+    /// size).
+    ///
+    /// Recovery restores exactly the pre-crash invariant state: deferred
+    /// views come back with their logs and differential tables intact —
+    /// stale to precisely the degree they were stale at the crash — not
+    /// eagerly refreshed.
+    pub fn open_with_options(dir: impl AsRef<Path>, options: WalOptions) -> Result<Database> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| DurabilityError::io(dir, e))?;
+        let start = Instant::now();
+        let db = Database::new();
+
+        let checkpoint_lsn = match checkpoint_file::load(dir)? {
+            Some(ckpt) => {
+                let state = durable::decode_state(&ckpt.payload)?;
+                db.restore_state(state)?;
+                ckpt.wal_lsn
+            }
+            None => 0,
+        };
+
+        let (mut wal, scan) = Wal::open(dir, options)?;
+        wal.ensure_lsn_at_least(checkpoint_lsn);
+        let mut report = RecoveryReport {
+            checkpoint_lsn,
+            torn_bytes_dropped: scan.torn_bytes_dropped,
+            ..RecoveryReport::default()
+        };
+        for rec in &scan.records {
+            if rec.lsn <= checkpoint_lsn {
+                continue;
+            }
+            let op = durable::decode_op(&rec.payload)?;
+            if matches!(op, DurableOp::Txn(_) | DurableOp::TxnUnmaintained(_)) {
+                report.txns_replayed += 1;
+            }
+            db.apply_replay_op(op)?;
+            report.wal_records_replayed += 1;
+            report.wal_bytes_replayed +=
+                rec.payload.len() as u64 + dvm_durability::wal::FRAME_HEADER;
+        }
+        report.recovery_nanos = start.elapsed().as_nanos() as u64;
+        db.tracer.event(
+            EventKind::Recovery,
+            &format!(
+                "checkpoint lsn {checkpoint_lsn}, {} records ({} bytes) replayed",
+                report.wal_records_replayed, report.wal_bytes_replayed
+            ),
+            Some(report.recovery_nanos),
+        );
+
+        *db.durable.lock() = Some(DurableState {
+            wal,
+            dir: dir.to_path_buf(),
+            last_checkpoint_lsn: checkpoint_lsn,
+            last_recovery: Some(report),
+        });
+        db.durable_attached.store(true, Ordering::Release);
+        Ok(db)
+    }
+
+    /// Cut a durable checkpoint: quiesce the engine, atomically persist the
+    /// full state (base tables, MVs, logs, differential tables, cursors,
+    /// shared log), and drop the WAL segments the checkpoint supersedes.
+    /// Returns the WAL LSN of the cut. Errors with
+    /// [`CoreError::NotDurable`] when nothing is attached.
+    pub fn checkpoint(&self) -> Result<u64> {
+        if !self.durable_attached.load(Ordering::Acquire) {
+            return Err(CoreError::NotDurable);
+        }
+        loop {
+            // Quiesce: every view's maintenance mutex (name order — the
+            // views map is a BTreeMap) plus exclusive commit claims on
+            // every table. Transactions, maintenance ops, and DDL over
+            // existing tables are then fully before or fully after the
+            // cut; the few unfenced ops (`create_table`, zero-base
+            // `create_view`, `vacuum_shared_log`) are replay-tolerant.
+            let gen = self.views_gen.load(Ordering::SeqCst);
+            let views: Vec<Arc<View>> = self.views.read().values().cloned().collect();
+            let _maint: Vec<_> = views.iter().map(|v| v.maintenance_lock()).collect();
+            let modes: BTreeMap<String, CommitMode> = self
+                .catalog
+                .table_names()
+                .into_iter()
+                .map(|t| (t, CommitMode::Exclusive))
+                .collect();
+            let _claims = match self.catalog.lock_commit(&modes) {
+                Ok(claims) => claims,
+                // A dropped view can take its internal tables with it
+                // between listing and claiming; retry on a stale view set,
+                // otherwise the error is real.
+                Err(e) if self.views_gen.load(Ordering::SeqCst) != gen => {
+                    let _ = e;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if self.views_gen.load(Ordering::SeqCst) != gen {
+                continue;
+            }
+            let _span = self.tracer.span(EventKind::Checkpoint, "cut");
+            let start = Instant::now();
+            // Hold the durable mutex across encode + cut + save: any op
+            // logging concurrently lands strictly after the cut LSN.
+            let mut guard = self.durable.lock();
+            let d = guard.as_mut().ok_or(CoreError::NotDurable)?;
+            let payload = durable::encode_state(&self.capture_state());
+            d.wal.sync()?;
+            let lsn = d.wal.last_lsn();
+            checkpoint_file::save(&d.dir, &Checkpoint {
+                wal_lsn: lsn,
+                payload,
+            })?;
+            d.last_checkpoint_lsn = lsn;
+            d.wal.truncate_through(lsn)?;
+            self.tracer.event(
+                EventKind::Checkpoint,
+                &format!("cut at lsn {lsn}"),
+                Some(start.elapsed().as_nanos() as u64),
+            );
+            return Ok(lsn);
+        }
+    }
+
+    /// One-shot export: persist a checkpoint of the current state into
+    /// `dir` **without** attaching it. Opening that directory later yields
+    /// an equivalent database with an empty WAL. Saving into the attached
+    /// durable directory degenerates to [`Database::checkpoint`].
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        if let Some(attached) = self.durability_dir() {
+            let same = match (std::fs::canonicalize(dir), std::fs::canonicalize(&attached)) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => dir == attached,
+            };
+            if same {
+                return self.checkpoint().map(|_| ());
+            }
+        }
+        std::fs::create_dir_all(dir).map_err(|e| DurabilityError::io(dir, e))?;
+        loop {
+            let gen = self.views_gen.load(Ordering::SeqCst);
+            let views: Vec<Arc<View>> = self.views.read().values().cloned().collect();
+            let _maint: Vec<_> = views.iter().map(|v| v.maintenance_lock()).collect();
+            let modes: BTreeMap<String, CommitMode> = self
+                .catalog
+                .table_names()
+                .into_iter()
+                .map(|t| (t, CommitMode::Exclusive))
+                .collect();
+            let _claims = match self.catalog.lock_commit(&modes) {
+                Ok(claims) => claims,
+                Err(e) if self.views_gen.load(Ordering::SeqCst) != gen => {
+                    let _ = e;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if self.views_gen.load(Ordering::SeqCst) != gen {
+                continue;
+            }
+            let payload = durable::encode_state(&self.capture_state());
+            // The target may hold WAL segments from an earlier database;
+            // with `wal_lsn: 0` they would replay on top of this snapshot.
+            // Remove them first (crash in between leaves a WAL-less dir).
+            for seg in CrashFs::wal_segments(dir)? {
+                std::fs::remove_file(&seg).map_err(|e| DurabilityError::io(&seg, e))?;
+            }
+            checkpoint_file::save(dir, &Checkpoint {
+                wal_lsn: 0,
+                payload,
+            })?;
+            return Ok(());
+        }
+    }
+
+    /// Full engine image for a checkpoint. Callers hold the quiesce locks;
+    /// every read here is then a stable commit-boundary read.
+    fn capture_state(&self) -> StateImage {
+        let tables = self
+            .catalog
+            .tables()
+            .into_iter()
+            .map(|t| TableImage {
+                name: t.name().to_string(),
+                kind: t.kind(),
+                schema: t.schema().clone(),
+                bag: t.snapshot_bag(),
+            })
+            .collect();
+        let cursors = self.shared_cursors.read();
+        let views = self
+            .views
+            .read()
+            .values()
+            .map(|v| ViewImage {
+                name: v.name().to_string(),
+                definition: v.definition().clone(),
+                scenario: v.scenario(),
+                minimality: v.minimality(),
+                cursor: cursors.get(v.name()).copied(),
+            })
+            .collect();
+        drop(cursors);
+        let (shared_epoch, shared_entries) = self.shared_log.export_state();
+        StateImage {
+            tables,
+            views,
+            shared_epoch,
+            shared_entries,
+        }
+    }
+
+    /// Rebuild engine state from a checkpoint image: tables (with their
+    /// recorded kinds and contents) go in as-is, views are re-registered
+    /// around their existing MV/log/differential tables *without*
+    /// re-initialization, and the shared log and cursors are restored.
+    fn restore_state(&self, state: StateImage) -> Result<()> {
+        for t in state.tables {
+            let table = self.catalog.create_table(t.name, t.schema, t.kind)?;
+            table.replace(t.bag)?;
+        }
+        self.shared_log
+            .restore_state(state.shared_epoch, state.shared_entries);
+        {
+            let mut cursors = self.shared_cursors.write();
+            for v in &state.views {
+                if let Some(c) = v.cursor {
+                    cursors.insert(v.name.clone(), c);
+                }
+            }
+        }
+        let mut registered = BTreeMap::new();
+        for v in state.views {
+            let compiled = compile(&v.definition, &self.catalog)?;
+            let view = View::new(&v.name, v.definition, compiled, v.scenario, v.minimality)?;
+            registered.insert(v.name, Arc::new(view));
+        }
+        let mut views = self.views.write();
+        *views = registered;
+        self.views_gen.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Redo one WAL record through the ordinary public methods. Only runs
+    /// during `open`, before the durable sink attaches, so nothing re-logs.
+    /// DDL records are idempotent-tolerant (see [`Database::checkpoint`]:
+    /// a handful of ops can land both in the checkpoint image and after
+    /// the cut); transactions are strictly fenced and never replay twice.
+    fn apply_replay_op(&self, op: DurableOp) -> Result<()> {
+        match op {
+            DurableOp::CreateTable { name, schema } => {
+                if self.catalog.contains(&name) {
+                    return Ok(());
+                }
+                self.catalog
+                    .create_table(name, schema, TableKind::External)?;
+                Ok(())
+            }
+            DurableOp::Txn(tx) => self.execute(&tx).map(|_| ()),
+            DurableOp::TxnUnmaintained(tx) => self.execute_unmaintained(&tx).map(|_| ()),
+            DurableOp::CreateView {
+                name,
+                definition,
+                scenario,
+                minimality,
+                shared,
+            } => {
+                if self.views.read().contains_key(&name)
+                    || self.catalog.contains(&crate::view::mv_table_name(&name))
+                {
+                    return Ok(());
+                }
+                self.create_view_inner(name, definition, scenario, minimality, shared)
+            }
+            DurableOp::DropView(name) => match self.drop_view(&name) {
+                Err(CoreError::NoSuchView(_)) => Ok(()),
+                r => r,
+            },
+            DurableOp::Refresh(name) => match self.refresh(&name) {
+                Err(CoreError::NoSuchView(_)) => Ok(()),
+                r => r,
+            },
+            DurableOp::Propagate(name) => match self.propagate(&name) {
+                Err(CoreError::NoSuchView(_)) => Ok(()),
+                r => r,
+            },
+            DurableOp::PartialRefresh(name) => match self.partial_refresh(&name) {
+                Err(CoreError::NoSuchView(_)) => Ok(()),
+                r => r,
+            },
+            DurableOp::VacuumSharedLog => {
+                self.vacuum_shared_log();
+                Ok(())
+            }
         }
     }
 }

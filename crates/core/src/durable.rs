@@ -1,0 +1,769 @@
+//! Durable redo operations and checkpoint state codecs.
+//!
+//! The WAL (in `dvm-durability`) stores opaque payloads; this module gives
+//! them meaning. Two artifact kinds exist:
+//!
+//! * **Redo operations** ([`DurableOp`]) — one per committed engine
+//!   mutation, appended to the WAL *while the mutation's commit claims are
+//!   still held*, so WAL order is a serialization order. Recovery replays
+//!   them through the ordinary public [`Database`](crate::Database)
+//!   methods; because transactions are logged in **normalized weakly
+//!   minimal** form and every maintenance step is deterministic given the
+//!   state it runs on, replay reconstructs the exact pre-crash invariant
+//!   state — `INV_C` views come back with their logs and differential
+//!   tables intact, not eagerly refreshed.
+//! * **Checkpoint state** ([`StateImage`]) — a full, quiesced image of the
+//!   engine: every table (base *and* maintenance-internal) with kind,
+//!   schema, and contents; every view's definition, scenario, minimality,
+//!   and shared-log cursor; and the shared epoch log itself. A checkpoint
+//!   bounds replay: only WAL records with `lsn > checkpoint.wal_lsn` rerun.
+//!
+//! Both use the shared big-endian codec from `dvm_storage::codec`, so every
+//! decode failure reports the byte offset where the artifact went bad.
+
+use crate::error::Result;
+use crate::view::{Minimality, Scenario};
+use dvm_algebra::{CmpOp, ColRef, Expr, Operand, Predicate};
+use dvm_delta::Transaction;
+use dvm_storage::codec::{self, Reader};
+use dvm_storage::{Bag, Schema, TableKind};
+use std::collections::BTreeMap;
+
+/// What recovery did, for observability and the recovery benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// WAL LSN the loaded checkpoint was cut at (0 = no checkpoint).
+    pub checkpoint_lsn: u64,
+    /// WAL records replayed (those with `lsn > checkpoint_lsn`).
+    pub wal_records_replayed: u64,
+    /// How many of the replayed records were transactions.
+    pub txns_replayed: u64,
+    /// Payload + frame-header bytes of the replayed records.
+    pub wal_bytes_replayed: u64,
+    /// Torn/corrupt tail bytes the WAL dropped during repair.
+    pub torn_bytes_dropped: u64,
+    /// Wall-clock nanoseconds spent in `Database::open`.
+    pub recovery_nanos: u64,
+}
+
+/// One committed engine mutation, as written to the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurableOp {
+    /// `create_table(name, schema)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Declared schema.
+        schema: Schema,
+    },
+    /// A maintained transaction, in normalized weakly minimal form.
+    Txn(Transaction),
+    /// An unmaintained transaction (applied without view maintenance).
+    TxnUnmaintained(Transaction),
+    /// `create_view*` with its full configuration.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Defining query.
+        definition: Expr,
+        /// Maintenance scenario.
+        scenario: Scenario,
+        /// Log minimality.
+        minimality: Minimality,
+        /// Whether the view reads the shared epoch log.
+        shared: bool,
+    },
+    /// `drop_view(name)`.
+    DropView(String),
+    /// `refresh(name)`.
+    Refresh(String),
+    /// `propagate(name)`.
+    Propagate(String),
+    /// `partial_refresh(name)`.
+    PartialRefresh(String),
+    /// `vacuum_shared_log()`.
+    VacuumSharedLog,
+}
+
+// ---- scenario / minimality tags -------------------------------------------
+
+fn put_scenario(buf: &mut Vec<u8>, s: Scenario) {
+    codec::put_u8(
+        buf,
+        match s {
+            Scenario::Immediate => 0,
+            Scenario::BaseLog => 1,
+            Scenario::DiffTable => 2,
+            Scenario::Combined => 3,
+        },
+    );
+}
+
+fn get_scenario(r: &mut Reader<'_>) -> Result<Scenario> {
+    match r.u8()? {
+        0 => Ok(Scenario::Immediate),
+        1 => Ok(Scenario::BaseLog),
+        2 => Ok(Scenario::DiffTable),
+        3 => Ok(Scenario::Combined),
+        tag => Err(r.corrupt(format_args!("unknown scenario tag {tag}")).into()),
+    }
+}
+
+fn put_minimality(buf: &mut Vec<u8>, m: Minimality) {
+    codec::put_u8(buf, match m {
+        Minimality::Weak => 0,
+        Minimality::Strong => 1,
+    });
+}
+
+fn get_minimality(r: &mut Reader<'_>) -> Result<Minimality> {
+    match r.u8()? {
+        0 => Ok(Minimality::Weak),
+        1 => Ok(Minimality::Strong),
+        tag => Err(r.corrupt(format_args!("unknown minimality tag {tag}")).into()),
+    }
+}
+
+// ---- predicate / expression codec -----------------------------------------
+
+fn put_colref(buf: &mut Vec<u8>, c: &ColRef) {
+    codec::put_opt_str(buf, c.qualifier.as_deref());
+    codec::put_str(buf, &c.name);
+}
+
+fn get_colref(r: &mut Reader<'_>) -> Result<ColRef> {
+    let qualifier = r.opt_str()?;
+    let name = r.str()?;
+    Ok(ColRef { qualifier, name })
+}
+
+fn put_cmp_op(buf: &mut Vec<u8>, op: CmpOp) {
+    codec::put_u8(
+        buf,
+        match op {
+            CmpOp::Eq => 0,
+            CmpOp::Ne => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        },
+    );
+}
+
+fn get_cmp_op(r: &mut Reader<'_>) -> Result<CmpOp> {
+    match r.u8()? {
+        0 => Ok(CmpOp::Eq),
+        1 => Ok(CmpOp::Ne),
+        2 => Ok(CmpOp::Lt),
+        3 => Ok(CmpOp::Le),
+        4 => Ok(CmpOp::Gt),
+        5 => Ok(CmpOp::Ge),
+        tag => Err(r.corrupt(format_args!("unknown cmp-op tag {tag}")).into()),
+    }
+}
+
+fn put_operand(buf: &mut Vec<u8>, o: &Operand) {
+    match o {
+        Operand::Col(c) => {
+            codec::put_u8(buf, 0);
+            put_colref(buf, c);
+        }
+        Operand::Const(v) => {
+            codec::put_u8(buf, 1);
+            codec::put_value(buf, v);
+        }
+    }
+}
+
+fn get_operand(r: &mut Reader<'_>) -> Result<Operand> {
+    match r.u8()? {
+        0 => Ok(Operand::Col(get_colref(r)?)),
+        1 => Ok(Operand::Const(codec::get_value(r)?)),
+        tag => Err(r.corrupt(format_args!("unknown operand tag {tag}")).into()),
+    }
+}
+
+fn put_predicate(buf: &mut Vec<u8>, p: &Predicate) {
+    match p {
+        Predicate::Const(b) => {
+            codec::put_u8(buf, 0);
+            codec::put_u8(buf, *b as u8);
+        }
+        Predicate::Cmp(l, op, rr) => {
+            codec::put_u8(buf, 1);
+            put_operand(buf, l);
+            put_cmp_op(buf, *op);
+            put_operand(buf, rr);
+        }
+        Predicate::And(a, b) => {
+            codec::put_u8(buf, 2);
+            put_predicate(buf, a);
+            put_predicate(buf, b);
+        }
+        Predicate::Or(a, b) => {
+            codec::put_u8(buf, 3);
+            put_predicate(buf, a);
+            put_predicate(buf, b);
+        }
+        Predicate::Not(a) => {
+            codec::put_u8(buf, 4);
+            put_predicate(buf, a);
+        }
+    }
+}
+
+fn get_predicate(r: &mut Reader<'_>) -> Result<Predicate> {
+    match r.u8()? {
+        0 => Ok(Predicate::Const(r.u8()? != 0)),
+        1 => {
+            let l = get_operand(r)?;
+            let op = get_cmp_op(r)?;
+            let rr = get_operand(r)?;
+            Ok(Predicate::Cmp(l, op, rr))
+        }
+        2 => Ok(Predicate::And(
+            Box::new(get_predicate(r)?),
+            Box::new(get_predicate(r)?),
+        )),
+        3 => Ok(Predicate::Or(
+            Box::new(get_predicate(r)?),
+            Box::new(get_predicate(r)?),
+        )),
+        4 => Ok(Predicate::Not(Box::new(get_predicate(r)?))),
+        tag => Err(r.corrupt(format_args!("unknown predicate tag {tag}")).into()),
+    }
+}
+
+/// Encode a view-definition expression.
+pub fn put_expr(buf: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Table(name) => {
+            codec::put_u8(buf, 0);
+            codec::put_str(buf, name);
+        }
+        Expr::Literal { bag, schema } => {
+            codec::put_u8(buf, 1);
+            codec::put_bag(buf, bag);
+            codec::put_schema(buf, schema);
+        }
+        Expr::Alias { alias, input } => {
+            codec::put_u8(buf, 2);
+            codec::put_str(buf, alias);
+            put_expr(buf, input);
+        }
+        Expr::Select { pred, input } => {
+            codec::put_u8(buf, 3);
+            put_predicate(buf, pred);
+            put_expr(buf, input);
+        }
+        Expr::Project { cols, input } => {
+            codec::put_u8(buf, 4);
+            codec::put_u16(buf, cols.len() as u16);
+            for c in cols {
+                put_colref(buf, c);
+            }
+            put_expr(buf, input);
+        }
+        Expr::DupElim(a) => {
+            codec::put_u8(buf, 5);
+            put_expr(buf, a);
+        }
+        Expr::Union(a, b) => put_binary(buf, 6, a, b),
+        Expr::Monus(a, b) => put_binary(buf, 7, a, b),
+        Expr::Product(a, b) => put_binary(buf, 8, a, b),
+        Expr::MinIntersect(a, b) => put_binary(buf, 9, a, b),
+        Expr::MaxUnion(a, b) => put_binary(buf, 10, a, b),
+        Expr::Except(a, b) => put_binary(buf, 11, a, b),
+    }
+}
+
+fn put_binary(buf: &mut Vec<u8>, tag: u8, a: &Expr, b: &Expr) {
+    codec::put_u8(buf, tag);
+    put_expr(buf, a);
+    put_expr(buf, b);
+}
+
+/// Decode a view-definition expression written by [`put_expr`].
+pub fn get_expr(r: &mut Reader<'_>) -> Result<Expr> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => Expr::Table(r.str()?),
+        1 => {
+            let bag = codec::get_bag(r)?;
+            let schema = codec::get_schema(r)?;
+            Expr::Literal { bag, schema }
+        }
+        2 => {
+            let alias = r.str()?;
+            Expr::Alias {
+                alias,
+                input: Box::new(get_expr(r)?),
+            }
+        }
+        3 => {
+            let pred = get_predicate(r)?;
+            Expr::Select {
+                pred,
+                input: Box::new(get_expr(r)?),
+            }
+        }
+        4 => {
+            let n = r.u16()? as usize;
+            let mut cols = Vec::with_capacity(n);
+            for _ in 0..n {
+                cols.push(get_colref(r)?);
+            }
+            Expr::Project {
+                cols,
+                input: Box::new(get_expr(r)?),
+            }
+        }
+        5 => Expr::DupElim(Box::new(get_expr(r)?)),
+        6 => get_binary(r, Expr::Union)?,
+        7 => get_binary(r, Expr::Monus)?,
+        8 => get_binary(r, Expr::Product)?,
+        9 => get_binary(r, Expr::MinIntersect)?,
+        10 => get_binary(r, Expr::MaxUnion)?,
+        11 => get_binary(r, Expr::Except)?,
+        tag => return Err(r.corrupt(format_args!("unknown expr tag {tag}")).into()),
+    })
+}
+
+fn get_binary(
+    r: &mut Reader<'_>,
+    make: fn(Box<Expr>, Box<Expr>) -> Expr,
+) -> Result<Expr> {
+    let a = Box::new(get_expr(r)?);
+    let b = Box::new(get_expr(r)?);
+    Ok(make(a, b))
+}
+
+// ---- transaction codec ----------------------------------------------------
+
+fn put_transaction(buf: &mut Vec<u8>, tx: &Transaction) {
+    let tables: Vec<&String> = tx.tables().collect();
+    codec::put_u32(buf, tables.len() as u32);
+    for table in tables {
+        let (del, ins) = tx.get(table).expect("listed table");
+        codec::put_str(buf, table);
+        codec::put_bag(buf, del);
+        codec::put_bag(buf, ins);
+    }
+}
+
+fn get_transaction(r: &mut Reader<'_>) -> Result<Transaction> {
+    let n = r.u32()? as usize;
+    let mut tx = Transaction::new();
+    for _ in 0..n {
+        let table = r.str()?;
+        let del = codec::get_bag(r)?;
+        let ins = codec::get_bag(r)?;
+        tx = tx.delete(table.clone(), del).insert(table, ins);
+    }
+    Ok(tx)
+}
+
+// ---- redo-op codec --------------------------------------------------------
+
+/// Serialize a redo operation into a WAL payload.
+pub fn encode_op(op: &DurableOp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match op {
+        DurableOp::CreateTable { name, schema } => {
+            codec::put_u8(&mut buf, 0);
+            codec::put_str(&mut buf, name);
+            codec::put_schema(&mut buf, schema);
+        }
+        DurableOp::Txn(tx) => {
+            codec::put_u8(&mut buf, 1);
+            put_transaction(&mut buf, tx);
+        }
+        DurableOp::TxnUnmaintained(tx) => {
+            codec::put_u8(&mut buf, 2);
+            put_transaction(&mut buf, tx);
+        }
+        DurableOp::CreateView {
+            name,
+            definition,
+            scenario,
+            minimality,
+            shared,
+        } => {
+            codec::put_u8(&mut buf, 3);
+            codec::put_str(&mut buf, name);
+            put_expr(&mut buf, definition);
+            put_scenario(&mut buf, *scenario);
+            put_minimality(&mut buf, *minimality);
+            codec::put_u8(&mut buf, *shared as u8);
+        }
+        DurableOp::DropView(name) => {
+            codec::put_u8(&mut buf, 4);
+            codec::put_str(&mut buf, name);
+        }
+        DurableOp::Refresh(name) => {
+            codec::put_u8(&mut buf, 5);
+            codec::put_str(&mut buf, name);
+        }
+        DurableOp::Propagate(name) => {
+            codec::put_u8(&mut buf, 6);
+            codec::put_str(&mut buf, name);
+        }
+        DurableOp::PartialRefresh(name) => {
+            codec::put_u8(&mut buf, 7);
+            codec::put_str(&mut buf, name);
+        }
+        DurableOp::VacuumSharedLog => codec::put_u8(&mut buf, 8),
+    }
+    buf
+}
+
+/// Parse a WAL payload written by [`encode_op`]. Rejects trailing bytes.
+pub fn decode_op(bytes: &[u8]) -> Result<DurableOp> {
+    let mut r = Reader::new(bytes);
+    let op = match r.u8()? {
+        0 => {
+            let name = r.str()?;
+            let schema = codec::get_schema(&mut r)?;
+            DurableOp::CreateTable { name, schema }
+        }
+        1 => DurableOp::Txn(get_transaction(&mut r)?),
+        2 => DurableOp::TxnUnmaintained(get_transaction(&mut r)?),
+        3 => {
+            let name = r.str()?;
+            let definition = get_expr(&mut r)?;
+            let scenario = get_scenario(&mut r)?;
+            let minimality = get_minimality(&mut r)?;
+            let shared = r.u8()? != 0;
+            DurableOp::CreateView {
+                name,
+                definition,
+                scenario,
+                minimality,
+                shared,
+            }
+        }
+        4 => DurableOp::DropView(r.str()?),
+        5 => DurableOp::Refresh(r.str()?),
+        6 => DurableOp::Propagate(r.str()?),
+        7 => DurableOp::PartialRefresh(r.str()?),
+        8 => DurableOp::VacuumSharedLog,
+        tag => return Err(r.corrupt(format_args!("unknown op tag {tag}")).into()),
+    };
+    r.expect_end()?;
+    Ok(op)
+}
+
+// ---- checkpoint state image -----------------------------------------------
+
+/// One table in a checkpoint: identity, shape, and full contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableImage {
+    /// Table name.
+    pub name: String,
+    /// External (user) or internal (maintenance-owned).
+    pub kind: TableKind,
+    /// Declared schema.
+    pub schema: Schema,
+    /// Full contents at the checkpoint cut.
+    pub bag: Bag,
+}
+
+/// One view in a checkpoint. The MV / log / differential tables it owns
+/// are captured as ordinary [`TableImage`]s; recovery re-registers the view
+/// around them without re-initializing anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewImage {
+    /// View name.
+    pub name: String,
+    /// Defining query.
+    pub definition: Expr,
+    /// Maintenance scenario.
+    pub scenario: Scenario,
+    /// Log minimality.
+    pub minimality: Minimality,
+    /// Shared-log cursor (present iff the view reads the shared log).
+    pub cursor: Option<u64>,
+}
+
+/// A full quiesced image of the engine, as stored in a checkpoint payload.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateImage {
+    /// Every table — base *and* maintenance-internal — in name order.
+    pub tables: Vec<TableImage>,
+    /// Every view, in name order.
+    pub views: Vec<ViewImage>,
+    /// The shared epoch log's current epoch.
+    pub shared_epoch: u64,
+    /// The shared epoch log's retained entries, per table, in epoch order.
+    pub shared_entries: crate::epochlog::ExportedEntries,
+}
+
+const STATE_VERSION: u8 = 1;
+
+/// Serialize a [`StateImage`] into a checkpoint payload.
+pub fn encode_state(state: &StateImage) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u8(&mut buf, STATE_VERSION);
+    codec::put_u32(&mut buf, state.tables.len() as u32);
+    for t in &state.tables {
+        codec::put_str(&mut buf, &t.name);
+        codec::put_u8(&mut buf, match t.kind {
+            TableKind::External => 0,
+            TableKind::Internal => 1,
+        });
+        codec::put_schema(&mut buf, &t.schema);
+        codec::put_bag(&mut buf, &t.bag);
+    }
+    codec::put_u32(&mut buf, state.views.len() as u32);
+    for v in &state.views {
+        codec::put_str(&mut buf, &v.name);
+        put_expr(&mut buf, &v.definition);
+        put_scenario(&mut buf, v.scenario);
+        put_minimality(&mut buf, v.minimality);
+        match v.cursor {
+            None => codec::put_u8(&mut buf, 0),
+            Some(c) => {
+                codec::put_u8(&mut buf, 1);
+                codec::put_u64(&mut buf, c);
+            }
+        }
+    }
+    codec::put_u64(&mut buf, state.shared_epoch);
+    codec::put_u32(&mut buf, state.shared_entries.len() as u32);
+    for (table, entries) in &state.shared_entries {
+        codec::put_str(&mut buf, table);
+        codec::put_u32(&mut buf, entries.len() as u32);
+        for (epoch, del, ins) in entries {
+            codec::put_u64(&mut buf, *epoch);
+            codec::put_bag(&mut buf, del);
+            codec::put_bag(&mut buf, ins);
+        }
+    }
+    buf
+}
+
+/// Parse a checkpoint payload written by [`encode_state`]. Rejects trailing
+/// bytes and unknown versions, reporting byte offsets.
+pub fn decode_state(bytes: &[u8]) -> Result<StateImage> {
+    let mut r = Reader::new(bytes);
+    let version = r.u8()?;
+    if version != STATE_VERSION {
+        return Err(r
+            .corrupt(format_args!("unsupported state version {version}"))
+            .into());
+    }
+    let ntables = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(ntables);
+    for _ in 0..ntables {
+        let name = r.str()?;
+        let kind = match r.u8()? {
+            0 => TableKind::External,
+            1 => TableKind::Internal,
+            tag => return Err(r.corrupt(format_args!("unknown table kind {tag}")).into()),
+        };
+        let schema = codec::get_schema(&mut r)?;
+        let bag = codec::get_bag(&mut r)?;
+        tables.push(TableImage {
+            name,
+            kind,
+            schema,
+            bag,
+        });
+    }
+    let nviews = r.u32()? as usize;
+    let mut views = Vec::with_capacity(nviews);
+    for _ in 0..nviews {
+        let name = r.str()?;
+        let definition = get_expr(&mut r)?;
+        let scenario = get_scenario(&mut r)?;
+        let minimality = get_minimality(&mut r)?;
+        let cursor = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            tag => return Err(r.corrupt(format_args!("bad cursor tag {tag}")).into()),
+        };
+        views.push(ViewImage {
+            name,
+            definition,
+            scenario,
+            minimality,
+            cursor,
+        });
+    }
+    let shared_epoch = r.u64()?;
+    let nshared = r.u32()? as usize;
+    let mut shared_entries = BTreeMap::new();
+    for _ in 0..nshared {
+        let table = r.str()?;
+        let nentries = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(nentries);
+        for _ in 0..nentries {
+            let epoch = r.u64()?;
+            let del = codec::get_bag(&mut r)?;
+            let ins = codec::get_bag(&mut r)?;
+            entries.push((epoch, del, ins));
+        }
+        shared_entries.insert(table, entries);
+    }
+    r.expect_end()?;
+    Ok(StateImage {
+        tables,
+        views,
+        shared_epoch,
+        shared_entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_storage::{tuple, Column, ValueType};
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn deep_expr() -> Expr {
+        let joined = Expr::table("r")
+            .alias("a")
+            .select(Predicate::eq(ColRef::qualified("a", "id"), ColRef::new("id")).not())
+            .project(["a.id", "name"]);
+        let other = Expr::Union(
+            Box::new(Expr::table("s")),
+            Box::new(Expr::literal(Bag::singleton(tuple![1, "x"]), sample_schema())),
+        );
+        Expr::Except(
+            Box::new(Expr::MinIntersect(
+                Box::new(Expr::MaxUnion(Box::new(joined), Box::new(other.clone()))),
+                Box::new(other.dedup()),
+            )),
+            Box::new(Expr::Monus(
+                Box::new(Expr::Product(
+                    Box::new(Expr::table("t")),
+                    Box::new(Expr::empty(sample_schema())),
+                )),
+                Box::new(Expr::table("u")),
+            )),
+        )
+    }
+
+    #[test]
+    fn expr_roundtrips_every_variant() {
+        let e = deep_expr();
+        let mut buf = Vec::new();
+        put_expr(&mut buf, &e);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_expr(&mut r).unwrap(), e);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn predicate_roundtrips_all_shapes() {
+        let p = Predicate::always()
+            .and(Predicate::cmp(ColRef::new("x"), CmpOp::Le, ColRef::parse("q.y")))
+            .or(Predicate::never().not());
+        let mut buf = Vec::new();
+        put_predicate(&mut buf, &p);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_predicate(&mut r).unwrap(), p);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        let tx = Transaction::new()
+            .insert_tuple("r", tuple![1, "a"])
+            .delete_tuple("s", tuple![2, "b"]);
+        let ops = vec![
+            DurableOp::CreateTable {
+                name: "r".into(),
+                schema: sample_schema(),
+            },
+            DurableOp::Txn(tx.clone()),
+            DurableOp::TxnUnmaintained(tx),
+            DurableOp::CreateView {
+                name: "v".into(),
+                definition: deep_expr(),
+                scenario: Scenario::Combined,
+                minimality: Minimality::Strong,
+                shared: true,
+            },
+            DurableOp::DropView("v".into()),
+            DurableOp::Refresh("v".into()),
+            DurableOp::Propagate("v".into()),
+            DurableOp::PartialRefresh("v".into()),
+            DurableOp::VacuumSharedLog,
+        ];
+        for op in ops {
+            assert_eq!(decode_op(&encode_op(&op)).unwrap(), op, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn op_trailing_bytes_rejected_with_offset() {
+        let mut bytes = encode_op(&DurableOp::VacuumSharedLog);
+        let valid = bytes.len();
+        bytes.push(0xAB);
+        let msg = format!("{}", decode_op(&bytes).unwrap_err());
+        assert!(msg.contains(&format!("at byte {valid}")), "got: {msg}");
+    }
+
+    #[test]
+    fn op_unknown_tag_rejected() {
+        assert!(decode_op(&[200]).is_err());
+        assert!(decode_op(&[]).is_err());
+    }
+
+    #[test]
+    fn state_image_roundtrips() {
+        let mut bag = Bag::new();
+        bag.insert_n(tuple![1, "a"], 2);
+        let state = StateImage {
+            tables: vec![
+                TableImage {
+                    name: "__mv_v".into(),
+                    kind: TableKind::Internal,
+                    schema: sample_schema(),
+                    bag: bag.clone(),
+                },
+                TableImage {
+                    name: "r".into(),
+                    kind: TableKind::External,
+                    schema: sample_schema(),
+                    bag: Bag::new(),
+                },
+            ],
+            views: vec![ViewImage {
+                name: "v".into(),
+                definition: deep_expr(),
+                scenario: Scenario::BaseLog,
+                minimality: Minimality::Weak,
+                cursor: Some(7),
+            }],
+            shared_epoch: 9,
+            shared_entries: BTreeMap::from([(
+                "r".to_string(),
+                vec![(8, Bag::new(), bag.clone()), (9, bag, Bag::new())],
+            )]),
+        };
+        let bytes = encode_state(&state);
+        assert_eq!(decode_state(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn state_image_rejects_garbage_and_bad_version() {
+        let state = StateImage::default();
+        let mut bytes = encode_state(&state);
+        bytes.push(1);
+        let msg = format!("{}", decode_state(&bytes).unwrap_err());
+        assert!(msg.contains("trailing"), "got: {msg}");
+        let mut wrong = encode_state(&state);
+        wrong[0] = 99;
+        assert!(decode_state(&wrong).is_err());
+    }
+}

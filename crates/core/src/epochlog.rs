@@ -20,6 +20,11 @@ use dvm_storage::Bag;
 use dvm_testkit::sync::Mutex;
 use std::collections::BTreeMap;
 
+/// Exported per-table log entries — `(epoch, ∇R, ΔR)` triples in epoch
+/// order — as produced by [`SharedLog::export_state`] and consumed by
+/// [`SharedLog::restore_state`] and the checkpoint codec.
+pub type ExportedEntries = BTreeMap<String, Vec<(u64, Bag, Bag)>>;
+
 /// One logged change set for one table.
 #[derive(Debug, Clone)]
 struct Entry {
@@ -162,6 +167,42 @@ impl SharedLog {
     /// Whether nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Export the full log state — `(current epoch, per-table entries as
+    /// `(epoch, ∇R, ΔR)` triples in epoch order)` — for checkpointing.
+    pub fn export_state(&self) -> (u64, ExportedEntries) {
+        let inner = self.inner.lock();
+        let by_table = inner
+            .by_table
+            .iter()
+            .map(|(t, es)| {
+                (
+                    t.clone(),
+                    es.iter()
+                        .map(|e| (e.epoch, e.del.clone(), e.ins.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        (inner.epoch, by_table)
+    }
+
+    /// Replace the log's state with a previously exported one (recovery).
+    pub fn restore_state(&self, epoch: u64, by_table: ExportedEntries) {
+        let mut inner = self.inner.lock();
+        inner.epoch = epoch;
+        inner.by_table = by_table
+            .into_iter()
+            .map(|(t, es)| {
+                (
+                    t,
+                    es.into_iter()
+                        .map(|(epoch, del, ins)| Entry { epoch, del, ins })
+                        .collect(),
+                )
+            })
+            .collect();
     }
 
     /// Total tuple occurrences retained (metric for experiments).

@@ -2,6 +2,7 @@
 
 use dvm_algebra::AlgebraError;
 use dvm_delta::DeltaError;
+use dvm_durability::DurabilityError;
 use dvm_storage::StorageError;
 use std::fmt;
 
@@ -31,6 +32,11 @@ pub enum CoreError {
     /// The view definition's output schema cannot name a materialized table
     /// (duplicate column names after dropping qualifiers).
     UnmaterializableSchema(String),
+    /// Underlying durability (WAL/checkpoint) error.
+    Durability(DurabilityError),
+    /// The database has no durable directory attached, but a durable
+    /// operation (checkpoint, WAL status) was requested.
+    NotDurable,
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +59,10 @@ impl fmt::Display for CoreError {
             CoreError::UnmaterializableSchema(msg) => {
                 write!(f, "view output schema cannot be materialized: {msg}")
             }
+            CoreError::Durability(e) => write!(f, "{e}"),
+            CoreError::NotDurable => {
+                write!(f, "database has no durable directory attached")
+            }
         }
     }
 }
@@ -63,6 +73,7 @@ impl std::error::Error for CoreError {
             CoreError::Storage(e) => Some(e),
             CoreError::Algebra(e) => Some(e),
             CoreError::Delta(e) => Some(e),
+            CoreError::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +94,12 @@ impl From<AlgebraError> for CoreError {
 impl From<DeltaError> for CoreError {
     fn from(e: DeltaError) -> Self {
         CoreError::Delta(e)
+    }
+}
+
+impl From<DurabilityError> for CoreError {
+    fn from(e: DurabilityError) -> Self {
+        CoreError::Durability(e)
     }
 }
 

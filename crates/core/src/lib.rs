@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod durable;
 pub mod epochlog;
 pub mod error;
 pub mod invariant;
@@ -30,6 +31,7 @@ pub mod scenario;
 pub mod view;
 
 pub use database::{Database, ExecReport};
+pub use durable::{DurableOp, RecoveryReport, StateImage};
 pub use epochlog::SharedLog;
 pub use error::{CoreError, Result};
 pub use invariant::{check_view, InvariantReport};

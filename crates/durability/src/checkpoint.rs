@@ -1,0 +1,227 @@
+//! Atomic, versioned checkpoints.
+//!
+//! A checkpoint is an opaque engine-state payload (encoded by `dvm-core`)
+//! plus the WAL LSN it was cut at: replaying records with `lsn >
+//! checkpoint.wal_lsn` on top of the payload reconstructs the pre-crash
+//! state. The file format is:
+//!
+//! ```text
+//! 8-byte magic "DVMCKPT1" | u8 version | u64 wal_lsn
+//! | u32 payload_len | u32 crc32(payload) | payload
+//! ```
+//!
+//! ## Atomicity protocol
+//!
+//! [`save`] writes the bytes to `checkpoint.dvm.tmp`, fsyncs the file,
+//! renames it over `checkpoint.dvm`, and fsyncs the directory. A crash at
+//! any point leaves either the old checkpoint (plus a stale `.tmp` that
+//! [`load`] ignores and removes) or the complete new one — never a torn
+//! mixture. [`load`] additionally rejects trailing bytes after the
+//! declared payload, so a doubled/garbled rename target cannot slip
+//! through.
+
+use crate::crc::crc32;
+use crate::error::{DurabilityError, Result};
+use crate::wal::sync_dir;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the durable checkpoint within a database directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.dvm";
+/// Temporary sibling used by the atomic-rename protocol.
+pub const CHECKPOINT_TMP: &str = "checkpoint.dvm.tmp";
+
+const MAGIC: &[u8; 8] = b"DVMCKPT1";
+const VERSION: u8 = 1;
+const HEADER: usize = 8 + 1 + 8 + 4 + 4;
+
+/// A decoded checkpoint: the WAL cut and the engine-state payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Last WAL LSN whose effects are included in `payload`. Replay must
+    /// start strictly after this.
+    pub wal_lsn: u64,
+    /// Opaque engine state (encoded/decoded by `dvm-core`).
+    pub payload: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serialize to the on-disk format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER + self.payload.len());
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&self.wal_lsn.to_be_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&crc32(&self.payload).to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parse and verify the on-disk format.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint> {
+        let corrupt = |reason: String| DurabilityError::CorruptCheckpoint { reason };
+        if bytes.len() < HEADER {
+            return Err(corrupt(format!(
+                "file too short: {} bytes, header needs {HEADER}",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        if bytes[8] != VERSION {
+            return Err(corrupt(format!("unsupported version {}", bytes[8])));
+        }
+        let wal_lsn = u64::from_be_bytes(bytes[9..17].try_into().unwrap());
+        let len = u32::from_be_bytes(bytes[17..21].try_into().unwrap()) as usize;
+        let crc = u32::from_be_bytes(bytes[21..25].try_into().unwrap());
+        if bytes.len() < HEADER + len {
+            return Err(corrupt(format!(
+                "payload truncated at byte {}: declared {len}, present {}",
+                bytes.len(),
+                bytes.len() - HEADER
+            )));
+        }
+        if bytes.len() > HEADER + len {
+            return Err(corrupt(format!(
+                "at byte {}: {} trailing bytes after declared payload",
+                HEADER + len,
+                bytes.len() - HEADER - len
+            )));
+        }
+        let payload = &bytes[HEADER..];
+        if crc32(payload) != crc {
+            return Err(corrupt("payload CRC mismatch".into()));
+        }
+        Ok(Checkpoint {
+            wal_lsn,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// Atomically persist `ckpt` as `dir/checkpoint.dvm` (tmp + rename +
+/// fsync file and directory).
+pub fn save(dir: &Path, ckpt: &Checkpoint) -> Result<()> {
+    fs::create_dir_all(dir).map_err(|e| DurabilityError::io(dir, e))?;
+    let tmp = dir.join(CHECKPOINT_TMP);
+    let dst = dir.join(CHECKPOINT_FILE);
+    let mut f = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&tmp)
+        .map_err(|e| DurabilityError::io(&tmp, e))?;
+    f.write_all(&ckpt.encode())
+        .and_then(|()| f.sync_data())
+        .map_err(|e| DurabilityError::io(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, &dst).map_err(|e| DurabilityError::io(&dst, e))?;
+    sync_dir(dir)
+}
+
+/// Load `dir/checkpoint.dvm` if present. A stale `checkpoint.dvm.tmp`
+/// (crash before the rename) is removed and ignored — the previous
+/// checkpoint, if any, remains authoritative.
+pub fn load(dir: &Path) -> Result<Option<Checkpoint>> {
+    let tmp = dir.join(CHECKPOINT_TMP);
+    if tmp.exists() {
+        fs::remove_file(&tmp).map_err(|e| DurabilityError::io(&tmp, e))?;
+    }
+    let dst = dir.join(CHECKPOINT_FILE);
+    let bytes = match fs::read(&dst) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(DurabilityError::io(&dst, e)),
+    };
+    Checkpoint::decode(&bytes).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dvm-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            wal_lsn: 42,
+            payload: b"engine state bytes".to_vec(),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        save(&dir, &sample()).unwrap();
+        assert_eq!(load(&dir).unwrap(), Some(sample()));
+        assert!(!dir.join(CHECKPOINT_TMP).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let dir = tmpdir("missing");
+        assert_eq!(load(&dir).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_is_ignored_and_removed() {
+        let dir = tmpdir("staletmp");
+        save(&dir, &sample()).unwrap();
+        // Crash mid-checkpoint: a half-written successor never renamed.
+        fs::write(dir.join(CHECKPOINT_TMP), b"DVMCKPT1\x01partial").unwrap();
+        assert_eq!(load(&dir).unwrap(), Some(sample()));
+        assert!(!dir.join(CHECKPOINT_TMP).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let dir = tmpdir("corrupt");
+        save(&dir, &sample()).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            load(&dir),
+            Err(DurabilityError::CorruptCheckpoint { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_padded_files_detected() {
+        let full = sample().encode();
+        for cut in [0, 7, HEADER - 1, full.len() - 1] {
+            assert!(Checkpoint::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
+        let mut padded = full.clone();
+        padded.push(0);
+        let err = Checkpoint::decode(&padded).unwrap_err();
+        assert!(
+            format!("{err}").contains("trailing bytes"),
+            "unexpected: {err}"
+        );
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let c = Checkpoint {
+            wal_lsn: 0,
+            payload: Vec::new(),
+        };
+        assert_eq!(Checkpoint::decode(&c.encode()).unwrap(), c);
+    }
+}

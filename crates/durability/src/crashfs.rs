@@ -1,0 +1,249 @@
+//! Crash-fault injection over a durable database directory.
+//!
+//! Recovery code is only as good as the crashes it has survived. `CrashFs`
+//! simulates the classic failure shapes *at the file level*, on a cloned
+//! copy of a real database directory, so tests can run the actual
+//! recovery path against every interesting crash point:
+//!
+//! * **torn tail** — the process died mid-`write(2)`: the last WAL frame
+//!   is truncated at an arbitrary byte ([`CrashFs::truncate_wal_tail`]);
+//! * **bit rot / torn sector** — a byte inside a frame is flipped
+//!   ([`CrashFs::corrupt_wal_byte`]);
+//! * **power loss with write-back cache** — everything after the last
+//!   fsync vanishes ([`CrashFs::drop_unsynced`]);
+//! * **crash mid-checkpoint** — the new checkpoint was written (possibly
+//!   partially) to `checkpoint.dvm.tmp` but the rename never happened
+//!   ([`CrashFs::partial_checkpoint_tmp`]).
+
+use crate::checkpoint::CHECKPOINT_TMP;
+use crate::error::{DurabilityError, Result};
+use crate::wal::{scan_segment, SEGMENT_HEADER};
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+/// Namespace for the fault-injection helpers.
+pub struct CrashFs;
+
+impl CrashFs {
+    /// Recursively copy a database directory, so a fault can be injected
+    /// without destroying the pristine original.
+    pub fn clone_dir(src: &Path, dst: &Path) -> Result<()> {
+        fs::create_dir_all(dst).map_err(|e| DurabilityError::io(dst, e))?;
+        for entry in fs::read_dir(src).map_err(|e| DurabilityError::io(src, e))? {
+            let entry = entry.map_err(|e| DurabilityError::io(src, e))?;
+            let from = entry.path();
+            let to = dst.join(entry.file_name());
+            let ty = entry.file_type().map_err(|e| DurabilityError::io(&from, e))?;
+            if ty.is_dir() {
+                Self::clone_dir(&from, &to)?;
+            } else {
+                fs::copy(&from, &to).map_err(|e| DurabilityError::io(&from, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// WAL segment paths under `dir`, in LSN (name) order.
+    pub fn wal_segments(dir: &Path) -> Result<Vec<PathBuf>> {
+        let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+            .map_err(|e| DurabilityError::io(dir, e))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+            })
+            .collect();
+        segs.sort();
+        Ok(segs)
+    }
+
+    /// The last (active) WAL segment under `dir`, if any.
+    pub fn tail_segment(dir: &Path) -> Result<Option<PathBuf>> {
+        Ok(Self::wal_segments(dir)?.pop())
+    }
+
+    /// Byte offsets of every frame boundary in a segment: the header end,
+    /// then the end of each valid frame. Truncating the file at any
+    /// offset strictly between two boundaries leaves a torn frame; at a
+    /// boundary, a clean prefix.
+    pub fn frame_boundaries(segment: &Path) -> Result<Vec<u64>> {
+        let bytes = fs::read(segment).map_err(|e| DurabilityError::io(segment, e))?;
+        let (records, valid_len, _) = scan_segment(&bytes);
+        let mut bounds = Vec::with_capacity(records.len() + 1);
+        // Re-scan to accumulate the running offset per frame.
+        let mut pos = SEGMENT_HEADER;
+        bounds.push(pos);
+        for r in &records {
+            pos += 16 + r.payload.len() as u64; // FRAME_HEADER + payload
+            bounds.push(pos);
+        }
+        debug_assert_eq!(*bounds.last().unwrap(), valid_len);
+        Ok(bounds)
+    }
+
+    /// Truncate a file to `len` bytes (crash mid-write).
+    pub fn truncate_file(path: &Path, len: u64) -> Result<()> {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| DurabilityError::io(path, e))?;
+        f.set_len(len).map_err(|e| DurabilityError::io(path, e))
+    }
+
+    /// Truncate the tail WAL segment so only `keep` bytes survive.
+    pub fn truncate_wal_tail(dir: &Path, keep: u64) -> Result<()> {
+        let Some(tail) = Self::tail_segment(dir)? else {
+            return Ok(());
+        };
+        Self::truncate_file(&tail, keep)
+    }
+
+    /// Flip one byte at `offset` in a file (bit rot / torn sector).
+    pub fn corrupt_byte(path: &Path, offset: u64) -> Result<()> {
+        let mut bytes = fs::read(path).map_err(|e| DurabilityError::io(path, e))?;
+        let i = offset as usize;
+        if i >= bytes.len() {
+            return Err(DurabilityError::Io {
+                path: path.display().to_string(),
+                error: format!("corrupt_byte offset {offset} beyond file length {}", bytes.len()),
+            });
+        }
+        bytes[i] ^= 0xFF;
+        fs::write(path, bytes).map_err(|e| DurabilityError::io(path, e))
+    }
+
+    /// Flip one byte at `offset` within the tail WAL segment.
+    pub fn corrupt_wal_byte(dir: &Path, offset: u64) -> Result<()> {
+        let Some(tail) = Self::tail_segment(dir)? else {
+            return Ok(());
+        };
+        Self::corrupt_byte(&tail, offset)
+    }
+
+    /// Simulate a power loss that discards everything the engine never
+    /// fsync'd: truncate the tail segment back to `synced_len` (as
+    /// reported by `WalStatus::active_synced_bytes` at the crash point).
+    pub fn drop_unsynced(dir: &Path, synced_len: u64) -> Result<()> {
+        Self::truncate_wal_tail(dir, synced_len)
+    }
+
+    /// Simulate a crash mid-checkpoint: deposit `prefix` bytes of a
+    /// would-be successor checkpoint in `checkpoint.dvm.tmp`, never
+    /// renamed into place. Recovery must ignore it.
+    pub fn partial_checkpoint_tmp(dir: &Path, prefix: &[u8]) -> Result<()> {
+        let tmp = dir.join(CHECKPOINT_TMP);
+        fs::write(&tmp, prefix).map_err(|e| DurabilityError::io(&tmp, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{DurabilityPolicy, Wal, WalOptions};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dvm-crashfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn build_wal(dir: &Path, n: u8) {
+        let (mut wal, _) = Wal::open(
+            dir,
+            WalOptions {
+                policy: DurabilityPolicy::Always,
+                segment_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        for i in 0..n {
+            wal.append(&[i; 10]).unwrap();
+        }
+    }
+
+    #[test]
+    fn clone_dir_is_deep_and_identical() {
+        let src = tmpdir("clone-src");
+        let dst = tmpdir("clone-dst");
+        build_wal(&src, 5);
+        fs::create_dir_all(src.join("sub")).unwrap();
+        fs::write(src.join("sub/x"), b"nested").unwrap();
+        CrashFs::clone_dir(&src, &dst).unwrap();
+        let a = fs::read(CrashFs::tail_segment(&src).unwrap().unwrap()).unwrap();
+        let b = fs::read(CrashFs::tail_segment(&dst).unwrap().unwrap()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fs::read(dst.join("sub/x")).unwrap(), b"nested");
+        let _ = fs::remove_dir_all(&src);
+        let _ = fs::remove_dir_all(&dst);
+    }
+
+    #[test]
+    fn frame_boundaries_cover_all_records() {
+        let dir = tmpdir("bounds");
+        build_wal(&dir, 4);
+        let tail = CrashFs::tail_segment(&dir).unwrap().unwrap();
+        let bounds = CrashFs::frame_boundaries(&tail).unwrap();
+        // header end + one boundary per record
+        assert_eq!(bounds.len(), 5);
+        assert_eq!(bounds[0], SEGMENT_HEADER);
+        assert_eq!(
+            *bounds.last().unwrap(),
+            fs::metadata(&tail).unwrap().len()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_boundary_keeps_prefix_records() {
+        let dir = tmpdir("trunc");
+        build_wal(&dir, 4);
+        let tail = CrashFs::tail_segment(&dir).unwrap().unwrap();
+        let bounds = CrashFs::frame_boundaries(&tail).unwrap();
+        CrashFs::truncate_wal_tail(&dir, bounds[2]).unwrap();
+        let (_, rep) = Wal::open(
+            &dir,
+            WalOptions {
+                policy: DurabilityPolicy::Always,
+                segment_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        assert_eq!(rep.records.len(), 2);
+        assert_eq!(rep.torn_bytes_dropped, 0, "clean cut at a boundary");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_byte_is_detected_by_reopen() {
+        let dir = tmpdir("rot");
+        build_wal(&dir, 3);
+        let tail = CrashFs::tail_segment(&dir).unwrap().unwrap();
+        let len = fs::metadata(&tail).unwrap().len();
+        CrashFs::corrupt_byte(&tail, len - 1).unwrap();
+        let (_, rep) = Wal::open(
+            &dir,
+            WalOptions {
+                policy: DurabilityPolicy::Always,
+                segment_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        // Final frame fails CRC and is dropped like a torn tail.
+        assert_eq!(rep.records.len(), 2);
+        assert!(rep.torn_bytes_dropped > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_byte_rejects_out_of_range_offset() {
+        let dir = tmpdir("range");
+        build_wal(&dir, 1);
+        let tail = CrashFs::tail_segment(&dir).unwrap().unwrap();
+        let len = fs::metadata(&tail).unwrap().len();
+        assert!(CrashFs::corrupt_byte(&tail, len).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

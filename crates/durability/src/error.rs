@@ -1,0 +1,67 @@
+//! Durability-layer errors.
+//!
+//! `Clone + PartialEq + Eq` so they can be embedded in `dvm-core`'s error
+//! enum (which derives the same set); I/O errors are therefore carried as
+//! rendered strings rather than `std::io::Error` values.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, appending to, or recovering from
+/// the durable artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// An operating-system I/O failure, with the path involved.
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// Rendered `std::io::Error`.
+        error: String,
+    },
+    /// A WAL segment *before* the tail failed validation — unlike a torn
+    /// tail this cannot be repaired by truncation, because records after
+    /// the corruption have already been acknowledged durable.
+    CorruptWal {
+        /// Segment file name.
+        segment: String,
+        /// Byte offset of the bad frame within the segment.
+        offset: u64,
+        /// What check failed.
+        reason: String,
+    },
+    /// The checkpoint file failed its magic/version/CRC/decode checks.
+    CorruptCheckpoint {
+        /// What check failed (includes a byte offset where applicable).
+        reason: String,
+    },
+}
+
+impl DurabilityError {
+    /// Wrap an `std::io::Error` with the path that produced it.
+    pub fn io(path: &std::path::Path, error: std::io::Error) -> Self {
+        DurabilityError::Io {
+            path: path.display().to_string(),
+            error: error.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io { path, error } => write!(f, "io error on {path}: {error}"),
+            DurabilityError::CorruptWal {
+                segment,
+                offset,
+                reason,
+            } => write!(f, "corrupt WAL segment {segment} at byte {offset}: {reason}"),
+            DurabilityError::CorruptCheckpoint { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DurabilityError>;

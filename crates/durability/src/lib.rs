@@ -1,0 +1,35 @@
+//! # dvm-durability — WAL, checkpoints, and crash-fault injection
+//!
+//! The durable substrate for the deferred-view-maintenance engine. The
+//! paper's invariants make the deferred log *itself* the recovery
+//! artifact: `INV_BL`/`INV_C` guarantee the materialized view is
+//! reconstructible from `PAST(L, Q)` plus the differential tables, so a
+//! durable epoch log doubles as a redo log, and a checkpoint is just a
+//! cut of that log at a refresh cursor.
+//!
+//! This crate is deliberately ignorant of the engine: payloads are opaque
+//! byte strings (encoded/decoded by `dvm-core`). It provides
+//!
+//! * [`wal::Wal`] — a segmented, CRC-checksummed, length-prefixed
+//!   write-ahead log with fsync batching ([`wal::DurabilityPolicy`]),
+//!   torn-tail repair, and checkpoint-bounded truncation;
+//! * [`checkpoint`] — atomic (temp-file + rename + dir fsync) versioned
+//!   checkpoint save/load;
+//! * [`crashfs::CrashFs`] — fault injection (torn tails, bit rot, dropped
+//!   unsynced writes, partial checkpoint temp files) for recovery tests;
+//! * [`crc::crc32`] — the shared CRC-32/IEEE checksum.
+//!
+//! Zero dependencies outside `std`, like the rest of the workspace.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod crashfs;
+pub mod crc;
+pub mod error;
+pub mod wal;
+
+pub use checkpoint::{Checkpoint, CHECKPOINT_FILE, CHECKPOINT_TMP};
+pub use crashfs::CrashFs;
+pub use error::{DurabilityError, Result};
+pub use wal::{DurabilityPolicy, Wal, WalOpenReport, WalOptions, WalRecord, WalStatus};

@@ -1,0 +1,644 @@
+//! Segmented, checksummed write-ahead log.
+//!
+//! ## On-disk layout
+//!
+//! A WAL directory holds segment files named `wal-{start_lsn:016x}.seg`.
+//! Each segment is:
+//!
+//! ```text
+//! header:  8-byte magic "DVMWAL01" | u64 start_lsn
+//! frames:  u32 payload_len | u64 lsn | u32 crc32(lsn_be ++ payload) | payload
+//! ```
+//!
+//! All integers are big-endian. LSNs start at 1 and increase by 1 per
+//! record; the checksum covers the LSN and the payload, so a frame whose
+//! length field is torn fails either the bounds check or the CRC.
+//!
+//! ## Torn-tail repair
+//!
+//! On open, every sealed (non-last) segment must parse completely — a bad
+//! frame there means acknowledged-durable data was lost, which is reported
+//! as [`DurabilityError::CorruptWal`] rather than silently dropped. The
+//! *last* segment is allowed a torn tail (the classic crash-mid-append
+//! shape): the file is truncated back to the end of its last valid frame
+//! and the dropped byte count is reported in the open report.
+//!
+//! ## Fsync batching
+//!
+//! [`DurabilityPolicy`] mirrors the paper's Policy-1 cadence knob:
+//! `Always` fsyncs every append, `EveryN(k)` every `k` appends, `Off`
+//! leaves flushing to the OS (data still reaches the file, so only an OS
+//! crash — simulated by [`crate::crashfs::CrashFs::drop_unsynced`] — loses
+//! it).
+
+use crate::crc::crc32;
+use crate::error::{DurabilityError, Result};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"DVMWAL01";
+/// Segment header size: magic + start LSN.
+pub const SEGMENT_HEADER: u64 = 16;
+/// Frame header size: payload length + LSN + CRC.
+pub const FRAME_HEADER: u64 = 16;
+/// Upper bound on a single frame payload — guards allocation on a
+/// corrupted length field.
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// When appends are made durable (fsync'd), mirroring the paper's
+/// propagation-cadence policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// fsync after every append — no acknowledged record is ever lost.
+    Always,
+    /// fsync after every `k`-th unsynced append (and on checkpoint).
+    EveryN(u64),
+    /// Never fsync from the engine; the OS flushes when it pleases.
+    Off,
+}
+
+impl fmt::Display for DurabilityPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityPolicy::Always => write!(f, "always"),
+            DurabilityPolicy::EveryN(k) => write!(f, "every({k})"),
+            DurabilityPolicy::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// Tunables for a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Fsync cadence.
+    pub policy: DurabilityPolicy,
+    /// Rotate to a fresh segment once the active one reaches this size.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            policy: DurabilityPolicy::EveryN(64),
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number (1-based, dense per append).
+    pub lsn: u64,
+    /// Opaque payload as handed to [`Wal::append`].
+    pub payload: Vec<u8>,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct WalOpenReport {
+    /// Every valid record, in LSN order.
+    pub records: Vec<WalRecord>,
+    /// Bytes truncated off the tail segment (torn final frame).
+    pub torn_bytes_dropped: u64,
+    /// Total segment bytes scanned (including headers).
+    pub bytes_scanned: u64,
+}
+
+/// A sealed (read-only) segment's metadata.
+#[derive(Debug, Clone)]
+struct SealedSegment {
+    path: PathBuf,
+    /// Byte length on disk.
+    len: u64,
+    /// LSN of the segment's final record.
+    last_lsn: u64,
+}
+
+/// Point-in-time status of the log, for `\wal status` and tests.
+#[derive(Debug, Clone)]
+pub struct WalStatus {
+    /// Fsync cadence in force.
+    pub policy: DurabilityPolicy,
+    /// Sealed segment count (active excluded).
+    pub sealed_segments: usize,
+    /// Bytes across sealed segments.
+    pub sealed_bytes: u64,
+    /// Active segment file name.
+    pub active_segment: String,
+    /// Active segment length.
+    pub active_bytes: u64,
+    /// Active-segment length at the last fsync — a crash that drops
+    /// unsynced writes truncates the file back to this.
+    pub active_synced_bytes: u64,
+    /// LSN of the last appended record (0 = none).
+    pub last_lsn: u64,
+    /// LSN of the last record guaranteed on stable storage.
+    pub synced_lsn: u64,
+}
+
+/// An append-only, segmented, checksummed log of opaque payloads.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    sealed: Vec<SealedSegment>,
+    active: File,
+    active_path: PathBuf,
+    active_len: u64,
+    active_synced_len: u64,
+    /// LSN the next append receives.
+    next_lsn: u64,
+    /// LSN of the last record known to be fsync'd.
+    synced_lsn: u64,
+    /// Appends since the last fsync (drives `EveryN`).
+    unsynced: u64,
+}
+
+fn segment_name(start_lsn: u64) -> String {
+    format!("wal-{start_lsn:016x}.seg")
+}
+
+fn encode_frame(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    crc_input.extend_from_slice(&lsn.to_be_bytes());
+    crc_input.extend_from_slice(payload);
+    let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&lsn.to_be_bytes());
+    frame.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Scan a segment's bytes. Returns the records decoded, the byte offset
+/// one past the last **valid** frame, and — if the scan stopped early —
+/// the reason the next frame was invalid.
+pub fn scan_segment(bytes: &[u8]) -> (Vec<WalRecord>, u64, Option<String>) {
+    let mut records = Vec::new();
+    if bytes.len() < SEGMENT_HEADER as usize {
+        return (records, 0, Some("segment shorter than header".into()));
+    }
+    if &bytes[..8] != SEGMENT_MAGIC {
+        return (records, 0, Some("bad segment magic".into()));
+    }
+    let mut pos = SEGMENT_HEADER as usize;
+    loop {
+        if pos == bytes.len() {
+            return (records, pos as u64, None);
+        }
+        if bytes.len() - pos < FRAME_HEADER as usize {
+            return (records, pos as u64, Some("truncated frame header".into()));
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let lsn = u64::from_be_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let crc = u32::from_be_bytes(bytes[pos + 12..pos + 16].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return (records, pos as u64, Some(format!("implausible frame length {len}")));
+        }
+        let body_start = pos + FRAME_HEADER as usize;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            return (records, pos as u64, Some("truncated frame payload".into()));
+        }
+        let payload = &bytes[body_start..body_end];
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        crc_input.extend_from_slice(&lsn.to_be_bytes());
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != crc {
+            return (records, pos as u64, Some("frame CRC mismatch".into()));
+        }
+        records.push(WalRecord {
+            lsn,
+            payload: payload.to_vec(),
+        });
+        pos = body_end;
+    }
+}
+
+impl Wal {
+    /// Open (or create) the log under `dir`, repairing a torn tail and
+    /// returning every valid record for replay.
+    pub fn open(dir: &Path, options: WalOptions) -> Result<(Wal, WalOpenReport)> {
+        fs::create_dir_all(dir).map_err(|e| DurabilityError::io(dir, e))?;
+        let mut seg_paths: Vec<PathBuf> = fs::read_dir(dir)
+            .map_err(|e| DurabilityError::io(dir, e))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+            })
+            .collect();
+        seg_paths.sort();
+
+        let mut report = WalOpenReport::default();
+        let mut sealed = Vec::new();
+        let mut last_lsn = 0u64;
+        for (i, path) in seg_paths.iter().enumerate() {
+            let bytes = fs::read(path).map_err(|e| DurabilityError::io(path, e))?;
+            report.bytes_scanned += bytes.len() as u64;
+            let is_last = i + 1 == seg_paths.len();
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default();
+            let (records, valid_len, fault) = scan_segment(&bytes);
+            if let Some(reason) = fault {
+                if !is_last {
+                    return Err(DurabilityError::CorruptWal {
+                        segment: name,
+                        offset: valid_len,
+                        reason,
+                    });
+                }
+                // Torn tail on the active segment: repair by truncation.
+                let dropped = bytes.len() as u64 - valid_len;
+                // A last segment with a broken *header* is unrepairable —
+                // truncating to zero would orphan its name/start-LSN.
+                if valid_len < SEGMENT_HEADER {
+                    return Err(DurabilityError::CorruptWal {
+                        segment: name,
+                        offset: valid_len,
+                        reason,
+                    });
+                }
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| DurabilityError::io(path, e))?;
+                f.set_len(valid_len).map_err(|e| DurabilityError::io(path, e))?;
+                f.sync_data().map_err(|e| DurabilityError::io(path, e))?;
+                report.torn_bytes_dropped += dropped;
+            }
+            if let Some(r) = records.last() {
+                last_lsn = last_lsn.max(r.lsn);
+            }
+            if !is_last {
+                sealed.push(SealedSegment {
+                    path: path.clone(),
+                    len: bytes.len() as u64,
+                    last_lsn: records.last().map(|r| r.lsn).unwrap_or(0),
+                });
+            }
+            report.records.extend(records);
+        }
+        report.records.sort_by_key(|r| r.lsn);
+
+        let next_lsn = last_lsn + 1;
+        let (active_path, active, active_len) = match seg_paths.last() {
+            Some(path) => {
+                let len = fs::metadata(path)
+                    .map_err(|e| DurabilityError::io(path, e))?
+                    .len();
+                let f = OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| DurabilityError::io(path, e))?;
+                (path.clone(), f, len)
+            }
+            None => Self::create_segment(dir, next_lsn)?,
+        };
+
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                options,
+                sealed,
+                active,
+                active_path,
+                active_len,
+                // Whatever survived on disk is durable by definition.
+                active_synced_len: active_len,
+                next_lsn,
+                synced_lsn: last_lsn,
+                unsynced: 0,
+            },
+            report,
+        ))
+    }
+
+    fn create_segment(dir: &Path, start_lsn: u64) -> Result<(PathBuf, File, u64)> {
+        let path = dir.join(segment_name(start_lsn));
+        let mut f = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| DurabilityError::io(&path, e))?;
+        let mut header = Vec::with_capacity(SEGMENT_HEADER as usize);
+        header.extend_from_slice(SEGMENT_MAGIC);
+        header.extend_from_slice(&start_lsn.to_be_bytes());
+        f.write_all(&header).map_err(|e| DurabilityError::io(&path, e))?;
+        f.sync_data().map_err(|e| DurabilityError::io(&path, e))?;
+        sync_dir(dir)?;
+        Ok((path, f, SEGMENT_HEADER))
+    }
+
+    /// Bump the LSN counter past a checkpoint cursor, so appends after a
+    /// truncated history continue the sequence instead of reusing LSNs.
+    pub fn ensure_lsn_at_least(&mut self, lsn: u64) {
+        if self.next_lsn <= lsn {
+            self.next_lsn = lsn + 1;
+            self.synced_lsn = self.synced_lsn.max(lsn);
+        }
+    }
+
+    /// Append one record; returns its LSN. Durability depends on the
+    /// policy — see [`Wal::sync`] and [`Wal::synced_lsn`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        if self.active_len >= self.options.segment_bytes {
+            self.rotate()?;
+        }
+        let lsn = self.next_lsn;
+        let frame = encode_frame(lsn, payload);
+        self.active
+            .write_all(&frame)
+            .map_err(|e| DurabilityError::io(&self.active_path, e))?;
+        self.active_len += frame.len() as u64;
+        self.next_lsn += 1;
+        self.unsynced += 1;
+        match self.options.policy {
+            DurabilityPolicy::Always => self.sync()?,
+            DurabilityPolicy::EveryN(k) => {
+                if self.unsynced >= k.max(1) {
+                    self.sync()?;
+                }
+            }
+            DurabilityPolicy::Off => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Fsync the active segment; every appended record is durable after
+    /// this returns.
+    pub fn sync(&mut self) -> Result<()> {
+        self.active
+            .flush()
+            .and_then(|()| self.active.sync_data())
+            .map_err(|e| DurabilityError::io(&self.active_path, e))?;
+        self.active_synced_len = self.active_len;
+        self.synced_lsn = self.next_lsn - 1;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        // Seal the current active segment: it must be fully durable before
+        // a successor exists, or recovery could see a newer segment while
+        // the older one still has an unsynced (hence torn) tail.
+        self.sync()?;
+        self.sealed.push(SealedSegment {
+            path: self.active_path.clone(),
+            len: self.active_len,
+            last_lsn: self.next_lsn - 1,
+        });
+        let (path, file, len) = Self::create_segment(&self.dir, self.next_lsn)?;
+        self.active_path = path;
+        self.active = file;
+        self.active_len = len;
+        self.active_synced_len = len;
+        Ok(())
+    }
+
+    /// Delete sealed segments whose records all have `lsn <= cutoff`.
+    /// The active segment is never touched. Returns segments removed.
+    pub fn truncate_through(&mut self, cutoff: u64) -> Result<usize> {
+        let mut removed = 0;
+        while let Some(first) = self.sealed.first() {
+            if first.last_lsn == 0 || first.last_lsn > cutoff {
+                break;
+            }
+            let seg = self.sealed.remove(0);
+            fs::remove_file(&seg.path).map_err(|e| DurabilityError::io(&seg.path, e))?;
+            removed += 1;
+        }
+        if removed > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// LSN of the most recently appended record (0 if none yet).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// LSN of the last record guaranteed on stable storage.
+    pub fn synced_lsn(&self) -> u64 {
+        self.synced_lsn
+    }
+
+    /// Current status snapshot.
+    pub fn status(&self) -> WalStatus {
+        WalStatus {
+            policy: self.options.policy,
+            sealed_segments: self.sealed.len(),
+            sealed_bytes: self.sealed.iter().map(|s| s.len).sum(),
+            active_segment: self
+                .active_path
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default(),
+            active_bytes: self.active_len,
+            active_synced_bytes: self.active_synced_len,
+            last_lsn: self.last_lsn(),
+            synced_lsn: self.synced_lsn,
+        }
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Fsync a directory so renames/unlinks within it are durable.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| DurabilityError::io(dir, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dvm-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts(policy: DurabilityPolicy, segment_bytes: u64) -> WalOptions {
+        WalOptions {
+            policy,
+            segment_bytes,
+        }
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let (mut wal, rep) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        assert!(rep.records.is_empty());
+        for i in 0..10u8 {
+            assert_eq!(wal.append(&[i; 3]).unwrap(), i as u64 + 1);
+        }
+        drop(wal);
+        let (wal, rep) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        assert_eq!(rep.records.len(), 10);
+        assert_eq!(rep.torn_bytes_dropped, 0);
+        for (i, r) in rep.records.iter().enumerate() {
+            assert_eq!(r.lsn, i as u64 + 1);
+            assert_eq!(r.payload, vec![i as u8; 3]);
+        }
+        assert_eq!(wal.last_lsn(), 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_produces_multiple_segments() {
+        let dir = tmpdir("rotate");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Always, 64)).unwrap();
+        for i in 0..20u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        let status = wal.status();
+        assert!(status.sealed_segments >= 2, "expected rotation: {status:?}");
+        drop(wal);
+        let (_, rep) = Wal::open(&dir, opts(DurabilityPolicy::Always, 64)).unwrap();
+        assert_eq!(rep.records.len(), 20);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 8]).unwrap();
+        }
+        let path = dir.join(wal.status().active_segment.clone());
+        let full = fs::metadata(&path).unwrap().len();
+        drop(wal);
+        // Tear 3 bytes off the final frame.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let (wal, rep) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        assert_eq!(rep.records.len(), 4, "last record dropped");
+        assert!(rep.torn_bytes_dropped > 0);
+        // The torn record's LSN is reused by the next append.
+        assert_eq!(wal.last_lsn(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_a_hard_error() {
+        let dir = tmpdir("sealed-corrupt");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Always, 64)).unwrap();
+        for i in 0..20u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        assert!(wal.status().sealed_segments >= 1);
+        drop(wal);
+        let mut segs: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segs.sort();
+        // Flip a payload byte in the FIRST (sealed) segment.
+        let mut bytes = fs::read(&segs[0]).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(&segs[0], bytes).unwrap();
+        let err = Wal::open(&dir, opts(DurabilityPolicy::Always, 64)).unwrap_err();
+        assert!(matches!(err, DurabilityError::CorruptWal { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_off_reports_unsynced_window() {
+        let dir = tmpdir("off");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Off, 1 << 20)).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        let st = wal.status();
+        assert_eq!(st.last_lsn, 2);
+        assert_eq!(st.synced_lsn, 0);
+        assert!(st.active_synced_bytes < st.active_bytes);
+        wal.sync().unwrap();
+        let st = wal.status();
+        assert_eq!(st.synced_lsn, 2);
+        assert_eq!(st.active_synced_bytes, st.active_bytes);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_n_policy_syncs_in_batches() {
+        let dir = tmpdir("everyn");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::EveryN(3), 1 << 20)).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        assert_eq!(wal.synced_lsn(), 0);
+        wal.append(b"c").unwrap(); // third append crosses the batch
+        assert_eq!(wal.synced_lsn(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_through_removes_only_covered_sealed_segments() {
+        let dir = tmpdir("truncate");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Always, 64)).unwrap();
+        for i in 0..20u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        let sealed_before = wal.status().sealed_segments;
+        assert!(sealed_before >= 2);
+        // Cut below the first sealed segment's last record: nothing removable.
+        assert_eq!(wal.truncate_through(0).unwrap(), 0);
+        // Cut at the final LSN: all sealed segments go, active survives.
+        let removed = wal.truncate_through(wal.last_lsn()).unwrap();
+        assert_eq!(removed, sealed_before);
+        assert_eq!(wal.status().sealed_segments, 0);
+        drop(wal);
+        let (wal, rep) = Wal::open(&dir, opts(DurabilityPolicy::Always, 64)).unwrap();
+        assert!(!rep.records.is_empty(), "active segment survived");
+        assert_eq!(wal.last_lsn(), 20);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ensure_lsn_continues_sequence_past_checkpoint() {
+        let dir = tmpdir("ensure");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        wal.ensure_lsn_at_least(41);
+        assert_eq!(wal.append(b"next").unwrap(), 42);
+        drop(wal);
+        let (wal, rep) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.records[0].lsn, 42);
+        assert_eq!(wal.last_lsn(), 42);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payload_and_large_payload_roundtrip() {
+        let dir = tmpdir("payloads");
+        let big = vec![0xAB; 100_000];
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        wal.append(b"").unwrap();
+        wal.append(&big).unwrap();
+        drop(wal);
+        let (_, rep) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        assert_eq!(rep.records[0].payload, b"");
+        assert_eq!(rep.records[1].payload, big);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -40,6 +40,10 @@ pub enum EventKind {
     Vacuum,
     /// A policy-driver decision (why a view did or didn't propagate).
     Policy,
+    /// Crash recovery: checkpoint load and WAL replay on `Database::open`.
+    Recovery,
+    /// A durable checkpoint cut (quiesce, encode, atomic save).
+    Checkpoint,
 }
 
 impl EventKind {
@@ -54,6 +58,8 @@ impl EventKind {
             EventKind::LockWait => "lock_wait",
             EventKind::Vacuum => "vacuum",
             EventKind::Policy => "policy",
+            EventKind::Recovery => "recovery",
+            EventKind::Checkpoint => "checkpoint",
         }
     }
 }

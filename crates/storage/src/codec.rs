@@ -1,0 +1,381 @@
+//! Shared binary codec: big-endian writers over a byte vector and a
+//! bounds-checked, **offset-tracking** reader, plus encoders for the
+//! storage primitives ([`Value`], [`Schema`], [`Bag`]) that every durable
+//! artifact (snapshots, checkpoints, WAL records) is built from.
+//!
+//! Every decode error reports the absolute byte offset at which decoding
+//! failed, so a corrupt frame in a multi-megabyte checkpoint can be
+//! located without a hex dump.
+
+use crate::bag::Bag;
+use crate::error::{Result, StorageError};
+use crate::schema::{Column, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+use std::sync::Arc;
+
+// ---- writers --------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a big-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string (`u32` length + bytes).
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append an optional length-prefixed string (`u8` presence tag).
+pub fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => put_u8(buf, 0),
+        Some(s) => {
+            put_u8(buf, 1);
+            put_str(buf, s);
+        }
+    }
+}
+
+// ---- reader ---------------------------------------------------------------
+
+/// Bounds-checked big-endian reader over a byte slice. Tracks the absolute
+/// offset of the next unread byte so every error can say *where* the
+/// buffer went bad.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer; offsets are reported relative to its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// A [`StorageError::CorruptSnapshot`] stamped with the current offset.
+    pub fn corrupt(&self, msg: impl std::fmt::Display) -> StorageError {
+        StorageError::CorruptSnapshot(format!("at byte {}: {msg}", self.pos))
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt(format_args!("need {n} bytes, have {}", self.remaining())));
+        }
+        let head = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(head)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| {
+            StorageError::CorruptSnapshot(format!("at byte {start}: bad utf8: {e}"))
+        })
+    }
+
+    /// Read an optional string written by [`put_opt_str`].
+    pub fn opt_str(&mut self) -> Result<Option<String>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            tag => Err(self.corrupt(format_args!("bad option tag {tag}"))),
+        }
+    }
+
+    /// Fail unless the whole buffer was consumed — rejects trailing
+    /// garbage, reporting where the valid prefix ended.
+    pub fn expect_end(&self) -> Result<()> {
+        if !self.is_empty() {
+            return Err(self.corrupt(format_args!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+// ---- storage-primitive codecs ---------------------------------------------
+
+/// Encode a [`Value`] (tag byte + payload).
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(buf, 0),
+        Value::Bool(b) => {
+            put_u8(buf, 1);
+            put_u8(buf, *b as u8);
+        }
+        Value::Int(i) => {
+            put_u8(buf, 2);
+            put_u64(buf, *i as u64);
+        }
+        Value::Double(d) => {
+            put_u8(buf, 3);
+            put_u64(buf, d.to_bits());
+        }
+        Value::Str(s) => {
+            put_u8(buf, 4);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// Decode a [`Value`] written by [`put_value`].
+pub fn get_value(r: &mut Reader<'_>) -> Result<Value> {
+    let at = r.offset();
+    match r.u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(r.u8()? != 0)),
+        2 => Ok(Value::Int(r.u64()? as i64)),
+        3 => Ok(Value::Double(f64::from_bits(r.u64()?))),
+        4 => Ok(Value::Str(Arc::from(r.str()?.as_str()))),
+        tag => Err(StorageError::CorruptSnapshot(format!(
+            "at byte {at}: unknown value tag {tag}"
+        ))),
+    }
+}
+
+/// Encode a [`ValueType`].
+pub fn put_value_type(buf: &mut Vec<u8>, ty: ValueType) {
+    put_u8(
+        buf,
+        match ty {
+            ValueType::Bool => 0,
+            ValueType::Int => 1,
+            ValueType::Double => 2,
+            ValueType::Str => 3,
+        },
+    );
+}
+
+/// Decode a [`ValueType`].
+pub fn get_value_type(r: &mut Reader<'_>) -> Result<ValueType> {
+    let at = r.offset();
+    match r.u8()? {
+        0 => Ok(ValueType::Bool),
+        1 => Ok(ValueType::Int),
+        2 => Ok(ValueType::Double),
+        3 => Ok(ValueType::Str),
+        tag => Err(StorageError::CorruptSnapshot(format!(
+            "at byte {at}: unknown value type tag {tag}"
+        ))),
+    }
+}
+
+/// Encode a [`Schema`] (column count + per-column qualifier/name/type).
+pub fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
+    put_u16(buf, schema.arity() as u16);
+    for col in schema.columns() {
+        put_opt_str(buf, col.qualifier.as_deref());
+        put_str(buf, &col.name);
+        put_value_type(buf, col.ty);
+    }
+}
+
+/// Decode a [`Schema`] written by [`put_schema`].
+pub fn get_schema(r: &mut Reader<'_>) -> Result<Schema> {
+    let at = r.offset();
+    let arity = r.u16()? as usize;
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let qualifier = r.opt_str()?;
+        let name = r.str()?;
+        let ty = get_value_type(r)?;
+        cols.push(match qualifier {
+            Some(q) => Column::qualified(q, name, ty),
+            None => Column::new(name, ty),
+        });
+    }
+    Schema::new(cols)
+        .map_err(|e| StorageError::CorruptSnapshot(format!("at byte {at}: invalid schema: {e}")))
+}
+
+/// Encode a [`Bag`] (distinct count + per-tuple multiplicity/arity/values).
+pub fn put_bag(buf: &mut Vec<u8>, bag: &Bag) {
+    put_u32(buf, bag.distinct_len() as u32);
+    for (tuple, mult) in bag.sorted_entries() {
+        put_u64(buf, mult);
+        put_u16(buf, tuple.arity() as u16);
+        for v in tuple.values() {
+            put_value(buf, v);
+        }
+    }
+}
+
+/// Decode a [`Bag`] written by [`put_bag`].
+pub fn get_bag(r: &mut Reader<'_>) -> Result<Bag> {
+    let ntuples = r.u32()? as usize;
+    let mut bag = Bag::with_capacity(ntuples);
+    for _ in 0..ntuples {
+        let mult = r.u64()?;
+        let arity = r.u16()? as usize;
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vals.push(get_value(r)?);
+        }
+        bag.insert_n(Tuple::new(vals), mult);
+    }
+    Ok(bag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 300);
+        put_u32(&mut buf, 70_000);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_str(&mut buf, "héllo");
+        put_opt_str(&mut buf, None);
+        put_opt_str(&mut buf, Some("x"));
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_str().unwrap(), None);
+        assert_eq!(r.opt_str().unwrap(), Some("x".to_string()));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn errors_carry_byte_offset() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 9); // claims 9 string bytes…
+        buf.extend_from_slice(b"abc"); // …but only 3 follow
+        let mut r = Reader::new(&buf);
+        let err = r.str().unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("at byte 4"), "offset missing from: {msg}");
+    }
+
+    #[test]
+    fn trailing_bytes_report_offset() {
+        let buf = [0u8, 1, 2];
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        let msg = format!("{}", r.expect_end().unwrap_err());
+        assert!(msg.contains("at byte 1"), "offset missing from: {msg}");
+        assert!(msg.contains("2 trailing bytes"), "count missing from: {msg}");
+    }
+
+    #[test]
+    fn value_roundtrip_all_tags() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Double(f64::NAN),
+            Value::Str(Arc::from("s")),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            put_value(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for v in &values {
+            let got = get_value(&mut r).unwrap();
+            // NaN ≠ NaN under PartialEq; compare bit patterns for doubles.
+            match (v, &got) {
+                (Value::Double(a), Value::Double(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(*v, got),
+            }
+        }
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = Schema::new(vec![
+            Column::qualified("c", "custId", ValueType::Int),
+            Column::new("name", ValueType::Str),
+            Column::new("active", ValueType::Bool),
+            Column::new("score", ValueType::Double),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &schema);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_schema(&mut r).unwrap(), schema);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn bag_roundtrip() {
+        let mut bag = Bag::new();
+        bag.insert_n(tuple![1, "a"], 3);
+        bag.insert_n(tuple![2, "b"], 1);
+        let mut buf = Vec::new();
+        put_bag(&mut buf, &bag);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_bag(&mut r).unwrap(), bag);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn unknown_tags_rejected_with_offset() {
+        let buf = [9u8]; // bogus value tag at offset 0
+        let mut r = Reader::new(&buf);
+        let msg = format!("{}", get_value(&mut r).unwrap_err());
+        assert!(msg.contains("at byte 0"), "offset missing from: {msg}");
+    }
+}

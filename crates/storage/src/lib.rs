@@ -22,6 +22,7 @@
 
 pub mod bag;
 pub mod catalog;
+pub mod codec;
 pub mod error;
 pub mod lock;
 pub mod schema;

@@ -11,11 +11,9 @@
 //!    stable binary format so long experiments can checkpoint state.
 
 use crate::bag::Bag;
+use crate::codec::{self, Reader};
 use crate::error::{Result, StorageError};
-use crate::tuple::Tuple;
-use crate::value::Value;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// A deep copy of a database state: table name → bag.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -67,10 +65,14 @@ impl Snapshot {
     //
     //   u8  version (=1)
     //   u32 table count
-    //   per table: str name, u32 distinct tuples,
-    //     per tuple: u64 multiplicity, u16 arity, values
-    //   value: u8 tag, payload (see encode_value)
+    //   per table: str name, bag (see codec::put_bag)
+    //   bag: u32 distinct tuples, per tuple u64 multiplicity + u16 arity + values
+    //   value: u8 tag, payload (see codec::put_value)
     //   str: u32 length + UTF-8 bytes
+    //
+    // Decode errors carry the absolute byte offset of the failure, and a
+    // truncated-but-parseable prefix followed by trailing bytes is rejected
+    // rather than silently accepted.
 
     const VERSION: u8 = 1;
 
@@ -78,53 +80,33 @@ impl Snapshot {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.push(Self::VERSION);
-        put_u32(&mut buf, self.bags.len() as u32);
+        codec::put_u32(&mut buf, self.bags.len() as u32);
         for (name, bag) in &self.bags {
-            put_str(&mut buf, name);
-            put_u32(&mut buf, bag.distinct_len() as u32);
-            for (tuple, mult) in bag.sorted_entries() {
-                put_u64(&mut buf, mult);
-                put_u16(&mut buf, tuple.arity() as u16);
-                for v in tuple.values() {
-                    encode_value(&mut buf, v);
-                }
-            }
+            codec::put_str(&mut buf, name);
+            codec::put_bag(&mut buf, bag);
         }
         buf
     }
 
-    /// Decode a buffer produced by [`Snapshot::encode`].
+    /// Decode a buffer produced by [`Snapshot::encode`]. Errors include the
+    /// byte offset where decoding failed; trailing garbage after a valid
+    /// prefix is an error, not a silent success.
     pub fn decode(buf: impl AsRef<[u8]>) -> Result<Self> {
-        let mut buf = Reader(buf.as_ref());
-        let version = buf.u8()?;
+        let mut r = Reader::new(buf.as_ref());
+        let version = r.u8()?;
         if version != Self::VERSION {
             return Err(StorageError::CorruptSnapshot(format!(
                 "unsupported version {version}"
             )));
         }
-        let ntables = buf.u32()? as usize;
+        let ntables = r.u32()? as usize;
         let mut bags = BTreeMap::new();
         for _ in 0..ntables {
-            let name = buf.str()?;
-            let ntuples = buf.u32()? as usize;
-            let mut bag = Bag::with_capacity(ntuples);
-            for _ in 0..ntuples {
-                let mult = buf.u64()?;
-                let arity = buf.u16()? as usize;
-                let mut vals = Vec::with_capacity(arity);
-                for _ in 0..arity {
-                    vals.push(decode_value(&mut buf)?);
-                }
-                bag.insert_n(Tuple::new(vals), mult);
-            }
+            let name = r.str()?;
+            let bag = codec::get_bag(&mut r)?;
             bags.insert(name, bag);
         }
-        if !buf.0.is_empty() {
-            return Err(StorageError::CorruptSnapshot(format!(
-                "{} trailing bytes",
-                buf.0.len()
-            )));
-        }
+        r.expect_end()?;
         Ok(Snapshot { bags })
     }
 }
@@ -145,104 +127,12 @@ impl Snapshot {
     }
 }
 
-fn encode_value(buf: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Null => buf.push(0),
-        Value::Bool(b) => {
-            buf.push(1);
-            buf.push(*b as u8);
-        }
-        Value::Int(i) => {
-            buf.push(2);
-            put_u64(buf, *i as u64);
-        }
-        Value::Double(d) => {
-            buf.push(3);
-            put_u64(buf, d.to_bits());
-        }
-        Value::Str(s) => {
-            buf.push(4);
-            put_str(buf, s);
-        }
-    }
-}
-
-fn decode_value(buf: &mut Reader<'_>) -> Result<Value> {
-    match buf.u8()? {
-        0 => Ok(Value::Null),
-        1 => Ok(Value::Bool(buf.u8()? != 0)),
-        2 => Ok(Value::Int(buf.u64()? as i64)),
-        3 => Ok(Value::Double(f64::from_bits(buf.u64()?))),
-        4 => Ok(Value::Str(Arc::from(buf.str()?.as_str()))),
-        tag => Err(StorageError::CorruptSnapshot(format!(
-            "unknown value tag {tag}"
-        ))),
-    }
-}
-
-// Big-endian writers over a plain byte vector.
-
-fn put_u16(buf: &mut Vec<u8>, v: u16) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
-    buf.extend_from_slice(s.as_bytes());
-}
-
-/// Bounds-checked big-endian reader over a byte slice; consumed front-first.
-struct Reader<'a>(&'a [u8]);
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.0.len() < n {
-            return Err(StorageError::CorruptSnapshot(format!(
-                "need {n} bytes, have {}",
-                self.0.len()
-            )));
-        }
-        let (head, rest) = self.0.split_at(n);
-        self.0 = rest;
-        Ok(head)
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-
-    fn str(&mut self) -> Result<String> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|e| StorageError::CorruptSnapshot(format!("bad utf8: {e}")))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tuple;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
 
     fn sample() -> Snapshot {
         let mut r = Bag::new();
@@ -285,10 +175,39 @@ mod tests {
     }
 
     #[test]
-    fn trailing_garbage_errors() {
+    fn trailing_garbage_errors_with_offset() {
         let mut buf = sample().encode();
+        let valid_len = buf.len();
         buf.push(0xff);
-        assert!(Snapshot::decode(buf).is_err());
+        let msg = format!("{}", Snapshot::decode(buf).unwrap_err());
+        assert!(
+            msg.contains(&format!("at byte {valid_len}")),
+            "offset missing from: {msg}"
+        );
+        assert!(msg.contains("1 trailing bytes"), "count missing from: {msg}");
+    }
+
+    #[test]
+    fn truncation_error_reports_offset() {
+        let bytes = sample().encode();
+        let cut = bytes.len() - 1;
+        let msg = format!("{}", Snapshot::decode(&bytes[..cut]).unwrap_err());
+        assert!(msg.contains("at byte "), "offset missing from: {msg}");
+    }
+
+    #[test]
+    fn truncated_prefix_that_parses_is_rejected() {
+        // Two tables; cutting after the first leaves a parseable prefix
+        // (version + count claim 2 tables) — decode must reject it rather
+        // than silently succeed on the prefix.
+        let snap = sample();
+        let mut one = BTreeMap::new();
+        one.insert("r".to_string(), snap.bag("r").unwrap().clone());
+        let prefix_body = Snapshot::from_bags(one).encode();
+        // splice: full header claims 2 tables, body holds only 1
+        let full = snap.encode();
+        let cut = prefix_body.len() + 4; // version+count header width matches
+        assert!(Snapshot::decode(&full[..cut.min(full.len() - 1)]).is_err());
     }
 
     #[test]

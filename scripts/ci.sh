@@ -48,6 +48,18 @@ cargo test -q --offline --workspace
 echo "==> concurrent stress (RUST_TEST_THREADS unconstrained)"
 env -u RUST_TEST_THREADS cargo test -q --offline -p dvm-core --test concurrent_stress
 
+# Durability: the fault-injection suite must recover from every injected
+# crash point (torn frames, dropped unsynced writes, bit rot, partial
+# checkpoint temp files), and a database reopened from checkpoint + WAL
+# must still pass the downtime experiment end-to-end.
+echo "==> crash-recovery gate"
+cargo test -q --offline -p dvm-core --test recovery
+durable_dir="$(mktemp -d)"
+DVM_DURABLE_DIR="$durable_dir" EXP_DOWNTIME_QUICK=1 \
+  cargo run --release --offline -q -p dvm-bench --bin exp_downtime >/dev/null
+rm -rf "$durable_dir"
+echo "    OK: fault-injection suite green; recovered database refreshes correctly"
+
 # Every JSON artifact under results/ must parse and match its schema
 # (pure-Rust validation via dvm_obs::json — no jq in the image).
 echo "==> results/ JSON schema validation"

@@ -46,8 +46,10 @@
 pub use dvm_algebra::{self, Expr, Predicate};
 pub use dvm_core::{
     self, Database, ExecReport, InvariantReport, Minimality, Observability, PolicyDriver,
-    RefreshPolicy, Scenario, StalenessGauges, ViewMetricsSnapshot, ViewObservability,
+    RecoveryReport, RefreshPolicy, Scenario, StalenessGauges, ViewMetricsSnapshot,
+    ViewObservability,
 };
+pub use dvm_durability::{self, DurabilityPolicy, WalOptions};
 pub use dvm_obs::{self, EventKind, Tracer};
 pub use dvm_delta::{self, LogTables, PostDeltas, Transaction};
 pub use dvm_sql::{self, LoweredStatement, SqlError};

@@ -240,6 +240,73 @@ impl Repl {
                     ))
                 })),
             },
+            "open" => match arg {
+                Some(path) => match Database::open(path) {
+                    Ok(db) => {
+                        let r = db.recovery_report().unwrap_or_default();
+                        self.db = db;
+                        ReplOutcome::Output(format!(
+                            "opened '{path}': checkpoint lsn {}, {} wal record(s) ({} bytes) \
+                             replayed, {} torn byte(s) dropped, in {}\n",
+                            r.checkpoint_lsn,
+                            r.wal_records_replayed,
+                            r.wal_bytes_replayed,
+                            r.torn_bytes_dropped,
+                            dvm_obs::fmt_nanos(r.recovery_nanos as f64),
+                        ))
+                    }
+                    Err(e) => ReplOutcome::Output(format!("error: {e}")),
+                },
+                None => ReplOutcome::Output("usage: \\open <dir>".to_string()),
+            },
+            "save" => match arg {
+                // `\save <dir>` — export a standalone snapshot.
+                Some(path) => render(
+                    self.db
+                        .save_to_dir(path)
+                        .map(|()| format!("saved snapshot to '{path}'\n"))
+                        .map_err(DvmError::from),
+                ),
+                // `\save` — checkpoint the attached durable directory.
+                None => match self.db.checkpoint() {
+                    Ok(lsn) => ReplOutcome::Output(format!("checkpoint cut at wal lsn {lsn}\n")),
+                    Err(e) => ReplOutcome::Output(format!(
+                        "error: {e} — usage: \\save <dir>, or \\open a durable directory first"
+                    )),
+                },
+            },
+            "wal" => match arg {
+                Some("status") => match self.db.wal_status() {
+                    Ok((s, ckpt)) => ReplOutcome::Output(format!(
+                        "dir:        {}\n\
+                         policy:     {}\n\
+                         segments:   {} sealed ({} bytes) + active '{}' ({} bytes, {} synced)\n\
+                         lsn:        last {}, synced {}\n\
+                         checkpoint: lsn {}\n",
+                        self.db
+                            .durability_dir()
+                            .map(|p| p.display().to_string())
+                            .unwrap_or_default(),
+                        s.policy,
+                        s.sealed_segments,
+                        s.sealed_bytes,
+                        s.active_segment,
+                        s.active_bytes,
+                        s.active_synced_bytes,
+                        s.last_lsn,
+                        s.synced_lsn,
+                        ckpt,
+                    )),
+                    Err(e) => ReplOutcome::Output(format!("error: {e}")),
+                },
+                Some("sync") => render(
+                    self.db
+                        .sync_wal()
+                        .map(|()| "wal synced\n".to_string())
+                        .map_err(DvmError::from),
+                ),
+                _ => ReplOutcome::Output("usage: \\wal status|sync".to_string()),
+            },
             "trace" => match arg {
                 Some("on") => {
                     self.db.tracer().set_enabled(true);
@@ -320,6 +387,9 @@ meta:  \\tables            list base tables
        \\metrics           latency/staleness tables for every view
        \\metrics json      the same registry as JSON
        \\metrics <v>       one view's counters and percentiles
+       \\open <dir>        open (or create) a durable database: replay checkpoint + WAL
+       \\save [dir]        checkpoint the open directory, or export a snapshot to <dir>
+       \\wal status|sync   write-ahead log status / force an fsync
        \\trace on|off      journal maintenance spans and events
        \\trace show [n]    print the most recent n events (default 40)
        \\trace clear       discard the journal
@@ -462,6 +532,58 @@ mod tests {
         assert!(feed(&mut repl, &["\\trace show"]).contains("no events"));
         assert!(feed(&mut repl, &["\\trace off"]).contains("trace: off"));
         assert!(feed(&mut repl, &["\\trace bogus"]).contains("usage"));
+    }
+
+    #[test]
+    fn durability_commands_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dvm-repl-open-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dirs = dir.display().to_string();
+
+        let mut repl = Repl::new();
+        // Durability commands need an attached directory.
+        assert!(feed(&mut repl, &["\\wal status"]).contains("error:"));
+        assert!(feed(&mut repl, &["\\save"]).contains("error:"));
+        assert!(feed(&mut repl, &["\\open"]).contains("usage"));
+        assert!(feed(&mut repl, &["\\wal bogus"]).contains("usage"));
+
+        let out = feed(&mut repl, &[&format!("\\open {dirs}")]);
+        assert!(out.contains("checkpoint lsn 0"), "{out}");
+        feed(
+            &mut repl,
+            &[
+                "CREATE TABLE t (a INT)",
+                "CREATE VIEW v AS SELECT a FROM t",
+                "INSERT INTO t VALUES (1), (2)",
+            ],
+        );
+        let status = feed(&mut repl, &["\\wal status"]);
+        assert!(status.contains("policy:     every(64)"), "{status}");
+        assert!(status.contains("last 3, synced"), "{status}");
+        assert!(feed(&mut repl, &["\\wal sync"]).contains("wal synced"));
+        assert!(feed(&mut repl, &["\\save"]).contains("checkpoint cut at wal lsn 3"));
+        feed(&mut repl, &["INSERT INTO t VALUES (3)", "\\refresh v"]);
+
+        // A fresh shell reopens the directory and sees everything.
+        let mut again = Repl::new();
+        let out = feed(&mut again, &[&format!("\\open {dirs}")]);
+        assert!(out.contains("checkpoint lsn 3"), "{out}");
+        assert!(out.contains("2 wal record(s)"), "{out}");
+        let rows = feed(&mut again, &["SELECT a FROM v"]);
+        assert!(rows.contains("(3 row(s))"), "{rows}");
+        assert!(feed(&mut again, &["\\invariants"]).contains("all invariants hold"));
+
+        // `\save <dir>` exports a snapshot an unrelated shell can open.
+        let export = std::env::temp_dir().join(format!("dvm-repl-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&export);
+        let exports = export.display().to_string();
+        assert!(feed(&mut again, &[&format!("\\save {exports}")]).contains("saved snapshot"));
+        let mut third = Repl::new();
+        feed(&mut third, &[&format!("\\open {exports}")]);
+        assert!(feed(&mut third, &["SELECT a FROM t"]).contains("(3 row(s))"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&export);
     }
 
     #[test]
