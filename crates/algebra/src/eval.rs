@@ -1,42 +1,110 @@
-//! Plan evaluation.
+//! Plan evaluation: a pull-based streaming executor with a retained
+//! materializing reference evaluator.
 //!
-//! Evaluation is strictly bottom-up over owned/borrowed bags. Table contents
-//! come from a [`BagSource`]; the production source is [`PinnedState`],
-//! which acquires one read lock per distinct table *up front in sorted name
-//! order* — so a query never takes a recursive read lock (self-joins scan
-//! the same pinned bag twice) and concurrent evaluations cannot deadlock.
+//! Table contents come from a [`BagSource`]; the production source is
+//! [`PinnedState`], which acquires one read lock per distinct table *up
+//! front in sorted name order* — so a query never takes a recursive read
+//! lock (self-joins scan the same pinned bag twice) and concurrent
+//! evaluations cannot deadlock.
+//!
+//! Two evaluators share that interface:
+//!
+//! * [`eval_streaming`] (the default) executes the
+//!   [`crate::plan_opt::fuse`]d plan: operators yield `(tuple,
+//!   multiplicity)` pairs and fused `Filter`/`Project` chains run per
+//!   tuple, so selective change queries allocate **no** intermediate bags.
+//!   Pipeline breakers (`∸`, `ε`, `min`, `max`, `EXCEPT`, `×`) still
+//!   materialize — with the exact same bag primitives the reference
+//!   evaluator uses, so their multiplicity semantics (including `×`'s
+//!   saturating arithmetic) cannot drift. Hash-join build sides are
+//!   materialized once and, when the source exposes table epochs and a
+//!   [`JoinBuildCache`], reused across evaluations and views.
+//! * [`eval_reference`] is the original strict bottom-up materializing
+//!   evaluator, kept as the differential-testing oracle and selectable at
+//!   runtime via [`set_eval_mode`] for apples-to-apples benchmarks.
+//!
+//! Both normalize join keys identically: `Int` coerces to `Double` (so
+//! hash-equality coincides with `sql_cmp`'s comparison coercion) and NULL
+//! never joins.
 
 use crate::error::Result;
 use crate::infer::CompiledQuery;
-use crate::plan::Plan;
+use crate::plan::{PhysPredicate, Plan};
+use crate::plan_opt::{fuse, FusedOp, FusedPlan, FusedSource};
 use dvm_storage::lock::OwnedReadGuard;
-use dvm_storage::{Bag, Catalog, Snapshot, StorageError};
+use dvm_storage::{
+    Bag, BuildDeps, Catalog, FxHashMap, JoinBuild, JoinBuildCache, Snapshot, StorageError, Tuple,
+    Value,
+};
 use std::borrow::Cow;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Read access to named bags for the duration of one evaluation.
 pub trait BagSource {
     /// Borrow the bag backing `table`.
     fn bag(&self, table: &str) -> Result<&Bag>;
+
+    /// The data epoch of `table`'s contents, when known and guaranteed
+    /// stable for this source's lifetime (e.g. read locks are held).
+    /// `None` disables join-build caching for plans scanning the table.
+    fn epoch_of(&self, _table: &str) -> Option<u64> {
+        None
+    }
+
+    /// The join-build cache shared with other evaluations over the same
+    /// underlying state, if any.
+    fn join_cache(&self) -> Option<&JoinBuildCache> {
+        None
+    }
+
+    /// Whether `table` is a *base* (external) table pinned at a stable
+    /// epoch. Base tables change rarely relative to the engine's internal
+    /// log/differential tables, so a join subtree scanning only base
+    /// tables is the side worth building and caching. Implementations
+    /// returning `true` must also report an epoch for the table.
+    fn is_base(&self, _table: &str) -> bool {
+        false
+    }
 }
 
 /// A set of tables pinned with read locks for consistent evaluation.
 ///
-/// Locks are acquired in sorted table-name order; drop the `PinnedState` to
-/// release them.
+/// Locks are acquired in sorted table-name order; drop the `PinnedState`
+/// to release them. The pin map is keyed by the tables' shared `Arc<str>`
+/// names (refcount bump, no string clone) and records each table's data
+/// epoch, which — together with the catalog's [`JoinBuildCache`] — lets
+/// repeated evaluations reuse hash-join build tables.
 pub struct PinnedState {
-    guards: HashMap<String, OwnedReadGuard<Bag>>,
+    guards: FxHashMap<Arc<str>, PinnedTable>,
+    cache: Option<Arc<JoinBuildCache>>,
+}
+
+struct PinnedTable {
+    guard: OwnedReadGuard<Bag>,
+    epoch: u64,
+    is_base: bool,
 }
 
 impl PinnedState {
     /// Pin all `tables` from the catalog (sorted acquisition order).
     pub fn pin(catalog: &Catalog, tables: &BTreeSet<String>) -> Result<Self> {
-        let mut guards = HashMap::with_capacity(tables.len());
+        let mut guards = FxHashMap::default();
+        guards.reserve(tables.len());
         for name in tables {
             let table = catalog.require(name)?;
-            guards.insert(name.clone(), table.read_owned());
+            let guard = table.read_owned();
+            // Read under the read guard: writers are excluded, so this
+            // epoch describes exactly the pinned contents.
+            let epoch = table.data_epoch();
+            let is_base = table.kind() == dvm_storage::TableKind::External;
+            guards.insert(table.name_shared(), PinnedTable { guard, epoch, is_base });
         }
-        Ok(PinnedState { guards })
+        Ok(PinnedState {
+            guards,
+            cache: Some(Arc::clone(catalog.join_cache())),
+        })
     }
 
     /// Pin exactly the tables a plan scans.
@@ -49,8 +117,20 @@ impl BagSource for PinnedState {
     fn bag(&self, table: &str) -> Result<&Bag> {
         self.guards
             .get(table)
-            .map(|g| &**g)
+            .map(|p| &*p.guard)
             .ok_or_else(|| StorageError::NoSuchTable(table.to_string()).into())
+    }
+
+    fn epoch_of(&self, table: &str) -> Option<u64> {
+        self.guards.get(table).map(|p| p.epoch)
+    }
+
+    fn join_cache(&self) -> Option<&JoinBuildCache> {
+        self.cache.as_deref()
+    }
+
+    fn is_base(&self, table: &str) -> bool {
+        self.guards.get(table).is_some_and(|p| p.is_base)
     }
 }
 
@@ -68,9 +148,41 @@ impl BagSource for HashMap<String, Bag> {
     }
 }
 
-/// Evaluate a plan against a bag source, returning an owned bag.
+/// Which evaluator [`eval`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// The fused streaming executor (default).
+    Streaming,
+    /// The materializing reference evaluator (oracle / baseline).
+    Reference,
+}
+
+static EVAL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Select the evaluator used by [`eval`] (process-wide). Intended for
+/// benchmark binaries comparing the two executors; tests comparing them
+/// should call [`eval_streaming`]/[`eval_reference`] directly instead, so
+/// they stay correct under parallel test execution.
+pub fn set_eval_mode(mode: EvalMode) {
+    EVAL_MODE.store(mode as u8, Ordering::SeqCst);
+}
+
+/// The currently selected evaluator.
+pub fn eval_mode() -> EvalMode {
+    if EVAL_MODE.load(Ordering::SeqCst) == EvalMode::Reference as u8 {
+        EvalMode::Reference
+    } else {
+        EvalMode::Streaming
+    }
+}
+
+/// Evaluate a plan against a bag source, returning an owned bag. Dispatches
+/// on [`eval_mode`] (streaming unless a benchmark flipped it).
 pub fn eval(plan: &Plan, src: &dyn BagSource) -> Result<Bag> {
-    Ok(eval_cow(plan, src)?.into_owned())
+    match eval_mode() {
+        EvalMode::Streaming => eval_streaming(plan, src),
+        EvalMode::Reference => eval_reference(plan, src),
+    }
 }
 
 /// Evaluate a compiled query against the current catalog state, pinning the
@@ -78,6 +190,346 @@ pub fn eval(plan: &Plan, src: &dyn BagSource) -> Result<Bag> {
 pub fn eval_in_catalog(query: &CompiledQuery, catalog: &Catalog) -> Result<Bag> {
     let pinned = PinnedState::pin_for(catalog, &query.plan)?;
     eval(&query.plan, &pinned)
+}
+
+// ---- streaming executor ---------------------------------------------------
+
+/// Evaluate with the fused streaming executor.
+pub fn eval_streaming(plan: &Plan, src: &dyn BagSource) -> Result<Bag> {
+    Ok(eval_to_bag(plan, src)?.into_owned())
+}
+
+/// A pull-based stream of `(tuple, multiplicity)` pairs. Errors (missing
+/// tables, multiplicity overflow) flow through as items.
+type TupleStream<'s> = Box<dyn Iterator<Item = Result<(Tuple, u64)>> + 's>;
+
+/// Evaluate a plan to a bag, streaming wherever the fused shape allows and
+/// falling back to the exact bag primitives at pipeline breakers.
+fn eval_to_bag<'a>(plan: &'a Plan, src: &'a dyn BagSource) -> Result<Cow<'a, Bag>> {
+    Ok(match plan {
+        Plan::Scan(name) => Cow::Borrowed(src.bag(name)?),
+        Plan::Literal(bag) => Cow::Borrowed(bag),
+        // Pipeline breakers: exact bag primitives, streaming children.
+        Plan::DupElim(a) => Cow::Owned(eval_to_bag(a, src)?.dedup()),
+        Plan::Monus(a, b) => {
+            let x = eval_to_bag(a, src)?;
+            let y = eval_to_bag(b, src)?;
+            match x {
+                Cow::Owned(mut owned) => {
+                    owned.monus_assign(&y);
+                    Cow::Owned(owned)
+                }
+                Cow::Borrowed(b_ref) => Cow::Owned(b_ref.monus(&y)),
+            }
+        }
+        Plan::Product(a, b) => {
+            let x = eval_to_bag(a, src)?;
+            let y = eval_to_bag(b, src)?;
+            Cow::Owned(x.product(&y))
+        }
+        Plan::MinIntersect(a, b) => {
+            let x = eval_to_bag(a, src)?;
+            let y = eval_to_bag(b, src)?;
+            Cow::Owned(x.min_intersect(&y))
+        }
+        Plan::MaxUnion(a, b) => {
+            let x = eval_to_bag(a, src)?;
+            let y = eval_to_bag(b, src)?;
+            Cow::Owned(x.max_union(&y))
+        }
+        Plan::Except(a, b) => {
+            let x = eval_to_bag(a, src)?;
+            let y = eval_to_bag(b, src)?;
+            Cow::Owned(x.except_all_occurrences(&y))
+        }
+        // Streamable shapes: fuse and drain the pipeline into one bag.
+        Plan::Filter(..) | Plan::Project(..) | Plan::Union(..) | Plan::HashJoin { .. } => {
+            let fused = fuse(plan);
+            let mut out = Bag::new();
+            for item in stream(&fused, src)? {
+                let (t, m) = item?;
+                out.insert_n(t, m);
+            }
+            Cow::Owned(out)
+        }
+    })
+}
+
+/// Instantiate a fused pipeline as a pull stream. Bag-backed sources apply
+/// the op chain on *borrowed* tuples ([`apply_ops_ref`]): a tuple rejected
+/// by a leading filter is never cloned, and the first projection allocates
+/// directly from the borrow — the selective-change-query hot path does no
+/// work at all for non-qualifying tuples.
+fn stream<'s>(fp: &'s FusedPlan<'s>, src: &'s dyn BagSource) -> Result<TupleStream<'s>> {
+    let ops = fp.ops.as_slice();
+    let over_bag = |bag: &'s Bag| -> TupleStream<'s> {
+        Box::new(
+            bag.iter()
+                .filter_map(move |(t, m)| apply_ops_ref(t, m, ops).map(Ok)),
+        )
+    };
+    Ok(match &fp.source {
+        FusedSource::Scan(name) => over_bag(src.bag(name)?),
+        FusedSource::Literal(bag) => over_bag(bag),
+        FusedSource::Union(a, b) => {
+            let sa = stream(a, src)?;
+            let sb = stream(b, src)?;
+            apply_ops(Box::new(sa.chain(sb)), ops)
+        }
+        FusedSource::Join {
+            left,
+            left_plan,
+            right,
+            right_plan,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            // Build the side worth caching. The right side is the default
+            // (the differential rules put the small delta there), but when
+            // it scans churning internal tables while the left side is all
+            // stable base tables, flip: the base-side build is the one
+            // that survives epoch validation across evaluations, so the
+            // cache turns every later evaluation into pure probing.
+            let build_left = src.join_cache().is_some()
+                && reusable_build(left_plan, src)
+                && !reusable_build(right_plan, src);
+            let (build_plan, build_keys, probe_fp, probe_keys) = if build_left {
+                (*left_plan, *left_keys, &**right, *right_keys)
+            } else {
+                (*right_plan, *right_keys, &**left, *left_keys)
+            };
+            let table = build_join_table(build_plan, build_keys, src)?;
+            apply_ops(
+                Box::new(JoinProbe {
+                    probe: stream(probe_fp, src)?,
+                    build: table,
+                    probe_keys,
+                    residual,
+                    build_left,
+                    scratch: Vec::with_capacity(probe_keys.len()),
+                    out: VecDeque::new(),
+                }),
+                ops,
+            )
+        }
+        FusedSource::Breaker(plan) => match eval_to_bag(plan, src)? {
+            Cow::Borrowed(bag) => over_bag(bag),
+            Cow::Owned(bag) => apply_ops(Box::new(bag.into_iter().map(Ok)), ops),
+        },
+    })
+}
+
+/// Apply a fused op chain to a *borrowed* tuple. Leading filters run on the
+/// borrow; the tuple is cloned only if it survives them, and a first
+/// projection replaces the clone entirely (it allocates the projected tuple
+/// straight from the borrow).
+fn apply_ops_ref(t: &Tuple, m: u64, ops: &[FusedOp]) -> Option<(Tuple, u64)> {
+    let mut i = 0;
+    while i < ops.len() {
+        match &ops[i] {
+            FusedOp::Filter(pred) => {
+                if !pred.eval(t) {
+                    return None;
+                }
+                i += 1;
+            }
+            FusedOp::Project(cols) => {
+                let mut owned = t.project(cols);
+                i += 1;
+                while i < ops.len() {
+                    match &ops[i] {
+                        FusedOp::Filter(pred) => {
+                            if !pred.eval(&owned) {
+                                return None;
+                            }
+                        }
+                        FusedOp::Project(cols) => owned = owned.project(cols),
+                    }
+                    i += 1;
+                }
+                return Some((owned, m));
+            }
+        }
+    }
+    Some((t.clone(), m))
+}
+
+/// Wrap a stream of owned tuples with a fused per-tuple op chain. One
+/// closure, no per-operator boxing, no intermediate bags.
+fn apply_ops<'s>(base: TupleStream<'s>, ops: &'s [FusedOp<'s>]) -> TupleStream<'s> {
+    if ops.is_empty() {
+        return base;
+    }
+    Box::new(base.filter_map(move |item| {
+        let (mut t, m) = match item {
+            Ok(pair) => pair,
+            Err(e) => return Some(Err(e)),
+        };
+        for op in ops {
+            match op {
+                FusedOp::Filter(pred) => {
+                    if !pred.eval(&t) {
+                        return None;
+                    }
+                }
+                FusedOp::Project(cols) => t = t.project(cols),
+            }
+        }
+        Some(Ok((t, m)))
+    }))
+}
+
+/// Whether a join side is worth materializing as a *cached* build: it must
+/// scan at least one table, and every table it scans must be a stable base
+/// table of the source (which implies its epoch is known, so the cached
+/// build is reusable until that table is actually written).
+fn reusable_build(plan: &Plan, src: &dyn BagSource) -> bool {
+    let tables = plan.tables();
+    !tables.is_empty() && tables.iter().all(|t| src.is_base(t))
+}
+
+/// Normalize a tuple's key positions into `scratch` (reused across probe
+/// tuples — no allocation). Returns `false` when any key is NULL, which
+/// never joins. `Int` coerces to `Double` so hash-equality coincides with
+/// `sql_cmp`'s numeric comparison.
+fn normalize_key_into(t: &Tuple, keys: &[usize], scratch: &mut Vec<Value>) -> bool {
+    scratch.clear();
+    for &i in keys {
+        match &t[i] {
+            Value::Null => return false,
+            Value::Int(v) => scratch.push(Value::Double(*v as f64)),
+            other => scratch.push(other.clone()),
+        }
+    }
+    true
+}
+
+/// Materialize (or fetch from the cache) a join build table: normalized key
+/// → the build tuples carrying it.
+///
+/// Caching requires the source to expose both a [`JoinBuildCache`] and a
+/// stable epoch for *every* table the build subtree scans; the entry key is
+/// the build plan's 128-bit fingerprint salted with the key positions, and
+/// the entry is valid only at exactly the observed epochs. Overlay-style
+/// sources that override some tables simply report no epoch for them,
+/// which disables caching for affected subtrees.
+fn build_join_table(
+    build_plan: &Plan,
+    right_keys: &[usize],
+    src: &dyn BagSource,
+) -> Result<Arc<JoinBuild>> {
+    let cache_ctx = src.join_cache().and_then(|cache| {
+        let mut deps: BuildDeps = Vec::new();
+        for table in build_plan.tables() {
+            match src.epoch_of(&table) {
+                Some(epoch) => deps.push((table, epoch)),
+                None => return None,
+            }
+        }
+        Some((build_plan.fingerprint128(right_keys), deps, cache))
+    });
+    if let Some((key, deps, cache)) = &cache_ctx {
+        if let Some(hit) = cache.lookup(*key, deps) {
+            return Ok(hit);
+        }
+    }
+
+    let bag = eval_to_bag(build_plan, src)?;
+    let mut table = JoinBuild::default();
+    let mut scratch: Vec<Value> = Vec::with_capacity(right_keys.len());
+    for (t, m) in bag.iter() {
+        if !normalize_key_into(t, right_keys, &mut scratch) {
+            continue;
+        }
+        // Borrowed-slice lookup: the boxed key is allocated only the first
+        // time a distinct key value appears.
+        match table.get_mut(scratch.as_slice()) {
+            Some(group) => group.push((t.clone(), m)),
+            None => {
+                table.insert(
+                    scratch.clone().into_boxed_slice(),
+                    vec![(t.clone(), m)],
+                );
+            }
+        }
+    }
+    let table = Arc::new(table);
+    if let Some((key, deps, cache)) = cache_ctx {
+        cache.insert(key, deps, Arc::clone(&table));
+    }
+    Ok(table)
+}
+
+/// Streaming probe side of a hash join: pulls probe tuples, normalizes
+/// their keys into a reusable scratch buffer, looks the keys up by
+/// borrowed slice, and yields residual-filtered concatenations with
+/// checked multiplicity products.
+///
+/// The output tuple is always `left ++ right` regardless of which side was
+/// built: when the build side is the *left* subtree, each match is emitted
+/// as `build_tuple ++ probe_tuple`.
+struct JoinProbe<'s> {
+    probe: TupleStream<'s>,
+    build: Arc<JoinBuild>,
+    probe_keys: &'s [usize],
+    residual: &'s PhysPredicate,
+    /// The build table holds the plan's left side (flipped join).
+    build_left: bool,
+    scratch: Vec<Value>,
+    /// Joined tuples from the current probe tuple, drained before pulling
+    /// the next one. Reused across probe tuples.
+    out: VecDeque<Result<(Tuple, u64)>>,
+}
+
+impl Iterator for JoinProbe<'_> {
+    type Item = Result<(Tuple, u64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.out.pop_front() {
+                return Some(item);
+            }
+            let (pt, pm) = match self.probe.next()? {
+                Ok(pair) => pair,
+                Err(e) => return Some(Err(e)),
+            };
+            if !normalize_key_into(&pt, self.probe_keys, &mut self.scratch) {
+                continue;
+            }
+            let Some(matches) = self.build.get(self.scratch.as_slice()) else {
+                continue;
+            };
+            for (bt, bm) in matches {
+                let joined = if self.build_left {
+                    bt.concat(&pt)
+                } else {
+                    pt.concat(bt)
+                };
+                if self.residual.eval(&joined) {
+                    // Error fields stay in plan order (left × right).
+                    let (lm, rm) = if self.build_left { (*bm, pm) } else { (pm, *bm) };
+                    self.out.push_back(match pm.checked_mul(*bm) {
+                        Some(m) => Ok((joined, m)),
+                        None => Err(crate::AlgebraError::MultiplicityOverflow {
+                            left: lm,
+                            right: rm,
+                        }),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---- reference evaluator --------------------------------------------------
+
+/// Evaluate with the materializing reference evaluator: strictly bottom-up,
+/// one owned/borrowed bag per operator. Retained as the oracle the
+/// streaming executor is differentially tested against, and as the
+/// benchmark baseline.
+pub fn eval_reference(plan: &Plan, src: &dyn BagSource) -> Result<Bag> {
+    Ok(eval_cow(plan, src)?.into_owned())
 }
 
 fn eval_cow<'a>(plan: &'a Plan, src: &'a dyn BagSource) -> Result<Cow<'a, Bag>> {
@@ -150,44 +602,36 @@ fn eval_cow<'a>(plan: &'a Plan, src: &'a dyn BagSource) -> Result<Cow<'a, Bag>> 
 /// Hash equi-join: build on the right side, probe with the left.
 /// Multiplicities multiply (checked — an overflow is surfaced as
 /// [`crate::AlgebraError::MultiplicityOverflow`], never clamped); `residual`
-/// filters the concatenated tuple.
+/// filters the concatenated tuple. Keys are normalized into a reusable
+/// scratch buffer and looked up by borrowed slice — no per-tuple key
+/// allocation on either the build or the probe side.
 fn hash_join(
     left: &Bag,
     right: &Bag,
     left_keys: &[usize],
     right_keys: &[usize],
-    residual: &crate::plan::PhysPredicate,
+    residual: &PhysPredicate,
 ) -> Result<Bag> {
-    use dvm_storage::{Tuple, Value};
-    // Key values are normalized so hash-equality coincides with the
-    // evaluator's SQL comparison semantics: integers coerce to doubles
-    // (sql_cmp compares them via f64 conversion, with the same precision
-    // behaviour), and NULL never joins.
-    fn key_of(t: &Tuple, keys: &[usize]) -> Option<Vec<Value>> {
-        let mut out = Vec::with_capacity(keys.len());
-        for &i in keys {
-            match &t[i] {
-                Value::Null => return None,
-                Value::Int(v) => out.push(Value::Double(*v as f64)),
-                other => out.push(other.clone()),
+    let mut build: FxHashMap<Box<[Value]>, Vec<(&Tuple, u64)>> = FxHashMap::default();
+    build.reserve(right.distinct_len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(right_keys.len().max(left_keys.len()));
+    for (t, m) in right.iter() {
+        if !normalize_key_into(t, right_keys, &mut scratch) {
+            continue;
+        }
+        match build.get_mut(scratch.as_slice()) {
+            Some(group) => group.push((t, m)),
+            None => {
+                build.insert(scratch.clone().into_boxed_slice(), vec![(t, m)]);
             }
         }
-        Some(out)
-    }
-    let mut build: HashMap<Vec<Value>, Vec<(&Tuple, u64)>> =
-        HashMap::with_capacity(right.distinct_len());
-    for (t, m) in right.iter() {
-        let Some(key) = key_of(t, right_keys) else {
-            continue;
-        };
-        build.entry(key).or_default().push((t, m));
     }
     let mut out = Bag::new();
     for (lt, lm) in left.iter() {
-        let Some(key) = key_of(lt, left_keys) else {
+        if !normalize_key_into(lt, left_keys, &mut scratch) {
             continue;
-        };
-        if let Some(matches) = build.get(&key) {
+        }
+        if let Some(matches) = build.get(scratch.as_slice()) {
             for (rt, rm) in matches {
                 let joined = lt.concat(rt);
                 if residual.eval(&joined) {
@@ -239,7 +683,12 @@ mod tests {
 
     fn run(c: &Catalog, e: &Expr) -> Bag {
         let q = compile(e, c).unwrap();
-        eval_in_catalog(&q, c).unwrap()
+        // Both executors must agree on every query these tests run.
+        let pinned = PinnedState::pin_for(c, &q.plan).unwrap();
+        let streamed = eval_streaming(&q.plan, &pinned).unwrap();
+        let reference = eval_reference(&q.plan, &pinned).unwrap();
+        assert_eq!(streamed, reference, "executor divergence on {e}");
+        streamed
     }
 
     #[test]
@@ -369,9 +818,15 @@ mod tests {
             matches!(q.plan, Plan::HashJoin { .. }),
             "equi-join must compile to a hash join for this test to bite"
         );
-        let err = eval_in_catalog(&q, &c).unwrap_err();
-        assert!(matches!(err, AlgebraError::MultiplicityOverflow { .. }));
-        assert!(err.to_string().contains("overflows u64"));
+        let pinned = PinnedState::pin_for(&c, &q.plan).unwrap();
+        for result in [
+            eval_streaming(&q.plan, &pinned),
+            eval_reference(&q.plan, &pinned),
+        ] {
+            let err = result.unwrap_err();
+            assert!(matches!(err, AlgebraError::MultiplicityOverflow { .. }));
+            assert!(err.to_string().contains("overflows u64"));
+        }
     }
 
     #[test]
@@ -396,7 +851,8 @@ mod tests {
             .product(Expr::table("gr").alias("r"))
             .select(Predicate::eq(col("l.k"), col("r.k")));
         let q = compile(&e, &c).unwrap();
-        let out = eval_in_catalog(&q, &c).unwrap();
+        let out = run(&c, &e);
+        assert!(matches!(q.plan, Plan::HashJoin { .. }));
         assert_eq!(out.multiplicity(&tuple![1, 1]), (1u64 << 32) * ((1 << 31) - 1));
     }
 
@@ -407,5 +863,164 @@ mod tests {
         let plan = Plan::Scan("t".to_string());
         assert_eq!(eval(&plan, &m).unwrap().len(), 1);
         assert!(eval(&Plan::Scan("u".into()), &m).is_err());
+    }
+
+    #[test]
+    fn null_join_keys_never_join_in_either_executor() {
+        // HashMap sources skip schema validation, so NULLs and doubles can
+        // sit in "Int" columns — exactly what delta tables may carry.
+        let mut m = HashMap::new();
+        m.insert(
+            "l".to_string(),
+            Bag::from_tuples([
+                Tuple::new(vec![Value::Null, Value::Int(1)]),
+                Tuple::new(vec![Value::Int(7), Value::Int(2)]),
+            ]),
+        );
+        m.insert(
+            "r".to_string(),
+            Bag::from_tuples([
+                Tuple::new(vec![Value::Null, Value::Int(3)]),
+                Tuple::new(vec![Value::Int(7), Value::Int(4)]),
+            ]),
+        );
+        let plan = Plan::HashJoin {
+            left: Box::new(Plan::Scan("l".into())),
+            right: Box::new(Plan::Scan("r".into())),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            residual: PhysPredicate::Const(true),
+        };
+        let streamed = eval_streaming(&plan, &m).unwrap();
+        let reference = eval_reference(&plan, &m).unwrap();
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed.len(), 1, "only the 7=7 pair joins: {streamed}");
+    }
+
+    #[test]
+    fn int_double_key_coercion_joins_across_types() {
+        let mut m = HashMap::new();
+        m.insert(
+            "l".to_string(),
+            Bag::singleton(Tuple::new(vec![Value::Int(2)])),
+        );
+        m.insert(
+            "r".to_string(),
+            Bag::singleton(Tuple::new(vec![Value::Double(2.0)])),
+        );
+        let plan = Plan::HashJoin {
+            left: Box::new(Plan::Scan("l".into())),
+            right: Box::new(Plan::Scan("r".into())),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            residual: PhysPredicate::Const(true),
+        };
+        let streamed = eval_streaming(&plan, &m).unwrap();
+        let reference = eval_reference(&plan, &m).unwrap();
+        assert_eq!(streamed, reference);
+        assert_eq!(streamed.len(), 1, "Int(2) must hash-join Double(2.0)");
+    }
+
+    #[test]
+    fn join_build_cache_hits_and_invalidates_on_write() {
+        let c = catalog();
+        let e = Expr::table("r")
+            .alias("r")
+            .product(Expr::table("s").alias("s"))
+            .select(Predicate::eq(col("r.b"), col("s.b")));
+        let q = compile(&e, &c).unwrap();
+        assert!(matches!(q.plan, Plan::HashJoin { .. }));
+
+        let baseline = c.join_cache().stats();
+        let first = eval_in_catalog(&q, &c).unwrap();
+        let after_first = c.join_cache().stats();
+        assert_eq!(after_first.misses, baseline.misses + 1, "cold build");
+        let second = eval_in_catalog(&q, &c).unwrap();
+        let after_second = c.join_cache().stats();
+        assert_eq!(after_second.hits, after_first.hits + 1, "warm build");
+        assert_eq!(first, second);
+
+        // A write to the build-side table must invalidate via epochs.
+        c.get("s").unwrap().insert(tuple![20, 200]).unwrap();
+        let third = eval_in_catalog(&q, &c).unwrap();
+        let after_third = c.join_cache().stats();
+        assert_eq!(
+            after_third.misses,
+            after_second.misses + 1,
+            "stale epoch must miss"
+        );
+        assert_eq!(third.len(), first.len() + 1, "new s row joins [2,20]");
+        // And the reference evaluator agrees on the post-write state.
+        let pinned = PinnedState::pin_for(&c, &q.plan).unwrap();
+        assert_eq!(eval_reference(&q.plan, &pinned).unwrap(), third);
+    }
+
+    /// The maintenance hot-path shape: a stable base table joined with a
+    /// churning internal (log-like) table on the build side. The executor
+    /// must flip the build to the base side so the cached build survives
+    /// log churn — and the flipped join must stay byte-identical to the
+    /// reference evaluator (column order, duplicates, NULLs, residual).
+    #[test]
+    fn stable_base_build_is_flipped_and_cached_across_log_churn() {
+        let c = Catalog::new();
+        let base = c
+            .create_table(
+                "base",
+                Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Int)]),
+                TableKind::External,
+            )
+            .unwrap();
+        for i in 0..50i64 {
+            base.insert(tuple![i % 10, i]).unwrap();
+        }
+        base.insert(tuple![Value::Null, 99]).unwrap(); // NULL key: never joins
+        let log = c
+            .create_table(
+                "lg",
+                Schema::from_pairs(&[("a", ValueType::Int), ("c", ValueType::Int)]),
+                TableKind::Internal,
+            )
+            .unwrap();
+
+        // σ_{b<40}(base) ⋈_{a=a} lg, with a residual over both sides.
+        let e = Expr::table("base")
+            .alias("l")
+            .product(Expr::table("lg").alias("r"))
+            .select(
+                Predicate::eq(col("l.a"), col("r.a"))
+                    .and(Predicate::lt(col("l.b"), lit(40i64)))
+                    .and(Predicate::ne(col("l.b"), col("r.c"))),
+            );
+        let q = compile(&e, &c).unwrap();
+        assert!(matches!(q.plan, Plan::HashJoin { .. }));
+
+        let baseline = c.join_cache().stats();
+        for round in 0..3i64 {
+            // Each round replaces the log contents (fresh epoch) — the
+            // churn that makes the default right-side build uncacheable.
+            let mut fresh = Bag::new();
+            fresh.insert_n(tuple![round % 10, round], 2);
+            fresh.insert(tuple![(round + 1) % 10, 40 + round]);
+            fresh.insert(tuple![Value::Null, 7]);
+            log.replace(fresh).unwrap();
+
+            let pinned = PinnedState::pin_for(&c, &q.plan).unwrap();
+            let streamed = eval_streaming(&q.plan, &pinned).unwrap();
+            assert_eq!(streamed, eval_reference(&q.plan, &pinned).unwrap());
+            assert!(!streamed.is_empty(), "round {round} joined something");
+        }
+        let stats = c.join_cache().stats();
+        assert_eq!(stats.misses, baseline.misses + 1, "base side built once");
+        assert_eq!(stats.hits, baseline.hits + 2, "then reused every round");
+    }
+
+    #[test]
+    fn eval_mode_dispatch_roundtrip() {
+        // Serial flip-and-restore; other tests never depend on Reference.
+        assert_eq!(eval_mode(), EvalMode::Streaming);
+        set_eval_mode(EvalMode::Reference);
+        assert_eq!(eval_mode(), EvalMode::Reference);
+        set_eval_mode(EvalMode::Streaming);
+        assert_eq!(eval_mode(), EvalMode::Streaming);
     }
 }

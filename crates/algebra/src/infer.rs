@@ -50,7 +50,7 @@ pub fn infer_schema(expr: &Expr, provider: &dyn SchemaProvider) -> Result<Schema
 /// formation ([`crate::plan_opt::optimize`]).
 pub fn compile(expr: &Expr, provider: &dyn SchemaProvider) -> Result<CompiledQuery> {
     let c = compile_unoptimized(expr, provider)?;
-    let mut scan_arity = HashMap::new();
+    let mut scan_arity = dvm_storage::FxHashMap::default();
     for table in c.plan.tables() {
         scan_arity.insert(table.clone(), provider.schema_of(&table)?.arity());
     }

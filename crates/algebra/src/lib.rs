@@ -33,11 +33,15 @@ pub mod subst;
 pub mod testgen;
 
 pub use error::{AlgebraError, Result};
-pub use eval::{eval, eval_in_catalog, BagSource, PinnedState};
+pub use eval::{
+    eval, eval_in_catalog, eval_mode, eval_reference, eval_streaming, set_eval_mode, BagSource,
+    EvalMode, PinnedState,
+};
 pub use explain::{explain_plan, explain_query};
 pub use expr::Expr;
 pub use infer::{compile, compile_unoptimized, infer_schema, CompiledQuery, SchemaProvider};
 pub use plan::Plan;
+pub use plan_opt::{fuse, FusedOp, FusedPlan, FusedSource};
 pub use predicate::{col, lit, lit_str, CmpOp, ColRef, Operand, Predicate};
 pub use simplify::simplify;
 pub use subst::{FactoredSubstitution, Substitution};

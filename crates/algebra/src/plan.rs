@@ -5,11 +5,13 @@
 //! tuple positions and all schema checks have already happened.
 
 use crate::predicate::CmpOp;
+use dvm_storage::hasher::FxHasher;
 use dvm_storage::{Bag, Tuple, Value};
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
 
 /// A compiled predicate operand: tuple position or constant.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum PhysOperand {
     /// Value at a tuple position.
     Col(usize),
@@ -27,7 +29,7 @@ impl PhysOperand {
 }
 
 /// A compiled predicate over positional tuples.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum PhysPredicate {
     /// Constant truth value.
     Const(bool),
@@ -107,6 +109,98 @@ impl Plan {
         out
     }
 
+    /// A 128-bit structural fingerprint of this plan, salted with `salt`
+    /// (the join-key positions when fingerprinting a build side, so the
+    /// same subtree built on different keys gets different entries).
+    ///
+    /// Two [`FxHasher`] passes with independent seeds are combined into a
+    /// `u128`; the join-build cache treats equality of fingerprints as plan
+    /// identity, which a 64-bit hash could not justify. The encoding tags
+    /// every node with a discriminant byte, so shape ambiguities (e.g.
+    /// `Union(a, b)` vs `Monus(a, b)`) cannot collide structurally.
+    /// `Literal` bags are folded order-independently (hash-map iteration
+    /// order never leaks in), so equal bags always fingerprint equally.
+    pub fn fingerprint128(&self, salt: &[usize]) -> u128 {
+        let mut lo = FxHasher::with_seed(0);
+        let mut hi = FxHasher::with_seed(0x9e37_79b9_7f4a_7c15);
+        for h in [&mut lo, &mut hi] {
+            self.hash_structure(h);
+            h.write_usize(salt.len());
+            for &k in salt {
+                h.write_usize(k);
+            }
+        }
+        ((hi.finish() as u128) << 64) | (lo.finish() as u128)
+    }
+
+    fn hash_structure<H: Hasher>(&self, h: &mut H) {
+        match self {
+            Plan::Scan(name) => {
+                h.write_u8(0);
+                name.hash(h);
+            }
+            Plan::Literal(bag) => {
+                h.write_u8(1);
+                // Order-independent content digest: per-entry hashes are
+                // combined with wrapping addition (commutative), so the
+                // bag's internal iteration order is irrelevant.
+                let digest = bag.fold_entry_hashes(|t, m| {
+                    let mut eh = FxHasher::with_seed(0xa076_1d64_78bd_642f);
+                    t.hash(&mut eh);
+                    eh.write_u64(m);
+                    eh.finish()
+                });
+                h.write_u64(digest);
+                h.write_u64(bag.len());
+            }
+            Plan::Filter(pred, input) => {
+                h.write_u8(2);
+                pred.hash(h);
+                input.hash_structure(h);
+            }
+            Plan::Project(cols, input) => {
+                h.write_u8(3);
+                cols.hash(h);
+                input.hash_structure(h);
+            }
+            Plan::DupElim(input) => {
+                h.write_u8(4);
+                input.hash_structure(h);
+            }
+            Plan::Union(a, b)
+            | Plan::Monus(a, b)
+            | Plan::Product(a, b)
+            | Plan::MinIntersect(a, b)
+            | Plan::MaxUnion(a, b)
+            | Plan::Except(a, b) => {
+                h.write_u8(match self {
+                    Plan::Union(..) => 5,
+                    Plan::Monus(..) => 6,
+                    Plan::Product(..) => 7,
+                    Plan::MinIntersect(..) => 8,
+                    Plan::MaxUnion(..) => 9,
+                    _ => 10,
+                });
+                a.hash_structure(h);
+                b.hash_structure(h);
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                h.write_u8(11);
+                left.hash_structure(h);
+                right.hash_structure(h);
+                left_keys.hash(h);
+                right_keys.hash(h);
+                residual.hash(h);
+            }
+        }
+    }
+
     fn collect_tables(&self, out: &mut BTreeSet<String>) {
         match self {
             Plan::Scan(n) => {
@@ -172,6 +266,42 @@ mod tests {
         );
         assert!(!cmp.eval(&t));
         assert!(PhysPredicate::Not(Box::new(cmp)).eval(&t));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_structure_and_salt() {
+        let scan_r = Plan::Scan("r".into());
+        let scan_s = Plan::Scan("s".into());
+        assert_eq!(scan_r.fingerprint128(&[]), scan_r.fingerprint128(&[]));
+        assert_ne!(scan_r.fingerprint128(&[]), scan_s.fingerprint128(&[]));
+        assert_ne!(
+            scan_r.fingerprint128(&[0]),
+            scan_r.fingerprint128(&[1]),
+            "join-key salt participates"
+        );
+        let union = Plan::Union(Box::new(scan_r.clone()), Box::new(scan_s.clone()));
+        let monus = Plan::Monus(Box::new(scan_r.clone()), Box::new(scan_s.clone()));
+        assert_ne!(union.fingerprint128(&[]), monus.fingerprint128(&[]));
+    }
+
+    #[test]
+    fn literal_fingerprint_is_insertion_order_independent() {
+        let mut a = Bag::new();
+        for i in 0..50 {
+            a.insert(tuple![i]);
+        }
+        let mut b = Bag::new();
+        for i in (0..50).rev() {
+            b.insert(tuple![i]);
+        }
+        assert_eq!(
+            Plan::Literal(a).fingerprint128(&[]),
+            Plan::Literal(b).fingerprint128(&[])
+        );
+        assert_ne!(
+            Plan::Literal(Bag::singleton(tuple![1])).fingerprint128(&[]),
+            Plan::Literal(Bag::singleton(tuple![2])).fingerprint128(&[])
+        );
     }
 
     #[test]

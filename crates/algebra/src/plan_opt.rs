@@ -19,11 +19,12 @@
 //! evaluation on generated expressions.
 
 use crate::plan::{PhysOperand, PhysPredicate, Plan};
-use std::collections::HashMap;
+use dvm_storage::hasher::FxHashMap;
+use dvm_storage::Bag;
 
 /// Optimize a plan. `scan_arity` maps table names to their arities (the
 /// compiler provides it from the schema provider).
-pub fn optimize(plan: Plan, scan_arity: &HashMap<String, usize>) -> Plan {
+pub fn optimize(plan: Plan, scan_arity: &FxHashMap<String, usize>) -> Plan {
     match plan {
         Plan::Filter(pred, input) => {
             let input = optimize(*input, scan_arity);
@@ -121,7 +122,7 @@ pub fn optimize(plan: Plan, scan_arity: &HashMap<String, usize>) -> Plan {
 }
 
 /// Split `pred` over `l × r` and build the best available join.
-fn build_join(pred: PhysPredicate, l: Plan, r: Plan, scan_arity: &HashMap<String, usize>) -> Plan {
+fn build_join(pred: PhysPredicate, l: Plan, r: Plan, scan_arity: &FxHashMap<String, usize>) -> Plan {
     let Some(lar) = arity(&l, scan_arity) else {
         // Unknown left arity (empty literal): no classification possible.
         return Plan::Filter(pred, Box::new(Plan::Product(Box::new(l), Box::new(r))));
@@ -292,8 +293,122 @@ fn shift_pred(pred: PhysPredicate, lar: usize) -> PhysPredicate {
     }
 }
 
+// ---- streaming fusion -----------------------------------------------------
+
+/// One pipelined per-tuple operator, applied in order to each streamed
+/// `(tuple, multiplicity)` pair without materializing an intermediate bag.
+#[derive(Debug)]
+pub enum FusedOp<'a> {
+    /// Drop tuples failing the predicate.
+    Filter(&'a PhysPredicate),
+    /// Positional projection (multiplicities untouched; merging of
+    /// now-equal tuples happens wherever the stream is next materialized).
+    Project(&'a [usize]),
+}
+
+/// Where a fused pipeline's tuples come from.
+#[derive(Debug)]
+pub enum FusedSource<'a> {
+    /// Stream a named table's pinned bag.
+    Scan(&'a str),
+    /// Stream a constant bag.
+    Literal(&'a Bag),
+    /// Stream the left pipeline, then the right (`⊎` needs no state).
+    Union(Box<FusedPlan<'a>>, Box<FusedPlan<'a>>),
+    /// Hash join: one side is materialized into a hash table (and possibly
+    /// served from the join-build cache); the other side's tuples stream
+    /// through it. Both sides are carried fused *and* as raw plans so the
+    /// executor can pick the build side at runtime — it prefers building a
+    /// stable base-table side (reusable across evaluations via the cache)
+    /// over a churning delta/log side.
+    Join {
+        /// Left-side pipeline (streamed when the right side is built).
+        left: Box<FusedPlan<'a>>,
+        /// Left-side plan (materialized when the executor flips the build).
+        left_plan: &'a Plan,
+        /// Right-side pipeline (streamed when the build is flipped).
+        right: Box<FusedPlan<'a>>,
+        /// Right-side plan (the default build side).
+        right_plan: &'a Plan,
+        /// Key positions in the left tuple.
+        left_keys: &'a [usize],
+        /// Key positions in the right tuple.
+        right_keys: &'a [usize],
+        /// Residual predicate over the concatenated tuple.
+        residual: &'a PhysPredicate,
+    },
+    /// A pipeline breaker (`∸`, `ε`, `min`, `max`, `EXCEPT`, `×`): its
+    /// result must be fully materialized before anything can stream, so
+    /// the executor evaluates it with the exact bag primitives and streams
+    /// the owned result out.
+    Breaker(&'a Plan),
+}
+
+/// A [`Plan`] re-shaped for streaming execution: a source plus a fused
+/// chain of per-tuple ops, applied innermost-first. Borrowed from the plan
+/// it was fused from — building one allocates a few vecs and boxes but
+/// never touches a tuple.
+#[derive(Debug)]
+pub struct FusedPlan<'a> {
+    /// Tuple source.
+    pub source: FusedSource<'a>,
+    /// Per-tuple op chain, in application order.
+    pub ops: Vec<FusedOp<'a>>,
+}
+
+/// Fuse a plan for streaming execution.
+///
+/// `Filter`/`Project` chains collapse into per-tuple op chains over the
+/// nearest source below them (`Scan`, `Literal`, `⊎`, `HashJoin`) — so the
+/// selective change-query shape `Π(σ(scan/join))` runs without a single
+/// intermediate bag. Everything else is a pipeline breaker and stays
+/// materialized, which keeps the breakers' exact multiplicity semantics
+/// (e.g. `×`'s saturating arithmetic) byte-identical to the reference
+/// evaluator.
+pub fn fuse(plan: &Plan) -> FusedPlan<'_> {
+    let mut ops = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            Plan::Filter(pred, input) => {
+                ops.push(FusedOp::Filter(pred));
+                cur = input;
+            }
+            Plan::Project(cols, input) => {
+                ops.push(FusedOp::Project(cols));
+                cur = input;
+            }
+            _ => break,
+        }
+    }
+    // Collected outermost-first; streams apply innermost-first.
+    ops.reverse();
+    let source = match cur {
+        Plan::Scan(name) => FusedSource::Scan(name),
+        Plan::Literal(bag) => FusedSource::Literal(bag),
+        Plan::Union(a, b) => FusedSource::Union(Box::new(fuse(a)), Box::new(fuse(b))),
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => FusedSource::Join {
+            left: Box::new(fuse(left)),
+            left_plan: left,
+            right: Box::new(fuse(right)),
+            right_plan: right,
+            left_keys,
+            right_keys,
+            residual,
+        },
+        breaker => FusedSource::Breaker(breaker),
+    };
+    FusedPlan { source, ops }
+}
+
 /// Output arity of a plan, when statically known.
-fn arity(plan: &Plan, scan_arity: &HashMap<String, usize>) -> Option<usize> {
+fn arity(plan: &Plan, scan_arity: &FxHashMap<String, usize>) -> Option<usize> {
     match plan {
         Plan::Scan(name) => scan_arity.get(name).copied(),
         Plan::Literal(bag) => bag.iter().next().map(|(t, _)| t.arity()),
@@ -498,6 +613,46 @@ mod tests {
         let s = state();
         let naive = compile_unoptimized(&e, &p).unwrap();
         assert_eq!(eval(&q.plan, &s).unwrap(), eval(&naive.plan, &s).unwrap());
+    }
+
+    #[test]
+    fn fuse_collapses_filter_project_chains() {
+        let p = provider();
+        let e = Expr::table("r")
+            .select(Predicate::gt(col("a"), lit(1i64)))
+            .project(["b"])
+            .select(Predicate::lt(col("b"), lit(100i64)));
+        let q = compile(&e, &p).unwrap();
+        let fused = fuse(&q.plan);
+        assert!(
+            matches!(fused.source, FusedSource::Scan("r")),
+            "chain should bottom out at the scan: {fused:?}"
+        );
+        // Filter pushdown has already merged both selections below the
+        // projection, so fusion sees one conjunctive filter then a project.
+        assert_eq!(fused.ops.len(), 2, "merged filter + project fused: {fused:?}");
+        assert!(matches!(fused.ops[0], FusedOp::Filter(_)));
+        assert!(matches!(fused.ops[1], FusedOp::Project(_)));
+    }
+
+    #[test]
+    fn fuse_streams_joins_and_breaks_on_monus() {
+        let p = provider();
+        let join = Expr::table("r")
+            .alias("r")
+            .product(Expr::table("s").alias("s"))
+            .select(Predicate::eq(col("r.b"), col("s.b")))
+            .project(["a", "c"]);
+        let q = compile(&join, &p).unwrap();
+        let fused = fuse(&q.plan);
+        assert!(matches!(fused.source, FusedSource::Join { .. }));
+        assert_eq!(fused.ops.len(), 1, "projection fused over the probe output");
+
+        let diff = Expr::table("r").monus(Expr::table("r").dedup());
+        let q2 = compile(&diff, &p).unwrap();
+        let fused2 = fuse(&q2.plan);
+        assert!(matches!(fused2.source, FusedSource::Breaker(_)));
+        assert!(fused2.ops.is_empty());
     }
 
     #[test]

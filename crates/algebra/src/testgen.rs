@@ -35,6 +35,12 @@ pub struct Universe {
     pub domain: i64,
     /// Maximum multiplicity for generated tuples.
     pub max_mult: u64,
+    /// When set, *states* (not schema-validated literals) also contain
+    /// `NULL`s and `Double`s — including integral doubles like `2.0` that
+    /// collide with `Int` keys under SQL comparison coercion. This is the
+    /// adversarial input for join-key normalization: NULL must never join,
+    /// and `Int(2)` must hash the same as `Double(2.0)`.
+    pub mixed_values: bool,
 }
 
 impl Universe {
@@ -45,6 +51,32 @@ impl Universe {
             schema: Schema::from_pairs(&[("a", ValueType::Int), ("b", ValueType::Int)]),
             domain: 4,
             max_mult: 3,
+            mixed_values: false,
+        }
+    }
+
+    /// Like [`Universe::small`] but with mixed-type states (see
+    /// [`Universe::mixed_values`]).
+    pub fn mixed(n: usize) -> Self {
+        Universe {
+            mixed_values: true,
+            ..Universe::small(n)
+        }
+    }
+
+    /// A random state value. In mixed universes: occasionally `NULL`, and
+    /// occasionally a `Double` drawn so that roughly half of the doubles are
+    /// integral (coercion collisions with `Int`) and half fractional.
+    fn state_value(&self, rng: &mut Rng) -> Value {
+        if self.mixed_values {
+            match rng.below(8) {
+                0 => Value::Null,
+                1 => Value::Double(rng.range(0, self.domain) as f64),
+                2 => Value::Double(rng.range(0, self.domain) as f64 + 0.5),
+                _ => Value::Int(rng.range(0, self.domain)),
+            }
+        } else {
+            Value::Int(rng.range(0, self.domain))
         }
     }
 
@@ -56,15 +88,27 @@ impl Universe {
             .collect()
     }
 
-    /// A random tuple over the shared schema.
+    /// A random tuple over the shared schema. Always schema-valid (`Int`s
+    /// only, plus `NULL`s in mixed universes) so it can appear in literals.
     pub fn tuple(&self, rng: &mut Rng) -> Tuple {
-        Tuple::new(vec![
-            Value::Int(rng.range(0, self.domain)),
-            Value::Int(rng.range(0, self.domain)),
-        ])
+        let v = |rng: &mut Rng| {
+            if self.mixed_values && rng.chance(1, 8) {
+                Value::Null
+            } else {
+                Value::Int(rng.range(0, self.domain))
+            }
+        };
+        Tuple::new(vec![v(rng), v(rng)])
     }
 
-    /// A random bag of up to `max_distinct` distinct tuples.
+    /// A random *state* tuple: in mixed universes this may also carry
+    /// `Double`s, which schema validation would reject in literals but
+    /// which raw state maps (and delta tables) can hold.
+    pub fn state_tuple(&self, rng: &mut Rng) -> Tuple {
+        Tuple::new(vec![self.state_value(rng), self.state_value(rng)])
+    }
+
+    /// A random bag of up to `max_distinct` distinct tuples (literal-safe).
     pub fn bag(&self, rng: &mut Rng, max_distinct: usize) -> Bag {
         let mut b = Bag::new();
         let n = rng.below(max_distinct as u64 + 1);
@@ -74,11 +118,18 @@ impl Universe {
         b
     }
 
-    /// A random database state (every table populated).
+    /// A random database state (every table populated; mixed-type tuples
+    /// when [`Universe::mixed_values`] is set).
     pub fn state(&self, rng: &mut Rng, max_distinct: usize) -> HashMap<String, Bag> {
         self.tables
             .iter()
-            .map(|t| (t.clone(), self.bag(rng, max_distinct)))
+            .map(|t| {
+                let mut b = Bag::new();
+                for _ in 0..rng.below(max_distinct as u64 + 1) {
+                    b.insert_n(self.state_tuple(rng), 1 + rng.below(self.max_mult));
+                }
+                (t.clone(), b)
+            })
             .collect()
     }
 

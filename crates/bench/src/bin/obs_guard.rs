@@ -12,6 +12,14 @@
 //! `OBS_GUARD_TOLERANCE=0.15` (a fraction, not a percentage). A measured
 //! median *faster* than the baseline always passes. Exit code is non-zero
 //! on regression so `scripts/ci.sh` can gate on it.
+//!
+//! It also gates the **streaming executor's recorded speedups**: the
+//! medians in `results/BENCH_eval.json` (written by `exp_eval`) must show
+//! the fused executor ≥2× over the pre-streaming evaluator on the
+//! selective filter-project change query, and the streaming propagate
+//! phase ≥1.3× over the materializing reference. These check the committed
+//! artifact's internal ratios — same machine, same run — so they are
+//! noise-robust and fail only when the executor actually regresses.
 
 use dvm_bench::retail_db;
 use dvm_core::{Database, Minimality, Scenario};
@@ -24,6 +32,23 @@ const NAME: &str = "execute_streams/1stream/40tx";
 const BACKLOG_TXS: usize = 40;
 const DEFAULT_TOLERANCE: f64 = 0.05;
 
+/// `(numerator, denominator, floor, label)`: `median(num)/median(den)`
+/// must be at least `floor`.
+const EVAL_GATES: &[(&str, &str, f64, &str)] = &[
+    (
+        "eval/filter_project/prepr_sip",
+        "eval/filter_project/fused",
+        2.0,
+        "fused filter-project vs pre-streaming evaluator",
+    ),
+    (
+        "propagate/reference",
+        "propagate/fused",
+        1.3,
+        "streaming propagate phase vs materializing reference",
+    ),
+];
+
 fn baseline_median() -> Option<f64> {
     let text = std::fs::read_to_string("results/BENCH_concurrent.json").ok()?;
     let doc = json::parse(&text).ok()?;
@@ -35,6 +60,47 @@ fn baseline_median() -> Option<f64> {
     None
 }
 
+fn eval_median(doc: &json::Value, name: &str) -> Option<f64> {
+    for b in doc.get("benchmarks")?.as_arr()? {
+        if b.get("name").and_then(|n| n.as_str()) == Some(name) {
+            return b.get("median_ns").and_then(|m| m.as_f64());
+        }
+    }
+    None
+}
+
+/// Gate the recorded executor speedups in `results/BENCH_eval.json`.
+/// Returns `false` on a failed gate (missing file skips — the artifact may
+/// not have been generated yet on a fresh checkout).
+fn check_eval_ratios() -> bool {
+    let Ok(text) = std::fs::read_to_string("results/BENCH_eval.json") else {
+        println!("obs_guard: no results/BENCH_eval.json — skipping executor speedup gates");
+        return true;
+    };
+    let Ok(doc) = json::parse(&text) else {
+        eprintln!("obs_guard: FAIL — results/BENCH_eval.json is not valid JSON");
+        return false;
+    };
+    let mut ok = true;
+    for (num, den, floor, label) in EVAL_GATES {
+        let (Some(n), Some(d)) = (eval_median(&doc, num), eval_median(&doc, den)) else {
+            eprintln!("obs_guard: FAIL — `{num}` / `{den}` missing from BENCH_eval.json");
+            ok = false;
+            continue;
+        };
+        let ratio = n / d;
+        println!("obs_guard: {label}: {ratio:.2}x (floor {floor}x)");
+        if ratio < *floor {
+            eprintln!(
+                "obs_guard: FAIL — {label} at {ratio:.2}x, below the {floor}x floor; \
+                 regenerate with `cargo run --release -p dvm-bench --bin exp_eval`"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 /// The exact workload of `bench_concurrent_execute` with `streams = 1`:
 /// 40 ten-sale batches pushed through `execute` as a single stream.
 fn make() -> (Database, Vec<Vec<Transaction>>) {
@@ -44,6 +110,9 @@ fn make() -> (Database, Vec<Vec<Transaction>>) {
 }
 
 fn main() {
+    if !check_eval_ratios() {
+        std::process::exit(1);
+    }
     let Some(baseline) = baseline_median() else {
         println!("obs_guard: no `{NAME}` baseline in results/BENCH_concurrent.json — skipping");
         return;

@@ -174,6 +174,35 @@ fn check_recovery_report(doc: &Value, ctx: &str) {
     );
 }
 
+/// `BENCH_eval.json` must carry every benchmark the executor speedup gates
+/// in `obs_guard` divide — a renamed or dropped series would silently turn
+/// the gates into no-ops.
+fn check_eval_report(doc: &Value, ctx: &str) {
+    const REQUIRED: &[&str] = &[
+        "hash/tuple_insert/siphash",
+        "hash/tuple_insert/fxhash",
+        "eval/filter_project/prepr_sip",
+        "eval/filter_project/reference",
+        "eval/filter_project/fused",
+        "eval/join_delta/prepr_sip",
+        "eval/join_delta/cold",
+        "eval/join_delta/cached",
+        "propagate/reference",
+        "propagate/fused",
+    ];
+    let benches = require(doc, "benchmarks", ctx).as_arr().unwrap();
+    let names: Vec<&str> = benches
+        .iter()
+        .filter_map(|b| b.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in REQUIRED {
+        assert!(
+            names.contains(want),
+            "{ctx}: missing benchmark `{want}` (the speedup gates depend on it)"
+        );
+    }
+}
+
 fn check_experiment(doc: &Value, ctx: &str) {
     require(doc, "experiment", ctx)
         .as_str()
@@ -207,6 +236,9 @@ fn every_results_json_parses_and_matches_its_schema() {
             check_bench_report(&doc, &name);
             if name == "BENCH_recovery.json" {
                 check_recovery_report(&doc, &name);
+            }
+            if name == "BENCH_eval.json" {
+                check_eval_report(&doc, &name);
             }
             checked += 1;
         } else if name.starts_with("exp_") {

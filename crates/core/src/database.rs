@@ -659,6 +659,12 @@ impl Database {
             self.catalog.require(t)?.apply_delta(d, i)?;
         }
         report.base_apply_nanos = start.elapsed().as_nanos() as u64;
+        // Epoch checks already make stale join builds unreachable (the
+        // write above bumped each table's data epoch); dropping them now is
+        // memory hygiene, not correctness.
+        for t in tx.tables() {
+            self.catalog.join_cache().invalidate_table(t);
+        }
 
         // Post-update phase: immediate views apply their precomputed deltas.
         for (view, pending) in pending_immediate {
@@ -701,6 +707,9 @@ impl Database {
             self.catalog.require(t)?.apply_delta(d, i)?;
         }
         let nanos = start.elapsed().as_nanos() as u64;
+        for t in tx.tables() {
+            self.catalog.join_cache().invalidate_table(t);
+        }
         if self.durable_attached.load(Ordering::Acquire) {
             self.log_op(&DurableOp::TxnUnmaintained(tx.clone()))?;
         }
@@ -1083,6 +1092,7 @@ impl Database {
             trace_enabled: self.tracer.is_enabled(),
             trace_len: self.tracer.len() as u64,
             trace_dropped: self.tracer.dropped(),
+            join_cache: self.catalog.join_cache().stats(),
         }
     }
 

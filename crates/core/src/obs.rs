@@ -83,6 +83,9 @@ pub struct Observability {
     pub trace_len: u64,
     /// Events evicted from the trace ring.
     pub trace_dropped: u64,
+    /// Join-build cache counters (hits/misses/resident entries) for the
+    /// streaming executor's build-side reuse across propagates.
+    pub join_cache: dvm_storage::JoinCacheStats,
 }
 
 impl StalenessGauges {
@@ -142,6 +145,14 @@ impl Observability {
                     ("enabled", json::boolean(self.trace_enabled)),
                     ("retained", json::num_u(self.trace_len)),
                     ("dropped", json::num_u(self.trace_dropped)),
+                ]),
+            ),
+            (
+                "join_cache",
+                json::object([
+                    ("hits", json::num_u(self.join_cache.hits)),
+                    ("misses", json::num_u(self.join_cache.misses)),
+                    ("entries", json::num_u(self.join_cache.entries)),
                 ]),
             ),
         ])
@@ -263,6 +274,11 @@ mod tests {
             trace_enabled: false,
             trace_len: 0,
             trace_dropped: 0,
+            join_cache: dvm_storage::JoinCacheStats {
+                hits: 4,
+                misses: 2,
+                entries: 1,
+            },
         }
     }
 
@@ -286,6 +302,10 @@ mod tests {
             Some(7.0)
         );
         assert!(v.get("trace").unwrap().get("enabled").is_some());
+        let jc = v.get("join_cache").unwrap();
+        assert_eq!(jc.get("hits").unwrap().as_f64(), Some(4.0));
+        assert_eq!(jc.get("misses").unwrap().as_f64(), Some(2.0));
+        assert_eq!(jc.get("entries").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

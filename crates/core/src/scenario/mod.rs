@@ -47,6 +47,26 @@ impl BagSource for OverlaySource<'_> {
             None => self.pinned.bag(table),
         }
     }
+
+    fn epoch_of(&self, table: &str) -> Option<u64> {
+        // Overridden tables have no stable catalog epoch: reporting None
+        // disables join-build caching for any subtree scanning them, while
+        // subtrees over purely pinned tables stay cacheable.
+        if self.overrides.contains_key(table) {
+            None
+        } else {
+            self.pinned.epoch_of(table)
+        }
+    }
+
+    fn join_cache(&self) -> Option<&dvm_storage::JoinBuildCache> {
+        self.pinned.join_cache()
+    }
+
+    fn is_base(&self, table: &str) -> bool {
+        // Overridden contents are never the catalog's base state.
+        !self.overrides.contains_key(table) && self.pinned.is_base(table)
+    }
 }
 
 /// Evaluate an expression with some table contents overridden.

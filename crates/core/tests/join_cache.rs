@@ -1,0 +1,218 @@
+//! Join-build cache correctness under the commit protocol.
+//!
+//! The streaming executor caches hash-join build tables keyed on the build
+//! subtree's fingerprint and validated against the scanned tables' data
+//! epochs. These tests drive it through `Database`: a commit between two
+//! propagates must never let the second propagate reuse a stale build, the
+//! cache must be invisible to serial-vs-parallel maintenance equivalence,
+//! and the hit/miss counters must show the cache actually working.
+
+use dvm_algebra::testgen::{Rng, Universe};
+use dvm_algebra::{col, Expr, Predicate};
+use dvm_core::{Database, Scenario};
+use dvm_delta::Transaction;
+use dvm_storage::Bag;
+use dvm_testkit::sync::with_workers;
+
+/// `Π[l.a, r.b](σ_{l.a = r.a}(t0 × t1))` — an equi-join the optimizer
+/// compiles to a `HashJoin`, over the shared two-column schema.
+fn join_def() -> Expr {
+    Expr::table("t0")
+        .alias("l")
+        .product(Expr::table("t1").alias("r"))
+        .select(Predicate::eq(col("l.a"), col("r.a")))
+        .project(["l.a", "r.b"])
+}
+
+fn seeded_db(u: &Universe, seed: u64) -> Database {
+    let mut rng = Rng::new(seed);
+    let db = Database::new();
+    for t in &u.tables {
+        let table = db.create_table(t.clone(), u.schema.clone()).unwrap();
+        table.replace(u.bag(&mut rng, 6)).unwrap();
+    }
+    db
+}
+
+fn random_tx(u: &Universe, rng: &mut Rng, db: &Database) -> Transaction {
+    let mut tx = Transaction::new();
+    for t in &u.tables {
+        if rng.chance(1, 2) {
+            continue;
+        }
+        let current = db.catalog().bag_of(t).unwrap();
+        let mut del = Bag::new();
+        for (tuple, mult) in current.iter() {
+            if rng.chance(1, 3) {
+                del.insert_n(tuple.clone(), 1 + rng.below(mult));
+            }
+        }
+        tx = tx.delete(t.clone(), del).insert(t.clone(), u.bag(rng, 3));
+    }
+    tx
+}
+
+/// A commit between two propagates bumps the written tables' epochs, so the
+/// second propagate must rebuild — reusing the pre-commit build table would
+/// silently freeze the view. Checked against recomputed truth every round.
+#[test]
+fn commit_between_propagates_never_serves_stale_build() {
+    let u = Universe::small(2);
+    let db = seeded_db(&u, 0xCAFE);
+    db.create_view("vj", join_def(), Scenario::Combined).unwrap();
+
+    let mut rng = Rng::new(0x5EED);
+    for round in 0..15 {
+        db.execute(&random_tx(&u, &mut rng, &db)).unwrap();
+        db.propagate("vj").unwrap();
+        // The interleaved commit: every table it wrote is epoch-bumped.
+        db.execute(&random_tx(&u, &mut rng, &db)).unwrap();
+        db.propagate("vj").unwrap();
+        db.partial_refresh("vj").unwrap();
+        assert_eq!(
+            db.query_view("vj").unwrap(),
+            db.recompute_view("vj").unwrap(),
+            "round {round}: propagate after commit used stale state"
+        );
+        let failures = db.check_all_invariants().unwrap();
+        assert!(failures.is_empty(), "round {round}: {failures:?}");
+    }
+}
+
+/// Identical transaction streams through a serial (1-thread) and a parallel
+/// (4-thread) database, join views in every maintenance-bearing scenario:
+/// the cache must not make the fan-out path observable.
+#[test]
+fn serial_and_parallel_maintenance_agree_with_caching() {
+    let u = Universe::small(2);
+    let build = |threads: usize| {
+        let db = seeded_db(&u, 0xB0B);
+        for (i, scenario) in [
+            Scenario::Immediate,
+            Scenario::BaseLog,
+            Scenario::DiffTable,
+            Scenario::Combined,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            db.create_view(format!("vj{i}"), join_def(), scenario).unwrap();
+        }
+        db.set_maintenance_threads(threads);
+        db
+    };
+    let serial = build(1);
+    let fanout = build(4);
+    // Pregenerated stream: deletes drawn from the tuple universe, not table
+    // state, so both databases see byte-identical transactions.
+    let mut rng = Rng::new(0x7001);
+    let txs: Vec<Transaction> = (0..12)
+        .map(|_| {
+            let mut tx = Transaction::new();
+            for t in &u.tables {
+                tx = tx
+                    .delete(t.clone(), u.bag(&mut rng, 2))
+                    .insert(t.clone(), u.bag(&mut rng, 3));
+            }
+            tx
+        })
+        .collect();
+    for tx in &txs {
+        serial.execute(tx).unwrap();
+        fanout.execute(tx).unwrap();
+        serial.propagate_all().unwrap();
+        fanout.propagate_all().unwrap();
+    }
+    serial.refresh_all().unwrap();
+    fanout.refresh_all().unwrap();
+    for i in 0..4 {
+        let name = format!("vj{i}");
+        assert_eq!(
+            serial.query_view(&name).unwrap(),
+            fanout.query_view(&name).unwrap(),
+            "{name}: caching made fan-out observable"
+        );
+        assert_eq!(
+            fanout.query_view(&name).unwrap(),
+            fanout.recompute_view(&name).unwrap(),
+            "{name}: diverged from recomputed truth"
+        );
+    }
+}
+
+/// Concurrent execute / propagate / refresh traffic over join views with the
+/// cache live: invariants hold and views land on truth at quiescence.
+#[test]
+fn concurrent_traffic_with_cache_stays_consistent() {
+    let u = Universe::small(2);
+    let db = seeded_db(&u, 0xD00D);
+    db.create_view("vj_c", join_def(), Scenario::Combined).unwrap();
+    db.create_view("vj_bl", join_def(), Scenario::BaseLog).unwrap();
+    db.set_maintenance_threads(4);
+
+    let ((), _) = with_workers(
+        4,
+        |i, _stop| {
+            let mut rng = Rng::new(0xFEED + i as u64);
+            for _ in 0..15 {
+                match rng.below(6) {
+                    0..=2 => {
+                        let tx = random_tx(&u, &mut rng, &db);
+                        db.execute(&tx).unwrap();
+                    }
+                    3 => db.propagate("vj_c").unwrap(),
+                    4 => db.partial_refresh("vj_c").unwrap(),
+                    _ => db.refresh("vj_bl").unwrap(),
+                }
+            }
+        },
+        || {},
+    );
+
+    let failures = db.check_all_invariants().unwrap();
+    assert!(failures.is_empty(), "post-stress invariants: {failures:?}");
+    db.refresh_all().unwrap();
+    for v in ["vj_c", "vj_bl"] {
+        assert_eq!(
+            db.query_view(v).unwrap(),
+            db.recompute_view(v).unwrap(),
+            "{v} diverged under concurrent cached maintenance"
+        );
+    }
+}
+
+/// The counters prove reuse: repeated evaluation over unchanged state hits,
+/// a commit forces a miss, and the numbers surface in observability JSON.
+#[test]
+fn cache_hits_accumulate_and_commits_force_misses() {
+    let u = Universe::small(2);
+    let db = seeded_db(&u, 0xAB);
+    let before = db.catalog().join_cache().stats();
+    // The initial materialization at view creation is the cold build.
+    db.create_view("vj", join_def(), Scenario::Combined).unwrap();
+    let cold = db.catalog().join_cache().stats();
+    assert!(cold.misses > before.misses, "first build must be a miss");
+    db.recompute_view("vj").unwrap();
+    let warm = db.catalog().join_cache().stats();
+    assert!(warm.hits > cold.hits, "unchanged state must hit");
+    assert_eq!(warm.misses, cold.misses, "no rebuild on unchanged state");
+
+    // A commit to the build side drops/invalidates the entry: next
+    // evaluation misses, and the result is still correct.
+    db.execute(&Transaction::new().insert_tuple("t1", dvm_storage::tuple![1, 9]))
+        .unwrap();
+    db.recompute_view("vj").unwrap();
+    let after_commit = db.catalog().join_cache().stats();
+    assert!(
+        after_commit.misses > warm.misses,
+        "commit must force a rebuild"
+    );
+
+    let obs = db.observability();
+    assert_eq!(obs.join_cache, after_commit);
+    let doc = obs.to_json();
+    assert!(
+        doc.contains("\"join_cache\""),
+        "observability JSON must carry cache counters"
+    );
+}

@@ -15,14 +15,19 @@
 //!
 //! The total cardinality is cached so `len()` is O(1).
 
+use crate::hasher::{FxBuildHasher, FxHashMap};
 use crate::tuple::Tuple;
 use std::collections::HashMap;
 use std::fmt;
 
 /// A finite multiset of tuples.
+///
+/// Tuples are hashed with the workspace [`crate::hasher::FxHasher`] rather
+/// than std's SipHash: bag contents are internal maintenance state, and
+/// tuple hashing dominates the maintenance hot path (see DESIGN.md §11).
 #[derive(Debug, Clone, Default)]
 pub struct Bag {
-    items: HashMap<Tuple, u64>,
+    items: FxHashMap<Tuple, u64>,
     /// Cached total multiplicity (sum over `items` values).
     len: u64,
 }
@@ -36,7 +41,7 @@ impl Bag {
     /// An empty bag with capacity for `n` distinct tuples.
     pub fn with_capacity(n: usize) -> Self {
         Bag {
-            items: HashMap::with_capacity(n),
+            items: HashMap::with_capacity_and_hasher(n, FxBuildHasher::default()),
             len: 0,
         }
     }
@@ -143,6 +148,18 @@ impl Bag {
         let mut v: Vec<(Tuple, u64)> = self.items.iter().map(|(t, &m)| (t.clone(), m)).collect();
         v.sort();
         v
+    }
+
+    /// Fold `self` with an order-independent combiner — a hash of the
+    /// bag's *contents* that never sorts. Each `(tuple, multiplicity)`
+    /// entry is hashed independently by `per_entry` and the results are
+    /// combined with wrapping addition, which is commutative, so any
+    /// iteration order yields the same value. Used by plan fingerprinting
+    /// to hash `Literal` bags without an O(n log n) sort.
+    pub fn fold_entry_hashes<F: Fn(&Tuple, u64) -> u64>(&self, per_entry: F) -> u64 {
+        self.items
+            .iter()
+            .fold(0u64, |acc, (t, &m)| acc.wrapping_add(per_entry(t, m)))
     }
 
     // ---- bag algebra primitives ------------------------------------------
@@ -299,6 +316,18 @@ impl Eq for Bag {}
 impl FromIterator<Tuple> for Bag {
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
         Bag::from_tuples(iter)
+    }
+}
+
+/// Consume the bag, yielding owned `(tuple, multiplicity)` pairs in hash
+/// order. Lets the streaming executor turn a materialized pipeline-breaker
+/// result back into a stream without cloning tuples.
+impl IntoIterator for Bag {
+    type Item = (Tuple, u64);
+    type IntoIter = std::collections::hash_map::IntoIter<Tuple, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
     }
 }
 

@@ -1,0 +1,203 @@
+//! A cache of hash-join build tables, keyed by plan fingerprint and
+//! validated by table epochs.
+//!
+//! `propagate_many` over a batch of views evaluates many change queries
+//! whose join build sides are *identical subtrees over unchanged base
+//! tables* (e.g. `σ(customers)` in every retail view). Rebuilding the
+//! build-side hash table per view — per evaluation, even — dominated the
+//! propagate phase. This cache lets the evaluator reuse one build table
+//! across evaluations, views, and threads:
+//!
+//! * **Key**: a 128-bit structural fingerprint of the build-side plan
+//!   (including join-key positions), computed by the algebra layer with
+//!   two independently-seeded [`crate::hasher::FxHasher`] passes. 128 bits
+//!   make an accidental collision between distinct subtrees vanishingly
+//!   unlikely (~2⁻⁶⁴ per pair at birthday scale).
+//! * **Validation**: each entry records the *data epoch* of every table
+//!   the build subtree scans ([`crate::table::Table::data_epoch`], bumped
+//!   on every write-lock acquisition from a process-wide counter). A
+//!   lookup supplies the epochs observed under the caller's read pins; any
+//!   mismatch is a miss and the stale entry is replaced. Because epochs
+//!   are globally unique per write (never reused, even across a
+//!   drop/recreate of a same-named table), a stale build table can never
+//!   be served — explicit invalidation is a memory/promptness
+//!   optimization, not a correctness requirement.
+//!
+//! Coherence with the commit protocol: evaluators read epochs while
+//! holding read locks on the pinned tables, and writers bump the epoch at
+//! write-lock acquisition, so an entry whose epochs match the pinned
+//! epochs describes exactly the pinned contents.
+
+use crate::hasher::FxHashMap;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use dvm_testkit::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A materialized join build side: normalized key values → the tuples (and
+/// multiplicities) carrying that key. Keys are boxed slices so probes can
+/// look up with a borrowed `&[Value]` scratch buffer (no per-probe
+/// allocation).
+pub type JoinBuild = FxHashMap<Box<[Value]>, Vec<(Tuple, u64)>>;
+
+/// The epochs a cached build table was computed at: one `(table name,
+/// data epoch)` pair per table scanned by the build subtree, in the
+/// deterministic order the evaluator derives them (sorted table names).
+pub type BuildDeps = Vec<(String, u64)>;
+
+#[derive(Debug)]
+struct Entry {
+    deps: BuildDeps,
+    build: Arc<JoinBuild>,
+}
+
+/// Bound on cached entries; when exceeded the cache is cleared wholesale
+/// (entries are cheap to rebuild and the bound exists only to stop
+/// unbounded growth across many distinct plans).
+const MAX_ENTRIES: usize = 256;
+
+/// A concurrent, epoch-validated cache of join build tables.
+///
+/// One instance hangs off every [`crate::catalog::Catalog`]; evaluations
+/// that pin catalog state share it automatically.
+#[derive(Debug, Default)]
+pub struct JoinBuildCache {
+    entries: Mutex<FxHashMap<u128, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A point-in-time copy of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinCacheStats {
+    /// Lookups that returned a still-valid build table.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale entry).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl JoinBuildCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        JoinBuildCache::default()
+    }
+
+    /// Fetch the build table for `key` if present **and** computed at
+    /// exactly the supplied dependency epochs. A stale entry counts as a
+    /// miss (the caller rebuilds and re-inserts, replacing it).
+    pub fn lookup(&self, key: u128, deps: &BuildDeps) -> Option<Arc<JoinBuild>> {
+        let entries = self.entries.lock();
+        match entries.get(&key) {
+            Some(e) if e.deps == *deps => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.build))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) the build table for `key`, recording the epochs
+    /// it was computed at. Clears the cache first if it is full.
+    pub fn insert(&self, key: u128, deps: BuildDeps, build: Arc<JoinBuild>) {
+        let mut entries = self.entries.lock();
+        if entries.len() >= MAX_ENTRIES && !entries.contains_key(&key) {
+            entries.clear();
+        }
+        entries.insert(key, Entry { deps, build });
+    }
+
+    /// Drop every entry whose build depends on `table`. Epoch validation
+    /// already guarantees such entries can never be *served*; this frees
+    /// their memory promptly after a commit.
+    pub fn invalidate_table(&self, table: &str) {
+        self.entries
+            .lock()
+            .retain(|_, e| e.deps.iter().all(|(t, _)| t != table));
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> JoinCacheStats {
+        JoinCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_of(vals: &[i64]) -> Arc<JoinBuild> {
+        let mut b = JoinBuild::default();
+        for &v in vals {
+            b.entry(vec![Value::Int(v)].into_boxed_slice())
+                .or_default()
+                .push((Tuple::new(vec![Value::Int(v)]), 1));
+        }
+        Arc::new(b)
+    }
+
+    #[test]
+    fn hit_requires_matching_epochs() {
+        let c = JoinBuildCache::new();
+        let deps = vec![("r".to_string(), 7u64)];
+        assert!(c.lookup(1, &deps).is_none());
+        c.insert(1, deps.clone(), build_of(&[1, 2]));
+        assert!(c.lookup(1, &deps).is_some());
+        let stale = vec![("r".to_string(), 8u64)];
+        assert!(c.lookup(1, &stale).is_none(), "epoch mismatch is a miss");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn borrowed_slice_probe_finds_boxed_key() {
+        let b = build_of(&[5]);
+        let probe: Vec<Value> = vec![Value::Int(5)];
+        assert!(b.get(probe.as_slice()).is_some());
+        assert!(b.get(vec![Value::Int(6)].as_slice()).is_none());
+    }
+
+    #[test]
+    fn invalidate_by_table() {
+        let c = JoinBuildCache::new();
+        c.insert(1, vec![("r".to_string(), 1)], build_of(&[1]));
+        c.insert(2, vec![("s".to_string(), 1)], build_of(&[2]));
+        c.insert(3, vec![("r".to_string(), 1), ("s".to_string(), 1)], build_of(&[3]));
+        c.invalidate_table("r");
+        assert_eq!(c.stats().entries, 1, "entries touching r are gone");
+        assert!(c.lookup(2, &vec![("s".to_string(), 1)]).is_some());
+    }
+
+    #[test]
+    fn full_cache_clears_rather_than_grows() {
+        let c = JoinBuildCache::new();
+        for i in 0..(MAX_ENTRIES as u128 + 10) {
+            c.insert(i, Vec::new(), build_of(&[i as i64]));
+        }
+        assert!(c.stats().entries as usize <= MAX_ENTRIES);
+    }
+
+    #[test]
+    fn reinsert_replaces_stale_entry() {
+        let c = JoinBuildCache::new();
+        c.insert(9, vec![("r".into(), 1)], build_of(&[1]));
+        c.insert(9, vec![("r".into(), 2)], build_of(&[1, 2]));
+        assert!(c.lookup(9, &vec![("r".into(), 1)]).is_none());
+        let hit = c.lookup(9, &vec![("r".into(), 2)]).unwrap();
+        assert_eq!(hit.len(), 2);
+    }
+}

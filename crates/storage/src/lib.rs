@@ -24,6 +24,8 @@ pub mod bag;
 pub mod catalog;
 pub mod codec;
 pub mod error;
+pub mod hasher;
+pub mod joincache;
 pub mod lock;
 pub mod schema;
 pub mod snapshot;
@@ -35,6 +37,8 @@ pub mod value;
 pub use bag::Bag;
 pub use catalog::{Catalog, CommitMode};
 pub use error::{Result, StorageError};
+pub use hasher::{fx_hash_with_seed, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use joincache::{BuildDeps, JoinBuild, JoinBuildCache, JoinCacheStats};
 pub use schema::{Column, Schema};
 pub use snapshot::Snapshot;
 pub use table::{CommitGuard, Table, TableKind};

@@ -28,7 +28,10 @@ pub enum TableKind {
 /// All access goes through the instrumented lock so experiments can measure
 /// write-hold (downtime) and read-block times.
 pub struct Table {
-    name: String,
+    // `Arc<str>` so evaluator-side pin maps can key by a shared pointer
+    // instead of cloning the string per pin (hot path: every change-query
+    // evaluation pins every scanned table).
+    name: Arc<str>,
     schema: Schema,
     kind: TableKind,
     data: InstrumentedRwLock<Bag>,
@@ -66,7 +69,7 @@ impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema, kind: TableKind) -> Self {
         Table {
-            name: name.into(),
+            name: Arc::from(name.into()),
             schema,
             kind,
             data: InstrumentedRwLock::new(Bag::new()),
@@ -78,6 +81,21 @@ impl Table {
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Table name as a cheaply clonable shared string (refcount bump, no
+    /// allocation) — what evaluator pin maps key by.
+    pub fn name_shared(&self) -> Arc<str> {
+        Arc::clone(&self.name)
+    }
+
+    /// The table's *data epoch*: a globally-unique version stamped on every
+    /// write-lock acquisition. Two reads of the same epoch bracket a span
+    /// with no writers; read it while holding a read guard and it describes
+    /// exactly the pinned contents. The join-build cache validates entries
+    /// against these epochs.
+    pub fn data_epoch(&self) -> u64 {
+        self.data.version()
     }
 
     /// Table schema.
@@ -314,6 +332,28 @@ mod tests {
     #[test]
     fn kind() {
         assert_eq!(t().kind(), TableKind::External);
+    }
+
+    #[test]
+    fn data_epoch_changes_exactly_on_writes() {
+        let table = t();
+        let e0 = table.data_epoch();
+        let _ = table.snapshot_bag();
+        assert_eq!(table.data_epoch(), e0, "reads leave the epoch alone");
+        table.insert(tuple![1]).unwrap();
+        let e1 = table.data_epoch();
+        assert!(e1 > e0);
+        table.clear();
+        assert!(table.data_epoch() > e1);
+    }
+
+    #[test]
+    fn name_shared_is_the_same_allocation() {
+        let table = t();
+        let a = table.name_shared();
+        let b = table.name_shared();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, table.name());
     }
 
     #[test]

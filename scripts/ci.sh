@@ -60,15 +60,23 @@ DVM_DURABLE_DIR="$durable_dir" EXP_DOWNTIME_QUICK=1 \
 rm -rf "$durable_dir"
 echo "    OK: fault-injection suite green; recovered database refreshes correctly"
 
+# Executor experiment smoke: every benchmark family in exp_eval must run
+# end-to-end (one sample each, no JSON written).
+echo "==> streaming executor experiment smoke"
+cargo run --release --offline -q -p dvm-bench --bin exp_eval -- --test
+
 # Every JSON artifact under results/ must parse and match its schema
-# (pure-Rust validation via dvm_obs::json — no jq in the image).
+# (pure-Rust validation via dvm_obs::json — no jq in the image), including
+# the benchmark series the executor speedup gates divide.
 echo "==> results/ JSON schema validation"
 cargo test -q --offline -p dvm-bench --test json_schema
 
 # The observability layer claims a compile-out-cheap disabled path: the
 # instrumented execute path must stay within 5% of the recorded baseline
 # (release build; widen with OBS_GUARD_TOLERANCE=0.15 on noisy hosts).
-echo "==> disabled-tracer overhead guard"
+# obs_guard also enforces the streaming executor's recorded speedups in
+# results/BENCH_eval.json (fused ≥2x on filter-project, ≥1.3x on propagate).
+echo "==> disabled-tracer overhead + executor speedup guard"
 cargo run --release --offline -q -p dvm-bench --bin obs_guard
 
 echo "==> CI green"
