@@ -1,0 +1,623 @@
+//! Grouping aggregates: COUNT / SUM / AVG / MIN / MAX over grouping keys.
+//!
+//! Two evaluation paths share one set of scalar accumulators ([`AggAcc`]):
+//!
+//! * [`group_aggregate_bag`] — the from-scratch evaluation both executors
+//!   (streaming and reference) call for the `GroupAggregate` pipeline
+//!   breaker, and the oracle every incremental result is checked against;
+//! * [`GroupAggregateState`] — a **count-annotated** incremental maintainer:
+//!   each group carries its total row multiplicity plus per-aggregate
+//!   accumulators, so an insert/delete delta updates in O(|Δ|). MIN/MAX keep
+//!   the current per-group extremum with its multiplicity and fall back to a
+//!   re-scan of the group's retained rows only when the extremum's
+//!   multiplicity drops to zero.
+//!
+//! Semantics match SQL `GROUP BY`:
+//!
+//! * NULL group keys group together (structural tuple equality, not the
+//!   three-valued `=` of predicates);
+//! * `COUNT(*)` counts rows (multiplicity-weighted), `COUNT(c)` counts
+//!   non-NULL values of `c`; SUM/AVG/MIN/MAX skip NULLs and yield NULL on
+//!   an all-NULL group;
+//! * groups with no remaining rows vanish from the output;
+//! * SUM over an INT column stays INT; any DOUBLE contribution coerces the
+//!   result to DOUBLE (tracked by a count, so deleting the last double row
+//!   restores INT output exactly as a recompute would); AVG is always
+//!   DOUBLE.
+//!
+//! MIN/MAX compare with the storage total order ([`Value::cmp`]), which
+//! restricted to one typed column coincides with SQL comparison and keeps
+//! both evaluation paths deterministic.
+
+use crate::predicate::ColRef;
+use dvm_storage::{Bag, FxHashMap, Tuple, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(c)`.
+    Count,
+    /// `SUM(c)` over a numeric column.
+    Sum,
+    /// `AVG(c)` over a numeric column (always DOUBLE).
+    Avg,
+    /// `MIN(c)`.
+    Min,
+    /// `MAX(c)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Lower-case SQL name (`count`, `sum`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One aggregate in a `GroupAggregate`'s select list: a function plus its
+/// argument column (`None` only for `COUNT(*)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument column; `None` means `COUNT(*)`.
+    pub arg: Option<ColRef>,
+}
+
+impl AggCall {
+    /// `COUNT(*)`.
+    pub fn count_star() -> AggCall {
+        AggCall {
+            func: AggFunc::Count,
+            arg: None,
+        }
+    }
+
+    /// `func(col)`.
+    pub fn new(func: AggFunc, arg: ColRef) -> AggCall {
+        AggCall {
+            func,
+            arg: Some(arg),
+        }
+    }
+
+    /// Generated output column name: `count` for `COUNT(*)`, otherwise
+    /// `{func}_{column}` (`sum_b`, `min_quantity`, …).
+    pub fn output_name(&self) -> String {
+        match &self.arg {
+            None => "count".to_string(),
+            Some(c) => format!("{}_{}", self.func.name(), c.name),
+        }
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            None => write!(f, "count(*)"),
+            Some(c) => write!(f, "{}({c})", self.func),
+        }
+    }
+}
+
+/// Get-or-insert-default on a slice-keyed group map, looking up by borrowed
+/// key so the boxed key is only allocated the first time a group appears.
+/// This is the one grouping primitive shared by the aggregate accumulators
+/// and both hash-join build paths in `eval.rs`.
+pub fn group_entry<'m, V: Default>(
+    map: &'m mut FxHashMap<Box<[Value]>, V>,
+    key: &[Value],
+) -> &'m mut V {
+    if !map.contains_key(key) {
+        map.insert(key.to_vec().into_boxed_slice(), V::default());
+    }
+    map.get_mut(key).expect("group key just ensured")
+}
+
+/// Per-(group, aggregate) scalar accumulator. One shape serves every
+/// function; unused fields stay zero.
+#[derive(Debug, Clone, Default)]
+struct AggAcc {
+    /// Total multiplicity of rows whose argument is non-NULL.
+    nonnull: u64,
+    /// Integer part of the running sum.
+    sum_i: i64,
+    /// Double part of the running sum.
+    sum_f: f64,
+    /// Multiplicity of rows that contributed a DOUBLE (coercion marker —
+    /// counted, not latched, so deletes can restore INT output).
+    doubles: u64,
+    /// Current extremum for MIN/MAX.
+    ext: Option<Value>,
+    /// Multiplicity of rows whose argument equals the extremum.
+    ext_mult: u64,
+}
+
+impl AggAcc {
+    /// Fold `m` copies of argument value `v` in.
+    fn add(&mut self, func: AggFunc, v: &Value, m: u64) {
+        if v.is_null() {
+            return;
+        }
+        self.nonnull += m;
+        match func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(x) => self.sum_i = self.sum_i.wrapping_add(x.wrapping_mul(m as i64)),
+                Value::Double(x) => {
+                    self.sum_f += x * m as f64;
+                    self.doubles += m;
+                }
+                // Non-numeric SUM/AVG arguments are rejected at compile time.
+                _ => {}
+            },
+            AggFunc::Min | AggFunc::Max => {
+                let better = self.ext.as_ref().map(|e| match func {
+                    AggFunc::Min => v.cmp(e) == Ordering::Less,
+                    _ => v.cmp(e) == Ordering::Greater,
+                });
+                match better {
+                    None | Some(true) => {
+                        self.ext = Some(v.clone());
+                        self.ext_mult = m;
+                    }
+                    Some(false) => {
+                        if self.ext.as_ref() == Some(v) {
+                            self.ext_mult += m;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove `m` copies of argument value `v`. Returns `true` when the
+    /// MIN/MAX extremum's multiplicity just dropped to zero and the caller
+    /// must re-scan the group.
+    fn sub(&mut self, func: AggFunc, v: &Value, m: u64) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        self.nonnull -= m;
+        match func {
+            AggFunc::Count => false,
+            AggFunc::Sum | AggFunc::Avg => {
+                match v {
+                    Value::Int(x) => {
+                        self.sum_i = self.sum_i.wrapping_sub(x.wrapping_mul(m as i64));
+                    }
+                    Value::Double(x) => {
+                        self.sum_f -= x * m as f64;
+                        self.doubles -= m;
+                        if self.doubles == 0 {
+                            // All double contributions are gone; clear the
+                            // residue so INT output is bit-exact again.
+                            self.sum_f = 0.0;
+                        }
+                    }
+                    _ => {}
+                }
+                false
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if self.ext.as_ref() == Some(v) {
+                    self.ext_mult -= m;
+                    if self.ext_mult == 0 {
+                        self.ext = None;
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Final output value; `group_total` is the group's total row
+    /// multiplicity (for `COUNT(*)`).
+    fn finalize(&self, func: AggFunc, arg: Option<usize>, group_total: u64) -> Value {
+        match func {
+            AggFunc::Count => match arg {
+                None => Value::Int(group_total as i64),
+                Some(_) => Value::Int(self.nonnull as i64),
+            },
+            AggFunc::Sum => {
+                if self.nonnull == 0 {
+                    Value::Null
+                } else if self.doubles > 0 {
+                    Value::Double(self.sum_i as f64 + self.sum_f)
+                } else {
+                    Value::Int(self.sum_i)
+                }
+            }
+            AggFunc::Avg => {
+                if self.nonnull == 0 {
+                    Value::Null
+                } else {
+                    Value::Double((self.sum_i as f64 + self.sum_f) / self.nonnull as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.ext.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Insert-only accumulation shared by [`group_aggregate_bag`] and the bulk
+/// loader: fold one `(tuple, multiplicity)` into a group's accumulators.
+fn accumulate(
+    total: &mut u64,
+    accs: &mut [AggAcc],
+    aggs: &[(AggFunc, Option<usize>)],
+    t: &Tuple,
+    m: u64,
+) {
+    *total += m;
+    for (acc, (func, arg)) in accs.iter_mut().zip(aggs) {
+        if let Some(i) = arg {
+            acc.add(*func, &t[*i], m);
+        }
+    }
+}
+
+/// Render one group's output row: key values followed by finalized
+/// aggregates.
+fn output_row(
+    key: &[Value],
+    total: u64,
+    accs: &[AggAcc],
+    aggs: &[(AggFunc, Option<usize>)],
+) -> Tuple {
+    let mut vals: Vec<Value> = Vec::with_capacity(key.len() + aggs.len());
+    vals.extend_from_slice(key);
+    for (acc, (func, arg)) in accs.iter().zip(aggs) {
+        vals.push(acc.finalize(*func, *arg, total));
+    }
+    Tuple::new(vals)
+}
+
+/// From-scratch evaluation of `γ_{keys; aggs}(input)`: one output row per
+/// non-empty group, multiplicity 1. This is the single definition of
+/// aggregate semantics — the streaming executor, the reference evaluator
+/// and the incremental oracle checks all call it.
+pub fn group_aggregate_bag(input: &Bag, keys: &[usize], aggs: &[(AggFunc, Option<usize>)]) -> Bag {
+    let mut groups: FxHashMap<Box<[Value]>, (u64, Vec<AggAcc>)> = FxHashMap::default();
+    let mut scratch: Vec<Value> = Vec::with_capacity(keys.len());
+    for (t, m) in input.iter() {
+        scratch.clear();
+        scratch.extend(keys.iter().map(|&i| t[i].clone()));
+        let (total, accs) = group_entry(&mut groups, &scratch);
+        if accs.is_empty() {
+            accs.resize_with(aggs.len(), AggAcc::default);
+        }
+        accumulate(total, accs, aggs, t, m);
+    }
+    let mut out = Bag::new();
+    for (key, (total, accs)) in &groups {
+        out.insert(output_row(key, *total, accs, aggs));
+    }
+    out
+}
+
+/// One group's incremental state: total row multiplicity, retained rows
+/// (the re-scan fallback source), and per-aggregate accumulators.
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    total: u64,
+    rows: FxHashMap<Tuple, u64>,
+    accs: Vec<AggAcc>,
+}
+
+/// Count-annotated incremental maintainer for one `GroupAggregate`.
+///
+/// [`insert`](Self::insert) / [`delete`](Self::delete) cost O(1) per delta
+/// tuple except when a delete removes the last copy of a group's MIN/MAX
+/// extremum, which triggers a re-scan of that group's retained rows
+/// (counted in [`rescans`](Self::rescans)). [`snapshot`](Self::snapshot)
+/// renders the current output bag, bag-equal to
+/// [`group_aggregate_bag`] over the maintained input — the property the
+/// differential oracle tests enforce.
+#[derive(Debug, Clone)]
+pub struct GroupAggregateState {
+    keys: Vec<usize>,
+    aggs: Vec<(AggFunc, Option<usize>)>,
+    groups: FxHashMap<Box<[Value]>, GroupState>,
+    rescans: u64,
+}
+
+impl GroupAggregateState {
+    /// Empty maintainer over the given key/aggregate positions.
+    pub fn new(keys: Vec<usize>, aggs: Vec<(AggFunc, Option<usize>)>) -> Self {
+        GroupAggregateState {
+            keys,
+            aggs,
+            groups: FxHashMap::default(),
+            rescans: 0,
+        }
+    }
+
+    /// Bulk-load a maintainer from an initial input bag.
+    pub fn from_bag(keys: Vec<usize>, aggs: Vec<(AggFunc, Option<usize>)>, input: &Bag) -> Self {
+        let mut s = GroupAggregateState::new(keys, aggs);
+        for (t, m) in input.iter() {
+            s.insert(t, m);
+        }
+        s
+    }
+
+    fn key_of(&self, t: &Tuple) -> Vec<Value> {
+        self.keys.iter().map(|&i| t[i].clone()).collect()
+    }
+
+    /// Fold `m` copies of input row `t` in.
+    pub fn insert(&mut self, t: &Tuple, m: u64) {
+        if m == 0 {
+            return;
+        }
+        let key = self.key_of(t);
+        let g = group_entry(&mut self.groups, &key);
+        if g.accs.is_empty() {
+            g.accs.resize_with(self.aggs.len(), AggAcc::default);
+        }
+        accumulate(&mut g.total, &mut g.accs, &self.aggs, t, m);
+        *g.rows.entry(t.clone()).or_insert(0) += m;
+    }
+
+    /// Remove `m` copies of input row `t` (which must be present with at
+    /// least that multiplicity — deltas are weakly minimal by the engine's
+    /// boundary normalization).
+    ///
+    /// # Panics
+    /// Panics when the row (or multiplicity) is not present.
+    pub fn delete(&mut self, t: &Tuple, m: u64) {
+        if m == 0 {
+            return;
+        }
+        let key = self.key_of(t);
+        let g = self
+            .groups
+            .get_mut(key.as_slice())
+            .expect("delete of a row in an unknown group");
+        let cur = g.rows.get_mut(t).expect("delete of an absent row");
+        assert!(*cur >= m, "delete multiplicity exceeds retained count");
+        *cur -= m;
+        if *cur == 0 {
+            g.rows.remove(t);
+        }
+        g.total -= m;
+        if g.total == 0 {
+            // The group vanished; no accumulator bookkeeping needed.
+            self.groups.remove(key.as_slice());
+            return;
+        }
+        let mut need_rescan: Vec<usize> = Vec::new();
+        for (i, (acc, (func, arg))) in g.accs.iter_mut().zip(&self.aggs).enumerate() {
+            if let Some(c) = arg {
+                if acc.sub(*func, &t[*c], m) {
+                    need_rescan.push(i);
+                }
+            }
+        }
+        // Fallback: the deleted value was the last copy of the extremum —
+        // recompute MIN/MAX for exactly the affected aggregates from the
+        // group's retained rows.
+        for i in need_rescan {
+            self.rescans += 1;
+            let (func, arg) = self.aggs[i];
+            let col = arg.expect("extremum aggregates always have an argument");
+            let acc = &mut g.accs[i];
+            acc.ext = None;
+            acc.ext_mult = 0;
+            for (row, mult) in &g.rows {
+                let v = &row[col];
+                if v.is_null() {
+                    continue;
+                }
+                let better = match &acc.ext {
+                    None => true,
+                    Some(e) => match func {
+                        AggFunc::Min => v.cmp(e) == Ordering::Less,
+                        _ => v.cmp(e) == Ordering::Greater,
+                    },
+                };
+                if better {
+                    acc.ext = Some(v.clone());
+                    acc.ext_mult = *mult;
+                } else if acc.ext.as_ref() == Some(v) {
+                    acc.ext_mult += *mult;
+                }
+            }
+        }
+    }
+
+    /// Apply a weakly minimal delta pair: `del` first, then `add`.
+    pub fn apply(&mut self, del: &Bag, add: &Bag) {
+        for (t, m) in del.iter() {
+            self.delete(t, m);
+        }
+        for (t, m) in add.iter() {
+            self.insert(t, m);
+        }
+    }
+
+    /// Render the current aggregate output (one row per live group).
+    pub fn snapshot(&self) -> Bag {
+        let mut out = Bag::new();
+        for (key, g) in &self.groups {
+            out.insert(output_row(key, g.total, &g.accs, &self.aggs));
+        }
+        out
+    }
+
+    /// Number of live groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// How many extremum re-scans deletes have forced so far.
+    pub fn rescans(&self) -> u64 {
+        self.rescans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_storage::tuple;
+
+    fn agg_all() -> Vec<(AggFunc, Option<usize>)> {
+        vec![
+            (AggFunc::Count, None),
+            (AggFunc::Count, Some(1)),
+            (AggFunc::Sum, Some(1)),
+            (AggFunc::Avg, Some(1)),
+            (AggFunc::Min, Some(1)),
+            (AggFunc::Max, Some(1)),
+        ]
+    }
+
+    fn null_row(a: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::Null])
+    }
+
+    #[test]
+    fn recompute_groups_and_skips_nulls() {
+        let mut b = Bag::new();
+        b.insert_n(tuple![1, 10], 2);
+        b.insert(tuple![1, 30]);
+        b.insert(null_row(1));
+        b.insert(null_row(2)); // NULL-only group
+        let out = group_aggregate_bag(&b, &[0], &agg_all());
+        assert_eq!(out.len(), 2);
+        // group a=1: count(*)=4, count(b)=3, sum=50, avg=50/3, min=10, max=30
+        assert!(out.contains(&Tuple::new(vec![
+            Value::Int(1),
+            Value::Int(4),
+            Value::Int(3),
+            Value::Int(50),
+            Value::Double(50.0 / 3.0),
+            Value::Int(10),
+            Value::Int(30),
+        ])));
+        // group a=2 is all-NULL: count(*)=1, count(b)=0, rest NULL
+        assert!(out.contains(&Tuple::new(vec![
+            Value::Int(2),
+            Value::Int(1),
+            Value::Int(0),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ])));
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let mut b = Bag::new();
+        b.insert(Tuple::new(vec![Value::Null, Value::Int(1)]));
+        b.insert(Tuple::new(vec![Value::Null, Value::Int(2)]));
+        let out = group_aggregate_bag(&b, &[0], &[(AggFunc::Count, None)]);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Tuple::new(vec![Value::Null, Value::Int(2)])));
+    }
+
+    #[test]
+    fn extremum_delete_triggers_rescan_and_recovers() {
+        let mut s = GroupAggregateState::new(vec![0], vec![(AggFunc::Min, Some(1))]);
+        s.insert(&tuple![1, 10], 1);
+        s.insert(&tuple![1, 20], 2);
+        assert_eq!(s.rescans(), 0);
+        s.delete(&tuple![1, 10], 1);
+        assert_eq!(s.rescans(), 1, "last copy of the minimum forces a re-scan");
+        assert!(s.snapshot().contains(&tuple![1, 20]));
+        // Deleting a non-extremum copy does not re-scan.
+        s.delete(&tuple![1, 20], 1);
+        assert_eq!(s.rescans(), 1);
+        assert!(s.snapshot().contains(&tuple![1, 20]));
+    }
+
+    #[test]
+    fn groups_vanish_at_zero() {
+        let mut s = GroupAggregateState::new(vec![0], vec![(AggFunc::Count, None)]);
+        s.insert(&tuple![7, 1], 3);
+        s.delete(&tuple![7, 1], 3);
+        assert_eq!(s.group_count(), 0);
+        assert!(s.snapshot().is_empty());
+    }
+
+    #[test]
+    fn sum_coerces_to_double_and_back() {
+        let mut s = GroupAggregateState::new(vec![0], vec![(AggFunc::Sum, Some(1))]);
+        s.insert(&tuple![1, 2], 1);
+        s.insert(&tuple![1, 1.5], 1);
+        assert!(s.snapshot().contains(&tuple![1, 3.5]));
+        s.delete(&tuple![1, 1.5], 1);
+        // The last double contribution is gone: output is INT again, exactly
+        // as a recompute would produce.
+        assert!(s.snapshot().contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn incremental_matches_recompute_on_random_streams() {
+        use crate::testgen::Rng;
+        let mut rng = Rng::new(0xA66);
+        for _case in 0..200 {
+            let aggs = agg_all();
+            let mut state = GroupAggregateState::new(vec![0], aggs.clone());
+            let mut base = Bag::new();
+            for _op in 0..40 {
+                if !base.is_empty() && rng.below(3) == 0 {
+                    // Delete an existing row (possibly partially).
+                    let rows: Vec<(Tuple, u64)> =
+                        base.iter().map(|(t, m)| (t.clone(), m)).collect();
+                    let (t, m) = &rows[rng.below(rows.len() as u64) as usize];
+                    let k = 1 + rng.below(*m);
+                    base.remove_n(t, k);
+                    state.delete(t, k);
+                } else {
+                    let a = rng.below(3) as i64;
+                    let b = match rng.below(5) {
+                        0 => Value::Null,
+                        1 => Value::Double(rng.below(8) as f64 / 2.0),
+                        _ => Value::Int(rng.below(20) as i64 - 10),
+                    };
+                    let t = Tuple::new(vec![Value::Int(a), b]);
+                    let m = 1 + rng.below(3);
+                    base.insert_n(t.clone(), m);
+                    state.insert(&t, m);
+                }
+                assert_eq!(
+                    state.snapshot(),
+                    group_aggregate_bag(&base, &[0], &aggs),
+                    "incremental state diverged from recompute"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_names() {
+        assert_eq!(AggCall::count_star().output_name(), "count");
+        assert_eq!(
+            AggCall::new(AggFunc::Sum, ColRef::new("b")).output_name(),
+            "sum_b"
+        );
+        assert_eq!(AggCall::count_star().to_string(), "count(*)");
+        assert_eq!(
+            AggCall::new(AggFunc::Max, ColRef::qualified("s", "q")).to_string(),
+            "max(s.q)"
+        );
+    }
+}

@@ -35,6 +35,23 @@ impl fmt::Display for Expr {
             Expr::MinIntersect(a, b) => write!(f, "({a} min {b})"),
             Expr::MaxUnion(a, b) => write!(f, "({a} max {b})"),
             Expr::Except(a, b) => write!(f, "({a} EXCEPT {b})"),
+            Expr::GroupAggregate { keys, aggs, input } => {
+                write!(f, "γ[")?;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                write!(f, "; ")?;
+                for (i, a) in aggs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]({input})")
+            }
         }
     }
 }

@@ -29,6 +29,9 @@ pub enum AlgebraError {
     BadLiteral(String),
     /// EXCEPT expansion requires distinct, nonempty column names.
     UnexpandableExcept(String),
+    /// An aggregate call is ill-typed or ill-formed (non-numeric SUM/AVG
+    /// argument, argument-less function other than `COUNT(*)`, …).
+    BadAggregate(String),
     /// Joining two tuples overflowed the `u64` multiplicity counter.
     ///
     /// Deferred maintenance trades in exact multiplicities (the differential
@@ -59,6 +62,7 @@ impl fmt::Display for AlgebraError {
             AlgebraError::UnexpandableExcept(msg) => {
                 write!(f, "cannot expand EXCEPT: {msg}")
             }
+            AlgebraError::BadAggregate(msg) => write!(f, "bad aggregate: {msg}"),
             AlgebraError::MultiplicityOverflow { left, right } => {
                 write!(
                     f,

@@ -27,6 +27,7 @@
 //! hash-equality coincides with `sql_cmp`'s comparison coercion) and NULL
 //! never joins.
 
+use crate::aggregate::{group_aggregate_bag, group_entry};
 use crate::error::Result;
 use crate::infer::CompiledQuery;
 use crate::plan::{PhysPredicate, Plan};
@@ -242,6 +243,10 @@ fn eval_to_bag<'a>(plan: &'a Plan, src: &'a dyn BagSource) -> Result<Cow<'a, Bag
             let y = eval_to_bag(b, src)?;
             Cow::Owned(x.except_all_occurrences(&y))
         }
+        Plan::GroupAggregate { keys, aggs, input } => {
+            let b = eval_to_bag(input, src)?;
+            Cow::Owned(group_aggregate_bag(&b, keys, aggs))
+        }
         // Streamable shapes: fuse and drain the pipeline into one bag.
         Plan::Filter(..) | Plan::Project(..) | Plan::Union(..) | Plan::HashJoin { .. } => {
             let fused = fuse(plan);
@@ -442,17 +447,7 @@ fn build_join_table(
         if !normalize_key_into(t, right_keys, &mut scratch) {
             continue;
         }
-        // Borrowed-slice lookup: the boxed key is allocated only the first
-        // time a distinct key value appears.
-        match table.get_mut(scratch.as_slice()) {
-            Some(group) => group.push((t.clone(), m)),
-            None => {
-                table.insert(
-                    scratch.clone().into_boxed_slice(),
-                    vec![(t.clone(), m)],
-                );
-            }
-        }
+        group_entry(&mut table, &scratch).push((t.clone(), m));
     }
     let table = Arc::new(table);
     if let Some((key, deps, cache)) = cache_ctx {
@@ -596,6 +591,10 @@ fn eval_cow<'a>(plan: &'a Plan, src: &'a dyn BagSource) -> Result<Cow<'a, Bag>> 
             let r = eval_cow(right, src)?;
             Cow::Owned(hash_join(&l, &r, left_keys, right_keys, residual)?)
         }
+        Plan::GroupAggregate { keys, aggs, input } => {
+            let b = eval_cow(input, src)?;
+            Cow::Owned(group_aggregate_bag(&b, keys, aggs))
+        }
     })
 }
 
@@ -619,12 +618,7 @@ fn hash_join(
         if !normalize_key_into(t, right_keys, &mut scratch) {
             continue;
         }
-        match build.get_mut(scratch.as_slice()) {
-            Some(group) => group.push((t, m)),
-            None => {
-                build.insert(scratch.clone().into_boxed_slice(), vec![(t, m)]);
-            }
-        }
+        group_entry(&mut build, &scratch).push((t, m));
     }
     let mut out = Bag::new();
     for (lt, lm) in left.iter() {

@@ -71,6 +71,24 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
             render(left, depth + 1, out);
             render(right, depth + 1, out);
         }
+        Plan::GroupAggregate { keys, aggs, input } => {
+            let keys: Vec<String> = keys.iter().map(|k| format!("#{k}")).collect();
+            let aggs: Vec<String> = aggs
+                .iter()
+                .map(|(func, arg)| match arg {
+                    None => "count(*)".to_string(),
+                    Some(i) => format!("{func}(#{i})"),
+                })
+                .collect();
+            writeln!(
+                out,
+                "{pad}GroupAggregate (γ) by [{}] computing [{}]",
+                keys.join(", "),
+                aggs.join(", ")
+            )
+            .unwrap();
+            render(input, depth + 1, out);
+        }
     }
 }
 

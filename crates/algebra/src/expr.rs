@@ -16,6 +16,7 @@
 //! expressible — which matters, because self-joins are exactly where the
 //! *state bug* shows up (Section 4.2, Remark 1).
 
+use crate::aggregate::AggCall;
 use crate::error::{AlgebraError, Result};
 use crate::predicate::{ColRef, Predicate};
 use dvm_storage::{Bag, Schema, Tuple};
@@ -69,6 +70,19 @@ pub enum Expr {
     MaxUnion(Box<Expr>, Box<Expr>),
     /// SQL `EXCEPT`: remove *all* occurrences of tuples present in `F`.
     Except(Box<Expr>, Box<Expr>),
+    /// Grouping aggregate `γ_{keys; aggs}(E)`: partition the input by the
+    /// key columns and emit one row per non-empty group — the key values
+    /// followed by one aggregate value per [`AggCall`]. Not part of the
+    /// paper's `BA` grammar; its differential rules live in `dvm-delta`.
+    GroupAggregate {
+        /// Grouping key columns, resolved against the input schema. NULL
+        /// keys form a group of their own (SQL `GROUP BY` semantics).
+        keys: Vec<ColRef>,
+        /// Aggregate functions over the input, in output order.
+        aggs: Vec<AggCall>,
+        /// Input expression.
+        input: Box<Expr>,
+    },
 }
 
 impl Expr {
@@ -172,6 +186,15 @@ impl Expr {
         Expr::Except(Box::new(self), Box::new(other))
     }
 
+    /// `γ_{keys; aggs}(self)` — group by `keys`, computing `aggs`.
+    pub fn group_aggregate(self, keys: Vec<ColRef>, aggs: Vec<AggCall>) -> Expr {
+        Expr::GroupAggregate {
+            keys,
+            aggs,
+            input: Box::new(self),
+        }
+    }
+
     /// Whether this is a literal empty bag `φ`.
     pub fn is_empty_literal(&self) -> bool {
         matches!(self, Expr::Literal { bag, .. } if bag.is_empty())
@@ -192,7 +215,8 @@ impl Expr {
             Expr::Literal { .. } => {}
             Expr::Alias { input, .. }
             | Expr::Select { input, .. }
-            | Expr::Project { input, .. } => input.collect_tables(out),
+            | Expr::Project { input, .. }
+            | Expr::GroupAggregate { input, .. } => input.collect_tables(out),
             Expr::DupElim(e) => e.collect_tables(out),
             Expr::Union(a, b)
             | Expr::Monus(a, b)
@@ -213,7 +237,8 @@ impl Expr {
             Expr::Table(_) | Expr::Literal { .. } => 1,
             Expr::Alias { input, .. }
             | Expr::Select { input, .. }
-            | Expr::Project { input, .. } => 1 + input.size(),
+            | Expr::Project { input, .. }
+            | Expr::GroupAggregate { input, .. } => 1 + input.size(),
             Expr::DupElim(e) => 1 + e.size(),
             Expr::Union(a, b)
             | Expr::Monus(a, b)
@@ -287,6 +312,13 @@ impl Expr {
                 let schema = left_schema_of_except(&a)?;
                 expand_except(&a, &b, &schema)?
             }
+            // Not a derived operator: the aggregate has no defining equation
+            // in the core grammar, so only its input is expanded.
+            Expr::GroupAggregate { keys, aggs, input } => Expr::GroupAggregate {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                input: Box::new(input.expand_derived(left_schema_of_except)?),
+            },
         })
     }
 }

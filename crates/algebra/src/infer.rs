@@ -132,6 +132,71 @@ pub fn compile_unoptimized(expr: &Expr, provider: &dyn SchemaProvider) -> Result
                 schema: ca.schema.concat(&cb.schema),
             })
         }
+        Expr::GroupAggregate { keys, aggs, input } => {
+            let c = compile_unoptimized(input, provider)?;
+            let mut key_pos = Vec::with_capacity(keys.len());
+            let mut out_cols = Vec::with_capacity(keys.len() + aggs.len());
+            for col in keys {
+                let idx = c.schema.resolve(col.qualifier.as_deref(), &col.name)?;
+                key_pos.push(idx);
+                let src = c.schema.column(idx).expect("resolved index in range");
+                // Like projection, output key columns are unqualified.
+                out_cols.push(Column::new(src.name.clone(), src.ty));
+            }
+            let mut agg_pos = Vec::with_capacity(aggs.len());
+            for call in aggs {
+                let (pos, ty) = match &call.arg {
+                    None => {
+                        if call.func != crate::aggregate::AggFunc::Count {
+                            return Err(AlgebraError::BadAggregate(format!(
+                                "{}(*) is not a thing; only COUNT takes `*`",
+                                call.func
+                            )));
+                        }
+                        (None, ValueType::Int)
+                    }
+                    Some(col) => {
+                        let idx = c.schema.resolve(col.qualifier.as_deref(), &col.name)?;
+                        let arg_ty = c.schema.column(idx).expect("resolved index in range").ty;
+                        use crate::aggregate::AggFunc;
+                        let out_ty = match call.func {
+                            AggFunc::Count => ValueType::Int,
+                            AggFunc::Avg => ValueType::Double,
+                            AggFunc::Sum => {
+                                if !matches!(arg_ty, ValueType::Int | ValueType::Double) {
+                                    return Err(AlgebraError::BadAggregate(format!(
+                                        "SUM({col}) needs a numeric argument, got {arg_ty}"
+                                    )));
+                                }
+                                arg_ty
+                            }
+                            AggFunc::Min | AggFunc::Max => arg_ty,
+                        };
+                        if call.func == crate::aggregate::AggFunc::Avg
+                            && !matches!(arg_ty, ValueType::Int | ValueType::Double)
+                        {
+                            return Err(AlgebraError::BadAggregate(format!(
+                                "AVG({col}) needs a numeric argument, got {arg_ty}"
+                            )));
+                        }
+                        (Some(idx), out_ty)
+                    }
+                };
+                agg_pos.push((call.func, pos));
+                out_cols.push(Column::new(call.output_name(), ty));
+            }
+            // Schema::new rejects duplicate output names (two aggregates
+            // over the same column, or a key clashing with `sum_b`).
+            let schema = Schema::new(out_cols)?;
+            Ok(CompiledQuery {
+                plan: Plan::GroupAggregate {
+                    keys: key_pos,
+                    aggs: agg_pos,
+                    input: Box::new(c.plan),
+                },
+                schema,
+            })
+        }
     }
 }
 

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod display;
 pub mod error;
 pub mod eval;
@@ -32,6 +33,7 @@ pub mod simplify;
 pub mod subst;
 pub mod testgen;
 
+pub use aggregate::{group_aggregate_bag, group_entry, AggCall, AggFunc, GroupAggregateState};
 pub use error::{AlgebraError, Result};
 pub use eval::{
     eval, eval_in_catalog, eval_mode, eval_reference, eval_streaming, set_eval_mode, BagSource,

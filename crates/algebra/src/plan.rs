@@ -4,6 +4,7 @@
 //! [`crate::infer::compile`]; all column references have been resolved to
 //! tuple positions and all schema checks have already happened.
 
+use crate::aggregate::AggFunc;
 use crate::predicate::CmpOp;
 use dvm_storage::hasher::FxHasher;
 use dvm_storage::{Bag, Tuple, Value};
@@ -97,6 +98,18 @@ pub enum Plan {
         right_keys: Vec<usize>,
         /// Residual predicate over the concatenated tuple.
         residual: PhysPredicate,
+    },
+    /// Grouping aggregate `γ`: group the input by the key positions and
+    /// emit one row per non-empty group — key values, then one value per
+    /// aggregate. A pipeline breaker in both executors.
+    GroupAggregate {
+        /// Key positions in the input tuple.
+        keys: Vec<usize>,
+        /// Aggregates: function plus argument position (`None` only for
+        /// `COUNT(*)`).
+        aggs: Vec<(AggFunc, Option<usize>)>,
+        /// Input plan.
+        input: Box<Plan>,
     },
 }
 
@@ -198,6 +211,22 @@ impl Plan {
                 right_keys.hash(h);
                 residual.hash(h);
             }
+            Plan::GroupAggregate { keys, aggs, input } => {
+                h.write_u8(12);
+                keys.hash(h);
+                h.write_usize(aggs.len());
+                for (func, arg) in aggs {
+                    h.write_u8(*func as u8);
+                    match arg {
+                        None => h.write_u8(0),
+                        Some(i) => {
+                            h.write_u8(1);
+                            h.write_usize(*i);
+                        }
+                    }
+                }
+                input.hash_structure(h);
+            }
         }
     }
 
@@ -221,6 +250,7 @@ impl Plan {
                 left.collect_tables(out);
                 right.collect_tables(out);
             }
+            Plan::GroupAggregate { input, .. } => input.collect_tables(out),
         }
     }
 }

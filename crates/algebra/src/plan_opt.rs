@@ -117,6 +117,11 @@ pub fn optimize(plan: Plan, scan_arity: &FxHashMap<String, usize>) -> Plan {
             right_keys,
             residual,
         },
+        Plan::GroupAggregate { keys, aggs, input } => Plan::GroupAggregate {
+            keys,
+            aggs,
+            input: Box::new(optimize(*input, scan_arity)),
+        },
         leaf @ (Plan::Scan(_) | Plan::Literal(_)) => leaf,
     }
 }
@@ -423,6 +428,7 @@ fn arity(plan: &Plan, scan_arity: &FxHashMap<String, usize>) -> Option<usize> {
         Plan::HashJoin { left, right, .. } => {
             Some(arity(left, scan_arity)? + arity(right, scan_arity)?)
         }
+        Plan::GroupAggregate { keys, aggs, .. } => Some(keys.len() + aggs.len()),
     }
 }
 

@@ -135,6 +135,19 @@ pub fn simplify(expr: &Expr, provider: &dyn SchemaProvider) -> Result<Expr> {
                 a.except(b)
             }
         }
+        Expr::GroupAggregate { keys, aggs, input } => {
+            let input = simplify(input, provider)?;
+            if input.is_empty_literal() {
+                // γ over φ emits no groups: G(φ) = φ.
+                empty_like(expr, provider)?
+            } else {
+                Expr::GroupAggregate {
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                    input: Box::new(input),
+                }
+            }
+        }
     };
     const_fold(node, provider)
 }

@@ -69,6 +69,11 @@ impl Substitution {
                 Expr::MaxUnion(Box::new(self.apply(a)), Box::new(self.apply(b)))
             }
             Expr::Except(a, b) => Expr::Except(Box::new(self.apply(a)), Box::new(self.apply(b))),
+            Expr::GroupAggregate { keys, aggs, input } => Expr::GroupAggregate {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                input: Box::new(self.apply(input)),
+            },
         }
     }
 }

@@ -11,6 +11,7 @@
 //! that include self-joins and every `BA` operator — the exact territory
 //! where the state bug lives (Section 4.2, Remark 1).
 
+use crate::aggregate::{AggCall, AggFunc};
 use crate::expr::Expr;
 use crate::predicate::{CmpOp, ColRef, Operand, Predicate};
 use crate::subst::FactoredSubstitution;
@@ -213,6 +214,36 @@ impl Universe {
                 left.product(right).select(pred).project(["l.a", "r.b"])
             }
         }
+    }
+
+    /// A random aggregate expression: a `GroupAggregate` over a random
+    /// expression of the given depth. Top-level only — the aggregate's
+    /// output schema (generated column names like `sum_b`) deliberately
+    /// does not compose with [`Universe::expr`]'s two-column shapes, so
+    /// grouping is the outermost operator, exactly as SQL lowers it.
+    ///
+    /// Group keys are a random nonempty subset of `{a, b}` and the
+    /// aggregate list a random nonempty subset of the five functions over
+    /// column `b` (plus `COUNT(*)`); in mixed universes the input carries
+    /// NULL keys and NULL/double arguments.
+    pub fn agg_expr(&self, rng: &mut Rng, depth: usize) -> Expr {
+        let keys = match rng.below(3) {
+            0 => vec![ColRef::new("a")],
+            1 => vec![ColRef::new("b")],
+            _ => vec![ColRef::new("a"), ColRef::new("b")],
+        };
+        let mut candidates = vec![
+            AggCall::count_star(),
+            AggCall::new(AggFunc::Count, ColRef::new("b")),
+            AggCall::new(AggFunc::Sum, ColRef::new("b")),
+            AggCall::new(AggFunc::Avg, ColRef::new("b")),
+            AggCall::new(AggFunc::Min, ColRef::new("b")),
+            AggCall::new(AggFunc::Max, ColRef::new("b")),
+        ];
+        rng.shuffle(&mut candidates);
+        let n = 1 + rng.below(candidates.len() as u64 - 1) as usize;
+        candidates.truncate(n);
+        self.expr(rng, depth).group_aggregate(keys, candidates)
     }
 
     /// A random *weakly minimal* factored substitution relative to `state`:

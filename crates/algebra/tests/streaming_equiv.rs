@@ -50,6 +50,31 @@ fn streaming_matches_reference_with_null_and_double_keys() {
         });
 }
 
+/// Aggregate plans: `GroupAggregate` is a pipeline breaker in both
+/// executors, but the fused chains feeding it differ — the streaming path
+/// pipelines σ/Π/ε into the grouping hash table while the reference
+/// evaluator materializes every intermediate bag. Both must emit the same
+/// set of groups with the same COUNT/SUM/AVG/MIN/MAX values, including
+/// NULL grouping keys (which group together) and `Double` contributions
+/// (which coerce SUM to Double and must agree bit-for-bit — the mixed
+/// universe only emits dyadic doubles, so sums are exact).
+#[test]
+fn streaming_matches_reference_on_aggregate_plans() {
+    let u = Universe::mixed(3);
+    let provider = u.provider();
+    Prop::new("streaming_matches_reference_on_aggregate_plans")
+        .cases(400)
+        .run(|rng| {
+            let state = u.state(rng, 5);
+            let e = u.agg_expr(rng, 2);
+            let optimized = compile(&e, &provider).expect("typecheck").plan;
+            let naive = compile_unoptimized(&e, &provider).expect("typecheck").plan;
+            let streamed = eval_streaming(&optimized, &state).expect("streaming eval");
+            let reference = eval_reference(&naive, &state).expect("reference eval");
+            assert_eq!(streamed, reference, "executors diverged on {e}");
+        });
+}
+
 /// The streaming executor over the *optimized* plan still agrees with the
 /// reference evaluator over the *unoptimized* plan — fusion composes with
 /// join extraction and filter pushdown without changing semantics.

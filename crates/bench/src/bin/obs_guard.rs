@@ -20,6 +20,11 @@
 //! phase ≥1.3× over the materializing reference. These check the committed
 //! artifact's internal ratios — same machine, same run — so they are
 //! noise-robust and fail only when the executor actually regresses.
+//!
+//! Likewise for **incremental aggregates**: `results/BENCH_agg.json`
+//! (written by `exp_agg`) must show the count-annotated maintainer ≥5×
+//! over a full recompute when applying a 1000-row delta to the 100k-row /
+//! 1k-group Zipf view — the O(|Δ|) claim, checked as a recorded ratio.
 
 use dvm_bench::retail_db;
 use dvm_core::{Database, Minimality, Scenario};
@@ -49,6 +54,14 @@ const EVAL_GATES: &[(&str, &str, f64, &str)] = &[
     ),
 ];
 
+/// Same shape for `results/BENCH_agg.json` (written by `exp_agg`).
+const AGG_GATES: &[(&str, &str, f64, &str)] = &[(
+    "agg/recompute/full",
+    "agg/incremental/delta1000",
+    5.0,
+    "incremental aggregate delta vs full recompute (100k rows / 1k groups)",
+)];
+
 fn baseline_median() -> Option<f64> {
     let text = std::fs::read_to_string("results/BENCH_concurrent.json").ok()?;
     let doc = json::parse(&text).ok()?;
@@ -69,22 +82,22 @@ fn eval_median(doc: &json::Value, name: &str) -> Option<f64> {
     None
 }
 
-/// Gate the recorded executor speedups in `results/BENCH_eval.json`.
+/// Gate recorded speedup ratios in a committed `BENCH_*.json` artifact.
 /// Returns `false` on a failed gate (missing file skips — the artifact may
 /// not have been generated yet on a fresh checkout).
-fn check_eval_ratios() -> bool {
-    let Ok(text) = std::fs::read_to_string("results/BENCH_eval.json") else {
-        println!("obs_guard: no results/BENCH_eval.json — skipping executor speedup gates");
+fn check_ratio_gates(path: &str, gates: &[(&str, &str, f64, &str)], regen: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("obs_guard: no {path} — skipping its speedup gates");
         return true;
     };
     let Ok(doc) = json::parse(&text) else {
-        eprintln!("obs_guard: FAIL — results/BENCH_eval.json is not valid JSON");
+        eprintln!("obs_guard: FAIL — {path} is not valid JSON");
         return false;
     };
     let mut ok = true;
-    for (num, den, floor, label) in EVAL_GATES {
+    for (num, den, floor, label) in gates {
         let (Some(n), Some(d)) = (eval_median(&doc, num), eval_median(&doc, den)) else {
-            eprintln!("obs_guard: FAIL — `{num}` / `{den}` missing from BENCH_eval.json");
+            eprintln!("obs_guard: FAIL — `{num}` / `{den}` missing from {path}");
             ok = false;
             continue;
         };
@@ -93,7 +106,7 @@ fn check_eval_ratios() -> bool {
         if ratio < *floor {
             eprintln!(
                 "obs_guard: FAIL — {label} at {ratio:.2}x, below the {floor}x floor; \
-                 regenerate with `cargo run --release -p dvm-bench --bin exp_eval`"
+                 regenerate with `cargo run --release -p dvm-bench --bin {regen}`"
             );
             ok = false;
         }
@@ -110,7 +123,9 @@ fn make() -> (Database, Vec<Vec<Transaction>>) {
 }
 
 fn main() {
-    if !check_eval_ratios() {
+    let gates_ok = check_ratio_gates("results/BENCH_eval.json", EVAL_GATES, "exp_eval")
+        & check_ratio_gates("results/BENCH_agg.json", AGG_GATES, "exp_agg");
+    if !gates_ok {
         std::process::exit(1);
     }
     let Some(baseline) = baseline_median() else {

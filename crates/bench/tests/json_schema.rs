@@ -203,6 +203,28 @@ fn check_eval_report(doc: &Value, ctx: &str) {
     }
 }
 
+/// `BENCH_agg.json` must carry the series the aggregate speedup gate in
+/// `obs_guard` divides, plus the delta-100 ablation point.
+fn check_agg_report(doc: &Value, ctx: &str) {
+    const REQUIRED: &[&str] = &[
+        "agg/incremental/delta100",
+        "agg/incremental/delta1000",
+        "agg/recompute/full",
+        "agg/build/from_bag",
+    ];
+    let benches = require(doc, "benchmarks", ctx).as_arr().unwrap();
+    let names: Vec<&str> = benches
+        .iter()
+        .filter_map(|b| b.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in REQUIRED {
+        assert!(
+            names.contains(want),
+            "{ctx}: missing benchmark `{want}` (the aggregate speedup gate depends on it)"
+        );
+    }
+}
+
 fn check_experiment(doc: &Value, ctx: &str) {
     require(doc, "experiment", ctx)
         .as_str()
@@ -239,6 +261,9 @@ fn every_results_json_parses_and_matches_its_schema() {
             }
             if name == "BENCH_eval.json" {
                 check_eval_report(&doc, &name);
+            }
+            if name == "BENCH_agg.json" {
+                check_agg_report(&doc, &name);
             }
             checked += 1;
         } else if name.starts_with("exp_") {

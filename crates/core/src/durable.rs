@@ -23,7 +23,7 @@
 
 use crate::error::Result;
 use crate::view::{Minimality, Scenario};
-use dvm_algebra::{CmpOp, ColRef, Expr, Operand, Predicate};
+use dvm_algebra::{AggCall, AggFunc, CmpOp, ColRef, Expr, Operand, Predicate};
 use dvm_delta::Transaction;
 use dvm_storage::codec::{self, Reader};
 use dvm_storage::{Bag, Schema, TableKind};
@@ -275,6 +275,49 @@ pub fn put_expr(buf: &mut Vec<u8>, e: &Expr) {
         Expr::MinIntersect(a, b) => put_binary(buf, 9, a, b),
         Expr::MaxUnion(a, b) => put_binary(buf, 10, a, b),
         Expr::Except(a, b) => put_binary(buf, 11, a, b),
+        Expr::GroupAggregate { keys, aggs, input } => {
+            codec::put_u8(buf, 12);
+            codec::put_u16(buf, keys.len() as u16);
+            for k in keys {
+                put_colref(buf, k);
+            }
+            codec::put_u16(buf, aggs.len() as u16);
+            for call in aggs {
+                put_agg_func(buf, call.func);
+                match &call.arg {
+                    None => codec::put_u8(buf, 0),
+                    Some(c) => {
+                        codec::put_u8(buf, 1);
+                        put_colref(buf, c);
+                    }
+                }
+            }
+            put_expr(buf, input);
+        }
+    }
+}
+
+fn put_agg_func(buf: &mut Vec<u8>, f: AggFunc) {
+    codec::put_u8(
+        buf,
+        match f {
+            AggFunc::Count => 0,
+            AggFunc::Sum => 1,
+            AggFunc::Avg => 2,
+            AggFunc::Min => 3,
+            AggFunc::Max => 4,
+        },
+    );
+}
+
+fn get_agg_func(r: &mut Reader<'_>) -> Result<AggFunc> {
+    match r.u8()? {
+        0 => Ok(AggFunc::Count),
+        1 => Ok(AggFunc::Sum),
+        2 => Ok(AggFunc::Avg),
+        3 => Ok(AggFunc::Min),
+        4 => Ok(AggFunc::Max),
+        tag => Err(r.corrupt(format_args!("unknown agg-func tag {tag}")).into()),
     }
 }
 
@@ -326,6 +369,33 @@ pub fn get_expr(r: &mut Reader<'_>) -> Result<Expr> {
         9 => get_binary(r, Expr::MinIntersect)?,
         10 => get_binary(r, Expr::MaxUnion)?,
         11 => get_binary(r, Expr::Except)?,
+        12 => {
+            let nk = r.u16()? as usize;
+            let mut keys = Vec::with_capacity(nk);
+            for _ in 0..nk {
+                keys.push(get_colref(r)?);
+            }
+            let na = r.u16()? as usize;
+            let mut aggs = Vec::with_capacity(na);
+            for _ in 0..na {
+                let func = get_agg_func(r)?;
+                let arg = match r.u8()? {
+                    0 => None,
+                    1 => Some(get_colref(r)?),
+                    tag => {
+                        return Err(r
+                            .corrupt(format_args!("unknown agg-arg tag {tag}"))
+                            .into())
+                    }
+                };
+                aggs.push(AggCall { func, arg });
+            }
+            Expr::GroupAggregate {
+                keys,
+                aggs,
+                input: Box::new(get_expr(r)?),
+            }
+        }
         tag => return Err(r.corrupt(format_args!("unknown expr tag {tag}")).into()),
     })
 }
@@ -637,7 +707,7 @@ mod tests {
             Box::new(Expr::table("s")),
             Box::new(Expr::literal(Bag::singleton(tuple![1, "x"]), sample_schema())),
         );
-        Expr::Except(
+        let set_ops = Expr::Except(
             Box::new(Expr::MinIntersect(
                 Box::new(Expr::MaxUnion(Box::new(joined), Box::new(other.clone()))),
                 Box::new(other.dedup()),
@@ -649,6 +719,17 @@ mod tests {
                 )),
                 Box::new(Expr::table("u")),
             )),
+        );
+        set_ops.group_aggregate(
+            vec![ColRef::new("id"), ColRef::qualified("a", "name")],
+            vec![
+                AggCall::count_star(),
+                AggCall::new(AggFunc::Count, ColRef::new("id")),
+                AggCall::new(AggFunc::Sum, ColRef::new("id")),
+                AggCall::new(AggFunc::Avg, ColRef::qualified("a", "id")),
+                AggCall::new(AggFunc::Min, ColRef::new("name")),
+                AggCall::new(AggFunc::Max, ColRef::new("id")),
+            ],
         )
     }
 

@@ -8,7 +8,7 @@
 //! one WAL record**; op `k` therefore carries LSN `k`, and a WAL prefix of
 //! `k` complete frames recovers precisely `twin(k)`.
 
-use dvm_algebra::{col, lit, Expr, Predicate};
+use dvm_algebra::{col, lit, AggCall, AggFunc, ColRef, Expr, Predicate};
 use dvm_core::{Database, Minimality, Scenario};
 use dvm_delta::Transaction;
 use dvm_durability::{CrashFs, DurabilityPolicy, WalOptions};
@@ -37,6 +37,19 @@ fn def_s() -> Expr {
 
 fn def_union() -> Expr {
     def_r().union(def_s())
+}
+
+fn def_agg() -> Expr {
+    Expr::table("r").group_aggregate(
+        vec![ColRef::new("a")],
+        vec![
+            AggCall::count_star(),
+            AggCall::new(AggFunc::Sum, ColRef::new("b")),
+            AggCall::new(AggFunc::Avg, ColRef::new("b")),
+            AggCall::new(AggFunc::Min, ColRef::new("b")),
+            AggCall::new(AggFunc::Max, ColRef::new("b")),
+        ],
+    )
 }
 
 type Op = (&'static str, fn(&Database));
@@ -123,6 +136,39 @@ const OPS: &[Op] = &[
     }),
     ("refresh v_sh", |db| {
         db.refresh("v_sh").unwrap();
+    }),
+    // Aggregate view under the same crash matrix: the WAL must replay
+    // the γ definition (Expr codec tag 12), its diff tables, and every
+    // maintenance verb so each cut recovers the exact possibly-stale
+    // state of the never-crashed twin.
+    ("view v_agg", |db| {
+        db.create_view_with("v_agg", def_agg(), Scenario::Combined, Minimality::Weak)
+            .unwrap();
+    }),
+    ("tx ins r agg", |db| {
+        db.execute(
+            &Transaction::new()
+                .insert_tuple("r", tuple![1, 6])
+                .insert_tuple("r", tuple![2, 2]),
+        )
+        .unwrap();
+    }),
+    ("propagate v_agg", |db| {
+        db.propagate("v_agg").unwrap();
+    }),
+    ("tx del r extremum", |db| {
+        // Removes group a=7's only row — its MIN and MAX — so replaying
+        // this op forces the aggregate delta to retire a whole group;
+        // v_agg stays stale until the next op refreshes it.
+        db.execute(
+            &Transaction::new()
+                .delete_tuple("r", tuple![7, 9])
+                .insert_tuple("r", tuple![1, 4]),
+        )
+        .unwrap();
+    }),
+    ("refresh v_agg", |db| {
+        db.refresh("v_agg").unwrap();
     }),
 ];
 
@@ -509,6 +555,8 @@ fn clean_close_property_roundtrip() {
                 .unwrap();
             d.create_view_shared("v_sh", def_s(), Minimality::Strong)
                 .unwrap();
+            d.create_view_with("v_agg", def_agg(), Scenario::Combined, Minimality::Weak)
+                .unwrap();
         }
         for _ in 0..30 {
             match rng.below(10) {
@@ -536,12 +584,12 @@ fn clean_close_property_roundtrip() {
                     mem.execute(&tx).unwrap();
                 }
                 6 => {
-                    let v = *rng.choice(&["v_bl", "v_c", "v_sh"]);
+                    let v = *rng.choice(&["v_bl", "v_c", "v_sh", "v_agg"]);
                     db.refresh(v).unwrap();
                     mem.refresh(v).unwrap();
                 }
                 7 => {
-                    let v = *rng.choice(&["v_c", "v_sh"]);
+                    let v = *rng.choice(&["v_c", "v_sh", "v_agg"]);
                     db.propagate(v).unwrap();
                     mem.propagate(v).unwrap();
                 }

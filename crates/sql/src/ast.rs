@@ -58,11 +58,38 @@ pub struct SelectBlock {
     /// `SELECT DISTINCT` → duplicate elimination `ε`.
     pub distinct: bool,
     /// Projection list; `None` means `*`.
-    pub columns: Option<Vec<ColumnRef>>,
+    pub columns: Option<Vec<SelectItem>>,
     /// `FROM` items, combined by product.
     pub from: Vec<TableRef>,
     /// `WHERE` predicate.
     pub predicate: Option<PredExpr>,
+    /// `GROUP BY` key columns (empty when absent).
+    pub group_by: Vec<ColumnRef>,
+}
+
+/// One item of a select list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Col(ColumnRef),
+    /// An aggregate call: `COUNT(*)` (arg `None`, Count only) or `func(col)`.
+    Agg {
+        /// The aggregate function.
+        func: AggFuncAst,
+        /// Argument column; `None` means `COUNT(*)`.
+        arg: Option<ColumnRef>,
+    },
+}
+
+/// Aggregate functions at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the SQL function names themselves
+pub enum AggFuncAst {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
 }
 
 /// A `[qualifier.]name` column reference.

@@ -8,7 +8,7 @@
 use crate::ast::*;
 use crate::error::{Result, SqlError};
 use dvm_algebra::predicate::{CmpOp, ColRef, Operand, Predicate};
-use dvm_algebra::Expr;
+use dvm_algebra::{AggCall, AggFunc, Expr};
 use dvm_storage::{Schema, Tuple};
 
 /// A lowered statement, ready for an engine to act on.
@@ -111,13 +111,98 @@ fn lower_select(block: &SelectBlock) -> Result<Expr> {
     if let Some(p) = &block.predicate {
         expr = expr.select(lower_predicate(p));
     }
-    if let Some(cols) = &block.columns {
-        expr = expr.project_refs(cols.iter().map(lower_colref).collect());
+    let has_agg = block
+        .columns
+        .iter()
+        .flatten()
+        .any(|item| matches!(item, SelectItem::Agg { .. }));
+    if has_agg || !block.group_by.is_empty() {
+        expr = lower_aggregate(block, expr)?;
+    } else if let Some(items) = &block.columns {
+        let cols = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Col(c) => lower_colref(c),
+                SelectItem::Agg { .. } => unreachable!("no aggregates on this path"),
+            })
+            .collect();
+        expr = expr.project_refs(cols);
     }
     if block.distinct {
         expr = expr.dedup();
     }
     Ok(expr)
+}
+
+/// Lower a grouped (or globally aggregated) select list onto `γ`.
+///
+/// The operator emits grouping keys first (in `GROUP BY` order), then one
+/// column per aggregate; when the select list interleaves keys and
+/// aggregates in a different order — or omits some keys — an outer `Π`
+/// restores the select-list shape. Note `γ` emits one row *per non-empty
+/// group*, so a global aggregate (`GROUP BY` absent, keys `[]`) over an
+/// empty input yields an empty bag, not SQL's single NULL/zero row — the
+/// deferred-maintenance invariants need `G(φ) = φ`.
+fn lower_aggregate(block: &SelectBlock, input: Expr) -> Result<Expr> {
+    let Some(items) = &block.columns else {
+        return Err(SqlError::Unsupported(
+            "SELECT * cannot be combined with GROUP BY or aggregates".into(),
+        ));
+    };
+    let keys: Vec<ColRef> = block.group_by.iter().map(lower_colref).collect();
+    let mut aggs = Vec::new();
+    // The select-list order, as names in the operator's output schema.
+    let mut out_order = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            SelectItem::Col(c) => {
+                if !block.group_by.contains(c) {
+                    return Err(SqlError::Unsupported(format!(
+                        "column '{}' must appear in GROUP BY or inside an aggregate",
+                        render_colref(c)
+                    )));
+                }
+                // γ emits key columns unqualified, like projection.
+                out_order.push(ColRef::new(c.name.clone()));
+            }
+            SelectItem::Agg { func, arg } => {
+                let call = match arg {
+                    None => AggCall::count_star(),
+                    Some(c) => AggCall::new(lower_agg_func(*func), lower_colref(c)),
+                };
+                out_order.push(ColRef::new(call.output_name()));
+                aggs.push(call);
+            }
+        }
+    }
+    let natural: Vec<ColRef> = keys
+        .iter()
+        .map(|k| ColRef::new(k.name.clone()))
+        .chain(aggs.iter().map(|a| ColRef::new(a.output_name())))
+        .collect();
+    let expr = input.group_aggregate(keys, aggs);
+    Ok(if out_order == natural {
+        expr
+    } else {
+        expr.project_refs(out_order)
+    })
+}
+
+fn render_colref(c: &ColumnRef) -> String {
+    match &c.qualifier {
+        Some(q) => format!("{q}.{}", c.name),
+        None => c.name.clone(),
+    }
+}
+
+fn lower_agg_func(f: AggFuncAst) -> AggFunc {
+    match f {
+        AggFuncAst::Count => AggFunc::Count,
+        AggFuncAst::Sum => AggFunc::Sum,
+        AggFuncAst::Avg => AggFunc::Avg,
+        AggFuncAst::Min => AggFunc::Min,
+        AggFuncAst::Max => AggFunc::Max,
+    }
 }
 
 fn lower_table_ref(tr: &TableRef) -> Expr {
@@ -306,6 +391,89 @@ mod tests {
         };
         assert_eq!(name, "hot");
         assert!(matches!(definition, Expr::Project { .. }));
+    }
+
+    #[test]
+    fn group_by_round_trips_all_five_aggregates() {
+        // parse → lower → compile → eval, one pass over every function.
+        let expr = sql_to_expr(
+            "SELECT itemNo, count(*), count(custId), sum(quantity), \
+             avg(quantity), min(quantity), max(quantity) \
+             FROM sales GROUP BY itemNo",
+        )
+        .unwrap();
+        assert!(matches!(expr, Expr::GroupAggregate { .. }));
+        let p = retail_provider();
+        let q = compile(&expr, &p).unwrap();
+        assert_eq!(
+            q.schema.to_string(),
+            "(itemNo: INT, count: INT, count_custId: INT, sum_quantity: INT, \
+             avg_quantity: DOUBLE, min_quantity: INT, max_quantity: INT)"
+        );
+        let mut state: HashMap<String, Bag> = HashMap::new();
+        state.insert(
+            "sales".into(),
+            Bag::from_tuples([
+                tuple![1, 100, 2, 1.0],
+                tuple![2, 100, 6, 1.0],
+                tuple![1, 200, 5, 1.0],
+            ]),
+        );
+        state.insert("customer".into(), Bag::new());
+        let out = eval(&q.plan, &state).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple![100, 2, 2, 8, 4.0, 2, 6]));
+        assert!(out.contains(&tuple![200, 1, 1, 5, 5.0, 5, 5]));
+    }
+
+    #[test]
+    fn select_list_order_restored_by_projection() {
+        // Aggregate first, key second: γ emits keys first, so lowering must
+        // add an outer Π to restore the select-list order.
+        let expr = sql_to_expr("SELECT sum(quantity), itemNo FROM sales GROUP BY itemNo").unwrap();
+        assert!(matches!(expr, Expr::Project { .. }));
+        let p = retail_provider();
+        let q = compile(&expr, &p).unwrap();
+        assert_eq!(q.schema.to_string(), "(sum_quantity: INT, itemNo: INT)");
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let expr = sql_to_expr("SELECT count(*), max(quantity) FROM sales").unwrap();
+        let p = retail_provider();
+        let q = compile(&expr, &p).unwrap();
+        let mut state: HashMap<String, Bag> = HashMap::new();
+        state.insert(
+            "sales".into(),
+            Bag::from_tuples([tuple![1, 100, 2, 1.0], tuple![1, 200, 7, 1.0]]),
+        );
+        state.insert("customer".into(), Bag::new());
+        let out = eval(&q.plan, &state).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![2, 7]));
+    }
+
+    #[test]
+    fn ungrouped_plain_column_is_rejected() {
+        let err = sql_to_expr("SELECT custId, count(*) FROM sales GROUP BY itemNo").unwrap_err();
+        assert!(
+            err.to_string().contains("must appear in GROUP BY"),
+            "{err}"
+        );
+        assert!(sql_to_expr("SELECT * FROM sales GROUP BY itemNo").is_err());
+    }
+
+    #[test]
+    fn grouped_view_lowering() {
+        let s = sql_to_statement(
+            "CREATE VIEW totals AS SELECT custId, sum(quantity) FROM sales GROUP BY custId",
+        )
+        .unwrap();
+        let LoweredStatement::CreateView { name, definition } = s else {
+            panic!()
+        };
+        assert_eq!(name, "totals");
+        assert!(matches!(definition, Expr::GroupAggregate { .. }));
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! create_table:= CREATE TABLE ident ( ident type (, ident type)* )
 //! create_view := CREATE VIEW ident AS query
 //! query       := select_block ((UNION ALL | EXCEPT [ALL] | INTERSECT ALL) select_block)*
-//! select_block:= SELECT [DISTINCT] (columns | *) FROM table_ref (, table_ref)* [WHERE pred]
+//! select_block:= SELECT [DISTINCT] (select_item (, select_item)* | *)
+//!                FROM table_ref (, table_ref)* [WHERE pred]
+//!                [GROUP BY column (, column)*]
 //!              | ( query )
+//! select_item := agg_name ( * | column ) | column      -- agg names: COUNT/SUM/AVG/MIN/MAX
 //! table_ref   := ident [[AS] ident]
 //! pred        := or_pred
 //! or_pred     := and_pred (OR and_pred)*
@@ -234,9 +237,9 @@ impl Parser {
         let columns = if self.eat_if(&TokenKind::Star) {
             None
         } else {
-            let mut cols = vec![self.column_ref()?];
+            let mut cols = vec![self.select_item()?];
             while self.eat_if(&TokenKind::Comma) {
-                cols.push(self.column_ref()?);
+                cols.push(self.select_item()?);
             }
             Some(cols)
         };
@@ -250,12 +253,49 @@ impl Parser {
         } else {
             None
         };
+        let group_by = if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            let mut keys = vec![self.column_ref()?];
+            while self.eat_if(&TokenKind::Comma) {
+                keys.push(self.column_ref()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
         Ok(SelectBlock {
             distinct,
             columns,
             from,
             predicate,
+            group_by,
         })
+    }
+
+    /// Aggregate names are ordinary identifiers (a column may be called
+    /// `count`); only an identifier *immediately followed by `(`* is read
+    /// as an aggregate call.
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if let TokenKind::Ident(name) = &self.peek().kind {
+            if let Some(func) = agg_func_from_name(name) {
+                let next = &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind;
+                if *next == TokenKind::LParen {
+                    self.advance(); // function name
+                    self.advance(); // '('
+                    let arg = if self.eat_if(&TokenKind::Star) {
+                        if func != AggFuncAst::Count {
+                            return self.err("only COUNT may take '*'");
+                        }
+                        None
+                    } else {
+                        Some(self.column_ref()?)
+                    };
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(SelectItem::Agg { func, arg });
+                }
+            }
+        }
+        Ok(SelectItem::Col(self.column_ref()?))
     }
 
     fn column_ref(&mut self) -> Result<ColumnRef> {
@@ -347,6 +387,18 @@ impl Parser {
             _ => Ok(Scalar::Lit(self.literal()?)),
         }
     }
+}
+
+/// Case-insensitive aggregate-function lookup.
+fn agg_func_from_name(name: &str) -> Option<AggFuncAst> {
+    Some(match name.to_ascii_uppercase().as_str() {
+        "COUNT" => AggFuncAst::Count,
+        "SUM" => AggFuncAst::Sum,
+        "AVG" => AggFuncAst::Avg,
+        "MIN" => AggFuncAst::Min,
+        "MAX" => AggFuncAst::Max,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -497,5 +549,73 @@ mod tests {
     #[test]
     fn union_requires_all() {
         assert!(parse_query("SELECT a FROM r UNION SELECT a FROM s").is_err());
+    }
+
+    #[test]
+    fn parse_group_by_and_aggregates() {
+        let q = parse_query(
+            "SELECT s.itemNo, count(*), Count(custId), SUM(quantity), avg(quantity), \
+             MIN(quantity), max(s.quantity) \
+             FROM sales s WHERE quantity > 0 GROUP BY s.itemNo",
+        )
+        .unwrap();
+        let Query::Select(b) = q else { panic!() };
+        assert_eq!(b.group_by.len(), 1);
+        assert_eq!(b.group_by[0].name, "itemNo");
+        let cols = b.columns.as_ref().unwrap();
+        assert_eq!(cols.len(), 7);
+        assert!(matches!(cols[0], SelectItem::Col(_)));
+        assert_eq!(
+            cols[1],
+            SelectItem::Agg {
+                func: AggFuncAst::Count,
+                arg: None
+            }
+        );
+        assert!(matches!(
+            cols[2],
+            SelectItem::Agg {
+                func: AggFuncAst::Count,
+                arg: Some(_)
+            }
+        ));
+        assert!(matches!(cols[3], SelectItem::Agg { func: AggFuncAst::Sum, .. }));
+        assert!(matches!(cols[4], SelectItem::Agg { func: AggFuncAst::Avg, .. }));
+        assert!(matches!(cols[5], SelectItem::Agg { func: AggFuncAst::Min, .. }));
+        let SelectItem::Agg {
+            func: AggFuncAst::Max,
+            arg: Some(ref c),
+        } = cols[6]
+        else {
+            panic!("expected MAX(s.quantity)");
+        };
+        assert_eq!(c.qualifier.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn group_by_multiple_keys() {
+        let q = parse_query("SELECT a, b, count(*) FROM t GROUP BY a, b").unwrap();
+        let Query::Select(b) = q else { panic!() };
+        assert_eq!(b.group_by.len(), 2);
+    }
+
+    #[test]
+    fn count_as_plain_column_name_still_parses() {
+        // No '(' after the identifier: `count` is just a column here.
+        let q = parse_query("SELECT count FROM t").unwrap();
+        let Query::Select(b) = q else { panic!() };
+        assert!(matches!(b.columns.as_ref().unwrap()[0], SelectItem::Col(_)));
+    }
+
+    #[test]
+    fn star_only_valid_under_count() {
+        assert!(parse_query("SELECT SUM(*) FROM t").is_err());
+        assert!(parse_query("SELECT count(*) FROM t").is_ok());
+    }
+
+    #[test]
+    fn group_by_requires_by_and_keys() {
+        assert!(parse_query("SELECT a FROM t GROUP a").is_err());
+        assert!(parse_query("SELECT a FROM t GROUP BY").is_err());
     }
 }

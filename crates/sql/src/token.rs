@@ -82,6 +82,8 @@ pub enum Keyword {
     True,
     False,
     Null,
+    Group,
+    By,
 }
 
 impl Keyword {
@@ -114,6 +116,8 @@ impl Keyword {
             "TRUE" => Keyword::True,
             "FALSE" => Keyword::False,
             "NULL" => Keyword::Null,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
             _ => return None,
         })
     }

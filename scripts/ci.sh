@@ -65,6 +65,12 @@ echo "    OK: fault-injection suite green; recovered database refreshes correctl
 echo "==> streaming executor experiment smoke"
 cargo run --release --offline -q -p dvm-bench --bin exp_eval -- --test
 
+# Aggregate maintenance smoke: the incremental-vs-recompute ablation must
+# run with its differential oracle checks intact (snapshot ≡ recompute
+# after every measured delta).
+echo "==> incremental aggregate experiment smoke"
+cargo run --release --offline -q -p dvm-bench --bin exp_agg -- --test
+
 # Every JSON artifact under results/ must parse and match its schema
 # (pure-Rust validation via dvm_obs::json — no jq in the image), including
 # the benchmark series the executor speedup gates divide.
@@ -75,7 +81,9 @@ cargo test -q --offline -p dvm-bench --test json_schema
 # instrumented execute path must stay within 5% of the recorded baseline
 # (release build; widen with OBS_GUARD_TOLERANCE=0.15 on noisy hosts).
 # obs_guard also enforces the streaming executor's recorded speedups in
-# results/BENCH_eval.json (fused ≥2x on filter-project, ≥1.3x on propagate).
+# results/BENCH_eval.json (fused ≥2x on filter-project, ≥1.3x on propagate)
+# and the incremental-aggregate speedup in results/BENCH_agg.json (the
+# count-annotated maintainer ≥5x over full recompute at delta 1000).
 echo "==> disabled-tracer overhead + executor speedup guard"
 cargo run --release --offline -q -p dvm-bench --bin obs_guard
 
