@@ -325,6 +325,13 @@ impl Expr {
 
 /// Expand `a EXCEPT b` per the paper's equation, joining `a` against
 /// `ε(a) ∸ b` on all columns and projecting `a`'s side back out.
+///
+/// The per-column join predicate uses **null-safe equality** (`<=>`), not
+/// `=`: the direct `Bag::except_all_occurrences` operator compares whole
+/// tuples by value identity, under which two NULLs in the same position
+/// match. Three-valued `=` would silently drop every NULL-bearing survivor
+/// from the semijoin, making the expansion diverge from the operator it is
+/// supposed to define (the PR 6 EXCEPT/NULL divergence).
 fn expand_except(a: &Expr, b: &Expr, left_schema: &Schema) -> Result<Expr> {
     let names: Vec<&str> = left_schema
         .columns()
@@ -345,7 +352,7 @@ fn expand_except(a: &Expr, b: &Expr, left_schema: &Schema) -> Result<Expr> {
     let mut pred = Predicate::always();
     let mut first = true;
     for n in &names {
-        let eq = Predicate::eq(
+        let eq = Predicate::null_eq(
             crate::predicate::Operand::Col(ColRef::qualified("__l", *n)),
             crate::predicate::Operand::Col(ColRef::qualified("__r", *n)),
         );

@@ -49,7 +49,18 @@ impl PhysPredicate {
     pub fn eval(&self, t: &Tuple) -> bool {
         match self {
             PhysPredicate::Const(b) => *b,
-            PhysPredicate::Cmp(l, op, r) => op.test(l.value(t).sql_cmp(r.value(t))),
+            PhysPredicate::Cmp(l, op, r) => {
+                let (lv, rv) = (l.value(t), r.value(t));
+                // Null-safe equality is *value identity* — the total
+                // structural order tuples and bags use — not coercing SQL
+                // comparison: NULL <=> NULL is true, and Int(0) does NOT
+                // match Double(0.0). This is exactly the equality the
+                // EXCEPT expansion needs to mirror the direct operator.
+                if *op == CmpOp::NullEq {
+                    return lv.cmp(rv) == std::cmp::Ordering::Equal;
+                }
+                op.test(lv.sql_cmp(rv))
+            }
             PhysPredicate::And(a, b) => a.eval(t) && b.eval(t),
             PhysPredicate::Or(a, b) => a.eval(t) || b.eval(t),
             PhysPredicate::Not(a) => !a.eval(t),

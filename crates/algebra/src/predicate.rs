@@ -74,16 +74,26 @@ pub enum CmpOp {
     Gt,
     /// `>=`
     Ge,
+    /// `<=>` — null-safe **value-identity** equality (in the spirit of SQL
+    /// `IS NOT DISTINCT FROM`): true exactly when the operands are the same
+    /// storage value under the total structural order, so `NULL <=> NULL`
+    /// is *true* and `0 <=> 0.0` is *false* (no Int/Double coercion). This
+    /// is precisely the tuple equality bags use, which the EXCEPT expansion
+    /// needs to mirror the direct operator.
+    NullEq,
 }
 
 impl CmpOp {
     /// Apply to a comparison result; `None` (null / incomparable) never
-    /// satisfies any operator.
+    /// satisfies any operator — including [`CmpOp::NullEq`], which the
+    /// evaluator decides *structurally* (via the total `Value` order)
+    /// without consulting `sql_cmp` at all; its `test` arm exists only so
+    /// the enum stays total here.
     pub fn test(self, ord: Option<Ordering>) -> bool {
         match ord {
             None => false,
             Some(o) => match self {
-                CmpOp::Eq => o == Ordering::Equal,
+                CmpOp::Eq | CmpOp::NullEq => o == Ordering::Equal,
                 CmpOp::Ne => o != Ordering::Equal,
                 CmpOp::Lt => o == Ordering::Less,
                 CmpOp::Le => o != Ordering::Greater,
@@ -96,7 +106,9 @@ impl CmpOp {
     /// The operator testing the negated condition on non-null operands.
     /// Note that `NOT (a = b)` and `a != b` differ on nulls in full SQL; in
     /// our two-valued semantics they also differ (both are false on null),
-    /// so this is only used for display purposes.
+    /// so this is only used for display purposes. `NullEq` has no operator
+    /// complement (`IS DISTINCT FROM` does not exist here) and maps to
+    /// itself; negate it by wrapping in [`Predicate::not`].
     pub fn negated(self) -> CmpOp {
         match self {
             CmpOp::Eq => CmpOp::Ne,
@@ -105,6 +117,7 @@ impl CmpOp {
             CmpOp::Le => CmpOp::Gt,
             CmpOp::Gt => CmpOp::Le,
             CmpOp::Ge => CmpOp::Lt,
+            CmpOp::NullEq => CmpOp::NullEq,
         }
     }
 }
@@ -118,6 +131,7 @@ impl fmt::Display for CmpOp {
             CmpOp::Le => "<=",
             CmpOp::Gt => ">",
             CmpOp::Ge => ">=",
+            CmpOp::NullEq => "<=>",
         };
         write!(f, "{s}")
     }
@@ -201,6 +215,11 @@ impl Predicate {
     /// `l >= r`
     pub fn ge(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
         Predicate::cmp(l, CmpOp::Ge, r)
+    }
+
+    /// `l <=> r` — null-safe equality (`NULL <=> NULL` is true).
+    pub fn null_eq(l: impl Into<Operand>, r: impl Into<Operand>) -> Self {
+        Predicate::cmp(l, CmpOp::NullEq, r)
     }
 
     /// `self AND other`
@@ -324,9 +343,14 @@ mod tests {
             CmpOp::Le,
             CmpOp::Gt,
             CmpOp::Ge,
+            CmpOp::NullEq,
         ] {
             assert!(!op.test(None), "{op} must reject null comparisons");
         }
+        // NullEq's NULL<=>NULL truth is structural (decided by the
+        // evaluator); on orderings it behaves exactly like Eq.
+        assert!(CmpOp::NullEq.test(Some(Ordering::Equal)));
+        assert!(!CmpOp::NullEq.test(Some(Ordering::Less)));
     }
 
     #[test]

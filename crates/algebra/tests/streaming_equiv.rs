@@ -75,6 +75,99 @@ fn streaming_matches_reference_on_aggregate_plans() {
         });
 }
 
+/// EXCEPT over NULL-bearing states: the paper's semijoin expansion
+/// `Π(σ(Q1 × (ε(Q1) ∸ Q2)))` must agree with the direct bag operator in
+/// *both* executors. The expansion joins on null-safe `<=>`, so a NULL-
+/// bearing row of Q1 finds its own image in the survivor side exactly like
+/// the direct operator's value-identity comparison does. (Previously the
+/// expansion used three-valued `=`, silently dropping NULL rows — the
+/// PR 6 divergence this fixes.)
+#[test]
+fn except_expansion_matches_direct_operator_on_null_rows() {
+    use dvm_algebra::infer::infer_schema;
+    let u = Universe::mixed(3);
+    let provider = u.provider();
+    Prop::new("except_expansion_matches_direct_operator_on_null_rows")
+        .cases(256)
+        .run(|rng| {
+            let state = u.state(rng, 5);
+            let q1 = u.expr(rng, 2);
+            let q2 = u.expr(rng, 2);
+            let direct = q1.clone().except(q2.clone());
+            let schema_of = |e: &dvm_algebra::Expr| infer_schema(e, &provider);
+            let expanded = direct.expand_derived(&schema_of).expect("expandable");
+
+            let direct_plan = compile(&direct, &provider).expect("typecheck").plan;
+            let expanded_plan = compile(&expanded, &provider).expect("typecheck").plan;
+            let direct_streamed = eval_streaming(&direct_plan, &state).expect("eval");
+            let expanded_streamed = eval_streaming(&expanded_plan, &state).expect("eval");
+            let direct_reference = eval_reference(&direct_plan, &state).expect("eval");
+            let expanded_reference = eval_reference(&expanded_plan, &state).expect("eval");
+            assert_eq!(
+                direct_streamed, expanded_streamed,
+                "streaming: expansion diverged from direct EXCEPT on {direct}"
+            );
+            assert_eq!(
+                direct_reference, expanded_reference,
+                "reference: expansion diverged from direct EXCEPT on {direct}"
+            );
+            assert_eq!(direct_streamed, direct_reference, "executors diverged");
+        });
+}
+
+/// Sharded ≡ unsharded: forcing every table bag into the hash-partitioned
+/// representation must not change any query result, in either executor.
+/// Random plans over the mixed universe cover NULL join keys, coercing
+/// Int/Double keys, and every operator the optimizer can emit.
+#[test]
+fn sharded_state_matches_flat_on_random_plans() {
+    let u = Universe::mixed(3);
+    let provider = u.provider();
+    Prop::new("sharded_state_matches_flat_on_random_plans")
+        .cases(192)
+        .run(|rng| {
+            let flat_state = u.state(rng, 5);
+            let mut sharded_state = flat_state.clone();
+            for bag in sharded_state.values_mut() {
+                bag.ensure_sharded();
+            }
+            let e = u.expr(rng, 3);
+            let plan = compile(&e, &provider).expect("typecheck").plan;
+            let flat = eval_streaming(&plan, &flat_state).expect("eval");
+            let sharded = eval_streaming(&plan, &sharded_state).expect("eval");
+            assert_eq!(flat, sharded, "streaming diverged on sharded state: {e}");
+            let flat_ref = eval_reference(&plan, &flat_state).expect("eval");
+            let sharded_ref = eval_reference(&plan, &sharded_state).expect("eval");
+            assert_eq!(flat_ref, sharded_ref, "reference diverged on sharded state: {e}");
+            assert_eq!(flat, flat_ref, "executors diverged: {e}");
+        });
+}
+
+/// Sharded ≡ unsharded on aggregate plans: grouping hashes whole key
+/// prefixes, orthogonal to the shard routing hash — results must be
+/// identical when inputs are pre-sharded.
+#[test]
+fn sharded_state_matches_flat_on_aggregate_plans() {
+    let u = Universe::mixed(3);
+    let provider = u.provider();
+    Prop::new("sharded_state_matches_flat_on_aggregate_plans")
+        .cases(192)
+        .run(|rng| {
+            let flat_state = u.state(rng, 5);
+            let mut sharded_state = flat_state.clone();
+            for bag in sharded_state.values_mut() {
+                bag.ensure_sharded();
+            }
+            let e = u.agg_expr(rng, 2);
+            let plan = compile(&e, &provider).expect("typecheck").plan;
+            let flat = eval_streaming(&plan, &flat_state).expect("eval");
+            let sharded = eval_streaming(&plan, &sharded_state).expect("eval");
+            assert_eq!(flat, sharded, "streaming diverged on sharded state: {e}");
+            let sharded_ref = eval_reference(&plan, &sharded_state).expect("eval");
+            assert_eq!(flat, sharded_ref, "reference diverged on sharded state: {e}");
+        });
+}
+
 /// The streaming executor over the *optimized* plan still agrees with the
 /// reference evaluator over the *unoptimized* plan — fusion composes with
 /// join extraction and filter pushdown without changing semantics.

@@ -25,6 +25,15 @@
 //! (written by `exp_agg`) must show the count-annotated maintainer ≥5×
 //! over a full recompute when applying a 1000-row delta to the 100k-row /
 //! 1k-group Zipf view — the O(|Δ|) claim, checked as a recorded ratio.
+//!
+//! And for **parallel propagate**: `results/BENCH_concurrent.json` must
+//! show `propagate_large/parallel_4w` beating `propagate_large/serial_loop`
+//! by ≥1.2× on a large sharded view — *when the recording host could
+//! actually run 4 workers*. The artifact records `host.parallelism`; on a
+//! single-core recorder a speedup is physically impossible, so the gate
+//! downgrades to a no-regression floor (parallel ≥ 0.85× of serial,
+//! i.e. the pool + per-shard fold must not cost more than it saves even
+//! with zero extra cores).
 
 use dvm_bench::retail_db;
 use dvm_core::{Database, Minimality, Scenario};
@@ -61,6 +70,58 @@ const AGG_GATES: &[(&str, &str, f64, &str)] = &[(
     5.0,
     "incremental aggregate delta vs full recompute (100k rows / 1k groups)",
 )];
+
+const LARGE_SERIAL: &str = "propagate_large/serial_loop";
+const LARGE_PARALLEL: &str = "propagate_large/parallel_4w";
+
+/// Gate the recorded parallel-propagate speedup in
+/// `results/BENCH_concurrent.json`, scaled to what the recording host
+/// could deliver (see module docs). Missing series fail: a renamed
+/// benchmark must not silently disarm the gate.
+fn check_parallel_propagate_gate() -> bool {
+    let path = "results/BENCH_concurrent.json";
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("obs_guard: no {path} — skipping the parallel-propagate gate");
+        return true;
+    };
+    let Ok(doc) = json::parse(&text) else {
+        eprintln!("obs_guard: FAIL — {path} is not valid JSON");
+        return false;
+    };
+    let (Some(serial), Some(parallel)) = (
+        eval_median(&doc, LARGE_SERIAL),
+        eval_median(&doc, LARGE_PARALLEL),
+    ) else {
+        eprintln!(
+            "obs_guard: FAIL — `{LARGE_SERIAL}` / `{LARGE_PARALLEL}` missing from {path}; \
+             regenerate with `cargo bench -p dvm-bench --bench concurrent`"
+        );
+        return false;
+    };
+    let recorded_cores = doc
+        .get("host")
+        .and_then(|h| h.get("parallelism"))
+        .and_then(|p| p.as_f64())
+        .unwrap_or(1.0);
+    let (floor, why) = if recorded_cores >= 4.0 {
+        (1.2, "speedup floor, multicore recording host")
+    } else {
+        (0.85, "no-regression floor, recording host lacked cores")
+    };
+    let ratio = serial / parallel;
+    println!(
+        "obs_guard: parallel propagate on large sharded view: {ratio:.2}x serial \
+         (floor {floor}x — {why}; recorded on {recorded_cores:.0} cores)"
+    );
+    if ratio < floor {
+        eprintln!(
+            "obs_guard: FAIL — parallel_4w propagate at {ratio:.2}x of serial, below the \
+             {floor}x floor; regenerate with `cargo bench -p dvm-bench --bench concurrent`"
+        );
+        return false;
+    }
+    true
+}
 
 fn baseline_median() -> Option<f64> {
     let text = std::fs::read_to_string("results/BENCH_concurrent.json").ok()?;
@@ -124,7 +185,8 @@ fn make() -> (Database, Vec<Vec<Transaction>>) {
 
 fn main() {
     let gates_ok = check_ratio_gates("results/BENCH_eval.json", EVAL_GATES, "exp_eval")
-        & check_ratio_gates("results/BENCH_agg.json", AGG_GATES, "exp_agg");
+        & check_ratio_gates("results/BENCH_agg.json", AGG_GATES, "exp_agg")
+        & check_parallel_propagate_gate();
     if !gates_ok {
         std::process::exit(1);
     }

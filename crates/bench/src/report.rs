@@ -8,7 +8,9 @@
 
 use dvm_testkit::bench::Summary;
 pub use dvm_obs::{fmt_nanos, TableReport};
-pub use dvm_testkit::bench::{to_json_report, write_json};
+pub use dvm_testkit::bench::{
+    to_json_report, to_json_report_with_host, write_json, write_json_with_host,
+};
 
 /// Render benchmark summaries as an aligned table (the human-readable
 /// counterpart of [`to_json_report`]).

@@ -225,6 +225,32 @@ fn check_agg_report(doc: &Value, ctx: &str) {
     }
 }
 
+/// `BENCH_concurrent.json` must carry the serial/parallel propagate series
+/// the obs_guard parallel-propagate gate divides, the execute baseline the
+/// overhead guard re-measures, and the `host.parallelism` stamp that tells
+/// the gate whether a speedup was even possible on the recording machine.
+fn check_concurrent_report(doc: &Value, ctx: &str) {
+    const REQUIRED: &[&str] = &[
+        "propagate_large/serial_loop",
+        "propagate_large/parallel_4w",
+        "execute_streams/1stream/40tx",
+    ];
+    let benches = require(doc, "benchmarks", ctx).as_arr().unwrap();
+    let names: Vec<&str> = benches
+        .iter()
+        .filter_map(|b| b.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in REQUIRED {
+        assert!(
+            names.contains(want),
+            "{ctx}: missing benchmark `{want}` (the obs_guard gates depend on it)"
+        );
+    }
+    let host = require(doc, "host", ctx);
+    let par = require_num(host, "parallelism", &format!("{ctx}/host"));
+    assert!(par >= 1.0, "{ctx}: host.parallelism must be ≥ 1");
+}
+
 fn check_experiment(doc: &Value, ctx: &str) {
     require(doc, "experiment", ctx)
         .as_str()
@@ -264,6 +290,9 @@ fn every_results_json_parses_and_matches_its_schema() {
             }
             if name == "BENCH_agg.json" {
                 check_agg_report(&doc, &name);
+            }
+            if name == "BENCH_concurrent.json" {
+                check_concurrent_report(&doc, &name);
             }
             checked += 1;
         } else if name.starts_with("exp_") {

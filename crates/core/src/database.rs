@@ -55,7 +55,8 @@ use dvm_durability::{
 };
 use dvm_obs::{EventKind, Tracer};
 use dvm_storage::{Bag, Catalog, CommitGuard, CommitMode, Schema, Table, TableKind};
-use dvm_testkit::sync::{with_workers, Mutex, RwLock};
+use dvm_testkit::sync::{Mutex, RwLock};
+use dvm_testkit::WorkerPool;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -102,6 +103,13 @@ pub struct Database {
     /// Worker threads for fanning maintenance across views: 0 = pick from
     /// `std::thread::available_parallelism`.
     maintenance_threads: AtomicUsize,
+    /// Persistent maintenance worker pool. Threads are spawned lazily on
+    /// first parallel fan-out and parked between batches, replacing the
+    /// per-call spawn/join of the old `with_workers` shims — the dominant
+    /// fixed cost that made `propagate_all` slower parallel than serial.
+    /// Fan-outs claim items dynamically (work-stealing), so stragglers no
+    /// longer gate a whole stride.
+    pool: WorkerPool,
     /// The shared epoch log (Section 7): transactions append once,
     /// regardless of how many shared-log views exist.
     shared_log: SharedLog,
@@ -138,6 +146,7 @@ impl Database {
             views: RwLock::new(BTreeMap::new()),
             views_gen: AtomicU64::new(0),
             maintenance_threads: AtomicUsize::new(0),
+            pool: WorkerPool::new(),
             shared_log: SharedLog::new(),
             shared_cursors: RwLock::new(BTreeMap::new()),
             tracer: Tracer::default(),
@@ -165,6 +174,21 @@ impl Database {
     /// serial path.
     pub fn set_maintenance_threads(&self, n: usize) {
         self.maintenance_threads.store(n, Ordering::Relaxed);
+        // Pre-grow the persistent pool so the first parallel fan-out does
+        // not pay thread-spawn latency. Width `n` includes the submitting
+        // thread, so the pool needs `n - 1` helpers.
+        if n > 1 {
+            self.pool.ensure_threads(n - 1);
+        }
+    }
+
+    /// Pool handle + width for per-shard parallelism *inside* a single
+    /// view operation (propagate's Lemma 3 fold, partial_refresh's delta
+    /// apply). `None` when the configuration resolves to serial. Width is
+    /// capped at the shard count — more workers than shards cannot help.
+    fn intra_view_par(&self) -> Option<(&WorkerPool, usize)> {
+        let width = self.maintenance_workers(Bag::SHARDS);
+        (width > 1).then_some((&self.pool, width))
     }
 
     /// Worker count for a fan-out over `jobs` independent items (at least
@@ -536,11 +560,13 @@ impl Database {
         Ok((nanos, pending))
     }
 
-    /// Run `makesafe_one` for every view, fanning across worker threads
-    /// when both views and workers are plural. Each view touches only its
-    /// own auxiliary tables (and takes only read locks on shared base
-    /// state), so the per-view work is independent. Results come back in
-    /// input order.
+    /// Run `makesafe_one` for every view, fanning across the persistent
+    /// worker pool when both views and workers are plural. Each view
+    /// touches only its own auxiliary tables (and takes only read locks on
+    /// shared base state), so the per-view work is independent. Workers
+    /// claim views one at a time off a shared counter — a cheap view never
+    /// waits behind an expensive one the way the old strided split forced
+    /// it to. Results come back in input order.
     fn makesafe_fanout(
         &self,
         views: &[Arc<View>],
@@ -550,27 +576,8 @@ impl Database {
         if n <= 1 || views.len() <= 1 {
             return views.iter().map(|v| self.makesafe_one(v, tx)).collect();
         }
-        let (_, per_worker) = with_workers(
-            n,
-            |i, _stop| {
-                // Strided split: worker i handles views i, i+n, i+2n, ...
-                views
-                    .iter()
-                    .enumerate()
-                    .skip(i)
-                    .step_by(n)
-                    .map(|(idx, v)| (idx, self.makesafe_one(v, tx)))
-                    .collect::<Vec<_>>()
-            },
-            || {},
-        );
-        let mut out: Vec<_> = views.iter().map(|_| None).collect();
-        for (idx, res) in per_worker.into_iter().flatten() {
-            out[idx] = Some(res);
-        }
-        out.into_iter()
-            .map(|r| r.expect("every index covered by exactly one stride"))
-            .collect()
+        self.pool
+            .run(views.len(), n, |i| self.makesafe_one(&views[i], tx))
     }
 
     /// Execute a user transaction with maintenance: `makesafe_*[T]` for
@@ -748,10 +755,12 @@ impl Database {
         match view.scenario() {
             Scenario::Immediate => {} // always consistent
             Scenario::BaseLog => base_log::refresh(&self.catalog, &view)?,
-            Scenario::DiffTable => diff_table::apply_diff_tables(&self.catalog, &view)?,
+            Scenario::DiffTable => {
+                diff_table::apply_diff_tables_with(&self.catalog, &view, self.intra_view_par())?
+            }
             Scenario::Combined => {
                 self.drain_shared(&view)?;
-                combined::refresh(&self.catalog, &view)?;
+                combined::refresh_with(&self.catalog, &view, self.intra_view_par())?;
             }
         }
         view.metrics()
@@ -776,7 +785,7 @@ impl Database {
         let _claims = self.lock_view_bases(&view)?;
         let start = Instant::now();
         self.drain_shared(&view)?;
-        combined::propagate(&self.catalog, &view)?;
+        combined::propagate_with(&self.catalog, &view, self.intra_view_par())?;
         view.metrics()
             .record_propagate(start.elapsed().as_nanos() as u64);
         self.log_op(&DurableOp::Propagate(name.to_string()))?;
@@ -799,7 +808,7 @@ impl Database {
         let _span = self.tracer.span(EventKind::PartialRefresh, name);
         let _maint = view.maintenance_lock();
         let start = Instant::now();
-        combined::partial_refresh(&self.catalog, &view)?;
+        combined::partial_refresh_with(&self.catalog, &view, self.intra_view_par())?;
         view.metrics()
             .record_refresh(start.elapsed().as_nanos() as u64);
         view.metrics().mark_refreshed(self.now_nanos());
@@ -808,10 +817,11 @@ impl Database {
     }
 
     /// Run an operation for each named view, fanning independent views
-    /// across worker threads (per-view serialization and writer conflicts
-    /// are handled by the maintenance mutex and commit claims the ops
-    /// themselves take). Returns the first error in stride order, after
-    /// every worker has finished.
+    /// across the persistent worker pool (per-view serialization and
+    /// writer conflicts are handled by the maintenance mutex and commit
+    /// claims the ops themselves take). Views are claimed dynamically, so
+    /// one large view does not serialize the rest of its stride. Returns
+    /// the first error in input order, after every worker has finished.
     fn for_each_view_parallel(
         &self,
         names: &[String],
@@ -824,20 +834,10 @@ impl Database {
             }
             return Ok(());
         }
-        let (_, results) = with_workers(
-            n,
-            |i, _stop| {
-                names
-                    .iter()
-                    .skip(i)
-                    .step_by(n)
-                    .map(|name| op(name))
-                    .find(Result::is_err)
-                    .unwrap_or(Ok(()))
-            },
-            || {},
-        );
-        results.into_iter().collect()
+        self.pool
+            .run(names.len(), n, |i| op(&names[i]))
+            .into_iter()
+            .collect()
     }
 
     /// `propagate_C` for the named views, independent views in parallel.

@@ -147,6 +147,7 @@ fn put_cmp_op(buf: &mut Vec<u8>, op: CmpOp) {
             CmpOp::Le => 3,
             CmpOp::Gt => 4,
             CmpOp::Ge => 5,
+            CmpOp::NullEq => 6,
         },
     );
 }
@@ -159,6 +160,7 @@ fn get_cmp_op(r: &mut Reader<'_>) -> Result<CmpOp> {
         3 => Ok(CmpOp::Le),
         4 => Ok(CmpOp::Gt),
         5 => Ok(CmpOp::Ge),
+        6 => Ok(CmpOp::NullEq),
         tag => Err(r.corrupt(format_args!("unknown cmp-op tag {tag}")).into()),
     }
 }

@@ -17,7 +17,8 @@ use crate::error::{CoreError, Result};
 use crate::scenario::{base_log, diff_table, eval_pair};
 use crate::view::{Minimality, View};
 use dvm_delta::{compose_into, post_update_deltas_pruned, strongify_bags, Transaction};
-use dvm_storage::Catalog;
+use dvm_storage::{compose_delta_parallel, Catalog};
+use dvm_testkit::WorkerPool;
 
 /// `makesafe_C[T]` — identical to `makesafe_BL[T]`: extend the log.
 pub fn extend_log(catalog: &Catalog, view: &View, tx: &Transaction) -> Result<()> {
@@ -29,6 +30,19 @@ pub fn extend_log(catalog: &Catalog, view: &View, tx: &Transaction) -> Result<()
 /// lemma), and empty the log. Never takes the `MV` write lock — readers of
 /// the view are unaffected.
 pub fn propagate(catalog: &Catalog, view: &View) -> Result<()> {
+    propagate_with(catalog, view, None)
+}
+
+/// [`propagate`] with an optional worker pool for intra-view parallelism:
+/// when the differential tables are hash-sharded and large, the Lemma 3
+/// fold runs per shard across `width` workers (including the caller). The
+/// fold is shard-local because `∸`/`⊎` match whole tuples and both sides
+/// route tuples with the same hash — see `compose_delta_parallel`.
+pub fn propagate_with(
+    catalog: &Catalog,
+    view: &View,
+    par: Option<(&WorkerPool, usize)>,
+) -> Result<()> {
     let log = view.log().ok_or(CoreError::WrongScenario {
         view: view.name().to_string(),
         op: "propagate_C",
@@ -47,7 +61,19 @@ pub fn propagate(catalog: &Catalog, view: &View) -> Result<()> {
     {
         let mut del_guard = dt_del.write();
         let mut ins_guard = dt_ins.write();
-        compose_into(&mut del_guard, &mut ins_guard, &del_bag, &ins_bag);
+        match par {
+            Some((pool, width)) if width > 1 => {
+                compose_delta_parallel(
+                    &mut del_guard,
+                    &mut ins_guard,
+                    &del_bag,
+                    &ins_bag,
+                    pool,
+                    width,
+                );
+            }
+            _ => compose_into(&mut del_guard, &mut ins_guard, &del_bag, &ins_bag),
+        }
         if view.minimality() == Minimality::Strong {
             let (d, i) = strongify_bags(&del_guard, &ins_guard);
             *del_guard = d;
@@ -69,10 +95,29 @@ pub fn partial_refresh(catalog: &Catalog, view: &View) -> Result<()> {
     diff_table::apply_diff_tables(catalog, view)
 }
 
+/// [`partial_refresh`] with optional per-shard parallelism for the delta
+/// apply under the `MV` write lock (shorter downtime on large views).
+pub fn partial_refresh_with(
+    catalog: &Catalog,
+    view: &View,
+    par: Option<(&WorkerPool, usize)>,
+) -> Result<()> {
+    diff_table::apply_diff_tables_with(catalog, view, par)
+}
+
 /// `refresh_C`: full consistency — propagate, then apply.
 pub fn refresh(catalog: &Catalog, view: &View) -> Result<()> {
-    propagate(catalog, view)?;
-    partial_refresh(catalog, view)
+    refresh_with(catalog, view, None)
+}
+
+/// [`refresh`] with optional per-shard parallelism in both halves.
+pub fn refresh_with(
+    catalog: &Catalog,
+    view: &View,
+    par: Option<(&WorkerPool, usize)>,
+) -> Result<()> {
+    propagate_with(catalog, view, par)?;
+    partial_refresh_with(catalog, view, par)
 }
 
 #[cfg(test)]

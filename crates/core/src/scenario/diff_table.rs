@@ -17,6 +17,7 @@ use crate::scenario::eval_pair;
 use crate::view::{Minimality, View};
 use dvm_delta::{compose_into, pre_update_deltas, strongify_bags, Transaction};
 use dvm_storage::Catalog;
+use dvm_testkit::WorkerPool;
 
 /// `makesafe_DT[T]`: evaluate `∇(T,Q)/Δ(T,Q)` pre-update and fold them into
 /// `∇MV/ΔMV`. Under [`Minimality::Strong`], delete/reinsert churn is
@@ -49,6 +50,18 @@ pub fn fold_transaction(catalog: &Catalog, view: &View, tx: &Transaction) -> Res
 /// lock. No query evaluation happens here — this is the minimal-downtime
 /// path the paper aims for.
 pub fn apply_diff_tables(catalog: &Catalog, view: &View) -> Result<()> {
+    apply_diff_tables_with(catalog, view, None)
+}
+
+/// [`apply_diff_tables`] with an optional worker pool: when `MV` and both
+/// differential tables are hash-sharded, the `(MV ∸ ∇MV) ⊎ ΔMV` apply runs
+/// per shard across `width` workers — shrinking the window the `MV` write
+/// lock is held, which is exactly the downtime `refresh_DT` minimizes.
+pub fn apply_diff_tables_with(
+    catalog: &Catalog,
+    view: &View,
+    par: Option<(&WorkerPool, usize)>,
+) -> Result<()> {
     let (dt_del_name, dt_ins_name) = view.diff_tables().ok_or(CoreError::WrongScenario {
         view: view.name().to_string(),
         op: "apply_diff_tables",
@@ -59,7 +72,14 @@ pub fn apply_diff_tables(catalog: &Catalog, view: &View) -> Result<()> {
     let mut mv_guard = mv.write();
     let mut del_guard = dt_del.write();
     let mut ins_guard = dt_ins.write();
-    mv_guard.apply_delta(&del_guard, &ins_guard);
+    match par {
+        Some((pool, width)) if width > 1 => {
+            mv_guard.apply_delta_parallel(&del_guard, &ins_guard, pool, width);
+        }
+        _ => {
+            mv_guard.apply_delta(&del_guard, &ins_guard);
+        }
+    }
     del_guard.clear();
     ins_guard.clear();
     Ok(())

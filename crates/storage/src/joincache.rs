@@ -50,12 +50,23 @@ pub type BuildDeps = Vec<(String, u64)>;
 struct Entry {
     deps: BuildDeps,
     build: Arc<JoinBuild>,
+    /// Logical time of the last hit (or the insert), from `Inner::tick`.
+    last_used: u64,
 }
 
-/// Bound on cached entries; when exceeded the cache is cleared wholesale
-/// (entries are cheap to rebuild and the bound exists only to stop
-/// unbounded growth across many distinct plans).
+/// Bound on cached entries. When a distinct 257th plan arrives, the single
+/// least-recently-hit entry is evicted — *not* the whole cache: steady-state
+/// propagate keeps its hot build tables warm even as one-off ad-hoc plans
+/// churn through the tail.
 const MAX_ENTRIES: usize = 256;
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<u128, Entry>,
+    /// Monotonic logical clock bumped on every hit and insert; orders
+    /// entries for least-recently-used eviction.
+    tick: u64,
+}
 
 /// A concurrent, epoch-validated cache of join build tables.
 ///
@@ -63,7 +74,7 @@ const MAX_ENTRIES: usize = 256;
 /// that pin catalog state share it automatically.
 #[derive(Debug, Default)]
 pub struct JoinBuildCache {
-    entries: Mutex<FxHashMap<u128, Entry>>,
+    entries: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -89,9 +100,12 @@ impl JoinBuildCache {
     /// exactly the supplied dependency epochs. A stale entry counts as a
     /// miss (the caller rebuilds and re-inserts, replacing it).
     pub fn lookup(&self, key: u128, deps: &BuildDeps) -> Option<Arc<JoinBuild>> {
-        let entries = self.entries.lock();
-        match entries.get(&key) {
+        let mut inner = self.entries.lock();
+        let tick = inner.tick + 1;
+        inner.tick = tick;
+        match inner.map.get_mut(&key) {
             Some(e) if e.deps == *deps => {
+                e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.build))
             }
@@ -103,13 +117,31 @@ impl JoinBuildCache {
     }
 
     /// Insert (or replace) the build table for `key`, recording the epochs
-    /// it was computed at. Clears the cache first if it is full.
+    /// it was computed at. When the cache is full and `key` is new, the
+    /// single least-recently-hit entry is evicted to make room — hot build
+    /// tables survive an overflow of distinct cold plans.
     pub fn insert(&self, key: u128, deps: BuildDeps, build: Arc<JoinBuild>) {
-        let mut entries = self.entries.lock();
-        if entries.len() >= MAX_ENTRIES && !entries.contains_key(&key) {
-            entries.clear();
+        let mut inner = self.entries.lock();
+        if inner.map.len() >= MAX_ENTRIES && !inner.map.contains_key(&key) {
+            if let Some(coldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            {
+                inner.map.remove(&coldest);
+            }
         }
-        entries.insert(key, Entry { deps, build });
+        let tick = inner.tick + 1;
+        inner.tick = tick;
+        inner.map.insert(
+            key,
+            Entry {
+                deps,
+                build,
+                last_used: tick,
+            },
+        );
     }
 
     /// Drop every entry whose build depends on `table`. Epoch validation
@@ -118,12 +150,13 @@ impl JoinBuildCache {
     pub fn invalidate_table(&self, table: &str) {
         self.entries
             .lock()
+            .map
             .retain(|_, e| e.deps.iter().all(|(t, _)| t != table));
     }
 
     /// Drop everything.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().map.clear();
     }
 
     /// Current counters.
@@ -131,7 +164,7 @@ impl JoinBuildCache {
         JoinCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().len() as u64,
+            entries: self.entries.lock().map.len() as u64,
         }
     }
 }
@@ -183,12 +216,49 @@ mod tests {
     }
 
     #[test]
-    fn full_cache_clears_rather_than_grows() {
+    fn full_cache_evicts_one_entry_not_all() {
         let c = JoinBuildCache::new();
         for i in 0..(MAX_ENTRIES as u128 + 10) {
             c.insert(i, Vec::new(), build_of(&[i as i64]));
         }
-        assert!(c.stats().entries as usize <= MAX_ENTRIES);
+        assert_eq!(
+            c.stats().entries as usize,
+            MAX_ENTRIES,
+            "stays exactly at the bound: one cold entry evicted per overflow"
+        );
+    }
+
+    #[test]
+    fn hot_entry_survives_insertion_past_bound() {
+        // Regression: the old insert() cleared the *whole* cache at the
+        // bound, so the 257th distinct plan evicted every hot build table
+        // and steady-state propagate went cold.
+        let c = JoinBuildCache::new();
+        let hot = 999_999u128;
+        c.insert(hot, Vec::new(), build_of(&[42]));
+        for i in 0..(MAX_ENTRIES as u128 * 2) {
+            // Keep the hot entry hot while cold plans churn through.
+            assert!(c.lookup(hot, &Vec::new()).is_some(), "hot entry evicted");
+            c.insert(i, Vec::new(), build_of(&[i as i64]));
+        }
+        assert!(c.lookup(hot, &Vec::new()).is_some());
+        assert_eq!(c.stats().entries as usize, MAX_ENTRIES);
+    }
+
+    #[test]
+    fn eviction_picks_least_recently_hit() {
+        let c = JoinBuildCache::new();
+        for i in 0..MAX_ENTRIES as u128 {
+            c.insert(i, Vec::new(), build_of(&[i as i64]));
+        }
+        // Touch everything except entry 0, making 0 the coldest.
+        for i in 1..MAX_ENTRIES as u128 {
+            assert!(c.lookup(i, &Vec::new()).is_some());
+        }
+        c.insert(1000, Vec::new(), build_of(&[1000]));
+        assert!(c.lookup(0, &Vec::new()).is_none(), "coldest entry evicted");
+        assert!(c.lookup(1, &Vec::new()).is_some());
+        assert!(c.lookup(1000, &Vec::new()).is_some());
     }
 
     #[test]

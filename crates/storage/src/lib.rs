@@ -34,7 +34,7 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
-pub use bag::Bag;
+pub use bag::{compose_delta_parallel, Bag};
 pub use catalog::{Catalog, CommitMode};
 pub use error::{Result, StorageError};
 pub use hasher::{fx_hash_with_seed, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -233,9 +233,41 @@ pub fn write_json(path: &Path, summaries: &[Summary]) -> std::io::Result<()> {
     f.write_all(to_json_report(summaries).as_bytes())
 }
 
+/// Like [`to_json_report`], but prefixed with a `host` record capturing
+/// the parallelism the numbers were recorded under. Gates that compare a
+/// serial series against a parallel one need it: on a single-core
+/// recording host a parallel speedup is physically impossible, so such
+/// gates must downgrade to a no-regression check there.
+pub fn to_json_report_with_host(summaries: &[Summary], parallelism: usize) -> String {
+    let body = to_json_report(summaries);
+    format!(
+        "{{\"host\":{{\"parallelism\":{parallelism}}},{}",
+        &body[1..]
+    )
+}
+
+/// Write [`to_json_report_with_host`] to a file.
+pub fn write_json_with_host(
+    path: &Path,
+    summaries: &[Summary],
+    parallelism: usize,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json_report_with_host(summaries, parallelism).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_report_wraps_the_plain_report() {
+        let s = Summary::from_samples("t".into(), 1, &[1.0]);
+        let plain = to_json_report(std::slice::from_ref(&s));
+        let hosted = to_json_report_with_host(&[s], 4);
+        assert!(hosted.starts_with("{\"host\":{\"parallelism\":4},"));
+        assert!(hosted.ends_with(&plain[1..]));
+    }
 
     #[test]
     fn summary_statistics_are_ordered() {

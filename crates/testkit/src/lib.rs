@@ -14,7 +14,9 @@
 //!   N-sample median/p95, JSON emission) replacing Criterion;
 //! * [`sync`] — thin `RwLock`/`Mutex` wrappers with poison-unwrapping and
 //!   owned (`Arc`-backed) read guards, plus a scoped-worker helper,
-//!   replacing `parking_lot` and `crossbeam`.
+//!   replacing `parking_lot` and `crossbeam`;
+//! * [`pool`] — a persistent worker pool with dynamic job claiming,
+//!   replacing per-call scoped thread spawns on hot paths.
 //!
 //! The crate deliberately has **no dependencies** (not even workspace
 //! ones), so every other crate — including `dvm-storage` at the bottom of
@@ -23,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod sync;
 
 pub use bench::Bench;
+pub use pool::WorkerPool;
 pub use prop::Prop;
 pub use rng::Rng;

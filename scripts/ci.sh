@@ -81,9 +81,13 @@ cargo test -q --offline -p dvm-bench --test json_schema
 # instrumented execute path must stay within 5% of the recorded baseline
 # (release build; widen with OBS_GUARD_TOLERANCE=0.15 on noisy hosts).
 # obs_guard also enforces the streaming executor's recorded speedups in
-# results/BENCH_eval.json (fused ≥2x on filter-project, ≥1.3x on propagate)
-# and the incremental-aggregate speedup in results/BENCH_agg.json (the
-# count-annotated maintainer ≥5x over full recompute at delta 1000).
+# results/BENCH_eval.json (fused ≥2x on filter-project, ≥1.3x on propagate),
+# the incremental-aggregate speedup in results/BENCH_agg.json (the
+# count-annotated maintainer ≥5x over full recompute at delta 1000), and
+# the parallel-propagate series in results/BENCH_concurrent.json:
+# propagate_large/parallel_4w ≥1.2x over serial_loop on the 1.2M-row
+# sharded view when the artifact's host.parallelism stamp says the
+# recording host had ≥4 cores, else a ≥0.85x no-regression floor.
 echo "==> disabled-tracer overhead + executor speedup guard"
 cargo run --release --offline -q -p dvm-bench --bin obs_guard
 
