@@ -38,6 +38,7 @@ use dvm_storage::{
     Value,
 };
 use std::borrow::Cow;
+use std::time::Instant;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
@@ -196,7 +197,26 @@ pub fn eval_in_catalog(query: &CompiledQuery, catalog: &Catalog) -> Result<Bag> 
 // ---- streaming executor ---------------------------------------------------
 
 /// Evaluate with the fused streaming executor.
+///
+/// When `dvm_obs` profiling is enabled, the profiled twin runs instead: it
+/// produces the identical bag while building an `EXPLAIN ANALYZE`-style
+/// [`dvm_obs::OpProf`] tree (rows in/out and wall nanos per operator),
+/// deposited in the calling thread's capture buffer for the maintenance
+/// driver to claim. The disabled path pays one relaxed atomic load.
 pub fn eval_streaming(plan: &Plan, src: &dyn BagSource) -> Result<Bag> {
+    if dvm_obs::profiling_on() {
+        let t = Instant::now();
+        let (bag, mut tree) = prof::eval_to_bag_prof(plan, src)?;
+        let bag = bag.into_owned();
+        // Per-operator timers cannot see the driver's own work (pipeline
+        // setup, result materialization, tree assembly), so lift the
+        // root's inclusive time to the call's wall time — the difference
+        // becomes root self time and the tree telescopes to what the
+        // caller actually waited.
+        tree.nanos = tree.nanos.max(t.elapsed().as_nanos() as u64);
+        dvm_obs::profile::record_eval(tree);
+        return Ok(bag);
+    }
     Ok(eval_to_bag(plan, src)?.into_owned())
 }
 
@@ -514,6 +534,388 @@ impl Iterator for JoinProbe<'_> {
                 }
             }
         }
+    }
+}
+
+// ---- profiled streaming executor ------------------------------------------
+
+mod prof {
+    //! A profiled twin of the streaming executor: same fused shapes, same
+    //! bag primitives, same build-side selection — so its output is
+    //! byte-identical to [`eval_streaming`]'s — but every pipeline stage
+    //! and every materializing breaker is wrapped in rows/nanos counters
+    //! that assemble into one [`OpProf`] tree per evaluation.
+    //!
+    //! Timing model: a [`Timed`] stage accumulates the wall time spent
+    //! inside its `next()` calls, which *includes* the upstream stages it
+    //! pulls from — i.e. streamed cells measure inclusive time directly.
+    //! Work done eagerly before a pipeline starts (breaker materialization,
+    //! hash-join builds) is invisible to the cells, so it is carried as
+    //! finished [`OpProf`] children plus an `extra` credit on the node that
+    //! triggered it; [`PNode::finish`] reconciles both so that exclusive
+    //! times telescope back to the root's inclusive total.
+
+    use super::*;
+    use dvm_obs::OpProf;
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use std::time::Instant;
+
+    /// Live counters shared between a [`Timed`] wrapper and its [`PNode`].
+    #[derive(Default)]
+    struct Counter {
+        rows: Cell<u64>,
+        nanos: Cell<u64>,
+    }
+
+    /// Counts yielded pairs and accumulates wall time spent inside
+    /// `next()` — inclusive of every streamed stage upstream.
+    struct Timed<'s> {
+        inner: TupleStream<'s>,
+        cell: Rc<Counter>,
+    }
+
+    impl Iterator for Timed<'_> {
+        type Item = Result<(Tuple, u64)>;
+
+        fn next(&mut self) -> Option<Self::Item> {
+            let start = Instant::now();
+            let item = self.inner.next();
+            self.cell
+                .nanos
+                .set(self.cell.nanos.get() + start.elapsed().as_nanos() as u64);
+            if item.is_some() {
+                self.cell.rows.set(self.cell.rows.get() + 1);
+            }
+            item
+        }
+    }
+
+    /// A child of an in-flight profile node: `Live` stages stream inside
+    /// the same pull pipeline (their cell time is contained in the
+    /// parent's cell), `Done` subtrees were evaluated eagerly before the
+    /// pipeline started (their time is *not* in any cell).
+    enum PChild {
+        Live(PNode),
+        Done(OpProf),
+    }
+
+    /// One in-flight stage of the profiled pipeline.
+    struct PNode {
+        label: String,
+        cell: Rc<Counter>,
+        /// Eager nanos attributed to this node but invisible to its cell
+        /// (e.g. the hash-join build that ran before probing started).
+        extra: u64,
+        children: Vec<PChild>,
+    }
+
+    impl PNode {
+        /// Convert the drained pipeline into a finished [`OpProf`] tree.
+        fn finish(self) -> OpProf {
+            let children: Vec<OpProf> = self
+                .children
+                .into_iter()
+                .map(|c| match c {
+                    PChild::Live(n) => n.finish(),
+                    PChild::Done(op) => op,
+                })
+                .collect();
+            let rows_in = children.iter().map(|c| c.rows_out).sum();
+            let child_sum: u64 = children.iter().map(|c| c.nanos).sum();
+            // The cell observed all streamed work below it; `extra` adds
+            // the eager work it triggered. Deeper eager work (under a
+            // live child) is invisible to both, so inclusive time is at
+            // least the children's total.
+            let nanos = (self.cell.nanos.get() + self.extra).max(child_sum);
+            OpProf {
+                label: self.label,
+                rows_in,
+                rows_out: self.cell.rows.get(),
+                nanos,
+                children,
+            }
+        }
+    }
+
+    /// Wrap a stream in a [`Timed`] stage and its profile node.
+    fn timed<'s>(
+        label: impl Into<String>,
+        inner: TupleStream<'s>,
+        children: Vec<PChild>,
+        extra: u64,
+    ) -> (TupleStream<'s>, PNode) {
+        let cell = Rc::new(Counter::default());
+        let stream: TupleStream<'s> = Box::new(Timed {
+            inner,
+            cell: Rc::clone(&cell),
+        });
+        (
+            stream,
+            PNode {
+                label: label.into(),
+                cell,
+                extra,
+                children,
+            },
+        )
+    }
+
+    /// A finished node for an eagerly-computed operator: inclusive time is
+    /// its own primitive time plus the children's inclusive totals.
+    fn eager(label: &str, own_nanos: u64, rows_out: u64, children: Vec<OpProf>) -> OpProf {
+        let rows_in = children.iter().map(|c| c.rows_out).sum();
+        let nanos = own_nanos + children.iter().map(|c| c.nanos).sum::<u64>();
+        OpProf {
+            label: label.to_string(),
+            rows_in,
+            rows_out,
+            nanos,
+            children,
+        }
+    }
+
+    /// Profiled twin of [`eval_to_bag`]: identical result, plus the
+    /// annotated tree.
+    pub(super) fn eval_to_bag_prof<'a>(
+        plan: &'a Plan,
+        src: &'a dyn BagSource,
+    ) -> Result<(Cow<'a, Bag>, OpProf)> {
+        Ok(match plan {
+            Plan::Scan(name) => {
+                let bag = src.bag(name)?;
+                let p = OpProf::leaf(format!("Scan {name}"), bag.distinct_len() as u64, 0);
+                (Cow::Borrowed(bag), p)
+            }
+            Plan::Literal(bag) => {
+                let p = OpProf::leaf("Literal", bag.distinct_len() as u64, 0);
+                (Cow::Borrowed(bag), p)
+            }
+            Plan::DupElim(a) => {
+                let (x, px) = eval_to_bag_prof(a, src)?;
+                let t = Instant::now();
+                let out = x.dedup();
+                let own = t.elapsed().as_nanos() as u64;
+                let p = eager("DupElim (ε)", own, out.distinct_len() as u64, vec![px]);
+                (Cow::Owned(out), p)
+            }
+            Plan::Monus(a, b) => {
+                let (x, px) = eval_to_bag_prof(a, src)?;
+                let (y, py) = eval_to_bag_prof(b, src)?;
+                let t = Instant::now();
+                let out = match x {
+                    Cow::Owned(mut owned) => {
+                        owned.monus_assign(&y);
+                        owned
+                    }
+                    Cow::Borrowed(b_ref) => b_ref.monus(&y),
+                };
+                let own = t.elapsed().as_nanos() as u64;
+                let p = eager("Monus (∸)", own, out.distinct_len() as u64, vec![px, py]);
+                (Cow::Owned(out), p)
+            }
+            Plan::Product(a, b) => {
+                let (x, px) = eval_to_bag_prof(a, src)?;
+                let (y, py) = eval_to_bag_prof(b, src)?;
+                let t = Instant::now();
+                let out = x.product(&y);
+                let own = t.elapsed().as_nanos() as u64;
+                let p = eager("Product (×)", own, out.distinct_len() as u64, vec![px, py]);
+                (Cow::Owned(out), p)
+            }
+            Plan::MinIntersect(a, b) => {
+                let (x, px) = eval_to_bag_prof(a, src)?;
+                let (y, py) = eval_to_bag_prof(b, src)?;
+                let t = Instant::now();
+                let out = x.min_intersect(&y);
+                let own = t.elapsed().as_nanos() as u64;
+                let p = eager("MinIntersect (min)", own, out.distinct_len() as u64, vec![px, py]);
+                (Cow::Owned(out), p)
+            }
+            Plan::MaxUnion(a, b) => {
+                let (x, px) = eval_to_bag_prof(a, src)?;
+                let (y, py) = eval_to_bag_prof(b, src)?;
+                let t = Instant::now();
+                let out = x.max_union(&y);
+                let own = t.elapsed().as_nanos() as u64;
+                let p = eager("MaxUnion (max)", own, out.distinct_len() as u64, vec![px, py]);
+                (Cow::Owned(out), p)
+            }
+            Plan::Except(a, b) => {
+                let (x, px) = eval_to_bag_prof(a, src)?;
+                let (y, py) = eval_to_bag_prof(b, src)?;
+                let t = Instant::now();
+                let out = x.except_all_occurrences(&y);
+                let own = t.elapsed().as_nanos() as u64;
+                let p = eager("Except", own, out.distinct_len() as u64, vec![px, py]);
+                (Cow::Owned(out), p)
+            }
+            Plan::GroupAggregate { keys, aggs, input } => {
+                let (b, pb) = eval_to_bag_prof(input, src)?;
+                let t = Instant::now();
+                let out = group_aggregate_bag(&b, keys, aggs);
+                let own = t.elapsed().as_nanos() as u64;
+                let p = eager("GroupAggregate", own, out.distinct_len() as u64, vec![pb]);
+                (Cow::Owned(out), p)
+            }
+            Plan::Filter(..) | Plan::Project(..) | Plan::Union(..) | Plan::HashJoin { .. } => {
+                let fused = fuse(plan);
+                let (s, node) = stream_prof(&fused, src)?;
+                let mut out = Bag::new();
+                for item in s {
+                    let (t, m) = item?;
+                    out.insert_n(t, m);
+                }
+                (Cow::Owned(out), node.finish())
+            }
+        })
+    }
+
+    /// Profiled twin of [`stream`]: each fused op is its own timed stage.
+    ///
+    /// Bag-backed sources clone tuples up front (a refcount bump each)
+    /// instead of using [`apply_ops_ref`]'s borrow fast path — the small
+    /// price of per-operator attribution, paid only while profiling.
+    fn stream_prof<'s>(
+        fp: &'s FusedPlan<'s>,
+        src: &'s dyn BagSource,
+    ) -> Result<(TupleStream<'s>, PNode)> {
+        fn clone_bag<'s>(bag: &'s Bag) -> TupleStream<'s> {
+            Box::new(bag.iter().map(|(t, m)| Ok((t.clone(), m))))
+        }
+        let (mut s, mut node) = match &fp.source {
+            FusedSource::Scan(name) => {
+                let bag = src.bag(name)?;
+                timed(format!("Scan {name}"), clone_bag(bag), Vec::new(), 0)
+            }
+            FusedSource::Literal(bag) => timed("Literal", clone_bag(bag), Vec::new(), 0),
+            FusedSource::Union(a, b) => {
+                let (sa, na) = stream_prof(a, src)?;
+                let (sb, nb) = stream_prof(b, src)?;
+                timed(
+                    "Union (⊎)",
+                    Box::new(sa.chain(sb)),
+                    vec![PChild::Live(na), PChild::Live(nb)],
+                    0,
+                )
+            }
+            FusedSource::Join {
+                left,
+                left_plan,
+                right,
+                right_plan,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                // Same build-side selection as the unprofiled executor.
+                let build_left = src.join_cache().is_some()
+                    && reusable_build(left_plan, src)
+                    && !reusable_build(right_plan, src);
+                let (build_plan, build_keys, probe_fp, probe_keys) = if build_left {
+                    (*left_plan, *left_keys, &**right, *right_keys)
+                } else {
+                    (*right_plan, *right_keys, &**left, *left_keys)
+                };
+                let (table, build_prof) = build_join_table_prof(build_plan, build_keys, src)?;
+                let (probe_s, probe_node) = stream_prof(probe_fp, src)?;
+                let extra = build_prof.nanos;
+                let label = if build_left {
+                    "HashJoin (build=left)"
+                } else {
+                    "HashJoin (build=right)"
+                };
+                timed(
+                    label,
+                    Box::new(JoinProbe {
+                        probe: probe_s,
+                        build: table,
+                        probe_keys,
+                        residual,
+                        build_left,
+                        scratch: Vec::with_capacity(probe_keys.len()),
+                        out: VecDeque::new(),
+                    }),
+                    vec![PChild::Done(build_prof), PChild::Live(probe_node)],
+                    extra,
+                )
+            }
+            FusedSource::Breaker(plan) => {
+                let (bag, bp) = eval_to_bag_prof(plan, src)?;
+                let extra = bp.nanos;
+                let stream: TupleStream<'s> = match bag {
+                    Cow::Borrowed(b) => clone_bag(b),
+                    Cow::Owned(b) => Box::new(b.into_iter().map(Ok)),
+                };
+                // The wrapper's cell times the drain of the materialized
+                // result into the pipeline; the eval itself is the child.
+                timed("Stream", stream, vec![PChild::Done(bp)], extra)
+            }
+        };
+        for op in fp.ops.iter() {
+            let label = match op {
+                FusedOp::Filter(_) => "Filter".to_string(),
+                FusedOp::Project(cols) => format!("Project [{}]", cols.len()),
+            };
+            let staged = apply_ops(s, std::slice::from_ref(op));
+            let (ns, nn) = timed(label, staged, vec![PChild::Live(node)], 0);
+            s = ns;
+            node = nn;
+        }
+        Ok((s, node))
+    }
+
+    /// Profiled twin of [`build_join_table`]: identical cache behavior
+    /// (same fingerprint, same epoch deps), plus a finished build node —
+    /// a cache hit becomes a leaf labeled `JoinBuild (cached)` whose time
+    /// is just the lookup.
+    fn build_join_table_prof(
+        build_plan: &Plan,
+        right_keys: &[usize],
+        src: &dyn BagSource,
+    ) -> Result<(Arc<JoinBuild>, OpProf)> {
+        let t0 = Instant::now();
+        let cache_ctx = src.join_cache().and_then(|cache| {
+            let mut deps: BuildDeps = Vec::new();
+            for table in build_plan.tables() {
+                match src.epoch_of(&table) {
+                    Some(epoch) => deps.push((table, epoch)),
+                    None => return None,
+                }
+            }
+            Some((build_plan.fingerprint128(right_keys), deps, cache))
+        });
+        if let Some((key, deps, cache)) = &cache_ctx {
+            if let Some(hit) = cache.lookup(*key, deps) {
+                let rows = hit.values().map(|v| v.len() as u64).sum();
+                let p = OpProf::leaf(
+                    "JoinBuild (cached)",
+                    rows,
+                    t0.elapsed().as_nanos() as u64,
+                );
+                return Ok((hit, p));
+            }
+        }
+
+        let (bag, child) = eval_to_bag_prof(build_plan, src)?;
+        let t1 = Instant::now();
+        let mut table = JoinBuild::default();
+        let mut scratch: Vec<Value> = Vec::with_capacity(right_keys.len());
+        let mut rows = 0u64;
+        for (t, m) in bag.iter() {
+            if !normalize_key_into(t, right_keys, &mut scratch) {
+                continue;
+            }
+            group_entry(&mut table, &scratch).push((t.clone(), m));
+            rows += 1;
+        }
+        let table = Arc::new(table);
+        if let Some((key, deps, cache)) = cache_ctx {
+            cache.insert(key, deps, Arc::clone(&table));
+        }
+        let own = t1.elapsed().as_nanos() as u64;
+        let p = eager("JoinBuild", own, rows, vec![child]);
+        Ok((table, p))
     }
 }
 
@@ -1006,6 +1408,98 @@ mod tests {
         let stats = c.join_cache().stats();
         assert_eq!(stats.misses, baseline.misses + 1, "base side built once");
         assert_eq!(stats.hits, baseline.hits + 2, "then reused every round");
+    }
+
+    /// Search an annotated tree for a label prefix.
+    fn tree_contains(p: &dvm_obs::OpProf, prefix: &str) -> bool {
+        p.label.starts_with(prefix) || p.children.iter().any(|c| tree_contains(c, prefix))
+    }
+
+    /// The profiled executor must be a *twin*: identical bags on every
+    /// shape (streamed chains, joins, breakers, aggregates), plus a
+    /// well-formed tree whose exclusive times telescope to the root.
+    #[test]
+    fn profiled_executor_matches_streaming_and_reference() {
+        let c = catalog();
+        let exprs: Vec<Expr> = vec![
+            Expr::table("r").select(Predicate::eq(col("a"), lit(1i64))),
+            Expr::table("r")
+                .alias("r")
+                .product(Expr::table("s").alias("s"))
+                .select(Predicate::eq(col("r.b"), col("s.b")))
+                .project(["a", "c"]),
+            Expr::table("r").union(Expr::table("s").project(["b", "c"])),
+            Expr::table("r").monus(Expr::table("r").select(Predicate::eq(col("a"), lit(2i64)))),
+            Expr::table("r").dedup().project(["a"]),
+            Expr::table("r").union(Expr::table("r")).min_intersect(Expr::table("r")),
+        ];
+        for e in &exprs {
+            let q = compile(e, &c).unwrap();
+            let pinned = PinnedState::pin_for(&c, &q.plan).unwrap();
+            let reference = eval_reference(&q.plan, &pinned).unwrap();
+
+            dvm_obs::set_profiling(true);
+            let _ = dvm_obs::profile::take_captured(); // clear stale captures
+            let profiled = eval_streaming(&q.plan, &pinned).unwrap();
+            let captured = dvm_obs::profile::take_captured();
+            dvm_obs::set_profiling(false);
+            let plain = eval_streaming(&q.plan, &pinned).unwrap();
+
+            assert_eq!(profiled, reference, "profiled vs reference on {e}");
+            assert_eq!(profiled, plain, "profiled vs plain streaming on {e}");
+            assert_eq!(captured.evals.len(), 1, "one tree per evaluation on {e}");
+            let tree = &captured.evals[0];
+            assert_eq!(
+                tree.total_exclusive_nanos(),
+                tree.nanos,
+                "exclusive times telescope to the root on {e}: {}",
+                tree.render()
+            );
+            if !profiled.is_empty() {
+                assert!(tree.rows_out > 0, "non-empty result, zero rows_out on {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_join_reports_cached_build_on_second_run() {
+        let c = catalog();
+        let e = Expr::table("r")
+            .alias("r")
+            .product(Expr::table("s").alias("s"))
+            .select(Predicate::eq(col("r.b"), col("s.b")));
+        let q = compile(&e, &c).unwrap();
+        assert!(matches!(q.plan, Plan::HashJoin { .. }));
+
+        dvm_obs::set_profiling(true);
+        let _ = dvm_obs::profile::take_captured();
+        let first = eval_in_catalog(&q, &c).unwrap();
+        let cold = dvm_obs::profile::take_captured();
+        let second = eval_in_catalog(&q, &c).unwrap();
+        let warm = dvm_obs::profile::take_captured();
+        dvm_obs::set_profiling(false);
+
+        assert_eq!(first, second);
+        assert!(
+            tree_contains(&cold.evals[0], "JoinBuild"),
+            "{}",
+            cold.evals[0].render()
+        );
+        assert!(
+            tree_contains(&warm.evals[0], "JoinBuild (cached)"),
+            "{}",
+            warm.evals[0].render()
+        );
+    }
+
+    #[test]
+    fn profiling_off_captures_nothing() {
+        let c = catalog();
+        dvm_obs::set_profiling(false);
+        let _ = dvm_obs::profile::take_captured();
+        let q = compile(&Expr::table("r").project(["a"]), &c).unwrap();
+        eval_in_catalog(&q, &c).unwrap();
+        assert!(dvm_obs::profile::take_captured().is_empty());
     }
 
     #[test]

@@ -208,6 +208,11 @@ fn main() {
         .map(|_| {
             let s = bench.run_batched(NAME, make, |(db, txs)| {
                 assert!(!db.tracer().is_enabled(), "tracer must be off for the guard");
+                assert!(
+                    !dvm_obs::profiling_on(),
+                    "profiling must be off for the guard: the ≤5% budget is \
+                     the *disabled* instrumentation overhead"
+                );
                 let stats = run_stream_concurrent(&db, txs).unwrap();
                 assert_eq!(stats.transactions, BACKLOG_TXS as u64);
             });

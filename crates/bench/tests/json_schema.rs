@@ -251,6 +251,106 @@ fn check_concurrent_report(doc: &Value, ctx: &str) {
     assert!(par >= 1.0, "{ctx}: host.parallelism must be ≥ 1");
 }
 
+/// `BENCH_profile.json` carries the standard `benchmarks` array (the
+/// off/on overhead pair) plus the full `ProfileReport` under `profile`:
+/// profiled maintenance operations with their attribution coverage, and
+/// the time series the policy driver sampled.
+fn check_profile_report(doc: &Value, ctx: &str) {
+    const REQUIRED_BENCHES: &[&str] = &["profile/propagate/off", "profile/propagate/on"];
+    let benches = require(doc, "benchmarks", ctx).as_arr().unwrap();
+    let names: Vec<&str> = benches
+        .iter()
+        .filter_map(|b| b.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in REQUIRED_BENCHES {
+        assert!(
+            names.contains(want),
+            "{ctx}: missing benchmark `{want}` (the profiling-overhead pair)"
+        );
+    }
+    let host = require(doc, "host", ctx);
+    let par = require_num(host, "parallelism", &format!("{ctx}/host"));
+    assert!(par >= 1.0, "{ctx}: host.parallelism must be ≥ 1");
+
+    let profile = require(doc, "profile", ctx);
+    let pctx = format!("{ctx}/profile");
+    let ops = require(profile, "ops", &pctx)
+        .as_arr()
+        .unwrap_or_else(|| panic!("{pctx}: `ops` is not an array"));
+    assert!(!ops.is_empty(), "{pctx}: no profiled maintenance operations");
+    for op in ops {
+        let kind = require(op, "op", &pctx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{pctx}: `op` is not a string"))
+            .to_string();
+        let octx = format!("{pctx}/{kind}");
+        require(op, "view", &octx)
+            .as_str()
+            .unwrap_or_else(|| panic!("{octx}: `view` is not a string"));
+        let total = require_num(op, "total_nanos", &octx);
+        let attributed = require_num(op, "attributed_nanos", &octx);
+        let coverage = require_num(op, "coverage", &octx);
+        if total > 0.0 {
+            // `json::num_f` rounds to one decimal place, so allow half a
+            // step of quantization either way.
+            let expect = attributed / total;
+            assert!((coverage - expect).abs() <= 0.05, "{octx}: coverage inconsistent");
+        }
+        let evals = require(op, "evals", &octx)
+            .as_arr()
+            .unwrap_or_else(|| panic!("{octx}: `evals` is not an array"));
+        for e in evals {
+            require(e, "label", &octx)
+                .as_str()
+                .unwrap_or_else(|| panic!("{octx}: eval `label` not a string"));
+            require_num(e, "nanos", &octx);
+            require_num(e, "self_nanos", &octx);
+        }
+        require(op, "shards", &octx)
+            .as_arr()
+            .unwrap_or_else(|| panic!("{octx}: `shards` is not an array"));
+    }
+
+    const REQUIRED_SERIES: &[&str] = &[
+        "propagate_ns/V",
+        "refresh_ns/V",
+        "staleness_ns/V",
+        "backlog_entries/V",
+    ];
+    let series = require(profile, "series", &pctx)
+        .as_arr()
+        .unwrap_or_else(|| panic!("{pctx}: `series` is not an array"));
+    let series_names: Vec<&str> = series
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in REQUIRED_SERIES {
+        assert!(
+            series_names.contains(want),
+            "{pctx}: missing time series `{want}`"
+        );
+    }
+    for s in series {
+        let name = s.get("name").and_then(|n| n.as_str()).unwrap_or("?").to_string();
+        let sctx = format!("{pctx}/series {name}");
+        let samples = require_num(s, "samples", &sctx);
+        require_num(s, "bucket", &sctx);
+        let points = require(s, "points", &sctx)
+            .as_arr()
+            .unwrap_or_else(|| panic!("{sctx}: `points` is not an array"));
+        if samples > 0.0 {
+            assert!(!points.is_empty(), "{sctx}: samples without points");
+        }
+        for p in points {
+            require_num(p, "t_ns", &sctx);
+            let avg = require_num(p, "avg", &sctx);
+            let max = require_num(p, "max", &sctx);
+            assert!(avg <= max, "{sctx}: bucket avg above max");
+            assert!(require_num(p, "count", &sctx) >= 1.0, "{sctx}: empty point");
+        }
+    }
+}
+
 fn check_experiment(doc: &Value, ctx: &str) {
     require(doc, "experiment", ctx)
         .as_str()
@@ -293,6 +393,9 @@ fn every_results_json_parses_and_matches_its_schema() {
             }
             if name == "BENCH_concurrent.json" {
                 check_concurrent_report(&doc, &name);
+            }
+            if name == "BENCH_profile.json" {
+                check_profile_report(&doc, &name);
             }
             checked += 1;
         } else if name.starts_with("exp_") {

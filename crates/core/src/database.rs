@@ -43,6 +43,7 @@ use crate::error::{CoreError, Result};
 use crate::invariant::{check_view, check_view_with_log_overrides, InvariantReport};
 use crate::metrics::ViewMetricsSnapshot;
 use crate::obs::{Observability, StalenessGauges, ViewObservability};
+use crate::profile::{MaintProfile, ProfileReport};
 use crate::scenario::{self, base_log, combined, diff_table, immediate};
 use crate::view::{Minimality, Scenario, View};
 use dvm_algebra::eval::PinnedState;
@@ -53,7 +54,7 @@ use dvm_durability::{
     checkpoint as checkpoint_file, Checkpoint, CrashFs, DurabilityError, Wal, WalOptions,
     WalStatus,
 };
-use dvm_obs::{EventKind, Tracer};
+use dvm_obs::{profile as obs_profile, EventKind, TimeSeries, Tracer};
 use dvm_storage::{Bag, Catalog, CommitGuard, CommitMode, Schema, Table, TableKind};
 use dvm_testkit::sync::{Mutex, RwLock};
 use dvm_testkit::WorkerPool;
@@ -130,6 +131,14 @@ pub struct Database {
     /// Fast-path flag mirroring `durable.is_some()` — lets the hot execute
     /// path skip the mutex and the op clone entirely when not durable.
     durable_attached: AtomicBool,
+    /// Recent profiled maintenance operations, oldest first (bounded ring;
+    /// populated only while profiling is on). A leaf lock.
+    profiles: Mutex<Vec<MaintProfile>>,
+    /// Registered time series, keyed by name: per-view maintenance latency
+    /// recorded by `propagate`/`refresh`, staleness gauges sampled by
+    /// [`Database::sample_staleness_series`]. Always on — maintenance ops
+    /// are µs-to-ms scale, so a mutexed push is noise. A leaf lock.
+    tseries: Mutex<BTreeMap<String, TimeSeries>>,
 }
 
 impl Default for Database {
@@ -153,6 +162,8 @@ impl Database {
             started: Instant::now(),
             durable: Mutex::new(None),
             durable_attached: AtomicBool::new(false),
+            profiles: Mutex::new(Vec::new()),
+            tseries: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -165,6 +176,107 @@ impl Database {
     /// Nanoseconds since the database was created (its monotonic clock).
     pub fn now_nanos(&self) -> u64 {
         self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Most recent profiled operations retained for [`Database::profile_report`].
+    const MAX_PROFILES: usize = 32;
+    /// Retained points per registered time series (older points are
+    /// downsampled, never dropped).
+    const TS_CAPACITY: usize = 256;
+
+    /// Enable or disable maintenance profiling (process-wide). While on,
+    /// every `propagate`/`refresh`/`partial_refresh` records an annotated
+    /// operator tree plus shard/pool/cache attribution, retrievable via
+    /// [`Database::profile_report`]. Off (the default), instrumented sites
+    /// pay one relaxed atomic load. Turning profiling on clears previously
+    /// stored operation profiles so the report covers one phase.
+    pub fn set_profiling(&self, on: bool) {
+        if on && !dvm_obs::profiling_on() {
+            self.profiles.lock().clear();
+        }
+        dvm_obs::set_profiling(on);
+    }
+
+    /// Whether maintenance profiling is currently enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        dvm_obs::profiling_on()
+    }
+
+    /// Store one profiled operation, shedding the oldest past the ring cap.
+    fn store_profile(&self, p: MaintProfile) {
+        let mut ring = self.profiles.lock();
+        if ring.len() >= Self::MAX_PROFILES {
+            ring.remove(0);
+        }
+        ring.push(p);
+    }
+
+    /// Claim what the current thread's evaluations deposited since the
+    /// last drain and store it as one operation profile. The drain *before*
+    /// an operation (discarding stale captures from ad-hoc queries on this
+    /// thread) is the caller's `take_captured()` at the top of the op.
+    fn finish_profile(&self, view: &str, op: &'static str, total_nanos: u64) {
+        let cap = obs_profile::take_captured();
+        self.store_profile(MaintProfile {
+            view: view.to_string(),
+            op,
+            total_nanos,
+            evals: cap.evals,
+            shards: cap.shards,
+        });
+    }
+
+    /// Append one sample to the named time series, creating it on first use.
+    fn ts_push(&self, name: &str, value: f64) {
+        let t = self.now_nanos();
+        let mut reg = self.tseries.lock();
+        match reg.get_mut(name) {
+            Some(ts) => ts.push(t, value),
+            None => {
+                let mut ts = TimeSeries::new(name, Self::TS_CAPACITY);
+                ts.push(t, value);
+                reg.insert(name.to_string(), ts);
+            }
+        }
+    }
+
+    /// Sample every view's staleness gauges into the time-series registry
+    /// (`staleness_ns/<view>`, `backlog_entries/<view>`). The policy driver
+    /// calls this each tick; call it yourself when driving maintenance by
+    /// hand.
+    pub fn sample_staleness_series(&self) {
+        for name in self.view_names() {
+            let Ok(s) = self.staleness(&name) else {
+                continue;
+            };
+            if let Some(n) = s.nanos_since_refresh {
+                self.ts_push(&format!("staleness_ns/{name}"), n as f64);
+            }
+            self.ts_push(&format!("backlog_entries/{name}"), s.pending_entries as f64);
+        }
+    }
+
+    /// Snapshot the profiling state: recent per-operation operator trees,
+    /// worker-pool utilization, join-build-cache attribution (totals and
+    /// per plan), WAL latency histograms, and all registered time series.
+    pub fn profile_report(&self) -> ProfileReport {
+        let (wal_append, wal_sync) = match self.durable.lock().as_ref() {
+            Some(d) => (Some(d.wal.append_latency()), Some(d.wal.sync_latency())),
+            None => (None, None),
+        };
+        let cache = self.catalog.join_cache();
+        let mut per_plan = cache.per_plan_stats();
+        per_plan.sort_by_key(|(_, s)| std::cmp::Reverse(s.hits + s.misses));
+        ProfileReport {
+            enabled: dvm_obs::profiling_on(),
+            ops: self.profiles.lock().clone(),
+            pool: self.pool.stats(),
+            join_cache: cache.stats(),
+            per_plan,
+            wal_append,
+            wal_sync,
+            series: self.tseries.lock().values().cloned().collect(),
+        }
     }
 
     /// Set the number of worker threads used to fan per-view maintenance
@@ -406,13 +518,16 @@ impl Database {
                 None => return Ok(()), // not a shared view
             }
         };
+        let t = crate::scenario::phase_start();
         let bases: Vec<String> = view.base_tables().iter().cloned().collect();
         let (folds, upto) = self.shared_log.fold_suffixes(bases.iter(), cursor);
         let log = view.log().expect("shared views are Combined");
+        let mut folded_rows = 0u64;
         for (table, (suffix_del, suffix_ins)) in folds {
             if suffix_del.is_empty() && suffix_ins.is_empty() {
                 continue;
             }
+            folded_rows += suffix_del.len() + suffix_ins.len();
             let (del_name, ins_name) = log.get(&table).expect("logged base");
             let del_table = self.catalog.require(del_name)?;
             let ins_table = self.catalog.require(ins_name)?;
@@ -423,6 +538,7 @@ impl Database {
         if let Some(c) = self.shared_cursors.write().get_mut(view.name()) {
             *c = upto;
         }
+        crate::scenario::phase_end("DrainSharedLog", folded_rows, t);
         Ok(())
     }
 
@@ -751,6 +867,11 @@ impl Database {
         let _span = self.tracer.span(EventKind::Refresh, name);
         let _maint = view.maintenance_lock();
         let _claims = self.lock_view_bases(&view)?;
+        let profiled = dvm_obs::profiling_on();
+        if profiled {
+            // Discard captures ad-hoc queries left on this thread.
+            let _ = obs_profile::take_captured();
+        }
         let start = Instant::now();
         match view.scenario() {
             Scenario::Immediate => {} // always consistent
@@ -763,9 +884,13 @@ impl Database {
                 combined::refresh_with(&self.catalog, &view, self.intra_view_par())?;
             }
         }
-        view.metrics()
-            .record_refresh(start.elapsed().as_nanos() as u64);
+        let nanos = start.elapsed().as_nanos() as u64;
+        view.metrics().record_refresh(nanos);
         view.metrics().mark_refreshed(self.now_nanos());
+        self.ts_push(&format!("refresh_ns/{name}"), nanos as f64);
+        if profiled {
+            self.finish_profile(name, "refresh", nanos);
+        }
         self.log_op(&DurableOp::Refresh(name.to_string()))?;
         Ok(())
     }
@@ -783,11 +908,20 @@ impl Database {
         let _span = self.tracer.span(EventKind::Propagate, name);
         let _maint = view.maintenance_lock();
         let _claims = self.lock_view_bases(&view)?;
+        let profiled = dvm_obs::profiling_on();
+        if profiled {
+            // Discard captures ad-hoc queries left on this thread.
+            let _ = obs_profile::take_captured();
+        }
         let start = Instant::now();
         self.drain_shared(&view)?;
         combined::propagate_with(&self.catalog, &view, self.intra_view_par())?;
-        view.metrics()
-            .record_propagate(start.elapsed().as_nanos() as u64);
+        let nanos = start.elapsed().as_nanos() as u64;
+        view.metrics().record_propagate(nanos);
+        self.ts_push(&format!("propagate_ns/{name}"), nanos as f64);
+        if profiled {
+            self.finish_profile(name, "propagate", nanos);
+        }
         self.log_op(&DurableOp::Propagate(name.to_string()))?;
         Ok(())
     }
@@ -807,11 +941,20 @@ impl Database {
         // maintenance mutex suffices — no base-table claims needed.
         let _span = self.tracer.span(EventKind::PartialRefresh, name);
         let _maint = view.maintenance_lock();
+        let profiled = dvm_obs::profiling_on();
+        if profiled {
+            // Discard captures ad-hoc queries left on this thread.
+            let _ = obs_profile::take_captured();
+        }
         let start = Instant::now();
         combined::partial_refresh_with(&self.catalog, &view, self.intra_view_par())?;
-        view.metrics()
-            .record_refresh(start.elapsed().as_nanos() as u64);
+        let nanos = start.elapsed().as_nanos() as u64;
+        view.metrics().record_refresh(nanos);
         view.metrics().mark_refreshed(self.now_nanos());
+        self.ts_push(&format!("refresh_ns/{name}"), nanos as f64);
+        if profiled {
+            self.finish_profile(name, "partial_refresh", nanos);
+        }
         self.log_op(&DurableOp::PartialRefresh(name.to_string()))?;
         Ok(())
     }

@@ -26,6 +26,7 @@ pub mod invariant;
 pub mod metrics;
 pub mod obs;
 pub mod policy;
+pub mod profile;
 pub mod readthrough;
 pub mod scenario;
 pub mod view;
@@ -38,5 +39,6 @@ pub use invariant::{check_view, InvariantReport};
 pub use metrics::{ViewHistograms, ViewMetrics, ViewMetricsSnapshot};
 pub use obs::{Observability, StalenessGauges, ViewObservability};
 pub use policy::{PolicyDriver, RefreshPolicy, TickActions};
+pub use profile::{MaintProfile, ProfileReport};
 pub use readthrough::{read_through, read_through_where};
 pub use view::{Minimality, Scenario, View};

@@ -152,6 +152,7 @@ impl Observability {
                 json::object([
                     ("hits", json::num_u(self.join_cache.hits)),
                     ("misses", json::num_u(self.join_cache.misses)),
+                    ("evictions", json::num_u(self.join_cache.evictions)),
                     ("entries", json::num_u(self.join_cache.entries)),
                 ]),
             ),
@@ -226,7 +227,9 @@ impl Observability {
             "\nshared log: epoch {}, {} entries retained ({} tuples)\n",
             self.shared_log_epoch, self.shared_log_entries, self.shared_log_volume
         ));
-        if self.trace_enabled || self.trace_len > 0 {
+        // `trace_dropped > 0` with an off/empty ring still matters: it says
+        // the trace was truncated since the last drain.
+        if self.trace_enabled || self.trace_len > 0 || self.trace_dropped > 0 {
             out.push_str(&format!(
                 "trace: {}, {} events retained, {} dropped\n",
                 if self.trace_enabled { "on" } else { "off" },
@@ -278,6 +281,7 @@ mod tests {
                 hits: 4,
                 misses: 2,
                 entries: 1,
+                evictions: 1,
             },
         }
     }
@@ -305,6 +309,7 @@ mod tests {
         let jc = v.get("join_cache").unwrap();
         assert_eq!(jc.get("hits").unwrap().as_f64(), Some(4.0));
         assert_eq!(jc.get("misses").unwrap().as_f64(), Some(2.0));
+        assert_eq!(jc.get("evictions").unwrap().as_f64(), Some(1.0));
         assert_eq!(jc.get("entries").unwrap().as_f64(), Some(1.0));
     }
 
@@ -328,5 +333,16 @@ mod tests {
         assert!(s.contains("shared log: epoch 7"), "{s}");
         // empty histograms are skipped in the latency table
         assert!(!s.contains("propagate"), "{s}");
+    }
+
+    #[test]
+    fn render_surfaces_dropped_trace_events_even_with_empty_ring() {
+        // Tracer off and ring drained, but events were evicted since the
+        // last drain: the truncation must still be visible.
+        let mut obs = sample();
+        assert!(!obs.render().contains("trace:"), "baseline shows no trace");
+        obs.trace_dropped = 9;
+        let s = obs.render();
+        assert!(s.contains("trace: off, 0 events retained, 9 dropped"), "{s}");
     }
 }

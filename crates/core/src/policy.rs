@@ -186,6 +186,10 @@ impl<'a> PolicyDriver<'a> {
                 }
             }
         }
+        // One staleness sample per tick, after the tick's maintenance — the
+        // time-series recorder turns this into per-view staleness/backlog
+        // curves (`\profile show`, `exp_profile`).
+        self.db.sample_staleness_series();
         Ok(actions)
     }
 

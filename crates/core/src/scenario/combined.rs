@@ -14,7 +14,7 @@
 //! ```
 
 use crate::error::{CoreError, Result};
-use crate::scenario::{base_log, diff_table, eval_pair};
+use crate::scenario::{base_log, diff_table, eval_pair, phase_end, phase_start};
 use crate::view::{Minimality, View};
 use dvm_delta::{compose_into, post_update_deltas_pruned, strongify_bags, Transaction};
 use dvm_storage::{compose_delta_parallel, Catalog};
@@ -51,13 +51,19 @@ pub fn propagate_with(
         view: view.name().to_string(),
         op: "propagate_C",
     })?;
+    let t = phase_start();
     let deltas = post_update_deltas_pruned(view.definition(), log, catalog, &|t| {
         catalog.get(t).map(|tbl| tbl.is_empty()).unwrap_or(false)
     })?;
+    phase_end("DeriveDeltas(▼,▲)", 0, t);
     let (del_bag, ins_bag) = eval_pair(catalog, &deltas.del, &deltas.ins)?;
 
     let dt_del = catalog.require(dt_del_name)?;
     let dt_ins = catalog.require(dt_ins_name)?;
+    // The phase timer spans lock acquisition and, on the parallel path,
+    // the whole shard fan-out — the fan-out's ShardProfile sits inside
+    // this window, so attribution counts the phase, not the shards.
+    let t = phase_start();
     {
         let mut del_guard = dt_del.write();
         let mut ins_guard = dt_ins.write();
@@ -80,12 +86,15 @@ pub fn propagate_with(
             *ins_guard = i;
         }
     }
+    phase_end("ComposeDT(Lemma 3)", del_bag.len() + ins_bag.len(), t);
     // L := φ (part of the same propagate transaction).
+    let t = phase_start();
     for base in log.bases() {
         let (d, i) = log.get(base).expect("listed base");
         catalog.require(d)?.clear();
         catalog.require(i)?.clear();
     }
+    phase_end("ClearLog(L:=φ)", 0, t);
     Ok(())
 }
 

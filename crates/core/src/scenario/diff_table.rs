@@ -69,9 +69,14 @@ pub fn apply_diff_tables_with(
     let mv = catalog.require(view.mv_table())?;
     let dt_del = catalog.require(dt_del_name)?;
     let dt_ins = catalog.require(dt_ins_name)?;
+    // Phase timer spans the MV write lock — the downtime window itself.
+    // A parallel apply's ShardProfile sits inside this window, so
+    // attribution counts the phase, not the shards.
+    let t = crate::scenario::phase_start();
     let mut mv_guard = mv.write();
     let mut del_guard = dt_del.write();
     let mut ins_guard = dt_ins.write();
+    let rows = del_guard.len() + ins_guard.len();
     match par {
         Some((pool, width)) if width > 1 => {
             mv_guard.apply_delta_parallel(&del_guard, &ins_guard, pool, width);
@@ -82,6 +87,7 @@ pub fn apply_diff_tables_with(
     }
     del_guard.clear();
     ins_guard.clear();
+    crate::scenario::phase_end("ApplyDT(MV∸∇MV⊎ΔMV)", rows, t);
     Ok(())
 }
 

@@ -22,6 +22,29 @@ use dvm_algebra::infer::compile;
 use dvm_algebra::Expr;
 use dvm_storage::{Bag, Catalog};
 use std::collections::HashMap;
+use std::time::Instant;
+
+/// Start a phase timer iff profiling is on (`None` keeps the off path at
+/// one relaxed atomic load).
+pub(crate) fn phase_start() -> Option<Instant> {
+    dvm_obs::profiling_on().then(Instant::now)
+}
+
+/// Record a finished phase timer as a leaf in the current profiling
+/// capture. The non-evaluation work of a maintenance operation — delta
+/// derivation, compile/pin, the Lemma-3 fold, log truncation — lands in
+/// the same per-operation capture as the operator pipelines, so the
+/// recorded nanos can telescope to the operation's observed wall time
+/// (`MaintProfile::coverage`).
+pub(crate) fn phase_end(label: &'static str, rows: u64, started: Option<Instant>) {
+    if let Some(s) = started {
+        dvm_obs::profile::record_eval(dvm_obs::OpProf::leaf(
+            label,
+            rows,
+            s.elapsed().as_nanos() as u64,
+        ));
+    }
+}
 
 /// Compile and evaluate an expression in the current catalog state,
 /// pinning exactly the tables it reads.
@@ -96,6 +119,7 @@ pub(crate) fn eval_pair_overlay(
     ins: &Expr,
     overrides: &HashMap<String, Bag>,
 ) -> Result<(Bag, Bag)> {
+    let t = phase_start();
     let dq = compile(del, catalog)?;
     let iq = compile(ins, catalog)?;
     let mut tables = dq.plan.tables();
@@ -103,6 +127,7 @@ pub(crate) fn eval_pair_overlay(
     tables.retain(|t| !overrides.contains_key(t));
     let pinned = PinnedState::pin(catalog, &tables)?;
     let src = OverlaySource { pinned, overrides };
+    phase_end("CompilePin(▼,▲)", 0, t);
     Ok((eval(&dq.plan, &src)?, eval(&iq.plan, &src)?))
 }
 

@@ -142,6 +142,21 @@ fn nanos_since_refresh_resets_on_refresh() {
 }
 
 #[test]
+fn nanos_since_refresh_is_monotone_between_refreshes() {
+    // Regression pin: the gauge derives from the database's `Instant`-based
+    // monotonic clock (`Database::now_nanos`), not wall time, so successive
+    // idle reads can never go backwards — a wall-clock implementation would
+    // jump under NTP steps or timezone changes.
+    let db = shared_db(&["v"]);
+    let mut last = db.staleness("v").unwrap().nanos_since_refresh.unwrap();
+    for _ in 0..200 {
+        let now = db.staleness("v").unwrap().nanos_since_refresh.unwrap();
+        assert!(now >= last, "staleness gauge went backwards: {last} → {now}");
+        last = now;
+    }
+}
+
+#[test]
 fn observability_json_round_trips_staleness() {
     let db = shared_db(&["v"]);
     db.execute(&Transaction::new().insert_tuple("r", tuple![7]))

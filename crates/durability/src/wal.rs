@@ -33,10 +33,12 @@
 
 use crate::crc::crc32;
 use crate::error::{DurabilityError, Result};
+use dvm_obs::{profiling_on, Histogram, HistogramSnapshot};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"DVMWAL01";
@@ -156,6 +158,12 @@ pub struct Wal {
     synced_lsn: u64,
     /// Appends since the last fsync (drives `EveryN`).
     unsynced: u64,
+    /// End-to-end [`Wal::append`] latency (includes any policy-driven
+    /// fsync). Samples are recorded only while profiling is enabled.
+    append_hist: Histogram,
+    /// [`Wal::sync`] (flush + `sync_data`) latency. A policy-driven sync
+    /// inside `append` records here *and* inside the append sample.
+    sync_hist: Histogram,
 }
 
 fn segment_name(start_lsn: u64) -> String {
@@ -317,6 +325,8 @@ impl Wal {
                 next_lsn,
                 synced_lsn: last_lsn,
                 unsynced: 0,
+                append_hist: Histogram::new(),
+                sync_hist: Histogram::new(),
             },
             report,
         ))
@@ -351,6 +361,7 @@ impl Wal {
     /// Append one record; returns its LSN. Durability depends on the
     /// policy — see [`Wal::sync`] and [`Wal::synced_lsn`].
     pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        let start = profiling_on().then(Instant::now);
         if self.active_len >= self.options.segment_bytes {
             self.rotate()?;
         }
@@ -371,12 +382,16 @@ impl Wal {
             }
             DurabilityPolicy::Off => {}
         }
+        if let Some(s) = start {
+            self.append_hist.record(s.elapsed().as_nanos() as u64);
+        }
         Ok(lsn)
     }
 
     /// Fsync the active segment; every appended record is durable after
     /// this returns.
     pub fn sync(&mut self) -> Result<()> {
+        let start = profiling_on().then(Instant::now);
         self.active
             .flush()
             .and_then(|()| self.active.sync_data())
@@ -384,6 +399,9 @@ impl Wal {
         self.active_synced_len = self.active_len;
         self.synced_lsn = self.next_lsn - 1;
         self.unsynced = 0;
+        if let Some(s) = start {
+            self.sync_hist.record(s.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -454,6 +472,24 @@ impl Wal {
     /// The directory this log lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Distribution of [`Wal::append`] latencies (profiling-gated: empty
+    /// unless samples were recorded while `dvm_obs` profiling was on).
+    pub fn append_latency(&self) -> HistogramSnapshot {
+        self.append_hist.snapshot()
+    }
+
+    /// Distribution of [`Wal::sync`] (flush + fsync) latencies,
+    /// profiling-gated like [`Wal::append_latency`].
+    pub fn sync_latency(&self) -> HistogramSnapshot {
+        self.sync_hist.snapshot()
+    }
+
+    /// Start a fresh measurement phase for both latency histograms.
+    pub fn reset_latency(&self) {
+        self.append_hist.reset();
+        self.sync_hist.reset();
     }
 }
 
@@ -625,6 +661,34 @@ mod tests {
         assert_eq!(rep.records.len(), 1);
         assert_eq!(rep.records[0].lsn, 42);
         assert_eq!(wal.last_lsn(), 42);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latency_histograms_are_profiling_gated() {
+        let dir = tmpdir("latency");
+        let (mut wal, _) = Wal::open(&dir, opts(DurabilityPolicy::Always, 1 << 20)).unwrap();
+        // Profiling off: appends leave both histograms empty.
+        dvm_obs::set_profiling(false);
+        wal.append(b"cold").unwrap();
+        assert!(wal.append_latency().is_empty());
+        assert!(wal.sync_latency().is_empty());
+        // Profiling on: every append records, and the Always policy also
+        // records one sync sample per append.
+        dvm_obs::set_profiling(true);
+        for _ in 0..3 {
+            wal.append(b"hot").unwrap();
+        }
+        dvm_obs::set_profiling(false);
+        let append = wal.append_latency();
+        let sync = wal.sync_latency();
+        assert_eq!(append.count, 3);
+        assert_eq!(sync.count, 3);
+        // An append sample includes its policy-driven fsync.
+        assert!(append.max >= sync.p50() || sync.max == 0);
+        wal.reset_latency();
+        assert!(wal.append_latency().is_empty());
+        assert!(wal.sync_latency().is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

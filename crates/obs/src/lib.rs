@@ -14,6 +14,12 @@
 //!   events (`txn_execute`, `makesafe`, `propagate`, `refresh`,
 //!   `lock_wait`, `vacuum`, …) with span nesting and per-thread ids, whose
 //!   disabled path costs one relaxed atomic load;
+//! * [`profile`] — the maintenance profiler's primitives: a process-wide
+//!   profiling switch (one relaxed load when off), `EXPLAIN ANALYZE`-style
+//!   per-operator cost trees, per-shard work profiles, and the
+//!   thread-local capture channel between executor and driver;
+//! * [`tseries`] — fixed-capacity downsampling time series for
+//!   staleness-over-time and latency-over-time recording;
 //! * [`json`] — a dependency-free JSON writer *and* parser (the parser
 //!   backs the CI schema gate over `results/*.json`);
 //! * [`TableReport`] / [`fmt_nanos`] — the fixed-width human exporter
@@ -26,12 +32,16 @@
 
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod table;
 pub mod trace;
+pub mod tseries;
 
 pub use hist::{Histogram, HistogramSnapshot};
+pub use profile::{profiling_on, set_profiling, Captured, OpProf, ShardProfile};
 pub use table::{fmt_nanos, TableReport};
 pub use trace::{EventKind, Span, TraceEvent, Tracer};
+pub use tseries::{TimeSeries, TsPoint};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

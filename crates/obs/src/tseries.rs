@@ -1,0 +1,221 @@
+//! Fixed-capacity, downsampling time series — the measurement substrate
+//! for staleness-over-time and propagate-latency-over-time recording.
+//!
+//! A [`TimeSeries`] stores at most `capacity` points, ever. Samples are
+//! aggregated `bucket` at a time (avg + max + count per stored point);
+//! when the point buffer fills, adjacent point pairs are merged (count-
+//! weighted average, max of maxes, first timestamp) and the bucket size
+//! doubles. Memory is therefore O(capacity) regardless of how long the
+//! recorder runs, while the series keeps full time coverage at
+//! progressively coarser resolution — exactly what an SLA scheduler needs
+//! to judge staleness trends without an unbounded log.
+
+use crate::json;
+
+/// One stored (downsampled) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsPoint {
+    /// Timestamp of the first raw sample folded into this point
+    /// (monotonic nanos, caller-defined origin).
+    pub t_nanos: u64,
+    /// Average of the folded raw samples.
+    pub avg: f64,
+    /// Maximum of the folded raw samples.
+    pub max: f64,
+    /// How many raw samples this point represents.
+    pub count: u64,
+}
+
+/// An accumulating, capacity-bounded series of `(t, value)` samples.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: String,
+    capacity: usize,
+    /// Raw samples folded per stored point (doubles on each compaction).
+    bucket: u64,
+    points: Vec<TsPoint>,
+    /// Partially filled point (fewer than `bucket` samples so far).
+    pending: Option<TsPoint>,
+}
+
+impl TimeSeries {
+    /// A new series holding at most `capacity` points (min 2, rounded
+    /// down to even so pair-merging always halves exactly).
+    pub fn new(name: impl Into<String>, capacity: usize) -> TimeSeries {
+        let capacity = (capacity.max(2)) & !1;
+        TimeSeries {
+            name: name.into(),
+            capacity,
+            bucket: 1,
+            points: Vec::with_capacity(capacity),
+            pending: None,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Raw samples per stored point at the current resolution.
+    pub fn bucket(&self) -> u64 {
+        self.bucket
+    }
+
+    /// Stored points (the pending partial point is excluded).
+    pub fn points(&self) -> &[TsPoint] {
+        &self.points
+    }
+
+    /// Total raw samples recorded over the series' lifetime.
+    pub fn samples(&self) -> u64 {
+        self.points.iter().map(|p| p.count).sum::<u64>()
+            + self.pending.map_or(0, |p| p.count)
+    }
+
+    /// Record one raw sample.
+    pub fn push(&mut self, t_nanos: u64, value: f64) {
+        let p = self.pending.get_or_insert(TsPoint {
+            t_nanos,
+            avg: 0.0,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        });
+        // Streaming mean: exact regardless of bucket size.
+        p.count += 1;
+        p.avg += (value - p.avg) / p.count as f64;
+        p.max = p.max.max(value);
+        if p.count >= self.bucket {
+            let done = self.pending.take().expect("just filled");
+            self.points.push(done);
+            if self.points.len() >= self.capacity {
+                self.compact();
+            }
+        }
+    }
+
+    /// Merge adjacent point pairs and double the bucket: half the points,
+    /// same time coverage, coarser resolution.
+    fn compact(&mut self) {
+        let mut merged = Vec::with_capacity(self.capacity / 2 + 1);
+        for pair in self.points.chunks(2) {
+            merged.push(match pair {
+                [a, b] => {
+                    let count = a.count + b.count;
+                    TsPoint {
+                        t_nanos: a.t_nanos,
+                        avg: (a.avg * a.count as f64 + b.avg * b.count as f64) / count as f64,
+                        max: a.max.max(b.max),
+                        count,
+                    }
+                }
+                [only] => *only,
+                _ => unreachable!("chunks(2)"),
+            });
+        }
+        self.points = merged;
+        self.bucket *= 2;
+    }
+
+    /// Serialize as a JSON object: `{name, bucket, samples, points: [{t_ns,
+    /// avg, max, count}, …]}`. The pending partial point is included as a
+    /// final point so freshly recorded data is never invisible.
+    pub fn to_json(&self) -> String {
+        let pts = self.points.iter().chain(self.pending.iter()).map(|p| {
+            json::object([
+                ("t_ns", json::num_u(p.t_nanos)),
+                ("avg", json::num_f(p.avg)),
+                ("max", json::num_f(p.max)),
+                ("count", json::num_u(p.count)),
+            ])
+        });
+        json::object([
+            ("name", json::string(&self.name)),
+            ("bucket", json::num_u(self.bucket)),
+            ("samples", json::num_u(self.samples())),
+            ("points", json::array(pts)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_raw_points_until_capacity() {
+        let mut ts = TimeSeries::new("s", 8);
+        for i in 0..7u64 {
+            ts.push(i * 100, i as f64);
+        }
+        assert_eq!(ts.bucket(), 1);
+        assert_eq!(ts.points().len(), 7);
+        assert_eq!(ts.points()[3].avg, 3.0);
+        assert_eq!(ts.samples(), 7);
+    }
+
+    #[test]
+    fn compaction_halves_points_and_doubles_bucket() {
+        let mut ts = TimeSeries::new("s", 8);
+        for i in 0..8u64 {
+            ts.push(i * 100, i as f64);
+        }
+        // Hit capacity once: 8 points → 4 merged pairs, bucket 2.
+        assert_eq!(ts.bucket(), 2);
+        assert_eq!(ts.points().len(), 4);
+        let p0 = ts.points()[0];
+        assert_eq!(p0.t_nanos, 0);
+        assert_eq!(p0.avg, 0.5);
+        assert_eq!(p0.max, 1.0);
+        assert_eq!(p0.count, 2);
+        assert_eq!(ts.samples(), 8);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_long_runs() {
+        let mut ts = TimeSeries::new("s", 16);
+        for i in 0..10_000u64 {
+            ts.push(i, (i % 17) as f64);
+        }
+        assert!(ts.points().len() < 16, "{} points", ts.points().len());
+        assert_eq!(ts.samples(), 10_000);
+        // Total count across stored + pending equals samples pushed, and
+        // the count-weighted average survives every compaction.
+        let sum: f64 = ts
+            .points()
+            .iter()
+            .map(|p| p.avg * p.count as f64)
+            .sum::<f64>();
+        // Stored points cover exactly the first `stored` samples (the tail
+        // sits in the pending partial point); the count-weighted average
+        // must survive every compaction.
+        let stored: u64 = ts.points().iter().map(|p| p.count).sum();
+        let expected: f64 = (0..stored).map(|i| (i % 17) as f64).sum();
+        assert!((sum - expected).abs() < 1e-6, "{sum} vs {expected}");
+    }
+
+    #[test]
+    fn max_tracks_spikes_through_compaction() {
+        let mut ts = TimeSeries::new("s", 4);
+        for i in 0..64u64 {
+            ts.push(i, if i == 13 { 999.0 } else { 1.0 });
+        }
+        let max = ts
+            .points()
+            .iter()
+            .map(|p| p.max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(max, 999.0, "spike must survive downsampling");
+    }
+
+    #[test]
+    fn json_includes_pending_point() {
+        let mut ts = TimeSeries::new("stale/V", 8);
+        ts.push(5, 2.0);
+        let doc = json::parse(&ts.to_json()).unwrap();
+        assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("stale/V"));
+        let pts = doc.get("points").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(pts.len(), 1, "pending partial point exported");
+        assert_eq!(pts[0].get("avg").and_then(|v| v.as_f64()), Some(2.0));
+    }
+}

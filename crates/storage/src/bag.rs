@@ -35,11 +35,13 @@
 
 use crate::hasher::{FxBuildHasher, FxHashMap};
 use crate::tuple::Tuple;
+use dvm_obs::profile::{self, ShardProfile};
 use dvm_testkit::WorkerPool;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::BuildHasher;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// 64-bit golden ratio, the standard Fibonacci-hashing multiplier: remixes
 /// the FxHash value so the shard index (top bits) is independent of the
@@ -447,11 +449,19 @@ impl Bag {
         else {
             unreachable!("all operands checked sharded above")
         };
+        // Profiling measures inside the shard closures (which run on pool
+        // threads) and reports through the *return values*, so the profile
+        // lands in the submitting thread's capture buffer — pool-worker
+        // thread-locals never see it.
+        let profiled = profile::profiling_on();
         let slots: Vec<Mutex<&mut Shard>> = mine.iter_mut().map(Mutex::new).collect();
-        let deltas: Vec<(u64, u64)> = pool.run(Self::SHARDS, width, |k| {
+        let deltas: Vec<(u64, u64, u64, u64)> = pool.run(Self::SHARDS, width, |k| {
+            let start = profiled.then(Instant::now);
             let mut shard = slots[k].lock().unwrap();
             let (mut removed, mut added) = (0u64, 0u64);
+            let mut tuples = 0u64;
             for (t, &m) in d[k].iter() {
+                tuples += 1;
                 if let Some(cur) = shard.get_mut(t) {
                     let r = (*cur).min(m);
                     *cur -= r;
@@ -462,14 +472,28 @@ impl Bag {
                 }
             }
             for (t, &m) in i[k].iter() {
+                tuples += 1;
                 *shard.entry(t.clone()).or_insert(0) += m;
                 added += m;
             }
-            (removed, added)
+            let nanos = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            (removed, added, tuples, nanos)
         });
         drop(slots);
-        for (removed, added) in deltas {
+        let mut prof = profiled.then(|| ShardProfile {
+            label: "apply_delta",
+            tuples: Vec::with_capacity(Self::SHARDS),
+            nanos: Vec::with_capacity(Self::SHARDS),
+        });
+        for (removed, added, tuples, nanos) in deltas {
             self.len = self.len - removed + added;
+            if let Some(p) = prof.as_mut() {
+                p.tuples.push(tuples);
+                p.nanos.push(nanos);
+            }
+        }
+        if let Some(p) = prof {
+            profile::record_shards(p);
         }
     }
 }
@@ -512,18 +536,22 @@ pub fn compose_delta_parallel(
     else {
         unreachable!("all operands sharded above")
     };
+    let profiled = profile::profiling_on();
     let slots: Vec<Mutex<(&mut Shard, &mut Shard)>> = d1s
         .iter_mut()
         .zip(i1s.iter_mut())
         .map(Mutex::new)
         .collect();
-    let deltas: Vec<(u64, u64, u64)> = pool.run(Bag::SHARDS, width, |k| {
+    let deltas: Vec<(u64, u64, u64, u64, u64)> = pool.run(Bag::SHARDS, width, |k| {
+        let start = profiled.then(Instant::now);
         let mut pair = slots[k].lock().unwrap();
         let (d1k, i1k) = &mut *pair;
         let (mut d1_added, mut i1_removed, mut i1_added) = (0u64, 0u64, 0u64);
+        let mut tuples = 0u64;
         // One pass over d2[k]: compute the carried deletes (d2 ∸ old i1)
         // and apply the monus to i1 tuple by tuple.
         for (t, &m) in d2s[k].iter() {
+            tuples += 1;
             let have = i1k.get(t).copied().unwrap_or(0);
             let removed = have.min(m);
             if removed > 0 {
@@ -541,15 +569,29 @@ pub fn compose_delta_parallel(
             }
         }
         for (t, &m) in i2s[k].iter() {
+            tuples += 1;
             *i1k.entry(t.clone()).or_insert(0) += m;
             i1_added += m;
         }
-        (d1_added, i1_removed, i1_added)
+        let nanos = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+        (d1_added, i1_removed, i1_added, tuples, nanos)
     });
     drop(slots);
-    for (d1_added, i1_removed, i1_added) in deltas {
+    let mut prof = profiled.then(|| ShardProfile {
+        label: "compose_delta",
+        tuples: Vec::with_capacity(Bag::SHARDS),
+        nanos: Vec::with_capacity(Bag::SHARDS),
+    });
+    for (d1_added, i1_removed, i1_added, tuples, nanos) in deltas {
         d1.len += d1_added;
         i1.len = i1.len - i1_removed + i1_added;
+        if let Some(p) = prof.as_mut() {
+            p.tuples.push(tuples);
+            p.nanos.push(nanos);
+        }
+    }
+    if let Some(p) = prof {
+        profile::record_shards(p);
     }
 }
 

@@ -66,6 +66,27 @@ struct Inner {
     /// Monotonic logical clock bumped on every hit and insert; orders
     /// entries for least-recently-used eviction.
     tick: u64,
+    /// Per-plan-fingerprint counters, populated only while the profiler
+    /// is enabled ([`dvm_obs::profiling_on`]) — the disabled path never
+    /// touches this map.
+    plan_stats: FxHashMap<u128, PlanCacheStats>,
+}
+
+/// Bound on profiled per-fingerprint stat rows: once this many distinct
+/// plans have rows, new fingerprints are no longer added (existing rows
+/// keep counting) — ad-hoc plan churn cannot grow the map without bound.
+const MAX_PLAN_STATS: usize = 1024;
+
+impl Inner {
+    fn plan_stat(&mut self, key: u128) -> Option<&mut PlanCacheStats> {
+        if !dvm_obs::profiling_on() {
+            return None;
+        }
+        if self.plan_stats.len() >= MAX_PLAN_STATS && !self.plan_stats.contains_key(&key) {
+            return None;
+        }
+        Some(self.plan_stats.entry(key).or_default())
+    }
 }
 
 /// A concurrent, epoch-validated cache of join build tables.
@@ -77,6 +98,7 @@ pub struct JoinBuildCache {
     entries: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the cache counters.
@@ -88,6 +110,21 @@ pub struct JoinCacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// Entries evicted at capacity (LRU replacements; explicit
+    /// invalidations are not counted).
+    pub evictions: u64,
+}
+
+/// Cache counters attributed to one plan fingerprint (profiler-gated:
+/// rows accrue only while [`dvm_obs::profiling_on`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Valid-entry lookups for this plan.
+    pub hits: u64,
+    /// Missed (absent or stale) lookups for this plan.
+    pub misses: u64,
+    /// Times this plan's build table was the LRU eviction victim.
+    pub evictions: u64,
 }
 
 impl JoinBuildCache {
@@ -106,11 +143,18 @@ impl JoinBuildCache {
         match inner.map.get_mut(&key) {
             Some(e) if e.deps == *deps => {
                 e.last_used = tick;
+                let build = Arc::clone(&e.build);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&e.build))
+                if let Some(ps) = inner.plan_stat(key) {
+                    ps.hits += 1;
+                }
+                Some(build)
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(ps) = inner.plan_stat(key) {
+                    ps.misses += 1;
+                }
                 None
             }
         }
@@ -130,6 +174,10 @@ impl JoinBuildCache {
                 .map(|(&k, _)| k)
             {
                 inner.map.remove(&coldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(ps) = inner.plan_stat(coldest) {
+                    ps.evictions += 1;
+                }
             }
         }
         let tick = inner.tick + 1;
@@ -165,7 +213,25 @@ impl JoinBuildCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.lock().map.len() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-plan-fingerprint counters accrued while profiling was enabled,
+    /// busiest plans first (by hits + misses). Empty unless the profiler
+    /// has been on during lookups.
+    pub fn per_plan_stats(&self) -> Vec<(u128, PlanCacheStats)> {
+        let inner = self.entries.lock();
+        let mut rows: Vec<(u128, PlanCacheStats)> =
+            inner.plan_stats.iter().map(|(&k, &v)| (k, v)).collect();
+        rows.sort_by_key(|(_, s)| std::cmp::Reverse(s.hits + s.misses));
+        rows
+    }
+
+    /// Drop the profiled per-plan counters (the aggregate counters and
+    /// cached entries are untouched).
+    pub fn reset_plan_stats(&self) {
+        self.entries.lock().plan_stats.clear();
     }
 }
 
@@ -259,6 +325,39 @@ mod tests {
         assert!(c.lookup(0, &Vec::new()).is_none(), "coldest entry evicted");
         assert!(c.lookup(1, &Vec::new()).is_some());
         assert!(c.lookup(1000, &Vec::new()).is_some());
+    }
+
+    #[test]
+    fn eviction_counter_counts_only_capacity_evictions() {
+        let c = JoinBuildCache::new();
+        for i in 0..(MAX_ENTRIES as u128 + 5) {
+            c.insert(i, vec![("r".to_string(), 1)], build_of(&[i as i64]));
+        }
+        assert_eq!(c.stats().evictions, 5, "one LRU victim per overflow");
+        c.invalidate_table("r");
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().evictions, 5, "invalidation is not an eviction");
+    }
+
+    #[test]
+    fn per_plan_stats_accrue_only_under_profiling() {
+        let c = JoinBuildCache::new();
+        let deps = vec![("r".to_string(), 1u64)];
+        c.insert(7, deps.clone(), build_of(&[1]));
+        assert!(c.lookup(7, &deps).is_some());
+        assert!(c.per_plan_stats().is_empty(), "profiler off: no rows");
+
+        dvm_obs::set_profiling(true);
+        assert!(c.lookup(7, &deps).is_some());
+        assert!(c.lookup(8, &deps).is_none());
+        let rows = c.per_plan_stats();
+        dvm_obs::set_profiling(false);
+
+        let get = |k: u128| rows.iter().find(|(key, _)| *key == k).map(|(_, s)| *s);
+        assert_eq!(get(7).unwrap().hits, 1);
+        assert_eq!(get(8).unwrap().misses, 1);
+        c.reset_plan_stats();
+        assert!(c.per_plan_stats().is_empty());
     }
 
     #[test]

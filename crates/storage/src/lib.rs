@@ -38,7 +38,7 @@ pub use bag::{compose_delta_parallel, Bag};
 pub use catalog::{Catalog, CommitMode};
 pub use error::{Result, StorageError};
 pub use hasher::{fx_hash_with_seed, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use joincache::{BuildDeps, JoinBuild, JoinBuildCache, JoinCacheStats};
+pub use joincache::{BuildDeps, JoinBuild, JoinBuildCache, JoinCacheStats, PlanCacheStats};
 pub use schema::{Column, Schema};
 pub use snapshot::Snapshot;
 pub use table::{CommitGuard, Table, TableKind};

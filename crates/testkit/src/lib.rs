@@ -31,6 +31,6 @@ pub mod rng;
 pub mod sync;
 
 pub use bench::Bench;
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool, WorkerStats};
 pub use prop::Prop;
 pub use rng::Rng;

@@ -27,9 +27,54 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Lifetime utilization counters for one pool worker. Counters are plain
+/// relaxed atomics bumped unconditionally — one add per claimed job and
+/// two per park/wake cycle, nothing on the job's inner loop — so they are
+/// always on (no mode flag) and cost nothing measurable.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    /// Jobs this worker claimed off batches (work-stealing wins).
+    jobs_claimed: AtomicU64,
+    /// Times the worker parked on the condvar (no joinable batch).
+    parks: AtomicU64,
+    /// Times the worker woke from a park (spurious wakes included).
+    wakes: AtomicU64,
+}
+
+/// Snapshot of one worker's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs claimed by this worker.
+    pub jobs_claimed: u64,
+    /// Condvar parks.
+    pub parks: u64,
+    /// Condvar wakes.
+    pub wakes: u64,
+}
+
+/// Snapshot of the pool's utilization counters: per-worker claims and
+/// park/wake churn, plus jobs the submitting threads ran themselves
+/// (serial fallbacks and submitter participation in parallel batches).
+/// `total_jobs()` therefore equals the number of jobs ever submitted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One entry per spawned worker, in spawn order.
+    pub workers: Vec<WorkerStats>,
+    /// Jobs executed by submitting threads (not pool workers).
+    pub submitter_jobs: u64,
+}
+
+impl PoolStats {
+    /// Jobs executed across workers and submitters — equals the total
+    /// jobs ever passed to [`WorkerPool::run`].
+    pub fn total_jobs(&self) -> u64 {
+        self.submitter_jobs + self.workers.iter().map(|w| w.jobs_claimed).sum::<u64>()
+    }
+}
 
 /// The type-erased body of a batch: runs job `i` and records its result.
 ///
@@ -60,13 +105,15 @@ struct Batch {
 }
 
 impl Batch {
-    /// Claim and run jobs until the batch is exhausted.
-    fn work(&self) {
+    /// Claim and run jobs until the batch is exhausted, counting each
+    /// claim into `claimed` (the claimant's utilization counter).
+    fn work(&self, claimed: &AtomicU64) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.total {
                 return;
             }
+            claimed.fetch_add(1, Ordering::Relaxed);
             let outcome = catch_unwind(AssertUnwindSafe(|| (self.body)(i)));
             let mut done = self.done.lock().unwrap();
             if let Err(payload) = outcome {
@@ -121,7 +168,7 @@ impl Shared {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, slot: Arc<WorkerSlot>) {
     loop {
         let batch = {
             let mut st = shared.state.lock().unwrap();
@@ -136,11 +183,15 @@ fn worker_loop(shared: Arc<Shared>) {
                     .cloned();
                 match joinable {
                     Some(b) => break b,
-                    None => st = shared.cv.wait(st).unwrap(),
+                    None => {
+                        slot.parks.fetch_add(1, Ordering::Relaxed);
+                        st = shared.cv.wait(st).unwrap();
+                        slot.wakes.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         };
-        batch.work();
+        batch.work(&slot.jobs_claimed);
         batch.leave();
         if !batch.has_unclaimed() {
             shared.remove(&batch);
@@ -159,6 +210,11 @@ fn worker_loop(shared: Arc<Shared>) {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// One slot per spawned worker, in spawn order; slots survive pool
+    /// growth (`ensure_threads` only appends).
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Jobs run by submitting threads (serial paths + participation).
+    submitter_jobs: AtomicU64,
 }
 
 impl Default for WorkerPool {
@@ -180,6 +236,8 @@ impl WorkerPool {
                 cv: Condvar::new(),
             }),
             handles: Mutex::new(Vec::new()),
+            slots: Mutex::new(Vec::new()),
+            submitter_jobs: AtomicU64::new(0),
         }
     }
 
@@ -194,12 +252,33 @@ impl WorkerPool {
         while handles.len() < n {
             let shared = Arc::clone(&self.shared);
             let name = format!("dvm-pool-{}", handles.len());
+            let slot = Arc::new(WorkerSlot::default());
+            self.slots.lock().unwrap().push(Arc::clone(&slot));
             handles.push(
                 std::thread::Builder::new()
                     .name(name)
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, slot))
                     .expect("spawn pool worker"),
             );
+        }
+    }
+
+    /// Snapshot the utilization counters: per-worker jobs claimed and
+    /// park/wake counts, plus submitter-executed jobs.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self
+                .slots
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|s| WorkerStats {
+                    jobs_claimed: s.jobs_claimed.load(Ordering::Relaxed),
+                    parks: s.parks.load(Ordering::Relaxed),
+                    wakes: s.wakes.load(Ordering::Relaxed),
+                })
+                .collect(),
+            submitter_jobs: self.submitter_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -216,6 +295,7 @@ impl WorkerPool {
             return Vec::new();
         }
         if width <= 1 || jobs == 1 {
+            self.submitter_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
             return (0..jobs).map(f).collect();
         }
 
@@ -247,7 +327,7 @@ impl WorkerPool {
         });
 
         self.shared.enqueue(Arc::clone(&batch));
-        batch.work();
+        batch.work(&self.submitter_jobs);
 
         let panic = {
             let mut done = batch.done.lock().unwrap();
@@ -386,5 +466,79 @@ mod tests {
             let out = pool.run(23, width, |i| i as u64 * 7 + 1);
             assert_eq!(out, (0..23).map(|i| i as u64 * 7 + 1).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn jobs_claimed_sums_to_jobs_submitted_across_widths() {
+        let pool = WorkerPool::new();
+        let mut submitted = 0u64;
+        for width in [1usize, 2, 4] {
+            for jobs in [1usize, 7, 32] {
+                let out = pool.run(jobs, width, |i| i);
+                assert_eq!(out.len(), jobs);
+                submitted += jobs as u64;
+                let stats = pool.stats();
+                assert_eq!(
+                    stats.total_jobs(),
+                    submitted,
+                    "width {width}: claims across workers + submitter must \
+                     account for every job ever submitted"
+                );
+            }
+        }
+        // Serial runs (width 1) never touch the workers, so the whole
+        // width-1 block is attributable to the submitter.
+        assert!(pool.stats().submitter_jobs >= 1 + 7 + 32);
+    }
+
+    #[test]
+    fn counters_survive_pool_growth() {
+        let pool = WorkerPool::new();
+        pool.run(16, 2, |i| i); // spawns 1 helper
+        let before = pool.stats();
+        assert_eq!(before.workers.len(), 1);
+        assert_eq!(before.total_jobs(), 16);
+
+        pool.ensure_threads(4);
+        let grown = pool.stats();
+        assert_eq!(grown.workers.len(), 4, "growth appends slots");
+        assert_eq!(
+            grown.workers[0].jobs_claimed, before.workers[0].jobs_claimed,
+            "existing worker's counters survive ensure_threads"
+        );
+        assert_eq!(grown.total_jobs(), 16);
+
+        pool.run(16, 4, |i| i);
+        let after = pool.stats();
+        assert_eq!(after.total_jobs(), 32);
+        assert!(
+            after.workers[0].jobs_claimed >= before.workers[0].jobs_claimed,
+            "claims are monotone"
+        );
+    }
+
+    #[test]
+    fn parked_workers_record_parks_and_wakes() {
+        let pool = WorkerPool::new();
+        pool.ensure_threads(2);
+        // Give the freshly spawned workers a moment to park on the condvar
+        // (no batch is queued, so both must end up waiting).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = pool.stats();
+            let parks: u64 = stats.workers.iter().map(|w| w.parks).sum();
+            if parks >= 2 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "workers never parked");
+            std::thread::yield_now();
+        }
+        // A batch wakes them; wakes catch up to parks once it drains.
+        pool.run(8, 3, |i| i);
+        let stats = pool.stats();
+        let parks: u64 = stats.workers.iter().map(|w| w.parks).sum();
+        let wakes: u64 = stats.workers.iter().map(|w| w.wakes).sum();
+        assert!(parks >= 2);
+        assert!(wakes <= parks, "every wake follows a park");
     }
 }

@@ -71,6 +71,13 @@ cargo run --release --offline -q -p dvm-bench --bin exp_eval -- --test
 echo "==> incremental aggregate experiment smoke"
 cargo run --release --offline -q -p dvm-bench --bin exp_agg -- --test
 
+# Maintenance profiler smoke: the coverage gate must hold — with
+# profiling on, per-operator nanos (operator trees + phase timers) must
+# explain 80%–120% of each propagate's observed wall time — and the
+# policy-driven time series must record.
+echo "==> maintenance profiler experiment smoke"
+cargo run --release --offline -q -p dvm-bench --bin exp_profile -- --test
+
 # Every JSON artifact under results/ must parse and match its schema
 # (pure-Rust validation via dvm_obs::json — no jq in the image), including
 # the benchmark series the executor speedup gates divide.

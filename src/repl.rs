@@ -328,12 +328,17 @@ impl Repl {
                     let tracer = self.db.tracer();
                     let events = tracer.recent(n);
                     if events.is_empty() {
-                        let hint = if tracer.is_enabled() {
+                        let mut hint = if tracer.is_enabled() {
                             "no events journaled yet"
                         } else {
                             "no events — enable with \\trace on"
-                        };
-                        ReplOutcome::Output(hint.to_string())
+                        }
+                        .to_string();
+                        // An empty ring can still hide a truncation: say so.
+                        if tracer.dropped() > 0 {
+                            write!(hint, " ({} older events dropped)", tracer.dropped()).unwrap();
+                        }
+                        ReplOutcome::Output(hint)
                     } else {
                         let mut out = String::new();
                         for e in &events {
@@ -346,6 +351,19 @@ impl Repl {
                     }
                 }
                 Some(_) => ReplOutcome::Output("usage: \\trace on|off|show [n]|clear".to_string()),
+            },
+            "profile" => match arg {
+                Some("on") => {
+                    self.db.set_profiling(true);
+                    ReplOutcome::Output("profile: on — maintenance ops now record operator trees".to_string())
+                }
+                Some("off") => {
+                    self.db.set_profiling(false);
+                    ReplOutcome::Output("profile: off".to_string())
+                }
+                Some("show") | None => ReplOutcome::Output(self.db.profile_report().render()),
+                Some("json") => ReplOutcome::Output(self.db.profile_report().to_json()),
+                Some(_) => ReplOutcome::Output("usage: \\profile on|off|show|json".to_string()),
             },
             other => ReplOutcome::Output(format!("unknown command '\\{other}' — try \\help")),
         }
@@ -393,6 +411,9 @@ meta:  \\tables            list base tables
        \\trace on|off      journal maintenance spans and events
        \\trace show [n]    print the most recent n events (default 40)
        \\trace clear       discard the journal
+       \\profile on|off    profile maintenance: per-operator trees, shard/pool/cache attribution
+       \\profile show      annotated plan trees + utilization + time series
+       \\profile json      the same profiling report as JSON
        \\quit";
 
 #[cfg(test)]
@@ -532,6 +553,39 @@ mod tests {
         assert!(feed(&mut repl, &["\\trace show"]).contains("no events"));
         assert!(feed(&mut repl, &["\\trace off"]).contains("trace: off"));
         assert!(feed(&mut repl, &["\\trace bogus"]).contains("usage"));
+    }
+
+    #[test]
+    fn profile_flow() {
+        let mut repl = Repl::new();
+        feed(
+            &mut repl,
+            &[
+                "CREATE TABLE t (a INT)",
+                "CREATE VIEW v AS SELECT a FROM t WHERE a > 0",
+                "INSERT INTO t VALUES (1), (2)",
+            ],
+        );
+        let off = feed(&mut repl, &["\\profile show"]);
+        assert!(off.contains("profiling: off"), "{off}");
+        assert!(off.contains("no profiled maintenance operations"), "{off}");
+        assert!(feed(&mut repl, &["\\profile on"]).contains("profile: on"));
+        feed(&mut repl, &["\\propagate v"]);
+        let shown = feed(&mut repl, &["\\profile show"]);
+        assert!(shown.contains("profiling: on"), "{shown}");
+        assert!(shown.contains("== propagate v"), "{shown}");
+        assert!(shown.contains("Scan"), "{shown}");
+        assert!(shown.contains("pool:"), "{shown}");
+        let json = feed(&mut repl, &["\\profile json"]);
+        let parsed = dvm_obs::json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("enabled"),
+            Some(&dvm_obs::json::Value::Bool(true)),
+            "{json}"
+        );
+        assert!(!parsed.get("ops").unwrap().as_arr().unwrap().is_empty());
+        assert!(feed(&mut repl, &["\\profile off"]).contains("profile: off"));
+        assert!(feed(&mut repl, &["\\profile bogus"]).contains("usage"));
     }
 
     #[test]
