@@ -1,0 +1,330 @@
+//! **Experiment: CDC ingestion — group-committed WAL vs per-op fsync,
+//! and SLA-held staleness under sustained multi-stream load.**
+//!
+//! Two phases, one artifact (`results/BENCH_ingest.json`, written with a
+//! `host.parallelism` stamp):
+//!
+//! 1. **Throughput.** The same 4-stream CDC event load (point-of-sale
+//!    inserts with periodic returns against `sales`, from
+//!    [`dvm_workload::sales_event_streams`]) is driven twice into a
+//!    durable retail database under `DurabilityPolicy::Always`:
+//!
+//!    * `ingest/group_commit_always` — through the ingest pipeline: four
+//!      concurrent producers into bounded per-table queues, one ingest
+//!      worker group-committing each drained batch with a **single** WAL
+//!      sync;
+//!    * `ingest/per_op_execute_always` — the identical events pushed one
+//!      `execute` (and hence one fsync) at a time.
+//!
+//!    `obs_guard` gates `median(per_op) / median(group_commit) ≥ 3`. An
+//!    inline oracle asserts the two paths leave bag-identical base
+//!    tables, identical refreshed views, and a clean `INV_C`.
+//!
+//! 2. **SLA.** Four producers stream events at a sustained pace while a
+//!    `PolicyDriver` holds the Example-1.1 view under
+//!    `RefreshPolicy::Sla`. The view's staleness gauge is sampled after
+//!    every tick (the driver's decision point): `sla/V/max_staleness_ns`
+//!    must stay under `sla/V/bound_ns`, and `sla/tick_gap_ns` records
+//!    the tick cadence that bounds between-tick exposure on top of the
+//!    sampled maximum.
+
+use dvm_bench::report::{summary_table, write_json_with_host};
+use dvm_bench::{retail_db, retail_db_durable};
+use dvm_core::{Database, Minimality, PolicyDriver, RefreshPolicy, Scenario};
+use dvm_durability::{DurabilityPolicy, WalOptions};
+use dvm_ingest::{Admission, ChangeEvent, IngestConfig, IngestPipeline, IngestStats};
+use dvm_testkit::bench::{Bench, Summary};
+use dvm_workload::{sales_event_streams, RetailConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const STREAMS: usize = 4;
+
+fn event_streams(per_stream: usize, seed: u64) -> Vec<Vec<ChangeEvent>> {
+    let cfg = RetailConfig {
+        seed,
+        ..RetailConfig::default()
+    };
+    sales_event_streams(&cfg, STREAMS, per_stream)
+}
+
+/// Small queues + small batches so producers genuinely hit backpressure
+/// at this event count, while the worker still coalesces many events per
+/// WAL sync.
+fn config() -> IngestConfig {
+    IngestConfig {
+        queue_capacity: 64,
+        max_batch: 32,
+        admission: Admission::Block,
+    }
+}
+
+/// Drive `events` through the pipeline, one producer thread per stream;
+/// returns the worker's final stats.
+fn ingest_all(db: &Database, events: &[Vec<ChangeEvent>]) -> IngestStats {
+    let pipe = IngestPipeline::new(db, &["sales"], config()).expect("sales exists");
+    std::thread::scope(|s| {
+        let worker = s.spawn(|| pipe.run_worker());
+        let producers: Vec<_> = events
+            .iter()
+            .map(|stream| {
+                let p = pipe.producer();
+                let stream = stream.clone();
+                s.spawn(move || {
+                    for ev in stream {
+                        p.submit(ev).expect("pipeline open");
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().expect("producer");
+        }
+        pipe.close();
+        worker.join().expect("worker thread").expect("ingest worker")
+    })
+}
+
+/// The per-op twin: the same events, stream-major, one transaction (and
+/// on a durable database one WAL sync) each.
+fn per_op_all(db: &Database, events: &[Vec<ChangeEvent>]) {
+    for stream in events {
+        for ev in stream {
+            db.execute(&ev.clone().into_transaction()).expect("execute");
+        }
+    }
+}
+
+/// Differential oracle: group-committed and per-op ingestion must agree
+/// on the final database state, however the four streams interleaved.
+fn oracle(events: &[Vec<ChangeEvent>]) {
+    let (a, _) = retail_db(60, 150, Scenario::Combined, Minimality::Weak, 77);
+    let (b, _) = retail_db(60, 150, Scenario::Combined, Minimality::Weak, 77);
+    let stats = ingest_all(&a, events);
+    per_op_all(&b, events);
+    let total: u64 = events.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(stats.ingested, total, "every event group-committed");
+    assert_eq!(stats.shed, 0, "blocking admission sheds nothing");
+    assert_eq!(
+        a.catalog().bag_of("sales").unwrap(),
+        b.catalog().bag_of("sales").unwrap(),
+        "group-committed and per-op paths agree on the base table"
+    );
+    a.refresh("V").expect("refresh after group commit");
+    b.refresh("V").expect("refresh after per-op");
+    assert_eq!(
+        a.query_view("V").unwrap(),
+        b.query_view("V").unwrap(),
+        "refreshed views agree"
+    );
+    assert!(
+        a.check_invariant("V").unwrap().ok(),
+        "INV_C holds after concurrent ingestion"
+    );
+}
+
+fn bench_throughput(b: &Bench, out: &mut Vec<Summary>, per_stream: usize) {
+    let events = event_streams(per_stream, 0xC0FFEE);
+    oracle(&events);
+
+    let options = WalOptions {
+        policy: DurabilityPolicy::Always,
+        ..WalOptions::default()
+    };
+    let dir = |tag: &str| {
+        std::env::temp_dir().join(format!("dvm_exp_ingest_{tag}_{}", std::process::id()))
+    };
+    let fresh = |tag: &str| {
+        let d = dir(tag);
+        move || {
+            retail_db_durable(&d, options, 60, 150, Scenario::Combined, Minimality::Weak, 7).0
+        }
+    };
+
+    let mut last: Option<IngestStats> = None;
+    out.push(b.run_batched("ingest/group_commit_always", fresh("group"), |db| {
+        last = Some(ingest_all(&db, &events));
+        db // hand the database back so teardown drops off the clock
+    }));
+    out.push(b.run_batched("ingest/per_op_execute_always", fresh("perop"), |db| {
+        per_op_all(&db, &events);
+        db
+    }));
+
+    let stats = last.expect("at least one group-commit sample ran");
+    let total: u64 = events.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(
+        stats.wal_syncs, stats.batches,
+        "exactly one WAL sync per group-committed batch"
+    );
+    assert!(
+        stats.batches < total,
+        "batching coalesced events ({} batches for {total} events)",
+        stats.batches
+    );
+    println!(
+        "group commit: {total} events from {STREAMS} streams in {} batches \
+         (max batch {}, peak queue depth {}), {} WAL syncs vs {total} per-op",
+        stats.batches, stats.max_batch, stats.max_queue_depth, stats.wal_syncs
+    );
+
+    for tag in ["group", "perop"] {
+        let _ = std::fs::remove_dir_all(dir(tag));
+    }
+}
+
+struct SlaOutcome {
+    max_staleness_ns: u64,
+    bound_ns: u64,
+    tick_gaps: Vec<f64>,
+    ticks: u64,
+    refreshes: u64,
+}
+
+/// Hold the view under `RefreshPolicy::Sla` while four producers stream
+/// at `pace`; sample staleness after every scheduling decision.
+fn sla_phase(per_stream: usize, bound_ns: u64, pace: Duration) -> SlaOutcome {
+    let (db, _gen) = retail_db(60, 150, Scenario::Combined, Minimality::Weak, 11);
+    db.refresh("V").expect("initial refresh");
+    let mut driver = PolicyDriver::new(&db);
+    driver
+        .add_view(
+            "V",
+            RefreshPolicy::Sla {
+                staleness_bound: bound_ns,
+            },
+        )
+        .expect("SLA policy compatible with Combined");
+
+    let events = event_streams(per_stream, 0x51A);
+    let pipe = IngestPipeline::new(&db, &["sales"], config()).expect("sales exists");
+    let done = AtomicUsize::new(0);
+    let mut out = SlaOutcome {
+        max_staleness_ns: 0,
+        bound_ns,
+        tick_gaps: Vec::new(),
+        ticks: 0,
+        refreshes: 0,
+    };
+
+    std::thread::scope(|s| {
+        let worker = s.spawn(|| pipe.run_worker());
+        for stream in &events {
+            let p = pipe.producer();
+            let stream = stream.clone();
+            let done = &done;
+            s.spawn(move || {
+                for ev in stream {
+                    p.submit(ev).expect("pipeline open");
+                    std::thread::sleep(pace);
+                }
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+
+        let sample = |driver: &mut PolicyDriver, out: &mut SlaOutcome, gap_ns: f64| {
+            let actions = driver.tick().expect("tick");
+            out.refreshes += actions.refreshes as u64;
+            out.ticks += 1;
+            out.tick_gaps.push(gap_ns);
+            if let Some(ns) = db.staleness("V").expect("gauge").nanos_since_refresh {
+                out.max_staleness_ns = out.max_staleness_ns.max(ns);
+            }
+        };
+        let mut prev = Instant::now();
+        loop {
+            let finished = done.load(Ordering::Acquire) >= STREAMS;
+            let gap = prev.elapsed().as_nanos() as f64;
+            prev = Instant::now();
+            sample(&mut driver, &mut out, gap);
+            if finished {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pipe.close();
+        worker.join().expect("worker thread").expect("ingest worker");
+        // One final pass over the tail the worker committed after the
+        // producers finished.
+        sample(&mut driver, &mut out, prev.elapsed().as_nanos() as f64);
+    });
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let bench = if quick { Bench::quick() } else { Bench::from_env() };
+    let per_stream = if quick { 15 } else { 60 };
+    let mut out = Vec::new();
+    bench_throughput(&bench, &mut out, per_stream);
+
+    // SLA bounds scale with run length: the quick smoke streams ~15 ms of
+    // events under a 5 ms bound, the full run ~100 ms under 50 ms — both
+    // force deadline-driven refreshes mid-stream.
+    let (bound_ns, sla_events) = if quick {
+        (5_000_000, 12)
+    } else {
+        (50_000_000, 100)
+    };
+    let sla = sla_phase(sla_events, bound_ns, Duration::from_millis(1));
+    assert!(
+        sla.refreshes > 0,
+        "the SLA deadline fired at least once mid-stream"
+    );
+    assert!(
+        sla.max_staleness_ns < sla.bound_ns,
+        "SLA held: max staleness {} under bound {}",
+        dvm_obs::fmt_nanos(sla.max_staleness_ns as f64),
+        dvm_obs::fmt_nanos(sla.bound_ns as f64),
+    );
+    println!(
+        "sla: {} ticks, {} refreshes; max post-tick staleness {} (bound {})",
+        sla.ticks,
+        sla.refreshes,
+        dvm_obs::fmt_nanos(sla.max_staleness_ns as f64),
+        dvm_obs::fmt_nanos(sla.bound_ns as f64),
+    );
+    out.push(Summary::from_samples(
+        "sla/V/max_staleness_ns".into(),
+        1,
+        &[sla.max_staleness_ns as f64],
+    ));
+    out.push(Summary::from_samples(
+        "sla/V/bound_ns".into(),
+        1,
+        &[sla.bound_ns as f64],
+    ));
+    out.push(Summary::from_samples("sla/tick_gap_ns".into(), 1, &sla.tick_gaps));
+
+    if quick {
+        println!(
+            "exp_ingest: {} series smoke-ran (oracle + SLA checks passed)",
+            out.len()
+        );
+        return;
+    }
+    summary_table(&out).print();
+
+    let median = |name: &str| {
+        out.iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\ngroup commit speedup (median): {:.1}x over per-op execute under Always fsync",
+        median("ingest/per_op_execute_always") / median("ingest/group_commit_always"),
+    );
+
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("BENCH_ingest.json");
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        match write_json_with_host(&path, &out, parallelism) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

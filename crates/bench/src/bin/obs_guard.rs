@@ -26,6 +26,12 @@
 //! over a full recompute when applying a 1000-row delta to the 100k-row /
 //! 1k-group Zipf view — the O(|Δ|) claim, checked as a recorded ratio.
 //!
+//! For **group-committed ingestion**: `results/BENCH_ingest.json`
+//! (written by `exp_ingest`) must show the CDC pipeline — four producer
+//! streams group-committed with one WAL sync per batch — ≥3× over
+//! pushing the identical events through per-op `execute` (one fsync
+//! each) under `DurabilityPolicy::Always`.
+//!
 //! And for **parallel propagate**: `results/BENCH_concurrent.json` must
 //! show `propagate_large/parallel_4w` beating `propagate_large/serial_loop`
 //! by ≥1.2× on a large sharded view — *when the recording host could
@@ -69,6 +75,16 @@ const AGG_GATES: &[(&str, &str, f64, &str)] = &[(
     "agg/incremental/delta1000",
     5.0,
     "incremental aggregate delta vs full recompute (100k rows / 1k groups)",
+)];
+
+/// Same shape for `results/BENCH_ingest.json` (written by `exp_ingest`):
+/// the group-committed pipeline must amortize the `Always`-policy fsync
+/// over each batch, where the per-op path pays one fsync per event.
+const INGEST_GATES: &[(&str, &str, f64, &str)] = &[(
+    "ingest/per_op_execute_always",
+    "ingest/group_commit_always",
+    3.0,
+    "group-committed ingest vs per-op execute under Always fsync",
 )];
 
 const LARGE_SERIAL: &str = "propagate_large/serial_loop";
@@ -186,6 +202,7 @@ fn make() -> (Database, Vec<Vec<Transaction>>) {
 fn main() {
     let gates_ok = check_ratio_gates("results/BENCH_eval.json", EVAL_GATES, "exp_eval")
         & check_ratio_gates("results/BENCH_agg.json", AGG_GATES, "exp_agg")
+        & check_ratio_gates("results/BENCH_ingest.json", INGEST_GATES, "exp_ingest")
         & check_parallel_propagate_gate();
     if !gates_ok {
         std::process::exit(1);

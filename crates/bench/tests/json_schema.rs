@@ -225,6 +225,46 @@ fn check_agg_report(doc: &Value, ctx: &str) {
     }
 }
 
+/// `BENCH_ingest.json` must carry the per-op/group-commit pair the
+/// obs_guard group-commit gate divides, the SLA outcome pair — with the
+/// recorded maximum staleness actually under the recorded bound — the
+/// tick-cadence series bounding between-sample exposure, and the
+/// `host.parallelism` stamp (the producer streams are real threads).
+fn check_ingest_report(doc: &Value, ctx: &str) {
+    const REQUIRED: &[&str] = &[
+        "ingest/group_commit_always",
+        "ingest/per_op_execute_always",
+        "sla/V/max_staleness_ns",
+        "sla/V/bound_ns",
+        "sla/tick_gap_ns",
+    ];
+    let benches = require(doc, "benchmarks", ctx).as_arr().unwrap();
+    let names: Vec<&str> = benches
+        .iter()
+        .filter_map(|b| b.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in REQUIRED {
+        assert!(
+            names.contains(want),
+            "{ctx}: missing benchmark `{want}` (the group-commit gate depends on it)"
+        );
+    }
+    let median = |name: &str| {
+        benches
+            .iter()
+            .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(name))
+            .map(|b| require_num(b, "median_ns", ctx))
+            .unwrap()
+    };
+    assert!(
+        median("sla/V/max_staleness_ns") < median("sla/V/bound_ns"),
+        "{ctx}: recorded SLA breach — max staleness at or above the bound"
+    );
+    let host = require(doc, "host", ctx);
+    let par = require_num(host, "parallelism", &format!("{ctx}/host"));
+    assert!(par >= 1.0, "{ctx}: host.parallelism must be ≥ 1");
+}
+
 /// `BENCH_concurrent.json` must carry the serial/parallel propagate series
 /// the obs_guard parallel-propagate gate divides, the execute baseline the
 /// overhead guard re-measures, and the `host.parallelism` stamp that tells
@@ -393,6 +433,9 @@ fn every_results_json_parses_and_matches_its_schema() {
             }
             if name == "BENCH_concurrent.json" {
                 check_concurrent_report(&doc, &name);
+            }
+            if name == "BENCH_ingest.json" {
+                check_ingest_report(&doc, &name);
             }
             if name == "BENCH_profile.json" {
                 check_profile_report(&doc, &name);

@@ -42,7 +42,7 @@ use crate::epochlog::SharedLog;
 use crate::error::{CoreError, Result};
 use crate::invariant::{check_view, check_view_with_log_overrides, InvariantReport};
 use crate::metrics::ViewMetricsSnapshot;
-use crate::obs::{Observability, StalenessGauges, ViewObservability};
+use crate::obs::{IngestGauges, Observability, StalenessGauges, ViewObservability};
 use crate::profile::{MaintProfile, ProfileReport};
 use crate::scenario::{self, base_log, combined, diff_table, immediate};
 use crate::view::{Minimality, Scenario, View};
@@ -139,6 +139,9 @@ pub struct Database {
     /// [`Database::sample_staleness_series`]. Always on — maintenance ops
     /// are µs-to-ms scale, so a mutexed push is noise. A leaf lock.
     tseries: Mutex<BTreeMap<String, TimeSeries>>,
+    /// Latest ingest-pipeline gauges published via
+    /// [`Database::set_ingest_gauges`]. A leaf lock.
+    ingest_gauges: Mutex<Option<IngestGauges>>,
 }
 
 impl Default for Database {
@@ -164,6 +167,7 @@ impl Database {
             durable_attached: AtomicBool::new(false),
             profiles: Mutex::new(Vec::new()),
             tseries: Mutex::new(BTreeMap::new()),
+            ingest_gauges: Mutex::new(None),
         }
     }
 
@@ -238,6 +242,20 @@ impl Database {
                 reg.insert(name.to_string(), ts);
             }
         }
+    }
+
+    /// Append one sample to a named time series in the registry (shown by
+    /// `\profile show` and exported by [`Database::profile_report`]).
+    /// External subsystems (the ingest pipeline, benchmarks) use this to
+    /// put their own gauges on the same timeline as staleness samples.
+    pub fn record_series(&self, name: &str, value: f64) {
+        self.ts_push(name, value);
+    }
+
+    /// Publish the latest ingest-pipeline gauges; surfaced in
+    /// [`Database::observability`] (REPL `\metrics`, `\ingest`).
+    pub fn set_ingest_gauges(&self, gauges: IngestGauges) {
+        *self.ingest_gauges.lock() = Some(gauges);
     }
 
     /// Sample every view's staleness gauges into the time-series registry
@@ -704,6 +722,37 @@ impl Database {
     /// module docs), so concurrent writers of overlapping tables
     /// serialize and the weakly-minimal precondition cannot go stale.
     pub fn execute(&self, tx: &Transaction) -> Result<ExecReport> {
+        self.execute_inner(tx, false)
+    }
+
+    /// Execute a batch of transactions as one **group commit**: each
+    /// transaction runs the full maintained path of [`Database::execute`]
+    /// (its WAL record is still appended while its commit claims are held,
+    /// so WAL order remains a serialization order), but the per-record
+    /// fsync of `DurabilityPolicy::Always` is deferred and the whole batch
+    /// is made durable by a *single* [`Wal::sync`] at the end.
+    ///
+    /// Durability contract: when this returns `Ok`, every transaction in
+    /// the batch is durable (the batch is "acknowledged"). A crash before
+    /// the final sync may lose a suffix of the batch's records — recovery
+    /// then matches a never-crashed database that executed only the
+    /// surviving prefix. On a non-durable database this is just a loop
+    /// over [`Database::execute`].
+    pub fn execute_batch(&self, txs: &[Transaction]) -> Result<ExecReport> {
+        let mut total = ExecReport::default();
+        for tx in txs {
+            let r = self.execute_inner(tx, true)?;
+            total.base_apply_nanos += r.base_apply_nanos;
+            total.maintenance_nanos += r.maintenance_nanos;
+            total.views_maintained += r.views_maintained;
+        }
+        if self.durable_attached.load(Ordering::Acquire) {
+            self.sync_wal()?;
+        }
+        Ok(total)
+    }
+
+    fn execute_inner(&self, tx: &Transaction, defer_log_sync: bool) -> Result<ExecReport> {
         // Reject writes to internal tables, unknown tables, and
         // schema-invalid tuples up front — BEFORE any maintenance hook
         // runs. Log tables are appended to through raw guards, so a tuple
@@ -799,9 +848,14 @@ impl Database {
         }
         // Log the *normalized* transaction while the claims are still held
         // (WAL order = serialization order); replay re-normalizes against
-        // the identical state, which is a fixpoint.
+        // the identical state, which is a fixpoint. Group-committed
+        // callers defer the fsync to their batch-final sync.
         if self.durable_attached.load(Ordering::Acquire) {
-            self.log_op(&DurableOp::Txn(tx.clone()))?;
+            if defer_log_sync {
+                self.log_op_deferred(&DurableOp::Txn(tx.clone()))?;
+            } else {
+                self.log_op(&DurableOp::Txn(tx.clone()))?;
+            }
         }
         Ok(report)
     }
@@ -1236,6 +1290,7 @@ impl Database {
             trace_len: self.tracer.len() as u64,
             trace_dropped: self.tracer.dropped(),
             join_cache: self.catalog.join_cache().stats(),
+            ingest: *self.ingest_gauges.lock(),
         }
     }
 
@@ -1254,6 +1309,21 @@ impl Database {
         let mut guard = self.durable.lock();
         if let Some(d) = guard.as_mut() {
             d.wal.append(&durable::encode_op(op))?;
+        }
+        Ok(())
+    }
+
+    /// [`Database::log_op`] without the policy fsync: the record lands in
+    /// the OS buffer and joins the open group-commit window, made durable
+    /// by the caller's batch-final [`Database::sync_wal`]. Same locking
+    /// discipline — the append still happens under the caller's claims.
+    fn log_op_deferred(&self, op: &DurableOp) -> Result<()> {
+        if !self.durable_attached.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut guard = self.durable.lock();
+        if let Some(d) = guard.as_mut() {
+            d.wal.append_deferred(&durable::encode_op(op))?;
         }
         Ok(())
     }

@@ -32,6 +32,18 @@ pub enum CoreError {
     /// The view definition's output schema cannot name a materialized table
     /// (duplicate column names after dropping qualifiers).
     UnmaterializableSchema(String),
+    /// A refresh policy was registered against a view whose maintenance
+    /// scenario cannot support it (e.g. Policy 1 needs the Combined
+    /// scenario's logs *and* differential tables).
+    IncompatiblePolicy {
+        /// The view the registration targeted (empty when the check ran
+        /// without one, e.g. a bare `compatible_with` call).
+        view: String,
+        /// The rejected policy, rendered.
+        policy: String,
+        /// The offending scenario's label.
+        scenario: &'static str,
+    },
     /// Underlying durability (WAL/checkpoint) error.
     Durability(DurabilityError),
     /// The database has no durable directory attached, but a durable
@@ -58,6 +70,21 @@ impl fmt::Display for CoreError {
             }
             CoreError::UnmaterializableSchema(msg) => {
                 write!(f, "view output schema cannot be materialized: {msg}")
+            }
+            CoreError::IncompatiblePolicy {
+                view,
+                policy,
+                scenario,
+            } => {
+                if view.is_empty() {
+                    write!(f, "policy {policy} cannot drive scenario {scenario}")
+                } else {
+                    write!(
+                        f,
+                        "policy {policy} cannot drive view '{view}': \
+                         its scenario {scenario} lacks the required auxiliary state"
+                    )
+                }
             }
             CoreError::Durability(e) => write!(f, "{e}"),
             CoreError::NotDurable => {

@@ -37,7 +37,7 @@ pub use epochlog::SharedLog;
 pub use error::{CoreError, Result};
 pub use invariant::{check_view, InvariantReport};
 pub use metrics::{ViewHistograms, ViewMetrics, ViewMetricsSnapshot};
-pub use obs::{Observability, StalenessGauges, ViewObservability};
+pub use obs::{IngestGauges, Observability, StalenessGauges, ViewObservability};
 pub use policy::{PolicyDriver, RefreshPolicy, TickActions};
 pub use profile::{MaintProfile, ProfileReport};
 pub use readthrough::{read_through, read_through_where};

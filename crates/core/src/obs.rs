@@ -39,6 +39,49 @@ pub struct StalenessGauges {
     pub nanos_since_refresh: Option<u64>,
 }
 
+/// Counters published by a CDC ingest pipeline (`dvm-ingest`) via
+/// [`Database::set_ingest_gauges`](crate::Database::set_ingest_gauges):
+/// queue depth, batch sizing, and admission-control outcomes. All zero
+/// until a pipeline publishes; the most recent snapshot wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestGauges {
+    /// Bounded per-table queues the pipeline owns.
+    pub queues: u64,
+    /// Events currently waiting across all queues.
+    pub queue_depth: u64,
+    /// High-water mark of any single queue's depth.
+    pub max_queue_depth: u64,
+    /// Events accepted from producers (admitted into a queue).
+    pub submitted: u64,
+    /// Events drained and committed through the database.
+    pub ingested: u64,
+    /// Events dropped by shed-mode admission control.
+    pub shed: u64,
+    /// Group-committed batches executed.
+    pub batches: u64,
+    /// Largest single batch (events).
+    pub max_batch: u64,
+    /// WAL syncs issued by the worker — one per durable batch, however
+    /// many transactions the batch carried.
+    pub wal_syncs: u64,
+}
+
+impl IngestGauges {
+    fn to_json(self) -> String {
+        json::object([
+            ("queues", json::num_u(self.queues)),
+            ("queue_depth", json::num_u(self.queue_depth)),
+            ("max_queue_depth", json::num_u(self.max_queue_depth)),
+            ("submitted", json::num_u(self.submitted)),
+            ("ingested", json::num_u(self.ingested)),
+            ("shed", json::num_u(self.shed)),
+            ("batches", json::num_u(self.batches)),
+            ("max_batch", json::num_u(self.max_batch)),
+            ("wal_syncs", json::num_u(self.wal_syncs)),
+        ])
+    }
+}
+
 /// Everything observable about one view.
 #[derive(Debug, Clone)]
 pub struct ViewObservability {
@@ -86,6 +129,8 @@ pub struct Observability {
     /// Join-build cache counters (hits/misses/resident entries) for the
     /// streaming executor's build-side reuse across propagates.
     pub join_cache: dvm_storage::JoinCacheStats,
+    /// Latest CDC ingest-pipeline gauges, if one ever published.
+    pub ingest: Option<IngestGauges>,
 }
 
 impl StalenessGauges {
@@ -126,7 +171,7 @@ impl ViewObservability {
 impl Observability {
     /// The whole registry as one JSON document.
     pub fn to_json(&self) -> String {
-        json::object([
+        let mut fields = vec![
             (
                 "views",
                 json::array(self.views.iter().map(|v| v.to_json())),
@@ -156,7 +201,11 @@ impl Observability {
                     ("entries", json::num_u(self.join_cache.entries)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(g) = self.ingest {
+            fields.push(("ingest", g.to_json()));
+        }
+        json::object(fields)
     }
 
     /// Per-view latency percentiles as a [`TableReport`]: one row per view
@@ -237,6 +286,22 @@ impl Observability {
                 self.trace_dropped
             ));
         }
+        if let Some(g) = self.ingest {
+            out.push_str(&format!(
+                "ingest: {} queued across {} queues (peak {}), \
+                 {} submitted / {} ingested / {} shed, \
+                 {} batches (max {}), {} wal syncs\n",
+                g.queue_depth,
+                g.queues,
+                g.max_queue_depth,
+                g.submitted,
+                g.ingested,
+                g.shed,
+                g.batches,
+                g.max_batch,
+                g.wal_syncs
+            ));
+        }
         out
     }
 }
@@ -283,6 +348,7 @@ mod tests {
                 entries: 1,
                 evictions: 1,
             },
+            ingest: None,
         }
     }
 
@@ -333,6 +399,32 @@ mod tests {
         assert!(s.contains("shared log: epoch 7"), "{s}");
         // empty histograms are skipped in the latency table
         assert!(!s.contains("propagate"), "{s}");
+    }
+
+    #[test]
+    fn ingest_gauges_serialize_and_render_when_present() {
+        let mut obs = sample();
+        let doc = json::parse(&obs.to_json()).unwrap();
+        assert!(doc.get("ingest").is_none(), "absent until published");
+        obs.ingest = Some(IngestGauges {
+            queues: 2,
+            queue_depth: 7,
+            max_queue_depth: 64,
+            submitted: 100,
+            ingested: 90,
+            shed: 3,
+            batches: 12,
+            max_batch: 16,
+            wal_syncs: 12,
+        });
+        let doc = json::parse(&obs.to_json()).unwrap();
+        let g = doc.get("ingest").unwrap();
+        assert_eq!(g.get("queue_depth").unwrap().as_f64(), Some(7.0));
+        assert_eq!(g.get("shed").unwrap().as_f64(), Some(3.0));
+        assert_eq!(g.get("wal_syncs").unwrap().as_f64(), Some(12.0));
+        let s = obs.render();
+        assert!(s.contains("ingest: 7 queued across 2 queues"), "{s}");
+        assert!(s.contains("12 batches (max 16), 12 wal syncs"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! # dvm-ingest — batched CDC ingestion for the maintenance engine
+//!
+//! Turns the engine from *call-driven* (each writer calls
+//! [`Database::execute`](dvm_core::Database::execute) and pays a full
+//! WAL fsync under `DurabilityPolicy::Always`) into *traffic-driven*:
+//! producers emit [`ChangeEvent`]s into bounded per-table queues, and a
+//! single ingest worker drains them into **group-committed** batches —
+//! every transaction still runs full view maintenance and appends its
+//! WAL record under its own commit claims (WAL order = serialization
+//! order, `INV_C` preserved), but one fsync covers the whole batch.
+//!
+//! See [`pipeline`] for the dataflow diagram and the ordering argument,
+//! [`queue`] for the backpressure primitive. DESIGN.md §14 covers the
+//! subsystem end to end.
+
+mod pipeline;
+mod queue;
+
+pub use pipeline::{Admission, IngestConfig, IngestPipeline, IngestStats, Producer};
+pub use queue::{BoundedQueue, PushError};
+
+use dvm_core::CoreError;
+use dvm_delta::Transaction;
+use dvm_storage::{Bag, Tuple};
+use std::fmt;
+
+/// One captured change against a single base table: a bag of deletions
+/// and a bag of insertions, applied atomically (the CDC analogue of one
+/// upstream row operation or micro-transaction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// Target base table.
+    pub table: String,
+    /// Tuples removed.
+    pub deletes: Bag,
+    /// Tuples added.
+    pub inserts: Bag,
+}
+
+impl ChangeEvent {
+    /// An event carrying both deletions and insertions.
+    pub fn delta(table: impl Into<String>, deletes: Bag, inserts: Bag) -> Self {
+        ChangeEvent {
+            table: table.into(),
+            deletes,
+            inserts,
+        }
+    }
+
+    /// A single-tuple insert.
+    pub fn insert(table: impl Into<String>, t: Tuple) -> Self {
+        Self::delta(table, Bag::new(), Bag::singleton(t))
+    }
+
+    /// A single-tuple delete.
+    pub fn delete(table: impl Into<String>, t: Tuple) -> Self {
+        Self::delta(table, Bag::singleton(t), Bag::new())
+    }
+
+    /// The event as a one-table maintained transaction.
+    pub fn into_transaction(self) -> Transaction {
+        Transaction::new()
+            .delete(self.table.clone(), self.deletes)
+            .insert(self.table, self.inserts)
+    }
+}
+
+/// Ingestion errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The pipeline was closed; the event was not accepted.
+    Closed,
+    /// The event's table is not one the pipeline ingests.
+    UnknownTable(String),
+    /// The engine rejected a batch (the worker stops on this).
+    Core(CoreError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Closed => write!(f, "ingest pipeline is closed"),
+            IngestError::UnknownTable(t) => {
+                write!(f, "table '{t}' is not registered with the ingest pipeline")
+            }
+            IngestError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for IngestError {
+    fn from(e: CoreError) -> Self {
+        IngestError::Core(e)
+    }
+}

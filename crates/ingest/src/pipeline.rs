@@ -1,0 +1,324 @@
+//! The CDC ingest pipeline: bounded per-table queues in front of a
+//! group-committing worker.
+//!
+//! ```text
+//!  producers (any threads)             ingest worker (one thread)
+//!  ┌──────────┐  submit   ┌─────────┐  drain (round-robin,
+//!  │ stream 1 │──────────▸│ q:sales │──┐ ≤ max_batch events)
+//!  └──────────┘           └─────────┘  │   ┌──────────────────────┐
+//!  ┌──────────┐           ┌─────────┐  ├──▸│ Database::execute_   │
+//!  │ stream 2 │──────────▸│ q:custs │──┘   │ batch  — full view   │
+//!  └──────────┘  Block:   └─────────┘      │ maintenance per tx,  │
+//!     ...        wait while full           │ ONE wal fsync at the │
+//!                Shed: drop + count        │ end (group commit)   │
+//!                                          └──────────────────────┘
+//! ```
+//!
+//! **Ordering.** Each event becomes one [`Transaction`] and runs the
+//! normal `execute` path — commit claims are taken and the WAL record is
+//! appended while they are held, so *WAL order = serialization order*
+//! exactly as for per-op execution; grouping only defers the fsync. A
+//! crash inside a batch therefore loses a suffix of that batch and
+//! nothing else; once [`IngestPipeline::run_worker`] has counted a batch
+//! as ingested, it is durable (`execute_batch` synced before returning).
+//!
+//! **Backpressure.** [`Admission::Block`] parks producers on the full
+//! queue's condvar — sustained overload slows sources down.
+//! [`Admission::Shed`] never blocks: the event is dropped and counted
+//! ([`IngestStats::shed`]), for sources that prefer loss over latency.
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::{ChangeEvent, IngestError};
+use dvm_core::{Database, IngestGauges};
+use dvm_delta::Transaction;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What a producer does when its table's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Wait for the worker to free space (backpressure).
+    Block,
+    /// Drop the event and count it ([`IngestStats::shed`]).
+    Shed,
+}
+
+/// Pipeline tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Capacity of each per-table queue.
+    pub queue_capacity: usize,
+    /// Most events drained into one group-committed batch.
+    pub max_batch: usize,
+    /// Full-queue producer behaviour.
+    pub admission: Admission,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_capacity: 256,
+            max_batch: 64,
+            admission: Admission::Block,
+        }
+    }
+}
+
+/// Monotone pipeline counters (a point-in-time snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Events accepted into a queue.
+    pub submitted: u64,
+    /// Events committed through the database.
+    pub ingested: u64,
+    /// Events dropped by [`Admission::Shed`].
+    pub shed: u64,
+    /// Group-committed batches executed.
+    pub batches: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+    /// High-water mark of any single queue's depth.
+    pub max_queue_depth: u64,
+    /// WAL syncs issued (one per batch on a durable database).
+    pub wal_syncs: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    ingested: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    max_queue_depth: AtomicU64,
+    wal_syncs: AtomicU64,
+}
+
+impl Counters {
+    fn raise_max(cell: &AtomicU64, v: u64) {
+        cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> IngestStats {
+        IngestStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by producers and the worker — holds no database
+/// reference, so [`Producer`] handles are `'static` and move freely
+/// into producer threads.
+struct Shared {
+    queues: BTreeMap<String, BoundedQueue<ChangeEvent>>,
+    admission: Admission,
+    counters: Counters,
+    /// Worker park/wake: producers set the flag and notify after every
+    /// accepted event; `close` notifies too so the worker can finish.
+    work_flag: Mutex<bool>,
+    work_cv: Condvar,
+}
+
+impl Shared {
+    fn wake_worker(&self) {
+        *self.work_flag.lock().unwrap() = true;
+        self.work_cv.notify_one();
+    }
+}
+
+/// Cloneable producer handle: submit change events from any thread.
+#[derive(Clone)]
+pub struct Producer {
+    shared: Arc<Shared>,
+}
+
+impl Producer {
+    /// Submit one event to its table's queue. Returns `Ok(true)` when
+    /// accepted, `Ok(false)` when shed by admission control (the drop is
+    /// counted), [`IngestError::Closed`] after the pipeline closed, and
+    /// [`IngestError::UnknownTable`] for a table the pipeline does not
+    /// ingest.
+    pub fn submit(&self, event: ChangeEvent) -> Result<bool, IngestError> {
+        let q = self
+            .shared
+            .queues
+            .get(&event.table)
+            .ok_or_else(|| IngestError::UnknownTable(event.table.clone()))?;
+        let outcome = match self.shared.admission {
+            Admission::Block => q.push_blocking(event).map(|()| true),
+            Admission::Shed => match q.try_push(event) {
+                Ok(()) => Ok(true),
+                Err(PushError::Full(_)) => {
+                    self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(false);
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match outcome {
+            Ok(true) => {
+                self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Counters::raise_max(&self.shared.counters.max_queue_depth, q.len() as u64);
+                self.shared.wake_worker();
+                Ok(true)
+            }
+            Ok(false) => unreachable!("blocking push has no shed outcome"),
+            Err(PushError::Closed(_)) | Err(PushError::Full(_)) => Err(IngestError::Closed),
+        }
+    }
+
+    /// Events dropped by shed-mode admission so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.counters.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// The pipeline: owns the queues and drives the worker loop against a
+/// borrowed [`Database`]. Spawn [`IngestPipeline::run_worker`] on a
+/// scoped thread, feed [`Producer`]s from others, then
+/// [`IngestPipeline::close`] and join.
+pub struct IngestPipeline<'a> {
+    db: &'a Database,
+    shared: Arc<Shared>,
+    max_batch: usize,
+}
+
+impl<'a> IngestPipeline<'a> {
+    /// A pipeline ingesting into `tables` (each must exist in `db`).
+    pub fn new(
+        db: &'a Database,
+        tables: &[&str],
+        config: IngestConfig,
+    ) -> Result<Self, IngestError> {
+        let known = db.catalog().table_names();
+        let mut queues = BTreeMap::new();
+        for t in tables {
+            if !known.iter().any(|k| k == t) {
+                return Err(IngestError::UnknownTable((*t).to_string()));
+            }
+            queues.insert((*t).to_string(), BoundedQueue::new(config.queue_capacity));
+        }
+        Ok(IngestPipeline {
+            db,
+            shared: Arc::new(Shared {
+                queues,
+                admission: config.admission,
+                counters: Counters::default(),
+                work_flag: Mutex::new(false),
+                work_cv: Condvar::new(),
+            }),
+            max_batch: config.max_batch.max(1),
+        })
+    }
+
+    /// A new producer handle (cheap; clone freely across threads).
+    pub fn producer(&self) -> Producer {
+        Producer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Close every queue: producers start failing with
+    /// [`IngestError::Closed`]; the worker drains what is queued and
+    /// returns.
+    pub fn close(&self) {
+        for q in self.shared.queues.values() {
+            q.close();
+        }
+        self.shared.wake_worker();
+    }
+
+    /// Counter snapshot (safe mid-traffic).
+    pub fn stats(&self) -> IngestStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Current gauges in the shape the observability registry publishes.
+    pub fn gauges(&self) -> IngestGauges {
+        let s = self.stats();
+        IngestGauges {
+            queues: self.shared.queues.len() as u64,
+            queue_depth: self.shared.queues.values().map(|q| q.len() as u64).sum(),
+            max_queue_depth: s.max_queue_depth,
+            submitted: s.submitted,
+            ingested: s.ingested,
+            shed: s.shed,
+            batches: s.batches,
+            max_batch: s.max_batch,
+            wal_syncs: s.wal_syncs,
+        }
+    }
+
+    /// One round-robin sweep over the queues, at most `max_batch` events.
+    fn drain_batch(&self) -> Vec<ChangeEvent> {
+        let mut batch = Vec::new();
+        loop {
+            let mut drained_any = false;
+            for q in self.shared.queues.values() {
+                if batch.len() >= self.max_batch {
+                    return batch;
+                }
+                if let Some(ev) = q.pop() {
+                    batch.push(ev);
+                    drained_any = true;
+                }
+            }
+            if !drained_any {
+                return batch;
+            }
+        }
+    }
+
+    /// The worker loop: drain → group-commit → publish gauges, until the
+    /// pipeline is closed *and* drained. Returns the final stats. Call on
+    /// its own (scoped) thread; a database error aborts the loop with the
+    /// events of the failed batch unacknowledged.
+    pub fn run_worker(&self) -> Result<IngestStats, IngestError> {
+        let durable = self.db.is_durable();
+        loop {
+            let batch = self.drain_batch();
+            if batch.is_empty() {
+                let closed = self.shared.queues.values().all(|q| q.is_closed());
+                if closed {
+                    break;
+                }
+                // Park until a producer notifies (or poll after 1ms: a
+                // producer may have raced the flag before we parked).
+                let g = self.shared.work_flag.lock().unwrap();
+                let (mut g, _) = self
+                    .shared
+                    .work_cv
+                    .wait_timeout(g, Duration::from_millis(1))
+                    .unwrap();
+                *g = false;
+                continue;
+            }
+            let n = batch.len() as u64;
+            let txs: Vec<Transaction> = batch.into_iter().map(ChangeEvent::into_transaction).collect();
+            self.db.execute_batch(&txs)?;
+            let c = &self.shared.counters;
+            c.ingested.fetch_add(n, Ordering::Relaxed);
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            Counters::raise_max(&c.max_batch, n);
+            if durable {
+                c.wal_syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            self.db.record_series("ingest/batch_size", n as f64);
+            self.db.record_series(
+                "ingest/queue_depth",
+                self.shared.queues.values().map(|q| q.len()).sum::<usize>() as f64,
+            );
+            self.db.set_ingest_gauges(self.gauges());
+        }
+        self.db.set_ingest_gauges(self.gauges());
+        Ok(self.stats())
+    }
+}

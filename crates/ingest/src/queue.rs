@@ -1,0 +1,168 @@
+//! A bounded MPSC queue with blocking and non-blocking producers.
+//!
+//! One instance backs each base table's change feed in the ingest
+//! pipeline. Producers either *block* until space frees (backpressure)
+//! or *try* and get the item back on a full queue (shed mode counts the
+//! drop). The single consumer — the ingest worker — never blocks here;
+//! it polls [`BoundedQueue::pop`] and parks on the pipeline's shared
+//! work signal instead, so one worker can drain many queues.
+//!
+//! Built directly on `std::sync::{Mutex, Condvar}` (the same choice as
+//! the testkit worker pool, which needs a condvar the poison-unwrapping
+//! shims don't wrap); lock poisoning is converted to a normal unwrap
+//! because a poisoned queue means a producer/consumer already panicked
+//! and the test run is lost anyway.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (only from [`BoundedQueue::try_push`]);
+    /// the rejected item is returned to the caller.
+    Full(T),
+    /// The queue was closed; no further items are accepted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer queue. See the module docs.
+pub struct BoundedQueue<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, waiting for space while the queue is full (producer-side
+    /// backpressure). Fails only once the queue is closed.
+    pub fn push_blocking(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return Err(PushError::Closed(item));
+            }
+            if g.buf.len() < self.cap {
+                g.buf.push_back(item);
+                return Ok(());
+            }
+            g = self.not_full.wait(g).unwrap();
+        }
+    }
+
+    /// Enqueue without waiting: a full queue returns the item via
+    /// [`PushError::Full`] so shed-mode admission can count the drop.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.buf.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        g.buf.push_back(item);
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, if any, waking one blocked producer.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        let item = g.buf.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Close the queue: subsequent pushes fail, blocked producers wake
+    /// with [`PushError::Closed`], already-queued items stay poppable.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push_blocking(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.try_push(9), Err(PushError::Full(9)));
+        assert_eq!((q.pop(), q.pop(), q.pop(), q.pop()), (Some(0), Some(1), Some(2), Some(3)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_blocking(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push_blocking(1).is_ok());
+        // The producer must be parked: give it time, verify nothing landed.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer blocked at capacity");
+        assert_eq!(q.pop(), Some(0));
+        assert!(h.join().unwrap(), "freed slot unblocked the producer");
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer_and_rejects_new_pushes() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_blocking(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push_blocking(1));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(PushError::Closed(1)));
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        // Draining still works after close.
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.pop().is_none());
+    }
+}

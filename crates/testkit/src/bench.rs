@@ -156,7 +156,10 @@ pub struct Summary {
 }
 
 impl Summary {
-    fn from_samples(name: String, iters_per_sample: u64, samples: &[f64]) -> Self {
+    /// Summarize raw per-call samples. Public so experiment binaries can
+    /// record measured scalars (an observed maximum, a configured bound)
+    /// as report series alongside [`Bench`]-timed ones.
+    pub fn from_samples(name: String, iters_per_sample: u64, samples: &[f64]) -> Self {
         assert!(!samples.is_empty());
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));

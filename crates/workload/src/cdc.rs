@@ -1,0 +1,98 @@
+//! CDC event streams over the retail workload: deterministic per-stream
+//! sequences of [`ChangeEvent`]s for driving the `dvm-ingest` pipeline
+//! from N concurrent producers (the heavy-traffic regime of
+//! `exp_ingest`).
+//!
+//! Each stream is an independently seeded [`RetailGen`], so streams are
+//! reproducible individually and mutually uncorrelated. Events are
+//! point-of-sale inserts with occasional *returns* (deletes of a sale the
+//! same stream inserted earlier) — a delete is always submitted after its
+//! insert, so per-queue FIFO order keeps every stream's sequence
+//! individually consistent however the streams interleave.
+
+use crate::retail::{RetailConfig, RetailGen};
+use dvm_ingest::ChangeEvent;
+use dvm_storage::Tuple;
+
+/// Every eighth event is a return of an earlier sale from the same
+/// stream.
+const RETURN_PERIOD: usize = 8;
+
+/// `streams` independent event sequences of `per_stream` events each
+/// against the `sales` table. Deterministic in `cfg.seed`.
+pub fn sales_event_streams(
+    cfg: &RetailConfig,
+    streams: usize,
+    per_stream: usize,
+) -> Vec<Vec<ChangeEvent>> {
+    (0..streams)
+        .map(|w| {
+            // Decorrelate streams by mixing the stream id into the seed.
+            let seed = cfg
+                .seed
+                .wrapping_add(1 + w as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut gen = RetailGen::new(RetailConfig {
+                seed,
+                ..cfg.clone()
+            });
+            let mut recent: Vec<Tuple> = Vec::new();
+            (0..per_stream)
+                .map(|i| {
+                    if i % RETURN_PERIOD == RETURN_PERIOD - 1 && !recent.is_empty() {
+                        let victim = recent.remove(i % recent.len());
+                        ChangeEvent::delete("sales", victim)
+                    } else {
+                        let row = gen.sale_row();
+                        recent.push(row.clone());
+                        ChangeEvent::insert("sales", row)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_decorrelated() {
+        let cfg = RetailConfig::default();
+        let a = sales_event_streams(&cfg, 3, 40);
+        let b = sales_event_streams(&cfg, 3, 40);
+        assert_eq!(a, b, "same config, same streams");
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|s| s.len() == 40));
+        assert_ne!(a[0], a[1], "streams draw from different seeds");
+        assert!(a
+            .iter()
+            .flatten()
+            .all(|ev| ev.table == "sales"), "all events target sales");
+    }
+
+    #[test]
+    fn returns_follow_their_inserts() {
+        let cfg = RetailConfig::default();
+        for stream in sales_event_streams(&cfg, 2, 64) {
+            let mut inserted: Vec<Tuple> = Vec::new();
+            let mut returns = 0;
+            for ev in &stream {
+                if ev.inserts.is_empty() {
+                    let (t, _) = ev.deletes.sorted_entries().into_iter().next().unwrap();
+                    assert!(
+                        inserted.contains(&t),
+                        "delete of a row this stream inserted earlier"
+                    );
+                    returns += 1;
+                } else {
+                    for (t, _) in ev.inserts.sorted_entries() {
+                        inserted.push(t);
+                    }
+                }
+            }
+            assert!(returns > 0, "the stream exercises the delete path");
+        }
+    }
+}

@@ -4,16 +4,20 @@
 //!   substitute for the proprietary point-of-sale data): Zipf-skewed sales
 //!   streams, mixed insert/delete batches, churn batches, and customer
 //!   score changes;
+//! * [`cdc`] — deterministic CDC event streams for the `dvm-ingest`
+//!   pipeline (N concurrent producers at sustained load);
 //! * [`zipf`] — inverse-CDF Zipf sampling;
 //! * [`runner`] — drive update streams, measure per-transaction overhead,
 //!   refresh downtime, and what concurrent readers experience.
 
 #![warn(missing_docs)]
 
+pub mod cdc;
 pub mod retail;
 pub mod runner;
 pub mod zipf;
 
+pub use cdc::sales_event_streams;
 pub use retail::{customer_schema, sales_schema, view_expr, RetailConfig, RetailGen, VIEW_SQL};
 pub use runner::{measure_downtime, run_stream, with_concurrent_readers, ReaderStats, StreamStats};
 pub use zipf::Zipf;

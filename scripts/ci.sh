@@ -78,6 +78,14 @@ cargo run --release --offline -q -p dvm-bench --bin exp_agg -- --test
 echo "==> maintenance profiler experiment smoke"
 cargo run --release --offline -q -p dvm-bench --bin exp_profile -- --test
 
+# CDC ingestion smoke: four concurrent producer streams group-committed
+# through the ingest pipeline must leave the same database state as a
+# per-op twin (bag-equal base table, identical refreshed view, INV_C
+# clean), and the SLA-policy driver must hold the view under its
+# staleness bound while the producers stream.
+echo "==> CDC ingestion experiment smoke"
+cargo run --release --offline -q -p dvm-bench --bin exp_ingest -- --test
+
 # Every JSON artifact under results/ must parse and match its schema
 # (pure-Rust validation via dvm_obs::json — no jq in the image), including
 # the benchmark series the executor speedup gates divide.
@@ -90,7 +98,9 @@ cargo test -q --offline -p dvm-bench --test json_schema
 # obs_guard also enforces the streaming executor's recorded speedups in
 # results/BENCH_eval.json (fused ≥2x on filter-project, ≥1.3x on propagate),
 # the incremental-aggregate speedup in results/BENCH_agg.json (the
-# count-annotated maintainer ≥5x over full recompute at delta 1000), and
+# count-annotated maintainer ≥5x over full recompute at delta 1000),
+# the group-commit speedup in results/BENCH_ingest.json (the CDC
+# pipeline ≥3x over per-op execute under Always fsync), and
 # the parallel-propagate series in results/BENCH_concurrent.json:
 # propagate_large/parallel_4w ≥1.2x over serial_loop on the 1.2M-row
 # sharded view when the artifact's host.parallelism stamp says the

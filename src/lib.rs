@@ -45,11 +45,14 @@
 
 pub use dvm_algebra::{self, Expr, Predicate};
 pub use dvm_core::{
-    self, Database, ExecReport, InvariantReport, Minimality, Observability, PolicyDriver,
-    RecoveryReport, RefreshPolicy, Scenario, StalenessGauges, ViewMetricsSnapshot,
+    self, Database, ExecReport, IngestGauges, InvariantReport, Minimality, Observability,
+    PolicyDriver, RecoveryReport, RefreshPolicy, Scenario, StalenessGauges, ViewMetricsSnapshot,
     ViewObservability,
 };
 pub use dvm_durability::{self, DurabilityPolicy, WalOptions};
+pub use dvm_ingest::{
+    self, Admission, ChangeEvent, IngestConfig, IngestError, IngestPipeline, IngestStats,
+};
 pub use dvm_obs::{self, EventKind, Tracer};
 pub use dvm_delta::{self, LogTables, PostDeltas, Transaction};
 pub use dvm_sql::{self, LoweredStatement, SqlError};

@@ -5,8 +5,11 @@
 //! output so it can be unit-tested without a terminal; the `dvm-cli`
 //! binary is a thin stdin loop over it.
 
-use crate::{Database, DvmError, Minimality, Scenario, SqlOutcome, SqlSession};
-use dvm_storage::TableKind;
+use crate::{
+    Admission, ChangeEvent, Database, DvmError, IngestConfig, IngestPipeline, Minimality,
+    PolicyDriver, RefreshPolicy, Scenario, SqlOutcome, SqlSession,
+};
+use dvm_storage::{Schema, TableKind, Tuple, Value, ValueType};
 use std::fmt::Write as _;
 
 /// Interactive session state.
@@ -352,6 +355,69 @@ impl Repl {
                 }
                 Some(_) => ReplOutcome::Output("usage: \\trace on|off|show [n]|clear".to_string()),
             },
+            "ingest" => match arg {
+                // `\ingest` — the latest pipeline gauges.
+                None => match self.db.observability().ingest {
+                    Some(g) => ReplOutcome::Output(format!(
+                        "queues: {} ({} queued now, peak depth {})\n\
+                         events: {} submitted, {} ingested, {} shed\n\
+                         batches: {} group-committed (max {} events), {} wal sync(s)\n",
+                        g.queues,
+                        g.queue_depth,
+                        g.max_queue_depth,
+                        g.submitted,
+                        g.ingested,
+                        g.shed,
+                        g.batches,
+                        g.max_batch,
+                        g.wal_syncs,
+                    )),
+                    None => ReplOutcome::Output(
+                        "no ingest activity yet — usage: \\ingest <table> <n> [block|shed]"
+                            .to_string(),
+                    ),
+                },
+                // `\ingest <table> <n> [block|shed]` — burst-ingest n
+                // synthesized rows through 4 concurrent producer streams.
+                Some(table) => {
+                    let Some(n) = parts.next().and_then(|s| s.parse::<i64>().ok()) else {
+                        return ReplOutcome::Output(
+                            "usage: \\ingest <table> <n> [block|shed]".to_string(),
+                        );
+                    };
+                    let admission = match parts.next() {
+                        Some("shed") => Admission::Shed,
+                        Some("block") | None => Admission::Block,
+                        Some(_) => {
+                            return ReplOutcome::Output(
+                                "usage: \\ingest <table> <n> [block|shed]".to_string(),
+                            )
+                        }
+                    };
+                    ReplOutcome::Output(match self.run_ingest(table, n.max(0), admission) {
+                        Ok(s) => s,
+                        Err(e) => format!("error: {e}"),
+                    })
+                }
+            },
+            "sla" => match (arg, parts.next()) {
+                (Some(view), Some(bound)) => {
+                    let Ok(bound_ms) = bound.parse::<f64>() else {
+                        return ReplOutcome::Output(
+                            "usage: \\sla <view> <bound_ms> [ticks]".to_string(),
+                        );
+                    };
+                    let ticks = parts
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(50);
+                    ReplOutcome::Output(match self.run_sla(view, bound_ms, ticks) {
+                        Ok(s) => s,
+                        Err(e) => format!("error: {e}"),
+                    })
+                }
+                _ => ReplOutcome::Output("usage: \\sla <view> <bound_ms> [ticks]".to_string()),
+            },
             "profile" => match arg {
                 Some("on") => {
                     self.db.set_profiling(true);
@@ -367,6 +433,100 @@ impl Repl {
             },
             other => ReplOutcome::Output(format!("unknown command '\\{other}' — try \\help")),
         }
+    }
+
+    /// A deterministic row for ingest bursts: one value per column,
+    /// derived from the event index.
+    fn synth_tuple(schema: &Schema, i: i64) -> Tuple {
+        Tuple::new(
+            schema
+                .columns()
+                .iter()
+                .enumerate()
+                .map(|(c, col)| match col.ty {
+                    ValueType::Int => Value::Int(i + c as i64),
+                    ValueType::Double => Value::Double(i as f64),
+                    ValueType::Str => Value::Str(format!("cdc-{i}").into()),
+                    ValueType::Bool => Value::Bool(i % 2 == 0),
+                })
+                .collect(),
+        )
+    }
+
+    /// `\ingest <table> <n>`: drive `n` synthesized inserts through a CDC
+    /// pipeline with 4 concurrent producer streams and report its stats.
+    fn run_ingest(&self, table: &str, n: i64, admission: Admission) -> Result<String, DvmError> {
+        let schema = self
+            .db
+            .catalog()
+            .require(table)
+            .map_err(dvm_core::CoreError::from)?
+            .schema()
+            .clone();
+        let cfg = IngestConfig {
+            admission,
+            ..IngestConfig::default()
+        };
+        let pipe =
+            IngestPipeline::new(&self.db, &[table], cfg).expect("table existence checked above");
+        const STREAMS: i64 = 4;
+        let worker_result = std::thread::scope(|s| {
+            let worker = s.spawn(|| pipe.run_worker());
+            let producers: Vec<_> = (0..STREAMS)
+                .map(|w| {
+                    let prod = pipe.producer();
+                    let schema = &schema;
+                    s.spawn(move || {
+                        let mut i = w;
+                        while i < n {
+                            let _ = prod.submit(ChangeEvent::insert(table, Self::synth_tuple(schema, i)));
+                            i += STREAMS;
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                let _ = p.join();
+            }
+            pipe.close();
+            worker.join().expect("ingest worker panicked")
+        });
+        let stats = match worker_result {
+            Ok(s) => s,
+            Err(e) => return Ok(format!("error: {e}")),
+        };
+        Ok(format!(
+            "ingested {} of {n} event(s) from {STREAMS} streams in {} group-committed \
+             batch(es) (max batch {}, {} shed, {} wal sync(s))\n",
+            stats.ingested, stats.batches, stats.max_batch, stats.shed, stats.wal_syncs,
+        ))
+    }
+
+    /// `\sla <view> <bound_ms> [ticks]`: drive the view under the SLA
+    /// deadline scheduler and report what it did.
+    fn run_sla(&self, view: &str, bound_ms: f64, ticks: u64) -> Result<String, DvmError> {
+        let bound = (bound_ms * 1e6).max(0.0) as u64;
+        let mut driver = PolicyDriver::new(&self.db);
+        driver.add_view(
+            view,
+            RefreshPolicy::Sla {
+                staleness_bound: bound,
+            },
+        )?;
+        let total = driver.run(ticks)?;
+        let staleness = self
+            .db
+            .staleness(view)?
+            .nanos_since_refresh
+            .map(|n| dvm_obs::fmt_nanos(n as f64))
+            .unwrap_or_else(|| "never refreshed".to_string());
+        Ok(format!(
+            "ran {ticks} tick(s) under sla(bound={}): {} refresh(es), {} propagate(s); \
+             staleness now {staleness}\n",
+            dvm_obs::fmt_nanos(bound as f64),
+            total.refreshes,
+            total.propagates,
+        ))
     }
 
     fn set_scenario(&mut self, s: Scenario) -> ReplOutcome {
@@ -414,6 +574,9 @@ meta:  \\tables            list base tables
        \\profile on|off    profile maintenance: per-operator trees, shard/pool/cache attribution
        \\profile show      annotated plan trees + utilization + time series
        \\profile json      the same profiling report as JSON
+       \\ingest <t> <n> [block|shed]  burst n CDC events through 4 streams, group-committed
+       \\ingest            latest ingest-pipeline gauges (queues, batches, shed, wal syncs)
+       \\sla <v> <ms> [ticks]  drive <v> under an SLA staleness bound (deadline scheduler)
        \\quit";
 
 #[cfg(test)]
@@ -638,6 +801,60 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&export);
+    }
+
+    #[test]
+    fn ingest_burst_and_gauges() {
+        let mut repl = Repl::new();
+        feed(
+            &mut repl,
+            &[
+                "CREATE TABLE t (a INT, s STRING, d DOUBLE, b BOOL)",
+                "CREATE VIEW v AS SELECT a FROM t",
+            ],
+        );
+        assert!(feed(&mut repl, &["\\ingest"]).contains("no ingest activity yet"));
+        assert!(feed(&mut repl, &["\\ingest t"]).contains("usage"));
+        assert!(feed(&mut repl, &["\\ingest nope 5"]).contains("error:"));
+        let out = feed(&mut repl, &["\\ingest t 20"]);
+        assert!(out.contains("ingested 20 of 20 event(s)"), "{out}");
+        assert!(out.contains("group-committed"), "{out}");
+        let gauges = feed(&mut repl, &["\\ingest"]);
+        assert!(gauges.contains("20 submitted, 20 ingested, 0 shed"), "{gauges}");
+        // The rows really landed and the view can catch up.
+        let rows = feed(&mut repl, &["\\refresh v", "SELECT a FROM v"]);
+        assert!(rows.contains("(20 row(s))"), "{rows}");
+        // The shared registry renders the same gauges.
+        assert!(feed(&mut repl, &["\\metrics"]).contains("ingest:"));
+    }
+
+    #[test]
+    fn sla_driver_holds_view_fresh_and_reports_typed_rejection() {
+        let mut repl = Repl::new();
+        feed(
+            &mut repl,
+            &[
+                "CREATE TABLE t (a INT)",
+                "CREATE VIEW v AS SELECT a FROM t",
+                "INSERT INTO t VALUES (1), (2)",
+            ],
+        );
+        assert!(feed(&mut repl, &["\\sla v"]).contains("usage"));
+        // A 10µs bound is long since breached by REPL overhead, so the
+        // deadline scheduler must refresh within the run.
+        let out = feed(&mut repl, &["\\sla v 0.01 20"]);
+        assert!(out.contains("ran 20 tick(s) under sla"), "{out}");
+        assert!(out.contains("refresh(es)"), "{out}");
+        let rows = feed(&mut repl, &["SELECT a FROM v"]);
+        assert!(rows.contains("(2 row(s))"), "sla refreshed the view: {rows}");
+        // Immediate views cannot lag — the typed error names the scenario.
+        feed(
+            &mut repl,
+            &["\\scenario IM", "CREATE VIEW w AS SELECT a FROM t"],
+        );
+        let err = feed(&mut repl, &["\\sla w 5"]);
+        assert!(err.contains("cannot drive view 'w'"), "{err}");
+        assert!(err.contains("IM"), "{err}");
     }
 
     #[test]
