@@ -136,6 +136,75 @@ impl BagSource for PinnedState {
     }
 }
 
+/// A [`BagSource`] that resolves some tables from runtime-bound
+/// **parameter** bags and everything else from pinned catalog state.
+///
+/// This is what lets a plan be compiled once and re-executed against
+/// fresh inputs: the compiled plan scans fixed table *names* (e.g. a
+/// view's log tables), and each execution binds the current contents of
+/// those names as parameters without recompiling. Parameter tables report
+/// no epoch and are never "base" — their contents differ per execution,
+/// so any join subtree scanning one is excluded from build caching, while
+/// subtrees over purely pinned tables keep their stable epochs (and hence
+/// their [`JoinBuildCache`] entries).
+pub struct ParamSource<'a> {
+    pinned: PinnedState,
+    params: &'a HashMap<String, Bag>,
+}
+
+impl<'a> ParamSource<'a> {
+    /// Wrap an already-pinned state with parameter bindings. The pinned
+    /// set need not avoid the parameter names — parameters shadow pins.
+    pub fn new(pinned: PinnedState, params: &'a HashMap<String, Bag>) -> Self {
+        ParamSource { pinned, params }
+    }
+
+    /// Pin every table in `tables` that is not parameter-bound, then wrap.
+    pub fn pin(
+        catalog: &Catalog,
+        tables: &BTreeSet<String>,
+        params: &'a HashMap<String, Bag>,
+    ) -> Result<Self> {
+        let to_pin: BTreeSet<String> = tables
+            .iter()
+            .filter(|t| !params.contains_key(*t))
+            .cloned()
+            .collect();
+        Ok(ParamSource {
+            pinned: PinnedState::pin(catalog, &to_pin)?,
+            params,
+        })
+    }
+}
+
+impl BagSource for ParamSource<'_> {
+    fn bag(&self, table: &str) -> Result<&Bag> {
+        match self.params.get(table) {
+            Some(b) => Ok(b),
+            None => self.pinned.bag(table),
+        }
+    }
+
+    fn epoch_of(&self, table: &str) -> Option<u64> {
+        // Parameter contents have no stable catalog epoch: reporting None
+        // disables join-build caching for any subtree scanning them, while
+        // subtrees over purely pinned tables stay cacheable.
+        if self.params.contains_key(table) {
+            None
+        } else {
+            self.pinned.epoch_of(table)
+        }
+    }
+
+    fn join_cache(&self) -> Option<&JoinBuildCache> {
+        self.pinned.join_cache()
+    }
+
+    fn is_base(&self, table: &str) -> bool {
+        !self.params.contains_key(table) && self.pinned.is_base(table)
+    }
+}
+
 impl BagSource for Snapshot {
     fn bag(&self, table: &str) -> Result<&Bag> {
         Snapshot::bag(self, table)

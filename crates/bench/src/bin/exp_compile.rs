@@ -1,0 +1,171 @@
+//! **Delta-plan compilation experiment**: steady-state propagate through
+//! the view's compiled delta program vs re-deriving the change queries
+//! symbolically on every call, written to `results/BENCH_compile.json`.
+//!
+//! Both paths share the evaluation back half (Lemma 3 fold, log clear);
+//! the difference under measurement is exactly the per-call symbolic work
+//! the compiler amortizes — `Del`/`Add` differentiation, simplification,
+//! and physical plan construction.
+//!
+//! Series:
+//!
+//! * `compile/small_delta/{compiled,per_call}` — propagate a 10-sale
+//!   backlog through the Example-1.1 join view. Small deltas are the
+//!   steady-state regime deferred maintenance lives in, and where the
+//!   symbolic front half dominates; `obs_guard` gates
+//!   `per_call ≥ 1.5× compiled` here.
+//! * `compile/delta1000/{compiled,per_call}` — a 1 000-sale backlog: the
+//!   evaluation dominates and the ratio shrinks toward 1, bounding what
+//!   compilation can and cannot buy.
+//! * `compile/agg_small/{compiled,per_call}` — a GROUP BY view (COUNT,
+//!   SUM over sales), whose γ differentiation is the costliest to re-run
+//!   per call.
+//!
+//! Every round is differentially checked before timing: a compiled-path
+//! twin and a per-call twin run the same backlog and must agree with each
+//! other and with a from-scratch recompute. `--test` runs the checks and
+//! one quick sample per series without writing (the `scripts/ci.sh`
+//! smoke).
+
+use dvm_algebra::{AggCall, AggFunc, ColRef, Expr};
+use dvm_bench::report::{summary_table, write_json};
+use dvm_bench::retail_db;
+use dvm_core::{Database, Minimality, Scenario};
+use dvm_testkit::bench::{Bench, Summary};
+use dvm_workload::RetailGen;
+
+// Small base tables keep the fixed evaluation cost low, so the
+// small-delta series isolates the per-call symbolic front half (the thing
+// compilation removes) instead of burying it under table scans.
+const CUSTOMERS: usize = 100;
+const INITIAL_SALES: usize = 300;
+const SMALL: usize = 8;
+const LARGE: usize = 1_000;
+
+/// `γ_{custId; COUNT(*), SUM(quantity)}(sales)` — an aggregate view over
+/// the same fact stream.
+fn agg_expr() -> Expr {
+    Expr::table("sales").group_aggregate(
+        vec![ColRef::new("custId")],
+        vec![
+            AggCall::count_star(),
+            AggCall::new(AggFunc::Sum, ColRef::new("quantity")),
+        ],
+    )
+}
+
+/// A retail database with the join view `V` and the aggregate view `VA`,
+/// plus one warmed-up propagate so the measured rounds hit the variant
+/// cache (steady state), never the one-time compile.
+fn make(seed: u64) -> (Database, RetailGen) {
+    let (db, mut gen) = retail_db(
+        CUSTOMERS,
+        INITIAL_SALES,
+        Scenario::Combined,
+        Minimality::Weak,
+        seed,
+    );
+    db.create_view_with("VA", agg_expr(), Scenario::Combined, Minimality::Weak)
+        .expect("create aggregate view");
+    db.execute(&gen.sales_batch(SMALL)).unwrap();
+    db.propagate("V").unwrap();
+    db.propagate("VA").unwrap();
+    (db, gen)
+}
+
+/// Compiled and per-call propagation must be indistinguishable: same MV,
+/// same differential tables, same truth — checked across several rounds
+/// on twin databases fed identical batches.
+fn differential_check() {
+    let (compiled, mut gen_a) = make(7);
+    let (per_call, mut gen_b) = make(7);
+    for round in 0..4 {
+        let batch_a = gen_a.sales_batch(25);
+        let batch_b = gen_b.sales_batch(25);
+        compiled.execute(&batch_a).unwrap();
+        per_call.execute(&batch_b).unwrap();
+        for v in ["V", "VA"] {
+            compiled.propagate(v).unwrap();
+            per_call.propagate_uncompiled(v).unwrap();
+        }
+        for v in ["V", "VA"] {
+            compiled.partial_refresh(v).unwrap();
+            per_call.partial_refresh(v).unwrap();
+            let a = compiled.query_view(v).unwrap();
+            let b = per_call.query_view(v).unwrap();
+            assert_eq!(a, b, "round {round}: {v} diverged compiled vs per-call");
+            assert_eq!(
+                a,
+                compiled.recompute_view(v).unwrap(),
+                "round {round}: {v} diverged from recomputed truth"
+            );
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let bench = if quick { Bench::quick() } else { Bench::from_env() };
+
+    differential_check();
+
+    let mut out: Vec<Summary> = Vec::new();
+    let cases: &[(&str, &str, usize, bool)] = &[
+        ("compile/small_delta/compiled", "V", SMALL, true),
+        ("compile/small_delta/per_call", "V", SMALL, false),
+        ("compile/delta1000/compiled", "V", LARGE, true),
+        ("compile/delta1000/per_call", "V", LARGE, false),
+        ("compile/agg_small/compiled", "VA", SMALL, true),
+        ("compile/agg_small/per_call", "VA", SMALL, false),
+    ];
+    for &(name, view, batch, use_compiled) in cases {
+        out.push(bench.run_batched(
+            name,
+            || {
+                let (db, mut gen) = make(42);
+                db.execute(&gen.sales_batch(batch)).unwrap();
+                db
+            },
+            |db| {
+                if use_compiled {
+                    db.propagate(view).unwrap();
+                } else {
+                    db.propagate_uncompiled(view).unwrap();
+                }
+            },
+        ));
+    }
+
+    if quick {
+        println!(
+            "exp_compile: smoke OK — compiled≡per-call differential checks passed, \
+             {} benchmarks ran",
+            out.len()
+        );
+        return;
+    }
+    summary_table(&out).print();
+
+    let median = |name: &str| {
+        out.iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\ncompiled-plan speedup (median per-call / compiled): \
+         small delta {:.1}x, 1000-delta {:.1}x, aggregate {:.1}x",
+        median("compile/small_delta/per_call") / median("compile/small_delta/compiled"),
+        median("compile/delta1000/per_call") / median("compile/delta1000/compiled"),
+        median("compile/agg_small/per_call") / median("compile/agg_small/compiled"),
+    );
+
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("BENCH_compile.json");
+        match write_json(&path, &out) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}

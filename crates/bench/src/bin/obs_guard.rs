@@ -87,6 +87,17 @@ const INGEST_GATES: &[(&str, &str, f64, &str)] = &[(
     "group-committed ingest vs per-op execute under Always fsync",
 )];
 
+/// Same shape for `results/BENCH_compile.json` (written by `exp_compile`):
+/// in the small-delta steady state the per-call symbolic front half
+/// (differentiation + simplification + plan construction) must cost at
+/// least half again what the compiled program's bind-and-evaluate does.
+const COMPILE_GATES: &[(&str, &str, f64, &str)] = &[(
+    "compile/small_delta/per_call",
+    "compile/small_delta/compiled",
+    1.5,
+    "compiled delta program vs per-call derivation on small deltas",
+)];
+
 const LARGE_SERIAL: &str = "propagate_large/serial_loop";
 const LARGE_PARALLEL: &str = "propagate_large/parallel_4w";
 
@@ -203,6 +214,7 @@ fn main() {
     let gates_ok = check_ratio_gates("results/BENCH_eval.json", EVAL_GATES, "exp_eval")
         & check_ratio_gates("results/BENCH_agg.json", AGG_GATES, "exp_agg")
         & check_ratio_gates("results/BENCH_ingest.json", INGEST_GATES, "exp_ingest")
+        & check_ratio_gates("results/BENCH_compile.json", COMPILE_GATES, "exp_compile")
         & check_parallel_propagate_gate();
     if !gates_ok {
         std::process::exit(1);

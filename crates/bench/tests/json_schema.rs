@@ -225,6 +225,31 @@ fn check_agg_report(doc: &Value, ctx: &str) {
     }
 }
 
+/// `BENCH_compile.json` must carry the compiled/per-call pair for every
+/// regime (small delta, 1 000-delta, aggregate view) — the small-delta
+/// pair is what the obs_guard compiled-plan gate divides.
+fn check_compile_report(doc: &Value, ctx: &str) {
+    const REQUIRED: &[&str] = &[
+        "compile/small_delta/compiled",
+        "compile/small_delta/per_call",
+        "compile/delta1000/compiled",
+        "compile/delta1000/per_call",
+        "compile/agg_small/compiled",
+        "compile/agg_small/per_call",
+    ];
+    let benches = require(doc, "benchmarks", ctx).as_arr().unwrap();
+    let names: Vec<&str> = benches
+        .iter()
+        .filter_map(|b| b.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in REQUIRED {
+        assert!(
+            names.contains(want),
+            "{ctx}: missing benchmark `{want}` (the compiled-plan gate depends on it)"
+        );
+    }
+}
+
 /// `BENCH_ingest.json` must carry the per-op/group-commit pair the
 /// obs_guard group-commit gate divides, the SLA outcome pair — with the
 /// recorded maximum staleness actually under the recorded bound — the
@@ -436,6 +461,9 @@ fn every_results_json_parses_and_matches_its_schema() {
             }
             if name == "BENCH_ingest.json" {
                 check_ingest_report(&doc, &name);
+            }
+            if name == "BENCH_compile.json" {
+                check_compile_report(&doc, &name);
             }
             if name == "BENCH_profile.json" {
                 check_profile_report(&doc, &name);

@@ -448,6 +448,14 @@ impl Database {
             self.catalog
                 .create_table(i, mv_schema, TableKind::Internal)?;
         }
+        // Compile the view's delta program eagerly, now that the log
+        // tables exist in the catalog (the stored ▼/▲ plans scan them, so
+        // schema inference needs them registered). Steady-state propagate
+        // then starts with a warm all-active variant instead of paying the
+        // first symbolic derivation inline.
+        if view.log().is_some() {
+            view.delta_program(&self.catalog)?;
+        }
         // Initialize MV := Q (evaluated now). Initialization counts as the
         // view's first refresh for the staleness gauges.
         let initial = scenario::recompute(&self.catalog, &view)?;
@@ -980,6 +988,40 @@ impl Database {
         Ok(())
     }
 
+    /// [`propagate`](Self::propagate), but re-deriving and re-compiling the
+    /// incremental queries symbolically on every call instead of executing
+    /// the view's cached delta program. Semantically identical; kept as the
+    /// baseline the `exp_compile` benchmark and the compiled≡fresh
+    /// differential tests compare against.
+    pub fn propagate_uncompiled(&self, name: &str) -> Result<()> {
+        let view = self.view(name)?;
+        if view.scenario() != Scenario::Combined {
+            return Err(CoreError::WrongScenario {
+                view: name.to_string(),
+                op: "propagate",
+            });
+        }
+        let _span = self.tracer.span(EventKind::Propagate, name);
+        let _maint = view.maintenance_lock();
+        let _claims = self.lock_view_bases(&view)?;
+        let profiled = dvm_obs::profiling_on();
+        if profiled {
+            // Discard captures ad-hoc queries left on this thread.
+            let _ = obs_profile::take_captured();
+        }
+        let start = Instant::now();
+        self.drain_shared(&view)?;
+        combined::propagate_derive_per_call(&self.catalog, &view, self.intra_view_par())?;
+        let nanos = start.elapsed().as_nanos() as u64;
+        view.metrics().record_propagate(nanos);
+        self.ts_push(&format!("propagate_ns/{name}"), nanos as f64);
+        if profiled {
+            self.finish_profile(name, "propagate", nanos);
+        }
+        self.log_op(&DurableOp::Propagate(name.to_string()))?;
+        Ok(())
+    }
+
     /// `partial_refresh_C`: apply the differential tables, bringing `MV` to
     /// `PAST(L,Q)` (at most one propagation interval stale). Only for
     /// [`Scenario::Combined`].
@@ -1187,6 +1229,74 @@ impl Database {
         Ok(out)
     }
 
+    /// Render a view's *stored* compiled delta program: the cached ▼/▲
+    /// plans steady-state propagate executes (contrast with
+    /// [`explain_view`](Self::explain_view), which re-derives the symbolic
+    /// queries on each call). Compiles the program on demand if the view
+    /// has not been maintained yet (e.g. right after recovery).
+    pub fn plan_view(&self, name: &str) -> Result<String> {
+        use std::fmt::Write as _;
+        let view = self.view(name)?;
+        let mut out = String::new();
+        if view.log().is_none() {
+            writeln!(
+                out,
+                "view {name} [{}] keeps no log — no delta program is compiled",
+                view.scenario().label()
+            )
+            .expect("write to string");
+            return Ok(out);
+        }
+        let program = view.delta_program(&self.catalog)?;
+        let stats = program.stats();
+        let age = stats
+            .compiled_at
+            .elapsed()
+            .map(|d| format!("{:.1}s ago", d.as_secs_f64()))
+            .unwrap_or_else(|_| "just now".to_string());
+        writeln!(
+            out,
+            "delta program for {name} [{}] — compiled {age}",
+            view.scenario().label()
+        )
+        .expect("write to string");
+        writeln!(
+            out,
+            "  variants {} · compiles {} · binds {} · cache hits {}",
+            stats.variants, stats.compiles, stats.binds, stats.hits
+        )
+        .expect("write to string");
+        match program.full_variant() {
+            Some(variant) => {
+                writeln!(out, "-- compiled ▼(L,Q) plan (all logs active) --")
+                    .expect("write to string");
+                out.push_str(&dvm_algebra::explain_query(&variant.del));
+                writeln!(out, "-- compiled ▲(L,Q) plan (all logs active) --")
+                    .expect("write to string");
+                out.push_str(&dvm_algebra::explain_query(&variant.ins));
+            }
+            None => {
+                writeln!(out, "  (definition reads no base tables — ▼/▲ are φ)")
+                    .expect("write to string");
+            }
+        }
+        let variants = program.variants_snapshot();
+        if variants.len() > 1 {
+            writeln!(out, "-- pruned variants --").expect("write to string");
+            for v in &variants {
+                writeln!(
+                    out,
+                    "  mask {:#x}: active logs {:?}, expr size {}",
+                    v.mask,
+                    program.active_log_tables(v.mask),
+                    v.expr_size
+                )
+                .expect("write to string");
+            }
+        }
+        Ok(out)
+    }
+
     /// Maintenance metrics snapshot for a view.
     pub fn view_metrics(&self, name: &str) -> Result<ViewMetricsSnapshot> {
         Ok(self.view(name)?.metrics().snapshot())
@@ -1278,6 +1388,7 @@ impl Database {
                 log_tuples,
                 dt_tuples,
                 staleness,
+                delta_program: view.delta_program_stats(),
             });
         }
         let (shared_log_entries, shared_log_volume) = self.shared_log_stats();

@@ -18,6 +18,7 @@
 //!   (the space the deferral is buying time with).
 
 use crate::metrics::{ViewHistograms, ViewMetricsSnapshot};
+use dvm_delta::DeltaProgramStats;
 use dvm_obs::json;
 use dvm_obs::{fmt_nanos, HistogramSnapshot, TableReport};
 use dvm_storage::lock::LockMetricsSnapshot;
@@ -107,6 +108,10 @@ pub struct ViewObservability {
     pub dt_tuples: u64,
     /// Staleness gauges.
     pub staleness: StalenessGauges,
+    /// Compiled delta-program counters (`None` for views without a log,
+    /// or whose program has not been compiled yet — e.g. right after
+    /// recovery, before the first maintenance operation).
+    pub delta_program: Option<DeltaProgramStats>,
 }
 
 /// The full registry snapshot.
@@ -153,7 +158,7 @@ impl StalenessGauges {
 impl ViewObservability {
     /// This view's report as a JSON object.
     pub fn to_json(&self) -> String {
-        json::object([
+        let mut fields = vec![
             ("view", json::string(&self.name)),
             ("scenario", json::string(self.scenario)),
             ("makesafe", self.latency.makesafe.to_json()),
@@ -164,7 +169,19 @@ impl ViewObservability {
             ("log_tuples", json::num_u(self.log_tuples)),
             ("dt_tuples", json::num_u(self.dt_tuples)),
             ("staleness", self.staleness.to_json()),
-        ])
+        ];
+        if let Some(dp) = &self.delta_program {
+            fields.push((
+                "delta_program",
+                json::object([
+                    ("compiles", json::num_u(dp.compiles)),
+                    ("binds", json::num_u(dp.binds)),
+                    ("cache_hits", json::num_u(dp.hits)),
+                    ("variants", json::num_u(dp.variants)),
+                ]),
+            ));
+        }
+        json::object(fields)
     }
 }
 
@@ -272,6 +289,14 @@ impl Observability {
         out.push_str(&self.latency_table().render());
         out.push('\n');
         out.push_str(&self.staleness_table().render());
+        for v in &self.views {
+            if let Some(dp) = &v.delta_program {
+                out.push_str(&format!(
+                    "delta plans {}: {} variant(s), {} compiles, {} binds, {} cache hits\n",
+                    v.name, dp.variants, dp.compiles, dp.binds, dp.hits
+                ));
+            }
+        }
         out.push_str(&format!(
             "\nshared log: epoch {}, {} entries retained ({} tuples)\n",
             self.shared_log_epoch, self.shared_log_entries, self.shared_log_volume
@@ -335,6 +360,7 @@ mod tests {
                     pending_volume: 5,
                     nanos_since_refresh: Some(1_500_000),
                 },
+                delta_program: None,
             }],
             shared_log_entries: 2,
             shared_log_volume: 5,
@@ -425,6 +451,38 @@ mod tests {
         let s = obs.render();
         assert!(s.contains("ingest: 7 queued across 2 queues"), "{s}");
         assert!(s.contains("12 batches (max 16), 12 wal syncs"), "{s}");
+    }
+
+    #[test]
+    fn delta_program_stats_serialize_and_render_when_present() {
+        let mut obs = sample();
+        let doc = json::parse(&obs.to_json()).unwrap();
+        let view = &doc.get("views").unwrap().as_arr().unwrap()[0];
+        assert!(
+            view.get("delta_program").is_none(),
+            "absent until the program compiles"
+        );
+        obs.views[0].delta_program = Some(DeltaProgramStats {
+            compiles: 2,
+            binds: 9,
+            hits: 7,
+            variants: 2,
+            compiled_at: std::time::SystemTime::now(),
+        });
+        let doc = json::parse(&obs.to_json()).unwrap();
+        let dp = doc.get("views").unwrap().as_arr().unwrap()[0]
+            .get("delta_program")
+            .unwrap()
+            .clone();
+        assert_eq!(dp.get("compiles").unwrap().as_f64(), Some(2.0));
+        assert_eq!(dp.get("binds").unwrap().as_f64(), Some(9.0));
+        assert_eq!(dp.get("cache_hits").unwrap().as_f64(), Some(7.0));
+        assert_eq!(dp.get("variants").unwrap().as_f64(), Some(2.0));
+        let s = obs.render();
+        assert!(
+            s.contains("delta plans v: 2 variant(s), 2 compiles, 9 binds, 7 cache hits"),
+            "{s}"
+        );
     }
 
     #[test]

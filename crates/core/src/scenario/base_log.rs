@@ -17,10 +17,9 @@
 //! ```
 
 use crate::error::{CoreError, Result};
+use crate::scenario::{eval_variant_bound, phase_end, phase_start};
 use crate::view::View;
-use dvm_algebra::eval::{eval, PinnedState};
-use dvm_algebra::infer::compile;
-use dvm_delta::{compose_into, post_update_deltas_pruned, Transaction};
+use dvm_delta::{compose_into, Transaction};
 use dvm_storage::Catalog;
 
 /// `makesafe_BL[T]`'s log-extension step: fold the (weakly minimal)
@@ -56,21 +55,28 @@ pub fn refresh(catalog: &Catalog, view: &View) -> Result<()> {
         view: view.name().to_string(),
         op: "refresh_BL",
     })?;
-    let deltas = post_update_deltas_pruned(view.definition(), log, catalog, &|t| {
+    let program = view.delta_program(catalog)?;
+    let mask = program.activity_mask(&|t| {
         catalog.get(t).map(|tbl| tbl.is_empty()).unwrap_or(false)
-    })?;
-    let del_q = compile(&deltas.del, catalog)?;
-    let ins_q = compile(&deltas.ins, catalog)?;
-    let mut tables = del_q.plan.tables();
-    tables.extend(ins_q.plan.tables());
+    });
+    if mask == 0 {
+        // Nothing logged since the last refresh: MV is already PAST(L,Q).
+        return Ok(());
+    }
+    // The (rare) variant compile happens *outside* the MV lock — only plan
+    // execution counts against downtime.
+    let t = phase_start();
+    let (variant, fresh) = program.variant(mask, catalog)?;
+    if fresh {
+        phase_end("CompileDelta", 0, t);
+    }
+    let active = program.active_log_tables(mask);
 
     let mv = catalog.require(view.mv_table())?;
-    // Downtime starts: write-lock MV, then evaluate and apply.
+    // Downtime starts: write-lock MV, then bind, evaluate and apply.
     let mut mv_guard = mv.write();
-    let pinned = PinnedState::pin(catalog, &tables)?;
-    let del_bag = eval(&del_q.plan, &pinned)?;
-    let ins_bag = eval(&ins_q.plan, &pinned)?;
-    drop(pinned);
+    let (del_bag, ins_bag) = eval_variant_bound(catalog, &variant, &active)?;
+    program.record_bind();
     mv_guard.apply_delta(&del_bag, &ins_bag);
     // L := φ, still inside the refresh transaction.
     for base in log.bases() {
@@ -85,8 +91,10 @@ pub fn refresh(catalog: &Catalog, view: &View) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CoreError;
     use crate::scenario::recompute;
     use crate::view::{Minimality, Scenario};
+    use dvm_algebra::eval::PinnedState;
     use dvm_algebra::Expr;
     use dvm_storage::{tuple, Bag, Schema, TableKind, ValueType};
 

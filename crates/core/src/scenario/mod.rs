@@ -17,9 +17,10 @@ pub mod immediate;
 
 use crate::error::Result;
 use crate::view::View;
-use dvm_algebra::eval::{eval, BagSource, PinnedState};
+use dvm_algebra::eval::{eval, ParamSource, PinnedState};
 use dvm_algebra::infer::compile;
 use dvm_algebra::Expr;
+use dvm_delta::CompiledDeltaVariant;
 use dvm_storage::{Bag, Catalog};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -54,55 +55,16 @@ pub(crate) fn eval_expr(catalog: &Catalog, expr: &Expr) -> Result<Bag> {
     Ok(eval(&q.plan, &pinned)?)
 }
 
-/// A bag source that substitutes in-memory bags for selected tables and
-/// falls back to pinned catalog state for the rest. Used when a view's
-/// effective log lives partly outside its catalog tables (the shared
-/// epoch log).
-pub(crate) struct OverlaySource<'a> {
-    pinned: PinnedState,
-    overrides: &'a HashMap<String, Bag>,
-}
-
-impl BagSource for OverlaySource<'_> {
-    fn bag(&self, table: &str) -> dvm_algebra::Result<&Bag> {
-        match self.overrides.get(table) {
-            Some(b) => Ok(b),
-            None => self.pinned.bag(table),
-        }
-    }
-
-    fn epoch_of(&self, table: &str) -> Option<u64> {
-        // Overridden tables have no stable catalog epoch: reporting None
-        // disables join-build caching for any subtree scanning them, while
-        // subtrees over purely pinned tables stay cacheable.
-        if self.overrides.contains_key(table) {
-            None
-        } else {
-            self.pinned.epoch_of(table)
-        }
-    }
-
-    fn join_cache(&self) -> Option<&dvm_storage::JoinBuildCache> {
-        self.pinned.join_cache()
-    }
-
-    fn is_base(&self, table: &str) -> bool {
-        // Overridden contents are never the catalog's base state.
-        !self.overrides.contains_key(table) && self.pinned.is_base(table)
-    }
-}
-
-/// Evaluate an expression with some table contents overridden.
+/// Evaluate an expression with some table contents overridden. The
+/// overrides ride the algebra's [`ParamSource`] — the same parameterized
+/// source the compiled delta programs bind log bags through.
 pub(crate) fn eval_expr_overlay(
     catalog: &Catalog,
     expr: &Expr,
     overrides: &HashMap<String, Bag>,
 ) -> Result<Bag> {
     let q = compile(expr, catalog)?;
-    let mut to_pin = q.plan.tables();
-    to_pin.retain(|t| !overrides.contains_key(t));
-    let pinned = PinnedState::pin(catalog, &to_pin)?;
-    let src = OverlaySource { pinned, overrides };
+    let src = ParamSource::pin(catalog, &q.plan.tables(), overrides)?;
     Ok(eval(&q.plan, &src)?)
 }
 
@@ -124,11 +86,32 @@ pub(crate) fn eval_pair_overlay(
     let iq = compile(ins, catalog)?;
     let mut tables = dq.plan.tables();
     tables.extend(iq.plan.tables());
-    tables.retain(|t| !overrides.contains_key(t));
-    let pinned = PinnedState::pin(catalog, &tables)?;
-    let src = OverlaySource { pinned, overrides };
+    let src = ParamSource::pin(catalog, &tables, overrides)?;
     phase_end("CompilePin(▼,▲)", 0, t);
     Ok((eval(&dq.plan, &src)?, eval(&iq.plan, &src)?))
+}
+
+/// Execute a precompiled delta-plan variant: snapshot the active log
+/// tables as parameter bags, pin the remaining (base) tables the stored
+/// plans scan, and evaluate both plans against the bound source. This is
+/// the whole steady-state propagate front half — no differentiation, no
+/// simplification, no plan construction. The snapshot+pin is recorded as
+/// the `BindParams` phase; the evaluations profile themselves.
+pub(crate) fn eval_variant_bound(
+    catalog: &Catalog,
+    variant: &CompiledDeltaVariant,
+    param_tables: &[&str],
+) -> Result<(Bag, Bag)> {
+    let t = phase_start();
+    let mut params = HashMap::with_capacity(param_tables.len());
+    for name in param_tables {
+        params.insert((*name).to_string(), catalog.bag_of(name)?);
+    }
+    let mut tables = variant.del.plan.tables();
+    tables.extend(variant.ins.plan.tables());
+    let src = ParamSource::pin(catalog, &tables, &params)?;
+    phase_end("BindParams", params.values().map(Bag::len).sum(), t);
+    Ok((eval(&variant.del.plan, &src)?, eval(&variant.ins.plan, &src)?))
 }
 
 /// Recompute the view definition from scratch (the non-incremental

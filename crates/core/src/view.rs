@@ -2,12 +2,13 @@
 
 use crate::error::{CoreError, Result};
 use crate::metrics::ViewMetrics;
-use dvm_algebra::infer::CompiledQuery;
+use dvm_algebra::infer::{CompiledQuery, SchemaProvider};
 use dvm_algebra::Expr;
-use dvm_delta::LogTables;
+use dvm_delta::{CompiledDeltaProgram, DeltaProgramStats, LogTables};
 use dvm_storage::{Column, Schema};
 use dvm_testkit::sync::{Mutex, MutexGuard};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The four maintenance scenarios of Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +75,12 @@ pub struct View {
     dt_ins_table: Option<String>,
     base_tables: BTreeSet<String>,
     metrics: ViewMetrics,
+    // The compiled delta program (precompiled ▼/▲ plans per activity
+    // mask). Lazily compiled on first use so directly-constructed views
+    // (tests) need no provider at construction; `Database` compiles it
+    // eagerly at view creation. `None` after invalidation or before first
+    // use.
+    delta_program: Mutex<Option<Arc<CompiledDeltaProgram>>>,
     // Serializes maintenance operations (refresh / propagate /
     // partial_refresh / invariant checks) on this view: each op reads and
     // rewrites several auxiliary tables and must see them mutually
@@ -151,8 +158,52 @@ impl View {
             dt_ins_table,
             base_tables,
             metrics: ViewMetrics::default(),
+            delta_program: Mutex::new(None),
             maintenance: Mutex::new(()),
         })
+    }
+
+    /// The view's compiled delta program: precompiled `▼(L,Q)/▲(L,Q)`
+    /// plan pairs keyed by log-activity mask, so steady-state propagate
+    /// binds parameters into a stored plan instead of re-deriving change
+    /// queries. Compiled on first call (against `provider`, which must
+    /// resolve the view's base *and* log tables) and cached until
+    /// [`View::invalidate_delta_program`]. Errors with `WrongScenario`
+    /// when the scenario keeps no log.
+    pub fn delta_program(
+        &self,
+        provider: &dyn SchemaProvider,
+    ) -> Result<Arc<CompiledDeltaProgram>> {
+        let log = self.log.as_ref().ok_or(CoreError::WrongScenario {
+            view: self.name.clone(),
+            op: "delta_program",
+        })?;
+        let mut guard = self.delta_program.lock();
+        if let Some(p) = guard.as_ref() {
+            return Ok(Arc::clone(p));
+        }
+        let p = Arc::new(CompiledDeltaProgram::compile(
+            &self.definition,
+            log,
+            provider,
+        )?);
+        *guard = Some(Arc::clone(&p));
+        Ok(p)
+    }
+
+    /// Drop the compiled delta program so the next maintenance operation
+    /// recompiles it. Call on any definition or base-schema change (in
+    /// this engine views are immutable, so today that means re-creation
+    /// flows and embedders evolving schemas out-of-band).
+    pub fn invalidate_delta_program(&self) {
+        *self.delta_program.lock() = None;
+    }
+
+    /// Counter snapshot of the compiled delta program, `None` if it has
+    /// not been compiled (never used, invalidated, or a log-less
+    /// scenario). Never triggers compilation.
+    pub fn delta_program_stats(&self) -> Option<DeltaProgramStats> {
+        self.delta_program.lock().as_ref().map(|p| p.stats())
     }
 
     /// Serialize a maintenance operation on this view. Acquire *before* any
@@ -329,6 +380,34 @@ mod tests {
         assert!(v.log().is_some());
         assert_eq!(v.diff_tables(), Some(("__v_dt_del", "__v_dt_ins")));
         assert_eq!(v.internal_tables().len(), 7);
+    }
+
+    #[test]
+    fn delta_program_is_lazy_cached_and_invalidatable() {
+        let mut p = provider();
+        let v = make(Scenario::Combined);
+        let log = v.log().unwrap();
+        for base in log.bases() {
+            let (d, i) = log.get(base).unwrap();
+            let schema = p.get(base).unwrap().clone();
+            p.insert(d.to_string(), schema.clone());
+            p.insert(i.to_string(), schema);
+        }
+        assert!(v.delta_program_stats().is_none(), "lazy until first use");
+        let prog = v.delta_program(&p).unwrap();
+        prog.record_bind();
+        assert_eq!(v.delta_program_stats().unwrap().binds, 1);
+        let again = v.delta_program(&p).unwrap();
+        assert!(Arc::ptr_eq(&prog, &again), "second fetch is the cache");
+        // Invalidation (definition change / recompile-on-open) drops the
+        // program; the next fetch recompiles with fresh counters.
+        v.invalidate_delta_program();
+        assert!(v.delta_program_stats().is_none());
+        let rebuilt = v.delta_program(&p).unwrap();
+        assert!(!Arc::ptr_eq(&prog, &rebuilt), "recompiled, not revived");
+        assert_eq!(rebuilt.stats().binds, 0, "counters restart");
+        // Scenarios without a log have no program to compile.
+        assert!(make(Scenario::Immediate).delta_program(&p).is_err());
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! The delta-plan compiler: `Del`/`Add` change queries derived, simplified,
+//! and plan-optimized **once per view**, then re-executed with the current
+//! log bags bound as parameters — zero symbolic work in steady state.
+//!
+//! [`post_update_deltas_pruned`](crate::post_update_deltas_pruned) earns
+//! its keep by replacing log tables that are empty *right now* with `φ`
+//! before differentiation, so untouched tables vanish from the change
+//! queries. A compile-once design must keep that property without
+//! re-deriving per call, and the resolution here is an **activity-mask
+//! keyed variant cache**: each subset of non-empty log tables gets its own
+//! pruned, compiled `(▼, ▲)` plan pair, derived the first time that subset
+//! is observed and a pure map lookup ever after. Steady workloads touch
+//! one or two subsets (e.g. a sales-only stream always dirties exactly the
+//! sales logs), so the cache converges immediately; the all-active variant
+//! is compiled eagerly at view creation as the universal fallback.
+//!
+//! Masks are capped at 64 logged bases (two bits per base). Beyond that
+//! the mask saturates to [`CompiledDeltaProgram::SATURATED`], which maps
+//! every log table active — always *sound*, because substituting a log
+//! table whose current contents are empty only loses pruning, never
+//! changes the value of the change queries.
+
+use crate::error::Result;
+use crate::incremental::LogTables;
+use crate::weak::differentiate;
+use dvm_algebra::infer::{compile, CompiledQuery, SchemaProvider};
+use dvm_algebra::subst::FactoredSubstitution;
+use dvm_algebra::Expr;
+use dvm_testkit::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::SystemTime;
+
+/// One compiled `(▼, ▲)` plan pair for a specific set of active log
+/// tables.
+#[derive(Debug)]
+pub struct CompiledDeltaVariant {
+    /// The activity mask this variant was derived for.
+    pub mask: u128,
+    /// Compiled `▼(L,Q)` — what to remove.
+    pub del: CompiledQuery,
+    /// Compiled `▲(L,Q)` — what to add.
+    pub ins: CompiledQuery,
+    /// Total AST size of the derived change queries (diagnostics).
+    pub expr_size: usize,
+}
+
+/// Counters and provenance of one [`CompiledDeltaProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaProgramStats {
+    /// Variants compiled (symbolic derivations performed over the
+    /// program's lifetime — stops growing once the workload's masks are
+    /// all cached).
+    pub compiles: u64,
+    /// Parameter bindings (steady-state executions).
+    pub binds: u64,
+    /// Variant-cache hits (executions that did zero symbolic work).
+    pub hits: u64,
+    /// Variants currently cached.
+    pub variants: u64,
+    /// When the program was compiled.
+    pub compiled_at: SystemTime,
+}
+
+#[derive(Debug)]
+struct LogEntry {
+    base: String,
+    del_table: String,
+    ins_table: String,
+}
+
+/// A view's precompiled delta program: the Figure 2 differentiation of its
+/// definition against its log substitution, stored as executable plans
+/// keyed by which log tables currently hold tuples. See the module docs.
+#[derive(Debug)]
+pub struct CompiledDeltaProgram {
+    definition: Expr,
+    /// Logged bases in sorted order — entry `i` owns mask bits `2i`
+    /// (deletion log non-empty) and `2i+1` (insertion log non-empty).
+    entries: Vec<LogEntry>,
+    variants: Mutex<BTreeMap<u128, Arc<CompiledDeltaVariant>>>,
+    compiles: AtomicU64,
+    binds: AtomicU64,
+    hits: AtomicU64,
+    compiled_at: SystemTime,
+}
+
+impl CompiledDeltaProgram {
+    /// The saturated activity mask: every log table treated as active.
+    /// Used verbatim when the view logs more than 64 bases.
+    pub const SATURATED: u128 = u128::MAX;
+
+    /// Derive, simplify, and plan-compile the program for `definition`
+    /// over `log`. The all-active variant is compiled eagerly so the
+    /// first propagate already skips symbolic work in the common case of
+    /// a fully dirty log.
+    pub fn compile(
+        definition: &Expr,
+        log: &LogTables,
+        provider: &dyn SchemaProvider,
+    ) -> Result<Self> {
+        let entries = log
+            .bases()
+            .map(|base| {
+                let (d, i) = log.get(base).expect("listed base");
+                LogEntry {
+                    base: base.clone(),
+                    del_table: d.to_string(),
+                    ins_table: i.to_string(),
+                }
+            })
+            .collect();
+        let program = CompiledDeltaProgram {
+            definition: definition.clone(),
+            entries,
+            variants: Mutex::new(BTreeMap::new()),
+            compiles: AtomicU64::new(0),
+            binds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            compiled_at: SystemTime::now(),
+        };
+        let full = program.all_active_mask();
+        if full != 0 {
+            program.compile_variant(full, provider)?;
+        }
+        Ok(program)
+    }
+
+    /// The mask with every logged table active.
+    pub fn all_active_mask(&self) -> u128 {
+        let bits = self.entries.len().saturating_mul(2);
+        if bits >= 128 {
+            Self::SATURATED
+        } else {
+            (1u128 << bits) - 1
+        }
+    }
+
+    fn bit_active(mask: u128, bit: usize) -> bool {
+        if mask == Self::SATURATED {
+            return true;
+        }
+        bit < 128 && (mask >> bit) & 1 == 1
+    }
+
+    /// Compute the activity mask for the current log state: one bit per
+    /// log table that is non-empty *right now*. `0` means the whole log
+    /// is empty — propagate is a no-op and no plan need run. Saturates to
+    /// [`Self::SATURATED`] past 64 logged bases (sound: over-inclusion
+    /// only loses pruning).
+    pub fn activity_mask(&self, is_empty_now: &dyn Fn(&str) -> bool) -> u128 {
+        if self.entries.len() > 64 {
+            let any = self
+                .entries
+                .iter()
+                .any(|e| !is_empty_now(&e.del_table) || !is_empty_now(&e.ins_table));
+            return if any { Self::SATURATED } else { 0 };
+        }
+        let mut mask = 0u128;
+        for (i, e) in self.entries.iter().enumerate() {
+            if !is_empty_now(&e.del_table) {
+                mask |= 1 << (2 * i);
+            }
+            if !is_empty_now(&e.ins_table) {
+                mask |= 1 << (2 * i + 1);
+            }
+        }
+        mask
+    }
+
+    /// The log tables active under `mask`, i.e. exactly the parameter
+    /// tables the variant's plans may scan.
+    pub fn active_log_tables(&self, mask: u128) -> Vec<&str> {
+        let mut out = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if Self::bit_active(mask, 2 * i) {
+                out.push(e.del_table.as_str());
+            }
+            if Self::bit_active(mask, 2 * i + 1) {
+                out.push(e.ins_table.as_str());
+            }
+        }
+        out
+    }
+
+    /// Fetch the compiled variant for `mask`, deriving and compiling it on
+    /// first sight. Returns `(variant, freshly_compiled)` so callers can
+    /// attribute the one-time symbolic cost to a `CompileDelta` phase.
+    pub fn variant(
+        &self,
+        mask: u128,
+        provider: &dyn SchemaProvider,
+    ) -> Result<(Arc<CompiledDeltaVariant>, bool)> {
+        if let Some(v) = self.variants.lock().get(&mask) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(v), false));
+        }
+        Ok((self.compile_variant(mask, provider)?, true))
+    }
+
+    /// The eagerly compiled all-active variant, if the view logs any base.
+    pub fn full_variant(&self) -> Option<Arc<CompiledDeltaVariant>> {
+        self.variants
+            .lock()
+            .get(&self.all_active_mask())
+            .map(Arc::clone)
+    }
+
+    /// Every cached variant, in mask order.
+    pub fn variants_snapshot(&self) -> Vec<Arc<CompiledDeltaVariant>> {
+        self.variants.lock().values().map(Arc::clone).collect()
+    }
+
+    /// Count one steady-state parameter binding.
+    pub fn record_bind(&self) {
+        self.binds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DeltaProgramStats {
+        DeltaProgramStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            binds: self.binds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            variants: self.variants.lock().len() as u64,
+            compiled_at: self.compiled_at,
+        }
+    }
+
+    /// Derive + compile the variant for `mask` and cache it. Mirrors
+    /// [`post_update_deltas_pruned`](crate::post_update_deltas_pruned):
+    /// inactive log tables enter the substitution as `φ` literals (so
+    /// φ-propagation prunes their terms at compile time) and wholly
+    /// inactive bases are left out of `η` entirely.
+    fn compile_variant(
+        &self,
+        mask: u128,
+        provider: &dyn SchemaProvider,
+    ) -> Result<Arc<CompiledDeltaVariant>> {
+        let mut l_hat = FactoredSubstitution::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let del_active = Self::bit_active(mask, 2 * i);
+            let ins_active = Self::bit_active(mask, 2 * i + 1);
+            if !del_active && !ins_active {
+                continue;
+            }
+            let schema = provider.schema_of(&e.base)?;
+            // `L̂`: `R ↦ (R ∸ ▲R) ⊎ ▼R` — the factored D is the insertion
+            // log and A the deletion log (reconstructing the past).
+            let d = if ins_active {
+                Expr::table(e.ins_table.clone())
+            } else {
+                Expr::empty(schema.clone())
+            };
+            let a = if del_active {
+                Expr::table(e.del_table.clone())
+            } else {
+                Expr::empty(schema.clone())
+            };
+            l_hat.set(e.base.clone(), d, a);
+        }
+        let pair = differentiate(&self.definition, &l_hat, provider)?;
+        // Post-update role swap: ▼ = Add(L̂,Q), ▲ = Del(L̂,Q).
+        let expr_size = pair.del.size() + pair.add.size();
+        let variant = Arc::new(CompiledDeltaVariant {
+            mask,
+            del: compile(&pair.add, provider)?,
+            ins: compile(&pair.del, provider)?,
+            expr_size,
+        });
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.variants.lock().insert(mask, Arc::clone(&variant));
+        Ok(variant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::{log_del_name, log_ins_name, post_update_deltas_pruned};
+    use dvm_algebra::eval::eval;
+    use dvm_algebra::testgen::{Rng, Universe};
+    use dvm_storage::{tuple, Bag, Schema};
+    use std::collections::HashMap;
+
+    fn provider_with_logs(u: &Universe) -> HashMap<String, Schema> {
+        let mut p = u.provider();
+        for t in &u.tables {
+            p.insert(log_del_name(t), u.schema.clone());
+            p.insert(log_ins_name(t), u.schema.clone());
+        }
+        p
+    }
+
+    fn empty_logs(u: &Universe, state: &mut HashMap<String, Bag>) -> LogTables {
+        let mut log = LogTables::new();
+        for t in &u.tables {
+            log.add(t.clone());
+            state.insert(log_del_name(t), Bag::new());
+            state.insert(log_ins_name(t), Bag::new());
+        }
+        log
+    }
+
+    #[test]
+    fn empty_log_is_mask_zero_and_full_variant_eager() {
+        let u = Universe::small(2);
+        let provider = provider_with_logs(&u);
+        let mut state = u.state(&mut Rng::new(1), 4);
+        let log = empty_logs(&u, &mut state);
+        let q = Expr::table("t0").union(Expr::table("t1"));
+        let p = CompiledDeltaProgram::compile(&q, &log, &provider).unwrap();
+        let is_empty = |t: &str| state.get(t).map(|b| b.is_empty()).unwrap_or(false);
+        assert_eq!(p.activity_mask(&is_empty), 0);
+        assert_eq!(p.all_active_mask(), 0b1111);
+        let s = p.stats();
+        assert_eq!(s.compiles, 1, "all-active variant compiled eagerly");
+        assert_eq!(s.variants, 1);
+        assert!(p.full_variant().is_some());
+    }
+
+    #[test]
+    fn variant_cache_hits_after_first_compile() {
+        let u = Universe::small(2);
+        let provider = provider_with_logs(&u);
+        let mut state = u.state(&mut Rng::new(2), 4);
+        let log = empty_logs(&u, &mut state);
+        state.insert(log_ins_name("t0"), Bag::singleton(tuple![1, 1]));
+        let q = Expr::table("t0").union(Expr::table("t1"));
+        let p = CompiledDeltaProgram::compile(&q, &log, &provider).unwrap();
+        let is_empty = |t: &str| state.get(t).map(|b| b.is_empty()).unwrap_or(false);
+        let mask = p.activity_mask(&is_empty);
+        assert_ne!(mask, 0);
+        assert_ne!(mask, p.all_active_mask());
+        let (_, fresh) = p.variant(mask, &provider).unwrap();
+        assert!(fresh, "first sighting of this mask derives");
+        let (_, fresh) = p.variant(mask, &provider).unwrap();
+        assert!(!fresh, "second sighting is a pure lookup");
+        let s = p.stats();
+        assert_eq!(s.compiles, 2); // all-active + this mask
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.variants, 2);
+        // The active tables are exactly t0's insertion log.
+        assert_eq!(p.active_log_tables(mask), vec![log_ins_name("t0")]);
+    }
+
+    #[test]
+    fn masked_variant_matches_pruned_derivation() {
+        // The central equivalence, small-scale (the full property suite
+        // lives in tests/compile_differential.rs): the compiled variant's
+        // plans evaluate bag-equal to a fresh pruned derivation.
+        let u = Universe::small(3);
+        let provider = provider_with_logs(&u);
+        let mut rng = Rng::new(77);
+        for _ in 0..40 {
+            let q = u.expr(&mut rng, 2);
+            let mut state = u.state(&mut rng, 4);
+            let log = empty_logs(&u, &mut state);
+            let f = u.weakly_minimal_subst(&mut rng, &state);
+            let mut state = u.apply_subst_to_state(&f, &state);
+            for t in &u.tables {
+                let (d, a) = match f.get(t) {
+                    Some((Expr::Literal { bag: d, .. }, Expr::Literal { bag: a, .. })) => {
+                        (d.clone(), a.clone())
+                    }
+                    None => (Bag::new(), Bag::new()),
+                    _ => unreachable!("literal deltas"),
+                };
+                state.insert(log_del_name(t), d);
+                state.insert(log_ins_name(t), a);
+            }
+            let program = CompiledDeltaProgram::compile(&q, &log, &provider).unwrap();
+            let is_empty = |t: &str| state.get(t).map(|b| b.is_empty()).unwrap_or(false);
+            let fresh =
+                post_update_deltas_pruned(&q, &log, &provider, &is_empty).unwrap();
+            let ev = |e: &Expr| eval(&compile(e, &provider).unwrap().plan, &state).unwrap();
+            let mask = program.activity_mask(&is_empty);
+            if mask == 0 {
+                assert!(ev(&fresh.del).is_empty() && ev(&fresh.ins).is_empty());
+                continue;
+            }
+            let (v, _) = program.variant(mask, &provider).unwrap();
+            assert_eq!(eval(&v.del.plan, &state).unwrap(), ev(&fresh.del), "▼ for {q}");
+            assert_eq!(eval(&v.ins.plan, &state).unwrap(), ev(&fresh.ins), "▲ for {q}");
+        }
+    }
+
+    #[test]
+    fn saturated_mask_is_sound_past_64_bases() {
+        // 70 logged bases force saturation; the program must still answer
+        // correctly because empty log tables evaluate to φ at runtime.
+        let schema = Schema::from_pairs(&[
+            ("a", dvm_storage::ValueType::Int),
+            ("b", dvm_storage::ValueType::Int),
+        ]);
+        let mut provider: HashMap<String, Schema> = HashMap::new();
+        let mut log = LogTables::new();
+        let mut state: HashMap<String, Bag> = HashMap::new();
+        for i in 0..70 {
+            let t = format!("t{i}");
+            provider.insert(t.clone(), schema.clone());
+            provider.insert(log_del_name(&t), schema.clone());
+            provider.insert(log_ins_name(&t), schema.clone());
+            state.insert(t.clone(), Bag::new());
+            state.insert(log_del_name(&t), Bag::new());
+            state.insert(log_ins_name(&t), Bag::new());
+            log.add(t);
+        }
+        let q = Expr::table("t0").union(Expr::table("t1"));
+        let p = CompiledDeltaProgram::compile(&q, &log, &provider).unwrap();
+        assert_eq!(p.all_active_mask(), CompiledDeltaProgram::SATURATED);
+
+        state.insert("t0".into(), Bag::singleton(tuple![1, 1]));
+        state.insert(log_ins_name("t0"), Bag::singleton(tuple![1, 1]));
+        let is_empty = |t: &str| state.get(t).map(|b| b.is_empty()).unwrap_or(false);
+        let mask = p.activity_mask(&is_empty);
+        assert_eq!(mask, CompiledDeltaProgram::SATURATED, "mask saturates");
+        let (v, _) = p.variant(mask, &provider).unwrap();
+        let ins = eval(&v.ins.plan, &state).unwrap();
+        assert_eq!(ins, Bag::singleton(tuple![1, 1]), "▲ = the logged insert");
+        let del = eval(&v.del.plan, &state).unwrap();
+        assert!(del.is_empty());
+    }
+}

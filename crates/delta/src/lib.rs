@@ -13,11 +13,15 @@
 //!   `▼/▲` (post-update, for deferred refresh), plus the *state-bug*
 //!   variant used by the experiments;
 //! * [`compose`](mod@compose) — the weakly minimal composition lemma (Lemma 3);
-//! * [`cancel`] — the cancellation lemma (Lemma 1).
+//! * [`cancel`] — the cancellation lemma (Lemma 1);
+//! * [`compile`] — the delta-plan compiler: `▼/▲` derived, simplified and
+//!   plan-optimized once per view, cached per activity mask, and
+//!   re-executed with log bags bound as parameters.
 
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod compile;
 pub mod compose;
 pub mod error;
 pub mod incremental;
@@ -25,6 +29,7 @@ pub mod strong;
 pub mod transaction;
 pub mod weak;
 
+pub use compile::{CompiledDeltaProgram, CompiledDeltaVariant, DeltaProgramStats};
 pub use compose::{compose, compose_into};
 pub use error::{DeltaError, Result};
 pub use incremental::{

@@ -86,6 +86,13 @@ cargo run --release --offline -q -p dvm-bench --bin exp_profile -- --test
 echo "==> CDC ingestion experiment smoke"
 cargo run --release --offline -q -p dvm-bench --bin exp_ingest -- --test
 
+# Compiled delta-plan smoke: the compiled-path and per-call-derivation
+# twins must stay bag-equal to each other and to a from-scratch recompute
+# across several propagate/refresh rounds (join + aggregate views), and
+# all six compiled/per_call benchmark series must run end-to-end.
+echo "==> compiled delta-plan experiment smoke"
+cargo run --release --offline -q -p dvm-bench --bin exp_compile -- --test
+
 # Every JSON artifact under results/ must parse and match its schema
 # (pure-Rust validation via dvm_obs::json — no jq in the image), including
 # the benchmark series the executor speedup gates divide.

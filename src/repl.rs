@@ -184,6 +184,7 @@ impl Repl {
                 render(self.view_op(arg, |db, v| Ok(format!("{}", db.check_invariant(v)?))))
             }
             "explain" => render(self.view_op(arg, |db, v| Ok(db.explain_view(v)?))),
+            "plan" => render(self.view_op(arg, |db, v| Ok(db.plan_view(v)?))),
             "invariants" => {
                 let failures = match self.db.check_all_invariants() {
                     Ok(f) => f,
@@ -561,6 +562,7 @@ meta:  \\tables            list base tables
        \\partial <v>       apply differential tables (minimal downtime)
        \\fresh <v>         read-through: fresh answer, zero downtime
        \\explain <v>       definition, materialization and refresh plans
+       \\plan <v>          stored compiled \u{25bc}/\u{25b2} delta plans + compile/bind counters
        \\invariant <v> | \\invariants
        \\metrics           latency/staleness tables for every view
        \\metrics json      the same registry as JSON
@@ -651,6 +653,10 @@ mod tests {
         let explained = feed(&mut repl, &["\\explain v"]);
         assert!(explained.contains("materialization plan"), "{explained}");
         assert!(explained.contains("Scan"), "{explained}");
+        let plan = feed(&mut repl, &["\\plan v"]);
+        assert!(plan.contains("delta program for v"), "{plan}");
+        assert!(plan.contains("compiled \u{25bc}(L,Q) plan"), "{plan}");
+        assert!(plan.contains("binds"), "{plan}");
         assert!(feed(&mut repl, &["\\minimality strong"]).contains("strong"));
         assert!(feed(&mut repl, &["\\help"]).contains("SQL:"));
         assert!(feed(&mut repl, &["\\nonsense"]).contains("unknown command"));
